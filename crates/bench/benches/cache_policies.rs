@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the cache core under each replacement policy:
+//! lookup/fill throughput on a mixed hit/miss stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use std::hint::black_box;
+
+use atc_core::PolicyChoice;
+use atc_cache::Cache;
+use atc_types::{AccessClass, AccessInfo, LineAddr};
+
+fn drive(cache: &mut Cache, n: u64) -> u64 {
+    let mut hits = 0;
+    for i in 0..n {
+        // 50% reuse of a hot window, 50% streaming.
+        let line = if i % 2 == 0 { i % 256 } else { 10_000 + i };
+        let info = AccessInfo::demand(
+            0x400 + (i % 16),
+            LineAddr::new(line),
+            AccessClass::NonReplayData,
+        );
+        match cache.lookup(&info, i) {
+            Some(_) => hits += 1,
+            None => {
+                cache.insert_miss(&info, i + 40, i);
+            }
+        }
+    }
+    hits
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_policy_access");
+    g.sample_size(20);
+    for policy in [
+        PolicyChoice::Lru,
+        PolicyChoice::Srrip,
+        PolicyChoice::Drrip,
+        PolicyChoice::Ship,
+        PolicyChoice::Hawkeye,
+        PolicyChoice::TShip,
+    ] {
+        g.bench_with_input(CritId::new("policy", policy.label()), &policy, |b, p| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::new("bench", 1024, 8, 10, 16, p.build(1024, 8));
+                black_box(drive(&mut cache, 20_000))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

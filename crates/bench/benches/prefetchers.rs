@@ -1,0 +1,50 @@
+//! Micro-benchmarks of prefetcher training/prediction throughput on a
+//! mixed sequential + irregular access stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use std::hint::black_box;
+
+use atc_prefetch::{PrefetchContext, PrefetcherKind};
+use atc_types::{LineAddr, VirtAddr};
+
+fn stream(i: u64) -> PrefetchContext {
+    // Alternate a dense run with pseudo-random jumps.
+    let line = if i % 4 != 3 {
+        1000 + i
+    } else {
+        (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (1 << 24)
+    };
+    PrefetchContext {
+        ip: 0x400 + (i % 8),
+        line: LineAddr::new(line),
+        vaddr: VirtAddr::new(line << 6),
+        hit: i % 2 == 0,
+    }
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetcher_on_access");
+    g.sample_size(20);
+    for kind in [
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::Isb,
+    ] {
+        g.bench_with_input(CritId::new("kind", kind.label()), &kind, |b, k| {
+            b.iter(|| {
+                let mut pf = k.build().expect("buildable");
+                let mut emitted = 0usize;
+                for i in 0..20_000u64 {
+                    emitted += pf.on_access(&stream(i)).len();
+                }
+                black_box(emitted)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the virtual-memory substrate: TLB lookup/fill
+//! throughput and five-level walk planning (PSC probe + PTE address
+//! computation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use atc_types::{config::MachineConfig, Vpn};
+use atc_vm::{TranslationEngine, TranslationQuery};
+
+fn bench_tlb_hits(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(20);
+
+    g.bench_function("dtlb_hit_lookup", |b| {
+        let mut mmu = TranslationEngine::new(&cfg);
+        // Warm one page.
+        if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(42)) {
+            mmu.complete_walk(&p);
+        }
+        b.iter(|| black_box(mmu.query(Vpn::new(42))));
+    });
+
+    g.bench_function("full_walk_plan_and_complete", |b| {
+        let mut mmu = TranslationEngine::new(&cfg);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 4096; // fresh region most iterations
+            match mmu.query(Vpn::new(v)) {
+                TranslationQuery::Walk(p) => {
+                    black_box(mmu.complete_walk(&p));
+                }
+                q => {
+                    black_box(q);
+                }
+            }
+        });
+    });
+
+    g.bench_function("psc_accelerated_walk", |b| {
+        let mut mmu = TranslationEngine::new(&cfg);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1; // neighbouring pages: PSCL2 hits, 1-step walks
+            if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(v)) {
+                black_box(p.steps.len());
+                mmu.complete_walk(&p);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tlb_hits);
+criterion_main!(benches);

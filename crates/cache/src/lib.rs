@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Set-associative caches, MSHRs, and cache replacement policies.
+//!
+//! The cache model matches the paper's platform: 64-byte blocks that hold
+//! either data or eight page-table entries, per-class hit/miss statistics
+//! (non-replay / replay / leaf-translation / …), miss-status-holding
+//! registers that merge concurrent misses to the same block, and
+//! pluggable replacement via [`policy::ReplacementPolicy`].
+//!
+//! Provided policies:
+//!
+//! * [`policy::Lru`] — true LRU;
+//! * [`policy::Srrip`] / [`policy::Brrip`] / [`policy::Drrip`] — the RRIP
+//!   family with set dueling (Jaleel et al.);
+//! * [`policy::Ship`] — signature-based hit prediction (Wu et al.), with
+//!   selectable [`SignatureMode`](atc_types::SignatureMode) so the
+//!   paper's translation-conscious signatures can be switched on;
+//! * [`policy::Hawkeye`] — Belady-trained (Jain & Lin), with sampled-set
+//!   OPTgen.
+//!
+//! The paper's T-DRRIP / T-SHiP / T-Hawkeye variants live in `atc-core`,
+//! layered on top of these.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_cache::{Cache, policy::Lru};
+//! use atc_types::{AccessClass, AccessInfo, LineAddr};
+//!
+//! let mut c = Cache::new("L1D", 64, 8, 5, 8, Box::new(Lru::new(64, 8)));
+//! let info = AccessInfo::demand(0x400, LineAddr::new(0x1000), AccessClass::NonReplayData);
+//! assert!(c.lookup(&info, 0).is_none());      // cold miss
+//! c.insert_miss(&info, 100, 0);               // fill, data ready at cycle 100
+//! assert!(c.lookup(&info, 200).is_some());    // hit
+//! ```
+
+pub mod cache;
+pub mod mshr;
+pub mod policy;
+
+pub use cache::{Cache, EvictedLine};
+pub use mshr::Mshr;

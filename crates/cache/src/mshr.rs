@@ -1,0 +1,191 @@
+//! Miss-status-holding registers.
+//!
+//! An MSHR entry tracks one outstanding miss per 64-byte block. A second
+//! request to the same block while its fill is in flight *merges* —
+//! returning the in-flight completion time instead of issuing a second
+//! fill. When every register is busy, new misses are delayed until the
+//! earliest in-flight fill completes (a simple but effective bandwidth
+//! model — the paper relies on MSHR pressure to bound its "ideal cache"
+//! study the same way).
+
+use std::collections::HashMap;
+
+use atc_types::LineAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ready: u64,
+    is_prefetch: bool,
+}
+
+/// An MSHR file with a fixed number of registers.
+#[derive(Debug)]
+pub struct Mshr {
+    entries: HashMap<LineAddr, Entry>,
+    capacity: usize,
+    merges: u64,
+    allocations: u64,
+    full_stalls: u64,
+    prefetch_useful_merges: u64,
+}
+
+impl Mshr {
+    /// Create an MSHR file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+            merges: 0,
+            allocations: 0,
+            full_stalls: 0,
+            prefetch_useful_merges: 0,
+        }
+    }
+
+    /// Drop entries whose fills have completed by `cycle`.
+    fn expire(&mut self, cycle: u64) {
+        self.entries.retain(|_, e| e.ready > cycle);
+    }
+
+    /// If `line` has an in-flight fill at `cycle`, merge with it and
+    /// return its completion cycle. A demand merge on a prefetch-initiated
+    /// entry marks the entry as demand (the prefetch was late but useful).
+    pub fn merge(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> Option<u64> {
+        self.expire(cycle);
+        let e = self.entries.get_mut(&line)?;
+        self.merges += 1;
+        if !is_prefetch && e.is_prefetch {
+            // A demand request caught an in-flight prefetch: the prefetch
+            // was late but useful (it hides part of the miss latency).
+            self.prefetch_useful_merges += 1;
+            e.is_prefetch = false;
+        }
+        Some(e.ready)
+    }
+
+    /// Allocate a register for a new miss to `line` completing at
+    /// `ready`. If the file is full, the miss is delayed until the
+    /// earliest in-flight fill completes; the possibly-postponed
+    /// completion cycle is returned.
+    pub fn allocate(&mut self, line: LineAddr, cycle: u64, ready: u64, is_prefetch: bool) -> u64 {
+        self.expire(cycle);
+        let mut ready = ready;
+        if self.entries.len() >= self.capacity {
+            let earliest = self
+                .entries
+                .values()
+                .map(|e| e.ready)
+                .min()
+                .expect("full MSHR is non-empty");
+            let delay = earliest.saturating_sub(cycle);
+            ready += delay;
+            self.full_stalls += 1;
+            // Make room: the earliest entry has completed by `earliest`.
+            self.entries.retain(|_, e| e.ready > earliest);
+        }
+        self.allocations += 1;
+        self.entries.insert(line, Entry { ready, is_prefetch });
+        ready
+    }
+
+    /// Outstanding (unexpired) entries at `cycle`.
+    pub fn in_flight(&mut self, cycle: u64) -> usize {
+        self.expire(cycle);
+        self.entries.len()
+    }
+
+    /// Total merges recorded.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total registers allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Times a miss found the file full and was delayed.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Demand merges that caught an in-flight prefetch (late-but-useful
+    /// prefetches).
+    pub fn prefetch_useful_merges(&self) -> u64 {
+        self.prefetch_useful_merges
+    }
+
+    /// Zero counters (in-flight entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.merges = 0;
+        self.allocations = 0;
+        self.full_stalls = 0;
+        self.prefetch_useful_merges = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    #[test]
+    fn merge_returns_inflight_ready() {
+        let mut m = Mshr::new(4);
+        m.allocate(line(1), 0, 100, false);
+        assert_eq!(m.merge(line(1), 50, false), Some(100));
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn expired_entries_do_not_merge() {
+        let mut m = Mshr::new(4);
+        m.allocate(line(1), 0, 100, false);
+        assert_eq!(m.merge(line(1), 100, false), None);
+    }
+
+    #[test]
+    fn full_file_delays_new_misses() {
+        let mut m = Mshr::new(2);
+        m.allocate(line(1), 0, 100, false);
+        m.allocate(line(2), 0, 120, false);
+        // Third miss at cycle 10 must wait until cycle 100 frees a slot:
+        // its fill (nominally ready at 210) slips by 90.
+        let ready = m.allocate(line(3), 10, 210, false);
+        assert_eq!(ready, 300);
+        assert_eq!(m.full_stalls(), 1);
+    }
+
+    #[test]
+    fn free_file_does_not_delay() {
+        let mut m = Mshr::new(2);
+        let ready = m.allocate(line(9), 5, 70, false);
+        assert_eq!(ready, 70);
+        assert_eq!(m.full_stalls(), 0);
+    }
+
+    #[test]
+    fn demand_merge_clears_prefetch_flag() {
+        let mut m = Mshr::new(2);
+        m.allocate(line(4), 0, 50, true);
+        assert_eq!(m.merge(line(4), 10, false), Some(50));
+        // Internal flag cleared; observable only through later behaviour,
+        // but the merge itself must succeed.
+        assert_eq!(m.in_flight(10), 1);
+        assert_eq!(m.in_flight(50), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        Mshr::new(0);
+    }
+}

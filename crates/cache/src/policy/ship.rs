@@ -1,0 +1,254 @@
+//! SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011).
+//!
+//! SHiP keeps SRRIP's victim-selection and promotion but predicts the
+//! insertion RRPV per *signature* (here: the instruction pointer). A
+//! Signature History Counter Table (SHCT) counts, per signature, whether
+//! blocks inserted by it are reused before eviction: a hit increments the
+//! counter; an eviction without reuse decrements it. Fills whose
+//! signature has a zero counter are inserted distant (RRPV=3), the rest
+//! at RRPV=2.
+//!
+//! The [`SignatureMode`] parameter implements the paper's
+//! *translation-conscious signatures*: with
+//! [`SignatureMode::PerClass`], translations, replay loads and non-replay
+//! loads train disjoint SHCT entries, removing the cross-class noise the
+//! paper blames for premature PTE eviction (§IV).
+
+use atc_types::{AccessInfo, SignatureMode};
+
+use super::rrip::{RRPV_LONG, RRPV_MAX};
+use super::{fold_hash16, ReplacementPolicy, SatCounter};
+
+/// SHCT size (16 K entries, 14-bit index).
+const SHCT_ENTRIES: usize = 16 * 1024;
+/// 3-bit SHCT counters.
+const SHCT_MAX: u32 = 7;
+/// Initial (weakly reused) counter value.
+const SHCT_INIT: u32 = 1;
+
+#[derive(Debug, Clone, Copy)]
+struct LineMeta {
+    rrpv: u8,
+    signature: u16,
+    outcome: bool, // reused since fill?
+    valid: bool,
+}
+
+/// The SHiP replacement policy.
+#[derive(Debug)]
+pub struct Ship {
+    meta: Vec<LineMeta>,
+    ways: usize,
+    shct: Vec<SatCounter>,
+    mode: SignatureMode,
+}
+
+impl Ship {
+    /// Create SHiP metadata for a `sets × ways` cache using plain IP
+    /// signatures (the original proposal).
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self::with_mode(sets, ways, SignatureMode::IpOnly)
+    }
+
+    /// Create SHiP with an explicit signature mode;
+    /// [`SignatureMode::PerClass`] gives the paper's enhanced signatures
+    /// ("NewSign" in Fig 12).
+    pub fn with_mode(sets: usize, ways: usize, mode: SignatureMode) -> Self {
+        assert!(sets > 0 && ways > 0);
+        Ship {
+            meta: vec![
+                LineMeta { rrpv: RRPV_MAX, signature: 0, outcome: false, valid: false };
+                sets * ways
+            ],
+            ways,
+            shct: vec![SatCounter::new(SHCT_INIT, SHCT_MAX); SHCT_ENTRIES],
+            mode,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    #[inline]
+    fn shct_index(&self, info: &AccessInfo) -> u16 {
+        let sig = self.mode.signature(info.ip, info.class);
+        fold_hash16(sig) % SHCT_ENTRIES as u16
+    }
+
+    /// Read a block's current RRPV (diagnostics / T-SHiP).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.meta[set * self.ways + way].rrpv
+    }
+
+    /// Override a block's RRPV (used by T-SHiP's leaf-translation
+    /// insertion).
+    pub fn set_rrpv(&mut self, set: usize, way: usize, v: u8) {
+        debug_assert!(v <= RRPV_MAX);
+        let i = self.idx(set, way);
+        self.meta[i].rrpv = v;
+    }
+
+    /// The signature mode in use.
+    pub fn mode(&self) -> SignatureMode {
+        self.mode
+    }
+
+    /// SHCT counter value for an access's signature (tests).
+    pub fn shct_value(&self, info: &AccessInfo) -> u32 {
+        self.shct[self.shct_index(info) as usize].get()
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            SignatureMode::IpOnly => "SHiP",
+            SignatureMode::PerClass => "SHiP+NewSign",
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        let sig_idx = self.shct_index(info);
+        let predicted_dead = self.shct[sig_idx as usize].get() == 0;
+        let i = self.idx(set, way);
+        self.meta[i] = LineMeta {
+            rrpv: if predicted_dead { RRPV_MAX } else { RRPV_LONG },
+            signature: sig_idx,
+            outcome: false,
+            valid: true,
+        };
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _info: &AccessInfo) {
+        let i = self.idx(set, way);
+        let m = &mut self.meta[i];
+        m.rrpv = 0;
+        m.outcome = true;
+        // SHiP trains the SHCT on every re-reference.
+        self.shct[m.signature as usize].inc();
+    }
+
+    fn victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.meta[base + w].rrpv == RRPV_MAX) {
+                return w;
+            }
+            for w in 0..self.ways {
+                self.meta[base + w].rrpv += 1;
+            }
+        }
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        let m = self.meta[i];
+        if m.valid && !m.outcome {
+            self.shct[m.signature as usize].dec();
+        }
+        self.meta[i].valid = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_types::{AccessClass, LineAddr, PtLevel};
+
+    fn load(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(ip), AccessClass::NonReplayData)
+    }
+
+    fn translation(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(ip), AccessClass::Translation(PtLevel::L1))
+    }
+
+    #[test]
+    fn dead_signature_inserts_distant() {
+        let mut p = Ship::new(4, 4);
+        let a = load(0x999);
+        // Drive the signature's counter to zero with unused evictions.
+        for _ in 0..8 {
+            p.on_fill(0, 0, &a);
+            p.on_evict(0, 0);
+        }
+        assert_eq!(p.shct_value(&a), 0);
+        p.on_fill(0, 1, &a);
+        assert_eq!(p.rrpv(0, 1), RRPV_MAX);
+    }
+
+    #[test]
+    fn reused_signature_inserts_long() {
+        let mut p = Ship::new(4, 4);
+        let a = load(0x123);
+        p.on_fill(0, 0, &a);
+        p.on_hit(0, 0, &a);
+        p.on_fill(0, 1, &a);
+        assert_eq!(p.rrpv(0, 1), RRPV_LONG);
+    }
+
+    #[test]
+    fn eviction_without_reuse_decrements_only_once() {
+        let mut p = Ship::new(4, 4);
+        let a = load(0x55);
+        p.on_fill(0, 0, &a);
+        let before = p.shct_value(&a);
+        p.on_evict(0, 0);
+        p.on_evict(0, 0); // stale double-evict must not double-train
+        assert_eq!(p.shct_value(&a), before - 1);
+    }
+
+    #[test]
+    fn ip_only_mode_conflates_translation_and_data() {
+        let mut p = Ship::new(4, 4);
+        let d = load(0x700);
+        let t = translation(0x700);
+        // Kill the IP's counter with dead data blocks.
+        for _ in 0..8 {
+            p.on_fill(0, 0, &d);
+            p.on_evict(0, 0);
+        }
+        // The translation fill from the same IP is now predicted dead —
+        // the paper's noise problem.
+        p.on_fill(0, 1, &t);
+        assert_eq!(p.rrpv(0, 1), RRPV_MAX);
+    }
+
+    #[test]
+    fn per_class_mode_isolates_translation_training() {
+        let mut p = Ship::with_mode(4, 4, SignatureMode::PerClass);
+        let d = load(0x700);
+        let t = translation(0x700);
+        for _ in 0..8 {
+            p.on_fill(0, 0, &d);
+            p.on_evict(0, 0);
+        }
+        // Translation signature untouched: inserted long, not distant.
+        p.on_fill(0, 1, &t);
+        assert_eq!(p.rrpv(0, 1), RRPV_LONG);
+        assert_eq!(p.name(), "SHiP+NewSign");
+    }
+
+    #[test]
+    fn hit_promotes_to_zero() {
+        let mut p = Ship::new(2, 2);
+        let a = load(1);
+        p.on_fill(1, 1, &a);
+        p.on_hit(1, 1, &a);
+        assert_eq!(p.rrpv(1, 1), 0);
+    }
+
+    #[test]
+    fn victim_scan_terminates_and_prefers_distant() {
+        let mut p = Ship::new(1, 4);
+        let a = load(2);
+        for w in 0..4 {
+            p.on_fill(0, w, &a);
+            p.on_hit(0, w, &a);
+        }
+        let v = p.victim(0, &a);
+        assert!(v < 4);
+    }
+}

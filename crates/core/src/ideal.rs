@@ -1,0 +1,116 @@
+//! Ideal-cache oracles for the opportunity study (Fig 2).
+//!
+//! The paper sizes the headroom by giving selected classes a 100 % hit
+//! rate at the L2C and/or LLC: a filtered access is answered with the
+//! cache's hit latency, while the underlying miss is still sent through
+//! the MSHRs so bandwidth pressure remains realistic. [`IdealConfig`]
+//! describes which classes are idealised at which level; the simulator
+//! consults it in front of each lookup.
+
+use atc_types::{AccessClass, MemLevel};
+
+/// Which traffic classes get an oracle 100 % hit rate, per level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealConfig {
+    /// Ideal L2C for leaf-level translations.
+    pub l2c_translations: bool,
+    /// Ideal L2C for replay loads.
+    pub l2c_replays: bool,
+    /// Ideal LLC for leaf-level translations.
+    pub llc_translations: bool,
+    /// Ideal LLC for replay loads.
+    pub llc_replays: bool,
+}
+
+impl IdealConfig {
+    /// No idealisation (the real machine).
+    pub fn none() -> Self {
+        IdealConfig::default()
+    }
+
+    /// Fig 2's "LLC(T)": ideal LLC for leaf translations.
+    pub fn llc_translations() -> Self {
+        IdealConfig { llc_translations: true, ..Default::default() }
+    }
+
+    /// Fig 2's "LLC(R)": ideal LLC for replay loads.
+    pub fn llc_replays() -> Self {
+        IdealConfig { llc_replays: true, ..Default::default() }
+    }
+
+    /// Fig 2's "LLC(TR)": ideal LLC for both.
+    pub fn llc_both() -> Self {
+        IdealConfig { llc_translations: true, llc_replays: true, ..Default::default() }
+    }
+
+    /// Fig 2's "L2C(T)+LLC(TR)" style points: ideal L2C for translations
+    /// on top of an ideal LLC for both.
+    pub fn l2c_translations_llc_both() -> Self {
+        IdealConfig { l2c_translations: true, llc_translations: true, llc_replays: true, ..Default::default() }
+    }
+
+    /// Ideal L2C for replays only (Fig 2's L2C(R) point), LLC real.
+    pub fn l2c_replays() -> Self {
+        IdealConfig { l2c_replays: true, ..Default::default() }
+    }
+
+    /// Ideal L2C and LLC for both classes (the full "TR" headroom).
+    pub fn both_levels_both_classes() -> Self {
+        IdealConfig {
+            l2c_translations: true,
+            l2c_replays: true,
+            llc_translations: true,
+            llc_replays: true,
+        }
+    }
+
+    /// Should an access of `class` at `level` be answered by the oracle?
+    #[inline]
+    pub fn applies(&self, level: MemLevel, class: AccessClass) -> bool {
+        let (t, r) = match level {
+            MemLevel::L2c => (self.l2c_translations, self.l2c_replays),
+            MemLevel::Llc => (self.llc_translations, self.llc_replays),
+            _ => (false, false),
+        };
+        (t && class.is_leaf_translation()) || (r && class.is_replay())
+    }
+
+    /// True if any oracle is active.
+    pub fn any(&self) -> bool {
+        self.l2c_translations || self.l2c_replays || self.llc_translations || self.llc_replays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_types::PtLevel;
+
+    #[test]
+    fn applies_matches_level_and_class() {
+        let c = IdealConfig::llc_translations();
+        assert!(c.applies(MemLevel::Llc, AccessClass::Translation(PtLevel::L1)));
+        assert!(!c.applies(MemLevel::Llc, AccessClass::Translation(PtLevel::L2)));
+        assert!(!c.applies(MemLevel::Llc, AccessClass::ReplayData));
+        assert!(!c.applies(MemLevel::L2c, AccessClass::Translation(PtLevel::L1)));
+        assert!(!c.applies(MemLevel::L1d, AccessClass::Translation(PtLevel::L1)));
+    }
+
+    #[test]
+    fn none_applies_nowhere() {
+        let c = IdealConfig::none();
+        assert!(!c.any());
+        for lvl in MemLevel::ALL {
+            assert!(!c.applies(lvl, AccessClass::ReplayData));
+        }
+    }
+
+    #[test]
+    fn full_oracle_covers_both() {
+        let c = IdealConfig::both_levels_both_classes();
+        assert!(c.any());
+        assert!(c.applies(MemLevel::L2c, AccessClass::ReplayData));
+        assert!(c.applies(MemLevel::Llc, AccessClass::Translation(PtLevel::L1)));
+        assert!(!c.applies(MemLevel::L2c, AccessClass::NonReplayData));
+    }
+}

@@ -1,0 +1,327 @@
+//! Translation-conscious replacement policies: T-DRRIP, T-SHiP and
+//! T-Hawkeye (§IV of the paper).
+//!
+//! Each wraps its baseline policy and adjusts only the *insertion*
+//! sub-policy — promotion and eviction are inherited unchanged, exactly
+//! as the paper specifies:
+//!
+//! * **T-DRRIP** (L2C): leaf-level translation fills insert at RRPV=0
+//!   (keep), replay-load fills at RRPV=3 (evict first — replay blocks are
+//!   dead, and if inserted at RRPV=2 they trigger set-wide aging that
+//!   evicts the pinned translations; Fig 10 demonstrates the
+//!   degradation).
+//! * **T-SHiP / T-Hawkeye** (LLC): per-class signatures
+//!   ([`SignatureMode::PerClass`]) plus leaf-level translation fills at
+//!   RRPV=0. Replay loads are left to the new signatures, which already
+//!   classify them dead. ATP/TEMPO prefetch fills of replay data insert
+//!   with maximum eviction priority.
+
+use atc_cache::policy::{Drrip, Hawkeye, ReplacementPolicy, Ship, HK_RRPV_MAX, RRPV_MAX};
+use atc_types::{AccessInfo, SignatureMode};
+
+/// T-DRRIP: translation-conscious DRRIP for the private L2C.
+#[derive(Debug)]
+pub struct TDrrip {
+    inner: Drrip,
+    replay_rrpv: u8,
+    translation_rrpv: u8,
+}
+
+impl TDrrip {
+    /// The paper's T-DRRIP: leaf translations at RRPV=0, replays at
+    /// RRPV=3.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        TDrrip { inner: Drrip::new(sets, ways), replay_rrpv: RRPV_MAX, translation_rrpv: 0 }
+    }
+
+    /// The mis-configured variant of Fig 10 that inserts replay loads at
+    /// RRPV=0 as well, demonstrating why replays must be inserted dead.
+    pub fn with_replay_rrpv(sets: usize, ways: usize, replay_rrpv: u8) -> Self {
+        assert!(replay_rrpv <= RRPV_MAX);
+        TDrrip { inner: Drrip::new(sets, ways), replay_rrpv, translation_rrpv: 0 }
+    }
+
+    /// Read a block's RRPV (tests / diagnostics).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.inner.rrpv(set, way)
+    }
+}
+
+impl ReplacementPolicy for TDrrip {
+    fn name(&self) -> &'static str {
+        "T-DRRIP"
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_fill(set, way, info);
+        if info.class.is_leaf_translation() {
+            self.inner.set_rrpv(set, way, self.translation_rrpv);
+        } else if info.class.is_replay() {
+            // Demand replays are dead; ATP prefetches of replay data also
+            // insert with the highest priority for eviction.
+            self.inner.set_rrpv(set, way, self.replay_rrpv);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_hit(set, way, info);
+    }
+
+    fn victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        self.inner.victim(set, info)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        self.inner.on_evict(set, way);
+    }
+}
+
+/// T-SHiP: translation-conscious SHiP for the LLC.
+#[derive(Debug)]
+pub struct TShip {
+    inner: Ship,
+    replay_prefetch_rrpv: u8,
+    translation_rrpv: u8,
+    force_replay_rrpv: Option<u8>,
+}
+
+impl TShip {
+    /// The paper's T-SHiP: per-class signatures, leaf translations at
+    /// RRPV=0, ATP/TEMPO replay prefetches at RRPV=3.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self::with_signature_mode(sets, ways, SignatureMode::PerClass)
+    }
+
+    /// T-SHiP with an explicit signature mode — `IpOnly` gives the
+    /// "pin-only" ablation (translation RRPV=0 without the per-class
+    /// signatures).
+    pub fn with_signature_mode(sets: usize, ways: usize, mode: SignatureMode) -> Self {
+        TShip {
+            inner: Ship::with_mode(sets, ways, mode),
+            replay_prefetch_rrpv: RRPV_MAX,
+            translation_rrpv: 0,
+            force_replay_rrpv: None,
+        }
+    }
+
+    /// The Fig 10 mis-configuration: demand replay loads forced to
+    /// `rrpv` (0 in the figure) instead of the signature prediction.
+    pub fn with_forced_replay_rrpv(sets: usize, ways: usize, rrpv: u8) -> Self {
+        assert!(rrpv <= RRPV_MAX);
+        let mut t = TShip::new(sets, ways);
+        t.force_replay_rrpv = Some(rrpv);
+        t
+    }
+
+    /// Read a block's RRPV (tests / diagnostics).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.inner.rrpv(set, way)
+    }
+}
+
+impl ReplacementPolicy for TShip {
+    fn name(&self) -> &'static str {
+        "T-SHiP"
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_fill(set, way, info);
+        if info.class.is_leaf_translation() {
+            self.inner.set_rrpv(set, way, self.translation_rrpv);
+        } else if info.class.is_replay() {
+            if info.is_prefetch {
+                self.inner.set_rrpv(set, way, self.replay_prefetch_rrpv);
+            } else if let Some(v) = self.force_replay_rrpv {
+                self.inner.set_rrpv(set, way, v);
+            }
+            // Demand replays otherwise follow the (per-class) signature
+            // prediction, which learns they are dead.
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_hit(set, way, info);
+    }
+
+    fn victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        self.inner.victim(set, info)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        self.inner.on_evict(set, way);
+    }
+}
+
+/// T-Hawkeye: translation-conscious Hawkeye for the LLC.
+#[derive(Debug)]
+pub struct THawkeye {
+    inner: Hawkeye,
+}
+
+impl THawkeye {
+    /// Per-class signatures plus leaf translations pinned at RRPV=0.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        THawkeye { inner: Hawkeye::with_mode(sets, ways, SignatureMode::PerClass) }
+    }
+
+    /// Read a block's RRPV (tests / diagnostics).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.inner.rrpv(set, way)
+    }
+}
+
+impl ReplacementPolicy for THawkeye {
+    fn name(&self) -> &'static str {
+        "T-Hawkeye"
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_fill(set, way, info);
+        if info.class.is_leaf_translation() {
+            self.inner.set_rrpv(set, way, 0);
+        } else if info.class.is_replay() && info.is_prefetch {
+            self.inner.set_rrpv(set, way, HK_RRPV_MAX);
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        self.inner.on_hit(set, way, info);
+    }
+
+    fn victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        self.inner.victim(set, info)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        self.inner.on_evict(set, way);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_types::{AccessClass, AccessInfo, LineAddr, PtLevel};
+
+    fn leaf_translation(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(7), AccessClass::Translation(PtLevel::L1))
+    }
+
+    fn mid_translation(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(7), AccessClass::Translation(PtLevel::L3))
+    }
+
+    fn replay(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(9), AccessClass::ReplayData)
+    }
+
+    fn non_replay(ip: u64) -> AccessInfo {
+        AccessInfo::demand(ip, LineAddr::new(11), AccessClass::NonReplayData)
+    }
+
+    #[test]
+    fn tdrrip_pins_leaf_translations() {
+        let mut p = TDrrip::new(16, 8);
+        p.on_fill(0, 0, &leaf_translation(1));
+        assert_eq!(p.rrpv(0, 0), 0);
+    }
+
+    #[test]
+    fn tdrrip_leaves_intermediate_levels_to_drrip() {
+        let mut p = TDrrip::new(16, 8);
+        p.on_fill(0, 1, &mid_translation(1));
+        assert_ne!(p.rrpv(0, 1), 0, "only leaf translations are pinned");
+    }
+
+    #[test]
+    fn tdrrip_inserts_replays_dead() {
+        let mut p = TDrrip::new(16, 8);
+        p.on_fill(0, 2, &replay(1));
+        assert_eq!(p.rrpv(0, 2), RRPV_MAX);
+    }
+
+    #[test]
+    fn tdrrip_fig10_variant_inserts_replays_at_zero() {
+        let mut p = TDrrip::with_replay_rrpv(16, 8, 0);
+        p.on_fill(0, 2, &replay(1));
+        assert_eq!(p.rrpv(0, 2), 0);
+    }
+
+    #[test]
+    fn tdrrip_replay_eviction_preserves_pinned_translations() {
+        // Fill a set with translations (RRPV 0) and one replay (RRPV 3);
+        // the victim must be the replay, not a translation.
+        let mut p = TDrrip::new(16, 4);
+        for w in 0..3 {
+            p.on_fill(1, w, &leaf_translation(w as u64));
+        }
+        p.on_fill(1, 3, &replay(9));
+        assert_eq!(p.victim(1, &non_replay(5)), 3);
+    }
+
+    #[test]
+    fn tship_uses_per_class_signatures() {
+        let mut p = TShip::new(16, 8);
+        assert_eq!(p.name(), "T-SHiP");
+        // Kill the data signature of IP 5 with dead blocks...
+        for _ in 0..8 {
+            p.on_fill(0, 0, &non_replay(5));
+            p.on_evict(0, 0);
+        }
+        // ...then a translation fill from the same IP is pinned anyway.
+        p.on_fill(0, 1, &leaf_translation(5));
+        assert_eq!(p.rrpv(0, 1), 0);
+    }
+
+    #[test]
+    fn tship_atp_prefetch_inserts_dead() {
+        let mut p = TShip::new(16, 8);
+        let pf = AccessInfo::prefetch(5, LineAddr::new(13), AccessClass::ReplayData);
+        p.on_fill(0, 3, &pf);
+        assert_eq!(p.rrpv(0, 3), RRPV_MAX);
+    }
+
+    #[test]
+    fn tship_demand_replay_follows_signature() {
+        let mut p = TShip::new(16, 8);
+        // A fresh replay signature starts at the SHCT init (non-zero):
+        // SHiP inserts long (RRPV=2), not forced.
+        p.on_fill(0, 4, &replay(21));
+        assert_eq!(p.rrpv(0, 4), 2);
+        // After repeated dead evictions the signature predicts dead.
+        for _ in 0..8 {
+            p.on_fill(0, 4, &replay(21));
+            p.on_evict(0, 4);
+        }
+        p.on_fill(0, 4, &replay(21));
+        assert_eq!(p.rrpv(0, 4), RRPV_MAX);
+    }
+
+    #[test]
+    fn tship_fig10_variant_forces_replays_to_zero() {
+        let mut p = TShip::with_forced_replay_rrpv(16, 8, 0);
+        p.on_fill(0, 4, &replay(21));
+        assert_eq!(p.rrpv(0, 4), 0);
+    }
+
+    #[test]
+    fn thawkeye_pins_leaf_translations() {
+        let mut p = THawkeye::new(32, 8);
+        // Detrain the IP's data signature so a vanilla fill would be
+        // averse...
+        for _ in 0..6 {
+            p.on_fill(1, 0, &non_replay(3));
+            p.on_evict(1, 0);
+        }
+        // ...but the translation is pinned at 0 regardless.
+        p.on_fill(1, 1, &leaf_translation(3));
+        assert_eq!(p.rrpv(1, 1), 0);
+    }
+
+    #[test]
+    fn thawkeye_atp_prefetch_inserts_averse() {
+        let mut p = THawkeye::new(32, 8);
+        let pf = AccessInfo::prefetch(5, LineAddr::new(13), AccessClass::ReplayData);
+        p.on_fill(0, 3, &pf);
+        assert_eq!(p.rrpv(0, 3), HK_RRPV_MAX);
+    }
+}

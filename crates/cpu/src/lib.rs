@@ -1,0 +1,436 @@
+#![warn(missing_docs)]
+
+//! Out-of-order core model.
+//!
+//! [`RobModel`] models the parts of a deep OoO core that the paper's
+//! study depends on: a large ROB (352 entries) whose *head* is the
+//! bottleneck, bounded issue (6/cycle) and retire (4/cycle) bandwidth,
+//! and precise attribution of head-of-ROB stall cycles to their cause —
+//! outstanding page walks, replay-load data, or non-replay-load data
+//! (Figs 1 and 16).
+//!
+//! The model is trace-driven and lazy: instructions are dispatched in
+//! program order; completion times are supplied by the memory system; and
+//! retirement is replayed in order whenever the ROB fills or at the end
+//! of the run. Loads record both when their *translation* finished and
+//! when their *data* arrived, which is exactly the split the paper uses
+//! ("a demand load that misses at the STLB stalls the head of the ROB
+//! ... 54 cycles for the walk and 226 for the replay").
+//!
+//! # Example
+//!
+//! ```
+//! use atc_cpu::{CompletionKind, RobModel};
+//! use atc_types::config::CoreConfig;
+//!
+//! let mut rob = RobModel::new(&CoreConfig::default());
+//! let at = rob.dispatch();
+//! rob.push(CompletionKind::Load {
+//!     trans_done: at + 40,   // page walk finished here
+//!     data_done: at + 240,   // replay data arrived here
+//!     walked: true,
+//! });
+//! for _ in 0..10 { let _ = rob.dispatch(); rob.push(CompletionKind::NonMemory); }
+//! let stats = rob.finish();
+//! assert!(stats.stalls.stlb_walk > 0);
+//! assert!(stats.stalls.replay_data > 0);
+//! ```
+
+use std::collections::VecDeque;
+
+use atc_stats::{Histogram, StallBreakdown};
+use atc_types::config::CoreConfig;
+
+/// How an instruction completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Non-memory instruction (1-cycle execute).
+    NonMemory,
+    /// A demand load: `trans_done` is when its translation resolved,
+    /// `data_done` when its value arrived, `walked` whether the
+    /// translation missed the STLB (making the data access a *replay*).
+    Load {
+        /// Cycle the translation resolved (TLB hit or walk completion).
+        trans_done: u64,
+        /// Cycle the data arrived (≥ `trans_done`).
+        data_done: u64,
+        /// True if the translation missed the STLB and walked.
+        walked: bool,
+    },
+    /// A store: retires without waiting for the write.
+    Store,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dispatched: u64,
+    kind: CompletionKind,
+}
+
+/// End-of-run core statistics.
+#[derive(Debug, Clone)]
+pub struct CoreStats {
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Total cycles from first dispatch to last retirement.
+    pub cycles: u64,
+    /// Head-of-ROB stall attribution.
+    pub stalls: StallBreakdown,
+    /// Per-stalling-load head-stall cycles due to the page walk.
+    pub walk_stall_hist: Histogram,
+    /// Per-stalling-load head-stall cycles due to replay data.
+    pub replay_stall_hist: Histogram,
+    /// Per-stalling-load head-stall cycles due to non-replay data.
+    pub non_replay_stall_hist: Histogram,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The trace-driven ROB model.
+#[derive(Debug)]
+pub struct RobModel {
+    cfg: CoreConfig,
+    clock: u64,
+    dispatched_this_cycle: usize,
+    rob: VecDeque<Entry>,
+    pending_dispatch: bool,
+    retire_clock: u64,
+    retire_slots_left: usize,
+    instructions: u64,
+    stalls: StallBreakdown,
+    walk_hist: Histogram,
+    replay_hist: Histogram,
+    non_replay_hist: Histogram,
+    measure_start: u64,
+    last_load_done: u64,
+}
+
+/// Stall histograms: 10-cycle buckets up to 600 cycles.
+fn stall_hist() -> Histogram {
+    Histogram::new(10, 60)
+}
+
+impl RobModel {
+    /// Create a core model.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        assert!(cfg.rob_entries > 0 && cfg.issue_width > 0 && cfg.retire_width > 0);
+        RobModel {
+            cfg: *cfg,
+            clock: 0,
+            dispatched_this_cycle: 0,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            pending_dispatch: false,
+            retire_clock: 0,
+            retire_slots_left: cfg.retire_width,
+            instructions: 0,
+            stalls: StallBreakdown::default(),
+            walk_hist: stall_hist(),
+            replay_hist: stall_hist(),
+            non_replay_hist: stall_hist(),
+            measure_start: 0,
+            last_load_done: 0,
+        }
+    }
+
+    /// Completion cycle of the most recently pushed load — the issue
+    /// lower bound for address-dependent memory operations.
+    pub fn last_load_completion(&self) -> u64 {
+        self.last_load_done
+    }
+
+    /// Record a load's completion cycle (drives dependent issue).
+    pub fn note_load_completion(&mut self, cycle: u64) {
+        self.last_load_done = cycle;
+    }
+
+    /// End the warmup phase: zero instruction, stall and histogram
+    /// counters while keeping the clock and in-flight ROB contents, so
+    /// measurement continues seamlessly from the warmed-up state.
+    pub fn reset_measurement(&mut self) {
+        self.instructions = 0;
+        self.stalls = StallBreakdown::default();
+        self.walk_hist = stall_hist();
+        self.replay_hist = stall_hist();
+        self.non_replay_hist = stall_hist();
+        self.measure_start = self.clock;
+    }
+
+    /// Current dispatch cycle (the memory system issues requests at this
+    /// time).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Reserve a dispatch slot for the next instruction and return its
+    /// dispatch cycle. Must be followed by exactly one
+    /// [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening `push`.
+    pub fn dispatch(&mut self) -> u64 {
+        assert!(!self.pending_dispatch, "dispatch() called twice without push()");
+        // Issue-width limit.
+        if self.dispatched_this_cycle == self.cfg.issue_width {
+            self.clock += 1;
+            self.dispatched_this_cycle = 0;
+        }
+        // ROB-full limit: retire the head to make room, and dispatch no
+        // earlier than that retirement.
+        while self.rob.len() == self.cfg.rob_entries {
+            let retired_at = self.retire_one();
+            if retired_at > self.clock {
+                self.clock = retired_at;
+                self.dispatched_this_cycle = 0;
+            }
+        }
+        self.pending_dispatch = true;
+        self.dispatched_this_cycle += 1;
+        self.clock
+    }
+
+    /// Append the instruction reserved by the last
+    /// [`dispatch`](Self::dispatch) with its completion behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dispatch is pending, or if a load's `data_done`
+    /// precedes its `trans_done`.
+    pub fn push(&mut self, kind: CompletionKind) {
+        assert!(self.pending_dispatch, "push() without dispatch()");
+        if let CompletionKind::Load { trans_done, data_done, .. } = kind {
+            assert!(data_done >= trans_done, "data cannot arrive before translation");
+        }
+        self.pending_dispatch = false;
+        self.instructions += 1;
+        self.rob.push_back(Entry { dispatched: self.clock, kind });
+    }
+
+    /// Retire the ROB head, attributing any head stall. Returns the
+    /// retirement cycle.
+    fn retire_one(&mut self) -> u64 {
+        let e = self.rob.pop_front().expect("retire from empty ROB");
+        let complete = match e.kind {
+            CompletionKind::NonMemory | CompletionKind::Store => e.dispatched + 1,
+            CompletionKind::Load { data_done, .. } => data_done,
+        };
+        // The head cannot retire before it completes; the gap is the
+        // head-of-ROB stall, attributed by cause.
+        if self.retire_clock <= e.dispatched {
+            // Retirement has caught up with dispatch: no backlog. The
+            // earliest this instruction could retire is one cycle after
+            // dispatch.
+            self.retire_clock = e.dispatched + 1;
+            self.retire_slots_left = self.cfg.retire_width;
+        }
+        if complete > self.retire_clock {
+            let stall_start = self.retire_clock;
+            match e.kind {
+                CompletionKind::Load { trans_done, data_done, walked } => {
+                    if walked {
+                        let walk_part = trans_done.saturating_sub(stall_start).min(data_done - stall_start);
+                        let data_part = (data_done - stall_start) - walk_part;
+                        if walk_part > 0 {
+                            self.stalls.stlb_walk += walk_part;
+                            self.walk_hist.record(walk_part);
+                        }
+                        if data_part > 0 {
+                            self.stalls.replay_data += data_part;
+                            self.replay_hist.record(data_part);
+                        }
+                    } else {
+                        let part = data_done - stall_start;
+                        self.stalls.non_replay_data += part;
+                        self.non_replay_hist.record(part);
+                    }
+                }
+                CompletionKind::NonMemory | CompletionKind::Store => {
+                    self.stalls.other += complete - stall_start;
+                }
+            }
+            self.retire_clock = complete;
+            self.retire_slots_left = self.cfg.retire_width;
+        }
+        let retired_at = self.retire_clock;
+        self.retire_slots_left -= 1;
+        if self.retire_slots_left == 0 {
+            self.retire_clock += 1;
+            self.retire_slots_left = self.cfg.retire_width;
+        }
+        retired_at
+    }
+
+    /// Drain the ROB and return the run's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dispatch is pending without its `push`.
+    pub fn finish(mut self) -> CoreStats {
+        assert!(!self.pending_dispatch, "finish() with a pending dispatch");
+        let mut last = self.retire_clock;
+        while !self.rob.is_empty() {
+            last = self.retire_one();
+        }
+        CoreStats {
+            instructions: self.instructions,
+            cycles: last.max(self.clock).saturating_sub(self.measure_start),
+            stalls: self.stalls,
+            walk_stall_hist: self.walk_hist,
+            replay_stall_hist: self.replay_hist,
+            non_replay_stall_hist: self.non_replay_hist,
+        }
+    }
+
+    /// Instructions dispatched into the ROB since the last measurement
+    /// reset.
+    pub fn dispatched(&self) -> u64 {
+        self.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> RobModel {
+        RobModel::new(&CoreConfig { rob_entries: 8, issue_width: 2, retire_width: 2 })
+    }
+
+    #[test]
+    fn issue_width_paces_dispatch() {
+        let mut r = core();
+        let c0 = r.dispatch();
+        r.push(CompletionKind::NonMemory);
+        let c1 = r.dispatch();
+        r.push(CompletionKind::NonMemory);
+        let c2 = r.dispatch();
+        r.push(CompletionKind::NonMemory);
+        assert_eq!(c0, c1);
+        assert_eq!(c2, c0 + 1, "third instruction spills to the next cycle");
+    }
+
+    #[test]
+    fn ideal_stream_ipc_close_to_retire_width() {
+        let mut r = RobModel::new(&CoreConfig { rob_entries: 32, issue_width: 4, retire_width: 4 });
+        for _ in 0..4000 {
+            let _ = r.dispatch();
+            r.push(CompletionKind::NonMemory);
+        }
+        let s = r.finish();
+        assert_eq!(s.instructions, 4000);
+        let ipc = s.ipc();
+        assert!(ipc > 3.5 && ipc <= 4.01, "ipc={ipc}");
+    }
+
+    #[test]
+    fn slow_load_attributes_stall_by_phase() {
+        let mut r = core();
+        let at = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: at + 50, data_done: at + 250, walked: true });
+        let s = r.finish();
+        // Head could retire at dispatch+1; walk part ≈ 49, replay ≈ 200.
+        assert_eq!(s.stalls.stlb_walk, 49);
+        assert_eq!(s.stalls.replay_data, 200);
+        assert_eq!(s.stalls.non_replay_data, 0);
+        assert_eq!(s.walk_stall_hist.count(), 1);
+        assert_eq!(s.replay_stall_hist.count(), 1);
+    }
+
+    #[test]
+    fn non_replay_load_attributes_to_non_replay() {
+        let mut r = core();
+        let at = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: at + 1, data_done: at + 40, walked: false });
+        let s = r.finish();
+        assert_eq!(s.stalls.non_replay_data, 39);
+        assert_eq!(s.stalls.stlb_walk, 0);
+    }
+
+    #[test]
+    fn covered_load_causes_no_stall() {
+        // A slow load behind a slower one does not stall the head again.
+        let mut r = core();
+        let a = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: a + 1, data_done: a + 100, walked: false });
+        let b = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: b + 1, data_done: b + 90, walked: false });
+        let s = r.finish();
+        // Second load completed before the head retired: one stall only.
+        assert_eq!(s.non_replay_stall_hist.count(), 1);
+        assert_eq!(s.stalls.non_replay_data, 99);
+    }
+
+    #[test]
+    fn rob_full_blocks_dispatch_until_head_retires() {
+        let mut r = core(); // 8 entries
+        let a = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: a + 1, data_done: a + 1000, walked: false });
+        for _ in 0..7 {
+            let _ = r.dispatch();
+            r.push(CompletionKind::NonMemory);
+        }
+        // ROB now full behind the slow load; next dispatch must jump to
+        // ≥ its completion.
+        let c = r.dispatch();
+        r.push(CompletionKind::NonMemory);
+        assert!(c >= a + 1000, "dispatch at {c}, load completes at {}", a + 1000);
+        let s = r.finish();
+        assert_eq!(s.instructions, 9);
+    }
+
+    #[test]
+    fn retire_width_bounds_throughput() {
+        // 100 ready instructions retire at ≤ retire_width per cycle.
+        let mut r = RobModel::new(&CoreConfig { rob_entries: 256, issue_width: 8, retire_width: 2 });
+        for _ in 0..100 {
+            let _ = r.dispatch();
+            r.push(CompletionKind::NonMemory);
+        }
+        let s = r.finish();
+        assert!(s.cycles >= 50, "cycles={}", s.cycles);
+    }
+
+    #[test]
+    fn stores_do_not_stall_retirement() {
+        let mut r = core();
+        let _ = r.dispatch();
+        r.push(CompletionKind::Store);
+        let s = r.finish();
+        assert_eq!(s.stalls.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without push")]
+    fn double_dispatch_panics() {
+        let mut r = core();
+        let _ = r.dispatch();
+        let _ = r.dispatch();
+    }
+
+    #[test]
+    #[should_panic(expected = "data cannot arrive before translation")]
+    fn bad_load_times_panic() {
+        let mut r = core();
+        let _ = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: 10, data_done: 5, walked: true });
+    }
+
+    #[test]
+    fn walked_load_with_fast_data_counts_walk_only() {
+        let mut r = core();
+        let at = r.dispatch();
+        r.push(CompletionKind::Load { trans_done: at + 60, data_done: at + 60, walked: true });
+        let s = r.finish();
+        assert_eq!(s.stalls.stlb_walk, 59);
+        assert_eq!(s.stalls.replay_data, 0);
+    }
+}

@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+
+//! A simple DDR5 bank/row DRAM timing model.
+//!
+//! One channel per four cores (Table I), banks with open-row policy:
+//! a request to an open row costs `row_hit_cycles`, a closed/conflicting
+//! row `row_miss_cycles`, and each request occupies its bank for
+//! `bank_busy_cycles`, so back-to-back requests to one bank queue behind
+//! each other. Addresses interleave across channels and banks at line
+//! granularity.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_dram::Dram;
+//! use atc_types::{config::DramConfig, LineAddr};
+//!
+//! let mut dram = Dram::new(&DramConfig::default());
+//! let t1 = dram.access(LineAddr::new(0), 0);
+//! // Different bank: proceeds in parallel, same latency.
+//! assert_eq!(dram.access(LineAddr::new(1), 0), t1);
+//! // Same bank (32 banks, line 32): queues behind request 1 but row-hits.
+//! let t3 = dram.access(LineAddr::new(32), 0);
+//! assert!(t3 != t1);
+//! ```
+
+use atc_types::{config::DramConfig, LineAddr};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// Access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests that needed an activate.
+    pub row_misses: u64,
+    /// Total requests served.
+    pub requests: u64,
+}
+
+/// The DRAM device model.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>, // channels × banks
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Build the device from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero channels or banks.
+    pub fn new(cfg: &DramConfig) -> Self {
+        assert!(cfg.channels > 0 && cfg.banks_per_channel > 0);
+        Dram {
+            cfg: *cfg,
+            banks: vec![Bank::default(); cfg.channels * cfg.banks_per_channel],
+            stats: DramStats::default(),
+        }
+    }
+
+    fn route(&self, line: LineAddr) -> (usize, u64) {
+        let n = self.banks.len() as u64;
+        // Interleave lines across all banks; row = higher-order bits.
+        let bank = (line.raw() % n) as usize;
+        let lines_per_row = self.cfg.row_bytes / 64;
+        let row = line.raw() / (n * lines_per_row);
+        (bank, row)
+    }
+
+    /// Issue a read/write for `line` arriving at `cycle`; returns the
+    /// completion cycle.
+    pub fn access(&mut self, line: LineAddr, cycle: u64) -> u64 {
+        let (bank_idx, row) = self.route(line);
+        let (row_hit, row_miss, busy) =
+            (self.cfg.row_hit_cycles, self.cfg.row_miss_cycles, self.cfg.bank_busy_cycles);
+        let bank = &mut self.banks[bank_idx];
+        let start = cycle.max(bank.busy_until);
+        let latency = if bank.open_row == Some(row) {
+            self.stats.row_hits += 1;
+            row_hit
+        } else {
+            self.stats.row_misses += 1;
+            bank.open_row = Some(row);
+            row_miss
+        };
+        self.stats.requests += 1;
+        bank.busy_until = start + busy;
+        start + latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Zero counters while keeping bank/row state (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Row-hit fraction so far (1.0 when idle).
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.stats.requests == 0 {
+            return 1.0;
+        }
+        self.stats.row_hits as f64 / self.stats.requests as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&DramConfig::default())
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = dram();
+        let done = d.access(LineAddr::new(0), 100);
+        assert_eq!(done, 100 + DramConfig::default().row_miss_cycles);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_hit_is_faster() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(&cfg);
+        d.access(LineAddr::new(0), 0);
+        // Wait for the bank to free, then hit the same row: line 0 and
+        // line 32 (= banks count) map to the same bank; with 32 banks and
+        // 128 lines/row, lines 0 and 32 share bank 0 row 0.
+        let t = d.access(LineAddr::new(32), 10_000);
+        assert_eq!(t, 10_000 + cfg.row_hit_cycles);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn bank_conflict_queues() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(&cfg);
+        let t1 = d.access(LineAddr::new(0), 0);
+        // Same bank, same cycle: starts after bank busy window.
+        let t2 = d.access(LineAddr::new(32), 0);
+        assert_eq!(t1, cfg.row_miss_cycles);
+        assert_eq!(t2, cfg.bank_busy_cycles + cfg.row_hit_cycles);
+    }
+
+    #[test]
+    fn different_banks_do_not_queue() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(&cfg);
+        let t1 = d.access(LineAddr::new(0), 0);
+        let t2 = d.access(LineAddr::new(1), 0);
+        assert_eq!(t1, t2, "independent banks serve in parallel");
+    }
+
+    #[test]
+    fn row_conflict_in_same_bank_reactivates() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(&cfg);
+        d.access(LineAddr::new(0), 0);
+        let lines_per_row = cfg.row_bytes / 64;
+        let far = 32 * lines_per_row; // same bank, next row
+        let t = d.access(LineAddr::new(far), 50_000);
+        assert_eq!(t, 50_000 + cfg.row_miss_cycles);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut d = dram();
+        assert_eq!(d.row_hit_rate(), 1.0);
+        d.access(LineAddr::new(0), 0);
+        assert_eq!(d.row_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablation study of the design choices DESIGN.md calls out.
+//!
+//! Dimensions (each normalized to the DRRIP+SHiP baseline):
+//!
+//! 1. **Placement** — T-DRRIP only (L2C), T-SHiP only (LLC), both;
+//! 2. **T-SHiP decomposition** — per-class signatures alone ("NewSign"),
+//!    RRPV=0 pinning alone ("pin-only"), both (full T-SHiP);
+//! 3. **ATP context** — ATP on baseline policies vs ATP on T-policies
+//!    (ATP needs the T-policies' on-chip PTE hits to trigger);
+//! 4. **Dependent-issue model** — the baseline machine with and without
+//!    address-dependency stalls (methodology ablation: how much of the
+//!    translation problem is visible at all under unbounded MLP).
+//!
+//! Shape checks (`--check`): both T-policies together ≥ each alone;
+//! full T-SHiP ≥ each of its halves; ATP triggers more with T-policies;
+//! dependency modelling lowers baseline IPC.
+
+use std::process::ExitCode;
+
+use atc_core::PolicyChoice;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let variants: Vec<(&str, Box<dyn Fn() -> SimConfig>)> = vec![
+        ("T-DRRIP only", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.l2c_policy = PolicyChoice::TDrrip;
+            c
+        })),
+        ("T-SHiP only", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.llc_policy = PolicyChoice::TShip;
+            c
+        })),
+        ("both T-policies", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.l2c_policy = PolicyChoice::TDrrip;
+            c.llc_policy = PolicyChoice::TShip;
+            c
+        })),
+        ("NewSign only", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.llc_policy = PolicyChoice::ShipNewSign;
+            c
+        })),
+        ("pin only", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.llc_policy = PolicyChoice::TShipPinOnly;
+            c
+        })),
+        ("ATP on baseline", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.atp = true;
+            c
+        })),
+        ("ATP on T-policies", Box::new(|| {
+            let mut c = SimConfig::baseline();
+            c.l2c_policy = PolicyChoice::TDrrip;
+            c.llc_policy = PolicyChoice::TShip;
+            c.atp = true;
+            c
+        })),
+    ];
+
+    let mut headers = vec!["benchmark"];
+    headers.extend(variants.iter().map(|(n, _)| *n));
+    let mut table = Table::new(&headers);
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut atp_issued = (0u64, 0u64); // (baseline-policies, t-policies)
+    for bench in &opts.benchmarks {
+        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (name, mk)) in variants.iter().enumerate() {
+            let s = opts.run(&mk(), *bench);
+            let sp = base as f64 / s.core.cycles as f64;
+            per_variant[i].push(sp);
+            cells.push(f3(sp));
+            if *name == "ATP on baseline" {
+                atp_issued.0 += s.atp_issued;
+            } else if *name == "ATP on T-policies" {
+                atp_issued.1 += s.atp_issued;
+            }
+        }
+        table.row(&cells);
+    }
+    let means: Vec<f64> = per_variant.iter().map(|v| geomean(v)).collect();
+    let mut cells = vec!["geomean".to_string()];
+    cells.extend(means.iter().map(|&m| f3(m)));
+    table.row(&cells);
+    opts.emit("Ablation: placement, T-SHiP decomposition, ATP context", &table);
+
+    // Methodology ablation: dependency modelling.
+    let mut dep_tbl = Table::new(&["benchmark", "IPC (deps)", "IPC (no deps)"]);
+    let mut dep_ipc = Vec::new();
+    let mut nodep_ipc = Vec::new();
+    for bench in &opts.benchmarks {
+        let with = opts.run(&SimConfig::baseline(), *bench).core.ipc();
+        let mut cfg = SimConfig::baseline();
+        cfg.ignore_deps = true;
+        let without = opts.run(&cfg, *bench).core.ipc();
+        dep_tbl.row(&[bench.name().to_string(), f3(with), f3(without)]);
+        dep_ipc.push(with);
+        nodep_ipc.push(without);
+    }
+    opts.emit("Methodology ablation: address-dependency modelling", &dep_tbl);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let by_name = |n: &str| {
+        variants
+            .iter()
+            .position(|(v, _)| *v == n)
+            .map(|i| means[i])
+            .expect("variant exists")
+    };
+    let both = by_name("both T-policies");
+    checks.claim(
+        both >= by_name("T-DRRIP only") - 0.005 && both >= by_name("T-SHiP only") - 0.005,
+        &format!("both T-policies ≥ each alone ({both:.3})"),
+    );
+    let full_tship = by_name("T-SHiP only");
+    checks.claim(
+        full_tship >= by_name("NewSign only") - 0.005
+            && full_tship >= by_name("pin only") - 0.005,
+        &format!("full T-SHiP ≥ its halves ({full_tship:.3})"),
+    );
+    checks.claim(
+        by_name("ATP on T-policies") > by_name("ATP on baseline"),
+        "ATP gains more on top of T-policies (they feed it on-chip PTE hits)",
+    );
+    checks.claim(
+        atp_issued.1 > atp_issued.0,
+        &format!(
+            "T-policies raise ATP trigger volume ({} vs {})",
+            atp_issued.1, atp_issued.0
+        ),
+    );
+    let dep_mean = geomean(&dep_ipc);
+    let nodep_mean = geomean(&nodep_ipc);
+    checks.claim(
+        nodep_mean > dep_mean,
+        &format!("unbounded MLP inflates IPC ({nodep_mean:.3} vs {dep_mean:.3})"),
+    );
+    checks.finish()
+}

@@ -1,0 +1,65 @@
+//! Fig 2: opportunity study — normalized performance with *ideal* L2C /
+//! LLC for leaf-level translations (T), replay loads (R), and both (TR).
+//! Idealised classes get a 100 % hit rate at that level while the real
+//! miss still consumes MSHR bandwidth, exactly as the paper models it.
+//!
+//! Paper: ideal LLC(TR) ≈ +30.7 %; ideal L2C+LLC(TR) ≈ +37.6 %; LLC(T)
+//! alone is small next to LLC(R).
+//!
+//! Shape checks (`--check`): every oracle ≥ 1.0 geomean; TR ≥ R ≥ T;
+//! adding the ideal L2C on top of the ideal LLC helps further.
+
+use std::process::ExitCode;
+
+use atc_core::IdealConfig;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let variants: [(&str, IdealConfig); 5] = [
+        ("LLC(T)", IdealConfig::llc_translations()),
+        ("LLC(R)", IdealConfig::llc_replays()),
+        ("LLC(TR)", IdealConfig::llc_both()),
+        ("L2C(T)+LLC(TR)", IdealConfig::l2c_translations_llc_both()),
+        ("L2C+LLC(TR)", IdealConfig::both_levels_both_classes()),
+    ];
+
+    let mut table = Table::new(&[
+        "benchmark", "LLC(T)", "LLC(R)", "LLC(TR)", "L2C(T)+LLC(TR)", "L2C+LLC(TR)",
+    ]);
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for bench in &opts.benchmarks {
+        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (_, ideal)) in variants.iter().enumerate() {
+            let mut cfg = SimConfig::baseline();
+            cfg.ideal = *ideal;
+            let c = opts.run(&cfg, *bench).core.cycles;
+            let speedup = base as f64 / c as f64;
+            per_variant[i].push(speedup);
+            cells.push(f3(speedup));
+        }
+        table.row(&cells);
+    }
+    let means: Vec<f64> = per_variant.iter().map(|v| geomean(v)).collect();
+    let mut cells = vec!["geomean".to_string()];
+    cells.extend(means.iter().map(|&m| f3(m)));
+    table.row(&cells);
+    opts.emit("Fig 2: normalized performance with ideal caches (baseline = real caches)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let [t, r, tr, l2t, full] = [means[0], means[1], means[2], means[3], means[4]];
+    checks.claim(means.iter().all(|&m| m > 0.995), "all oracles ≥ baseline (within noise)");
+    checks.claim(tr >= r - 0.005, &format!("LLC(TR) {tr:.3} ≥ LLC(R) {r:.3}"));
+    checks.claim(r > t, &format!("replay oracle {r:.3} > translation oracle {t:.3} (paper: 30.2% vs 4.7%)"));
+    checks.claim(full >= tr, &format!("adding ideal L2C helps: {full:.3} ≥ {tr:.3}"));
+    checks.claim(full > 1.05, &format!("full oracle shows real headroom ({full:.3})"));
+    checks.claim(l2t >= tr - 0.005, &format!("L2C(T) on top of LLC(TR): {l2t:.3} ≥ {tr:.3}"));
+    checks.finish()
+}

@@ -1,0 +1,78 @@
+//! Fig 3: which level of the hierarchy services (a) leaf-level
+//! translations after an STLB miss and (b) their replay loads.
+//!
+//! Paper: translations — 23 % L1D, 55.6 % L2C, 15.1 % LLC, 6.3 % DRAM;
+//! replays — more than 80 % miss the LLC (DRAM-bound).
+//!
+//! Shape checks (`--check`): most translations are serviced on-chip;
+//! replays are overwhelmingly serviced by DRAM.
+
+use std::process::ExitCode;
+
+use atc_experiments::{pct, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::table::Table;
+use atc_types::MemLevel;
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    let cfg = SimConfig::baseline();
+
+    let mut table = Table::new(&[
+        "benchmark", "T@L1D", "T@L2C", "T@LLC", "T@DRAM", "R@L1D", "R@L2C", "R@LLC", "R@DRAM",
+    ]);
+    let mut agg_t = [0u64; 4];
+    let mut agg_r = [0u64; 4];
+    for bench in &opts.benchmarks {
+        let s = opts.run(&cfg, *bench);
+        let tt: u64 = s.service_translation.iter().sum();
+        let tr: u64 = s.service_replay.iter().sum();
+        let frac = |v: u64, total: u64| if total == 0 { 0.0 } else { v as f64 / total as f64 };
+        let mut cells = vec![bench.name().to_string()];
+        for lvl in MemLevel::ALL {
+            cells.push(pct(frac(s.service_translation[lvl.index()], tt)));
+        }
+        for lvl in MemLevel::ALL {
+            cells.push(pct(frac(s.service_replay[lvl.index()], tr)));
+        }
+        table.row(&cells);
+        for i in 0..4 {
+            agg_t[i] += s.service_translation[i];
+            agg_r[i] += s.service_replay[i];
+        }
+    }
+    let tt: u64 = agg_t.iter().sum::<u64>().max(1);
+    let tr: u64 = agg_r.iter().sum::<u64>().max(1);
+    let mut cells = vec!["average".to_string()];
+    for v in agg_t {
+        cells.push(pct(v as f64 / tt as f64));
+    }
+    for v in agg_r {
+        cells.push(pct(v as f64 / tr as f64));
+    }
+    table.row(&cells);
+    opts.emit(
+        "Fig 3: service level of leaf translations (T) and replay loads (R), baseline",
+        &table,
+    );
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let onchip_t = (tt - agg_t[3]) as f64 / tt as f64;
+    let dram_r = agg_r[3] as f64 / tr as f64;
+    checks.claim(
+        onchip_t > 0.5,
+        &format!("most leaf translations serviced on-chip ({})", pct(onchip_t)),
+    );
+    checks.claim(
+        dram_r > 0.6,
+        &format!("replay loads overwhelmingly DRAM-bound ({})", pct(dram_r)),
+    );
+    checks.claim(
+        agg_t[1] + agg_t[0] > agg_t[3],
+        "L1D+L2C service more translations than DRAM",
+    );
+    checks.finish()
+}

@@ -1,0 +1,87 @@
+//! Fig 7: recall-distance distribution of replay-load blocks at the LLC
+//! (A) and L2C (B).
+//!
+//! Paper: more than 60 % of replay blocks have a recall distance beyond
+//! 50 unique accesses — they are dead, no insertion priority can save
+//! them, which motivates prefetching (ATP) instead of retention.
+//!
+//! Shape checks (`--check`): the majority of replay recalls exceed 50
+//! unique accesses at the LLC, and replays recall *longer* than
+//! translations.
+
+use std::process::ExitCode;
+
+use atc_experiments::{pct, Checks, Opts};
+use atc_sim::{Probes, SimConfig};
+use atc_stats::{table::Table, Histogram};
+use atc_types::{AccessClass, PtLevel};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let mut table = Table::new(&[
+        "benchmark", "LLC<50", "LLC>50", "L2C<50", "L2C>50",
+    ]);
+    let mut agg_llc = Histogram::new(10, Probes::CAP.div_ceil(10));
+    let mut agg_l2c = Histogram::new(10, Probes::CAP.div_ceil(10));
+    let mut agg_t_llc = Histogram::new(10, Probes::CAP.div_ceil(10));
+    for bench in &opts.benchmarks {
+        let mut cfg = SimConfig::baseline();
+        cfg.probes = Probes {
+            l2c_recall: Some(vec![AccessClass::ReplayData]),
+            llc_recall: Some(vec![AccessClass::ReplayData]),
+            stlb_recall: false,
+        };
+        let s = opts.run(&cfg, *bench);
+        let llc = s.llc_recall.as_ref().expect("probe on");
+        let l2c = s.l2c_recall.as_ref().expect("probe on");
+        table.row(&[
+            bench.name().to_string(),
+            pct(llc.fraction_below(50)),
+            pct(1.0 - llc.fraction_below(50)),
+            pct(l2c.fraction_below(50)),
+            pct(1.0 - l2c.fraction_below(50)),
+        ]);
+        agg_llc.merge(llc);
+        agg_l2c.merge(l2c);
+
+        // Companion run probing translations, for the cross-class claim.
+        let mut cfg_t = SimConfig::baseline();
+        cfg_t.probes = Probes {
+            l2c_recall: None,
+            llc_recall: Some(vec![AccessClass::Translation(PtLevel::L1)]),
+            stlb_recall: false,
+        };
+        let st = opts.run(&cfg_t, *bench);
+        agg_t_llc.merge(st.llc_recall.as_ref().expect("probe on"));
+    }
+    table.row(&[
+        "average".to_string(),
+        pct(agg_llc.fraction_below(50)),
+        pct(1.0 - agg_llc.fraction_below(50)),
+        pct(agg_l2c.fraction_below(50)),
+        pct(1.0 - agg_l2c.fraction_below(50)),
+    ]);
+    opts.emit("Fig 7: recall distance of replay loads (LLC / L2C)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let beyond = 1.0 - agg_llc.fraction_below(50);
+    checks.claim(
+        beyond > 0.5,
+        &format!("LLC: majority of replay recalls beyond 50 ({}; paper >60%)", pct(beyond)),
+    );
+    let t50 = agg_t_llc.fraction_below(50);
+    let r50 = agg_llc.fraction_below(50);
+    checks.claim(
+        t50 > r50,
+        &format!(
+            "translations recall shorter than replays ({} vs {} below 50)",
+            pct(t50),
+            pct(r50)
+        ),
+    );
+    checks.finish()
+}

@@ -1,0 +1,64 @@
+//! Fig 10: what happens when replay loads are inserted with RRPV=0
+//! *alongside* the pinned translations, instead of RRPV=3.
+//!
+//! The paper shows this mis-configuration degrades performance: replay
+//! blocks inserted "precious" trigger RRIP's set-wide aging, which
+//! erodes the pinned translation blocks.
+//!
+//! Shape checks (`--check`): the proper T-DRRIP/T-SHiP configuration
+//! beats the RRPV=0-for-replays variant on geomean.
+
+use std::process::ExitCode;
+
+use atc_core::PolicyChoice;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    // Proper T-policies vs the mis-configured replay-at-0 variants,
+    // both normalized to the DRRIP+SHiP baseline.
+    let mut table = Table::new(&["benchmark", "T-policies", "replays@RRPV0", "delta"]);
+    let mut proper_all = Vec::new();
+    let mut zero_all = Vec::new();
+    for bench in &opts.benchmarks {
+        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+
+        let mut cfg_proper = SimConfig::baseline();
+        cfg_proper.l2c_policy = PolicyChoice::TDrrip;
+        cfg_proper.llc_policy = PolicyChoice::TShip;
+        let proper = base as f64 / opts.run(&cfg_proper, *bench).core.cycles as f64;
+
+        let mut cfg_zero = SimConfig::baseline();
+        cfg_zero.l2c_policy = PolicyChoice::TDrripReplayZero;
+        cfg_zero.llc_policy = PolicyChoice::TShipReplayZero;
+        let zero = base as f64 / opts.run(&cfg_zero, *bench).core.cycles as f64;
+
+        proper_all.push(proper);
+        zero_all.push(zero);
+        table.row(&[
+            bench.name().to_string(),
+            f3(proper),
+            f3(zero),
+            f3(proper - zero),
+        ]);
+    }
+    let (gp, gz) = (geomean(&proper_all), geomean(&zero_all));
+    table.row(&["geomean".to_string(), f3(gp), f3(gz), f3(gp - gz)]);
+    opts.emit(
+        "Fig 10: T-policies vs the RRPV=0-for-replays mis-configuration (speedup over baseline)",
+        &table,
+    );
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    checks.claim(
+        gp > gz,
+        &format!("inserting replays dead beats inserting them precious ({gp:.3} > {gz:.3})"),
+    );
+    checks.finish()
+}

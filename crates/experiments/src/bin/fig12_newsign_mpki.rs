@@ -1,0 +1,74 @@
+//! Fig 12: leaf-level translation MPKI at the LLC for baseline SHiP, the
+//! enhanced per-class signatures alone ("NewSign"), and full T-SHiP
+//! (NewSign + translations pinned at RRPV=0). T-Hawkeye included for the
+//! paper's companion claim.
+//!
+//! Shape checks (`--check`): NewSign reduces translation MPKI vs SHiP;
+//! full T-SHiP reduces it further; T-Hawkeye repairs Hawkeye's
+//! translation blow-up.
+
+use std::process::ExitCode;
+
+use atc_core::PolicyChoice;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::table::Table;
+use atc_types::{AccessClass, PtLevel};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    let t = AccessClass::Translation(PtLevel::L1);
+    let policies = [
+        PolicyChoice::Ship,
+        PolicyChoice::ShipNewSign,
+        PolicyChoice::TShip,
+        PolicyChoice::Hawkeye,
+        PolicyChoice::THawkeye,
+    ];
+
+    let mut table =
+        Table::new(&["benchmark", "SHiP", "NewSign", "T-SHiP", "Hawkeye", "T-Hawkeye"]);
+    let mut sums = vec![0.0; policies.len()];
+    for bench in &opts.benchmarks {
+        let mut cells = vec![bench.name().to_string()];
+        for (i, p) in policies.iter().enumerate() {
+            let mut cfg = SimConfig::baseline();
+            cfg.llc_policy = *p;
+            let s = opts.run(&cfg, *bench);
+            let mpki = s.llc_mpki(t);
+            sums[i] += mpki;
+            cells.push(f3(mpki));
+        }
+        table.row(&cells);
+    }
+    let n = opts.benchmarks.len() as f64;
+    let avgs: Vec<f64> = sums.iter().map(|s| s / n).collect();
+    let mut cells = vec!["average".to_string()];
+    cells.extend(avgs.iter().map(|&a| f3(a)));
+    table.row(&cells);
+    opts.emit("Fig 12: LLC leaf-translation MPKI with enhanced signatures", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let [ship, newsign, tship, hawkeye, thawkeye] =
+        [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
+    checks.claim(
+        newsign <= ship * 1.02,
+        &format!("NewSign does not hurt translation MPKI ({newsign:.3} vs SHiP {ship:.3})"),
+    );
+    checks.claim(
+        tship < ship,
+        &format!("T-SHiP reduces translation MPKI ({tship:.3} < {ship:.3})"),
+    );
+    checks.claim(
+        tship <= newsign,
+        &format!("pinning translations helps beyond signatures ({tship:.3} ≤ {newsign:.3})"),
+    );
+    checks.claim(
+        thawkeye < hawkeye,
+        &format!("T-Hawkeye repairs Hawkeye's translation MPKI ({thawkeye:.3} < {hawkeye:.3})"),
+    );
+    checks.finish()
+}

@@ -1,0 +1,108 @@
+//! Fig 14: normalized performance of the cumulative enhancement ladder —
+//! T-DRRIP → +T-SHiP → +ATP → +TEMPO — over the DRRIP+SHiP baseline.
+//!
+//! Also prints the paper's §V-A companion claims: the on-chip hit
+//! fraction of leaf translations (paper: >98 % with the enhancements)
+//! and ATP/TEMPO prefetch volumes.
+//!
+//! Shape checks (`--check`): the full ladder speeds up the
+//! STLB-intensive benchmarks; the geomean improves monotonically-ish
+//! along the ladder (each stage ≥ baseline); translations hit on-chip
+//! ≥ 95 % with T-policies; ATP is non-speculative (usefulness high).
+
+use std::process::ExitCode;
+
+use atc_core::Enhancement;
+use atc_experiments::{f3, pct, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+use atc_types::MemLevel;
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    let ladder = Enhancement::ALL;
+
+    let mut table = Table::new(&[
+        "benchmark", "T-DRRIP", "+T-SHiP", "+ATP", "+TEMPO", "onchip-T%", "ATP-pf", "TEMPO-pf",
+    ]);
+    let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); ladder.len() - 1];
+    let mut full_speedups = Vec::new();
+
+    let results = atc_experiments::par_map(&opts.benchmarks, |bench| {
+        let mut cycles = Vec::new();
+        let mut onchip = 0.0;
+        let mut atp_pf = 0;
+        let mut tempo_pf = 0;
+        for e in ladder {
+            let cfg = SimConfig::with_enhancement(e);
+            let s = opts.run(&cfg, bench);
+            cycles.push(s.core.cycles);
+            if e == Enhancement::Tempo {
+                onchip = s.translation_hit_fraction_upto(MemLevel::Llc);
+                atp_pf = s.atp_issued;
+                tempo_pf = s.tempo_issued;
+            }
+        }
+        (bench, cycles, onchip, atp_pf, tempo_pf)
+    });
+    for (bench, cycles, onchip, atp_pf, tempo_pf) in results {
+        let base = cycles[0];
+        let speedups: Vec<f64> =
+            cycles[1..].iter().map(|&c| base as f64 / c as f64).collect();
+        for (i, s) in speedups.iter().enumerate() {
+            per_stage[i].push(*s);
+        }
+        full_speedups.push((bench, *speedups.last().expect("ladder non-empty")));
+        table.row(&[
+            bench.name().to_string(),
+            f3(speedups[0]),
+            f3(speedups[1]),
+            f3(speedups[2]),
+            f3(speedups[3]),
+            pct(onchip),
+            atp_pf.to_string(),
+            tempo_pf.to_string(),
+        ]);
+    }
+    let means: Vec<f64> = per_stage.iter().map(|v| geomean(v)).collect();
+    table.row(&[
+        "geomean".to_string(),
+        f3(means[0]),
+        f3(means[1]),
+        f3(means[2]),
+        f3(means[3]),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    opts.emit(
+        "Fig 14: normalized performance (baseline = DRRIP@L2C + SHiP@LLC)",
+        &table,
+    );
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    checks.claim(
+        *means.last().expect("stages") > 1.0,
+        &format!("full ladder geomean speedup {:.3} > 1.0", means.last().unwrap()),
+    );
+    checks.claim(
+        means[3] >= means[0] - 0.01,
+        &format!("+TEMPO ({:.3}) ≥ T-DRRIP alone ({:.3})", means[3], means[0]),
+    );
+    checks.claim(
+        means[2] > means[1],
+        &format!("ATP adds on top of T-SHiP ({:.3} > {:.3})", means[2], means[1]),
+    );
+    let best = full_speedups.iter().cloned().fold(f64::MIN, |a, (_, s)| a.max(s));
+    checks.claim(best > 1.02, &format!("best benchmark gains ≥ 2% ({best:.3})"));
+    for (b, s) in &full_speedups {
+        checks.claim(
+            *s > 0.97,
+            &format!("{}: full ladder does not degrade ({s:.3})", b.name()),
+        );
+    }
+    checks.finish()
+}

@@ -1,0 +1,79 @@
+//! Fig 17: 2-way SMT — harmonic speedup of the full enhancement stack
+//! over the baseline for two-thread mixes drawn from the Low / Medium /
+//! High STLB-MPKI categories.
+//!
+//! Paper: 6.3 % average harmonic speedup; mixes of two high-MPKI threads
+//! (pr-cc 12.6 %, tc-pr 11.1 %) gain most, low-MPKI mixes least
+//! (xalancbmk-xalancbmk 0.5 %).
+//!
+//! Shape checks (`--check`): geomean > 1; the all-High mix gains more
+//! than the all-Low mix.
+
+use std::process::ExitCode;
+
+use atc_core::Enhancement;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::{run_smt, SimConfig};
+use atc_stats::{geomean, harmonic_speedup, table::Table};
+use atc_workloads::BenchmarkId;
+
+/// The mixes the paper reports (§V: canneal-xalancbmk,
+/// xalancbmk-xalancbmk, radii-bf, pr-cc, tc-pr) plus three more category
+/// combinations.
+const MIXES: [(BenchmarkId, BenchmarkId); 8] = [
+    (BenchmarkId::Xalancbmk, BenchmarkId::Xalancbmk), // Low-Low (paper)
+    (BenchmarkId::Canneal, BenchmarkId::Xalancbmk),   // Med-Low (paper)
+    (BenchmarkId::Radii, BenchmarkId::Bf),            // High-High (paper)
+    (BenchmarkId::Pr, BenchmarkId::Cc),               // High-High (paper)
+    (BenchmarkId::Tc, BenchmarkId::Pr),               // Med-High (paper)
+    (BenchmarkId::Pr, BenchmarkId::Xalancbmk),        // High-Low
+    (BenchmarkId::Bf, BenchmarkId::Mis),              // High-Med
+    (BenchmarkId::Cc, BenchmarkId::Radii),            // High-High
+];
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    // SMT runs two threads: halve per-thread instructions to keep the
+    // default budget comparable to single-core figures.
+    let measure = opts.measure / 2;
+    let warmup = opts.warmup / 2;
+
+    let run_pair = |cfg: &SimConfig, a: BenchmarkId, b: BenchmarkId| {
+        let mut w0 = a.build(opts.scale, opts.seed);
+        let mut w1 = b.build(opts.scale, opts.seed + 1);
+        run_smt(cfg, w0.as_mut(), w1.as_mut(), warmup, measure)
+    };
+
+    let mut table = Table::new(&["mix (T0-T1)", "hspeedup"]);
+    let mut speedups = Vec::new();
+    let mut by_mix = Vec::new();
+    for (a, b) in MIXES {
+        let base = run_pair(&SimConfig::baseline(), a, b);
+        let enh = run_pair(&SimConfig::with_enhancement(Enhancement::Tempo), a, b);
+        let per_thread: Vec<f64> = (0..2)
+            .map(|i| base.threads[i].cycles as f64 / enh.threads[i].cycles as f64)
+            .collect();
+        let h = harmonic_speedup(&per_thread);
+        table.row(&[format!("{}-{}", a.name(), b.name()), f3(h)]);
+        speedups.push(h);
+        by_mix.push(((a, b), h));
+    }
+    let g = geomean(&speedups);
+    table.row(&["geomean".to_string(), f3(g)]);
+    opts.emit("Fig 17: 2-way SMT harmonic speedup (full enhancements vs baseline)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    checks.claim(g > 1.0, &format!("SMT geomean harmonic speedup {g:.3} > 1"));
+    let low_low = by_mix[0].1;
+    let best_high = by_mix[2].1.max(by_mix[3].1).max(by_mix[7].1);
+    checks.claim(
+        best_high > low_low,
+        &format!("a High-High mix gains more than Low-Low ({best_high:.3} > {low_low:.3})"),
+    );
+    let gaining = by_mix.iter().filter(|(_, h)| *h > 1.0).count();
+    checks.claim(gaining >= 6, &format!("most mixes gain ({gaining}/8)"));
+    checks.finish()
+}

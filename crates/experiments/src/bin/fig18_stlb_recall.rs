@@ -1,0 +1,54 @@
+//! Fig 18: recall distance of translations at the STLB itself.
+//!
+//! Paper: more than 40 % of evicted STLB entries have a recall distance
+//! beyond 50 (dead TLB entries) — so *bypassing* dead TLB entries
+//! (dpPred-style) cannot expedite the costly misses, motivating cache-
+//! side retention instead (§V-B comparison with CbPred/DpPred).
+//!
+//! Shape checks (`--check`): a large fraction (>30 %) of STLB recalls
+//! exceed 50 unique set accesses.
+
+use std::process::ExitCode;
+
+use atc_experiments::{pct, Checks, Opts};
+use atc_sim::{Probes, SimConfig};
+use atc_stats::{table::Table, Histogram};
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    let mut cfg = SimConfig::baseline();
+    cfg.probes = Probes { l2c_recall: None, llc_recall: None, stlb_recall: true };
+
+    let mut table = Table::new(&["benchmark", "<10", "<50", ">=50"]);
+    let mut agg = Histogram::new(10, Probes::CAP.div_ceil(10));
+    for bench in &opts.benchmarks {
+        let s = opts.run(&cfg, *bench);
+        let h = s.stlb_recall.as_ref().expect("probe on");
+        table.row(&[
+            bench.name().to_string(),
+            pct(h.fraction_below(10)),
+            pct(h.fraction_below(50)),
+            pct(1.0 - h.fraction_below(50)),
+        ]);
+        agg.merge(h);
+    }
+    table.row(&[
+        "average".to_string(),
+        pct(agg.fraction_below(10)),
+        pct(agg.fraction_below(50)),
+        pct(1.0 - agg.fraction_below(50)),
+    ]);
+    opts.emit("Fig 18: recall distance of translations at the STLB", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    let beyond = 1.0 - agg.fraction_below(50);
+    checks.claim(
+        beyond > 0.3,
+        &format!("large dead-entry fraction at the STLB ({}; paper >40%)", pct(beyond)),
+    );
+    checks.claim(agg.count() > 0, "STLB evictions observed");
+    checks.finish()
+}

@@ -1,0 +1,63 @@
+//! Fig 19: STLB-size sensitivity — full-enhancement speedup over the
+//! baseline at each STLB size (each size's baseline uses the same STLB).
+//!
+//! Paper: gains persist across 512–4096 entries and shrink as the STLB
+//! grows (fewer walks to optimize); mcf's gain collapses at 4096 when
+//! its translations fit.
+//!
+//! Shape checks (`--check`): speedup > 1 at every size; the smallest
+//! STLB gains at least as much as the largest.
+
+use std::process::ExitCode;
+
+use atc_core::Enhancement;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+const SIZES: [usize; 4] = [512, 1024, 2048, 4096];
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let mut table = Table::new(&["benchmark", "512", "1024", "2048", "4096"]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
+    for bench in &opts.benchmarks {
+        let mut cells = vec![bench.name().to_string()];
+        for (i, entries) in SIZES.iter().enumerate() {
+            let mut base_cfg = SimConfig::baseline();
+            base_cfg.machine.stlb.entries = *entries;
+            let base = opts.run(&base_cfg, *bench).core.cycles;
+
+            let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
+            enh_cfg.machine.stlb.entries = *entries;
+            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+
+            let s = base as f64 / enh as f64;
+            per_size[i].push(s);
+            cells.push(f3(s));
+        }
+        table.row(&cells);
+    }
+    let means: Vec<f64> = per_size.iter().map(|v| geomean(v)).collect();
+    let mut cells = vec!["geomean".to_string()];
+    cells.extend(means.iter().map(|&m| f3(m)));
+    table.row(&cells);
+    opts.emit("Fig 19: STLB sensitivity (speedup of full enhancements per STLB size)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    for (sz, m) in SIZES.iter().zip(&means) {
+        checks.claim(*m > 1.0, &format!("gains persist at {sz}-entry STLB ({m:.3})"));
+    }
+    checks.claim(
+        means[0] >= means[3] - 0.005,
+        &format!(
+            "small STLB gains ≥ large STLB gains ({:.3} vs {:.3})",
+            means[0], means[3]
+        ),
+    );
+    checks.finish()
+}

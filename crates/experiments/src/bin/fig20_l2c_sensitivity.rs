@@ -1,0 +1,70 @@
+//! Fig 20: L2C-size sensitivity — full-enhancement speedup over a
+//! same-size baseline for 256 KiB / 512 KiB / 768 KiB / 1 MiB L2Cs
+//! (larger L2Cs get one extra cycle of latency, as the paper notes for
+//! the 1 MiB point).
+//!
+//! Shape checks (`--check`): speedup > 1 at every size; gains do not
+//! grow with L2C size (bigger baselines retain more translations
+//! themselves).
+
+use std::process::ExitCode;
+
+use atc_core::Enhancement;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+/// `(size_bytes, ways, latency)` sweep points.
+const POINTS: [(usize, usize, u64); 4] = [
+    (256 * 1024, 8, 9),
+    (512 * 1024, 8, 10),
+    (768 * 1024, 12, 11),
+    (1024 * 1024, 16, 12),
+];
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let mut table = Table::new(&["benchmark", "256KB", "512KB", "768KB", "1MB"]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
+    for bench in &opts.benchmarks {
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (size, ways, lat)) in POINTS.iter().enumerate() {
+            let apply = |cfg: &mut SimConfig| {
+                cfg.machine.l2c.size_bytes = *size;
+                cfg.machine.l2c.ways = *ways;
+                cfg.machine.l2c.latency = *lat;
+            };
+            let mut base_cfg = SimConfig::baseline();
+            apply(&mut base_cfg);
+            let base = opts.run(&base_cfg, *bench).core.cycles;
+
+            let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
+            apply(&mut enh_cfg);
+            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+
+            let s = base as f64 / enh as f64;
+            per_size[i].push(s);
+            cells.push(f3(s));
+        }
+        table.row(&cells);
+    }
+    let means: Vec<f64> = per_size.iter().map(|v| geomean(v)).collect();
+    let mut cells = vec!["geomean".to_string()];
+    cells.extend(means.iter().map(|&m| f3(m)));
+    table.row(&cells);
+    opts.emit("Fig 20: L2C sensitivity (speedup of full enhancements per L2C size)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    for ((sz, _, _), m) in POINTS.iter().zip(&means) {
+        checks.claim(*m > 1.0, &format!("gains persist at {} KiB L2C ({m:.3})", sz / 1024));
+    }
+    checks.claim(
+        means[3] <= means[0] + 0.02,
+        &format!("gains do not grow with L2C size ({:.3} vs {:.3})", means[3], means[0]),
+    );
+    checks.finish()
+}

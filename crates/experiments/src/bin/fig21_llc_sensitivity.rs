@@ -1,0 +1,69 @@
+//! Fig 21: LLC-size sensitivity — full-enhancement speedup over a
+//! same-size baseline for 1 / 2 / 4 / 8 MiB LLCs.
+//!
+//! Paper: 6.3 % at 1 MiB shrinking to 4.2 % at 8 MiB (bigger LLCs retain
+//! translations on their own).
+//!
+//! Shape checks (`--check`): speedup > 1 at every size; the 1 MiB LLC
+//! gains at least as much as the 8 MiB LLC.
+
+use std::process::ExitCode;
+
+use atc_core::Enhancement;
+use atc_experiments::{f3, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::{geomean, table::Table};
+
+/// `(size_bytes, latency)` sweep points.
+const POINTS: [(usize, u64); 4] = [
+    (1 << 20, 18),
+    (2 << 20, 20),
+    (4 << 20, 22),
+    (8 << 20, 24),
+];
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+
+    let mut table = Table::new(&["benchmark", "1MB", "2MB", "4MB", "8MB"]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
+    for bench in &opts.benchmarks {
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (size, lat)) in POINTS.iter().enumerate() {
+            let apply = |cfg: &mut SimConfig| {
+                cfg.machine.llc.size_bytes = *size;
+                cfg.machine.llc.latency = *lat;
+            };
+            let mut base_cfg = SimConfig::baseline();
+            apply(&mut base_cfg);
+            let base = opts.run(&base_cfg, *bench).core.cycles;
+
+            let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
+            apply(&mut enh_cfg);
+            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+
+            let s = base as f64 / enh as f64;
+            per_size[i].push(s);
+            cells.push(f3(s));
+        }
+        table.row(&cells);
+    }
+    let means: Vec<f64> = per_size.iter().map(|v| geomean(v)).collect();
+    let mut cells = vec!["geomean".to_string()];
+    cells.extend(means.iter().map(|&m| f3(m)));
+    table.row(&cells);
+    opts.emit("Fig 21: LLC sensitivity (speedup of full enhancements per LLC size)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    for ((sz, _), m) in POINTS.iter().zip(&means) {
+        checks.claim(*m > 1.0, &format!("gains persist at {} MiB LLC ({m:.3})", sz >> 20));
+    }
+    checks.claim(
+        means[0] >= means[3] - 0.005,
+        &format!("1 MiB gains ≥ 8 MiB gains ({:.3} vs {:.3})", means[0], means[3]),
+    );
+    checks.finish()
+}

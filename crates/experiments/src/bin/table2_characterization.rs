@@ -1,0 +1,87 @@
+//! Table II: benchmark characterization — STLB MPKI plus L2C/LLC MPKIs
+//! for replay loads, non-replay loads, and leaf-level translations
+//! (PTL1), under the paper's baseline (DRRIP @ L2C, SHiP @ LLC).
+//!
+//! Shape checks (`--check`): STLB MPKI follows the paper's Low → Medium
+//! → High ordering across the nine benchmarks, and replay MPKI tracks
+//! STLB MPKI (every STLB miss spawns one replay load).
+
+use std::process::ExitCode;
+
+use atc_experiments::{f2, Checks, Opts};
+use atc_sim::SimConfig;
+use atc_stats::table::Table;
+use atc_types::{AccessClass, PtLevel};
+use atc_workloads::MpkiCategory;
+
+fn main() -> ExitCode {
+    let opts = Opts::parse();
+    let cfg = SimConfig::baseline();
+    let t = AccessClass::Translation(PtLevel::L1);
+    let r = AccessClass::ReplayData;
+    let n = AccessClass::NonReplayData;
+
+    let mut table = Table::new(&[
+        "benchmark", "suite", "category", "STLB", "L2C-replay", "L2C-nonreplay", "L2C-PTL1",
+        "LLC-replay", "LLC-nonreplay", "LLC-PTL1",
+    ]);
+    let results = atc_experiments::par_map(&opts.benchmarks, |bench| {
+        let s = opts.run(&cfg, bench);
+        (bench, s)
+    });
+    let mut rows = Vec::new();
+    for (bench, s) in &results {
+        let stlb = s.stlb_mpki();
+        table.row(&[
+            bench.name().to_string(),
+            bench.suite().to_string(),
+            format!("{:?}", bench.category()),
+            f2(stlb),
+            f2(s.l2c_mpki(r)),
+            f2(s.l2c_mpki(n)),
+            f2(s.l2c_mpki(t)),
+            f2(s.llc_mpki(r)),
+            f2(s.llc_mpki(n)),
+            f2(s.llc_mpki(t)),
+        ]);
+        rows.push((*bench, stlb, s.llc_mpki(r)));
+    }
+    opts.emit("Table II: benchmark characterization (baseline DRRIP+SHiP)", &table);
+
+    if !opts.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut checks = Checks::new();
+    for (b, stlb, _) in &rows {
+        let band_ok = match b.category() {
+            MpkiCategory::Low => *stlb < 12.0,
+            MpkiCategory::Medium => *stlb > 3.0 && *stlb < 40.0,
+            MpkiCategory::High => *stlb > 15.0,
+        };
+        checks.claim(band_ok, &format!("{}: STLB MPKI {stlb:.2} in its Table II band", b.name()));
+        checks.claim(
+            *stlb > 0.05,
+            &format!("{}: workload produces STLB misses", b.name()),
+        );
+    }
+    // Replay MPKI at LLC roughly tracks STLB MPKI (each miss replays).
+    for (b, stlb, replay) in &rows {
+        checks.claim(
+            *replay <= *stlb * 1.3 + 2.0,
+            &format!("{}: LLC replay MPKI {replay:.2} ≲ STLB MPKI {stlb:.2}", b.name()),
+        );
+    }
+    // Ordering shape: pr has the highest STLB MPKI, xalancbmk the lowest.
+    if rows.len() == 9 {
+        let max = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+        let min = rows.iter().map(|r| r.1).fold(f64::MAX, f64::min);
+        let pr = rows.iter().find(|r| r.0.name() == "pr").map(|r| r.1).unwrap_or(0.0);
+        let xal = rows.iter().find(|r| r.0.name() == "xalancbmk").map(|r| r.1).unwrap_or(0.0);
+        checks.claim(pr == max, &format!("pr has the highest STLB MPKI ({pr:.2} vs max {max:.2})"));
+        checks.claim(
+            xal == min,
+            &format!("xalancbmk has the lowest STLB MPKI ({xal:.2} vs min {min:.2})"),
+        );
+    }
+    checks.finish()
+}

@@ -1,0 +1,249 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index) and accepts the same flags:
+//!
+//! ```text
+//! --seed N            RNG seed (default 42)
+//! --scale test|small|paper   workload footprint (default small)
+//! --warmup N          warmup instructions per run (default 200000)
+//! --instructions N    measured instructions per run (default 2000000)
+//! --benchmarks a,b,c  subset of benchmarks (default: all nine)
+//! --csv               emit CSV instead of an aligned table
+//! --check             assert the paper's qualitative claims and exit
+//!                     non-zero on violation
+//! ```
+
+use std::process::ExitCode;
+
+use atc_sim::SimConfig;
+use atc_stats::table::Table;
+use atc_workloads::{BenchmarkId, Scale};
+
+pub use atc_sim::{run_one, RunStats};
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// RNG seed.
+    pub seed: u64,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Warmup instructions.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<BenchmarkId>,
+    /// Emit CSV.
+    pub csv: bool,
+    /// Run shape checks.
+    pub check: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seed: 42,
+            scale: Scale::Small,
+            warmup: 200_000,
+            measure: 2_000_000,
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            csv: false,
+            check: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse `std::env::args()`; exits the process with a usage message
+    /// on malformed input.
+    pub fn parse() -> Opts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or malformed values.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Opts {
+        let mut o = Opts::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--seed" => o.seed = value("--seed").parse().expect("numeric --seed"),
+                "--warmup" => o.warmup = value("--warmup").parse().expect("numeric --warmup"),
+                "--instructions" => {
+                    o.measure = value("--instructions").parse().expect("numeric --instructions")
+                }
+                "--scale" => {
+                    o.scale = match value("--scale").as_str() {
+                        "test" => Scale::Test,
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other:?} (test|small|paper)"),
+                    }
+                }
+                "--benchmarks" => {
+                    o.benchmarks = value("--benchmarks")
+                        .split(',')
+                        .map(|s| {
+                            BenchmarkId::parse(s.trim())
+                                .unwrap_or_else(|| panic!("unknown benchmark {s:?}"))
+                        })
+                        .collect();
+                }
+                "--csv" => o.csv = true,
+                "--check" => o.check = true,
+                other => panic!("unknown flag {other:?}"),
+            }
+        }
+        o
+    }
+
+    /// Run `bench` under `cfg` with this option set's budget.
+    pub fn run(&self, cfg: &SimConfig, bench: BenchmarkId) -> RunStats {
+        run_one(cfg, bench, self.scale, self.seed, self.warmup, self.measure)
+    }
+
+    /// Print the table in the selected format.
+    pub fn emit(&self, title: &str, table: &Table) {
+        if self.csv {
+            print!("{}", table.render_csv());
+        } else {
+            println!("{title}");
+            println!("{}", table.render());
+        }
+    }
+}
+
+/// Run one job per benchmark on its own thread (each job builds its own
+/// `Machine`, so runs are independent) and return results in benchmark
+/// order. Simulation is single-threaded per machine; a full nine-
+/// benchmark sweep is embarrassingly parallel.
+pub fn par_map<R, F>(benchmarks: &[BenchmarkId], job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(BenchmarkId) -> R + Sync,
+{
+    crossbeam::thread::scope(|s| {
+        let job = &job;
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|&b| s.spawn(move |_| job(b)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("benchmark job panicked")).collect()
+    })
+    .expect("scope")
+}
+
+/// Accumulates `--check` assertion results; prints failures and converts
+/// to an exit code.
+#[derive(Debug, Default)]
+pub struct Checks {
+    failures: Vec<String>,
+    passes: usize,
+}
+
+impl Checks {
+    /// Create an empty check set.
+    pub fn new() -> Self {
+        Checks::default()
+    }
+
+    /// Assert a qualitative claim.
+    pub fn claim(&mut self, ok: bool, description: &str) {
+        if ok {
+            self.passes += 1;
+        } else {
+            self.failures.push(description.to_string());
+        }
+    }
+
+    /// Report and convert to an exit code (0 iff no failures).
+    pub fn finish(self) -> ExitCode {
+        for f in &self.failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        eprintln!("checks: {} passed, {} failed", self.passes, self.failures.len());
+        if self.failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+
+    /// Number of failed claims so far.
+    pub fn failed(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+/// Format a float with 2 decimals (tables).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a ratio as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_benchmarks() {
+        let o = Opts::default();
+        assert_eq!(o.benchmarks.len(), 9);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = Opts::parse_from(
+            ["--seed", "7", "--scale", "test", "--benchmarks", "pr,mcf", "--csv", "--check",
+             "--warmup", "10", "--instructions", "100"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!(o.benchmarks, vec![BenchmarkId::Pr, BenchmarkId::Mcf]);
+        assert!(o.csv);
+        assert!(o.check);
+        assert_eq!(o.warmup, 10);
+        assert_eq!(o.measure, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = Opts::parse_from(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn checks_track_failures() {
+        let mut c = Checks::new();
+        c.claim(true, "fine");
+        c.claim(false, "broken");
+        assert_eq!(c.failed(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.1234), "0.123");
+        assert_eq!(pct(0.051), "5.1%");
+    }
+}

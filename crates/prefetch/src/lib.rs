@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! Hardware data prefetchers used as the paper's comparison points
+//! (Fig 8 / Fig 15): IPCP, SPP, Bingo, ISB, plus a next-line strawman.
+//!
+//! The modelling captures the property the paper's argument rests on
+//! (§III): the *spatial* prefetchers (SPP, Bingo, next-line) sit at the
+//! L2C, train on physical addresses and **never prefetch across a page
+//! boundary**, so they cannot cover replay loads, whose trigger is the
+//! first touch of a freshly translated page. IPCP sits at the L1D and
+//! *can* cross pages because it predicts virtual addresses — but its
+//! cross-page prefetches must first translate, and an STLB miss delays
+//! them (modelled by the simulator), making them late. ISB is a
+//! *temporal* prefetcher that replays recorded physical miss sequences
+//! and can therefore cross pages.
+//!
+//! All prefetchers implement [`Prefetcher`] and are purely reactive: the
+//! simulator feeds every demand access via
+//! [`on_access`](Prefetcher::on_access) and issues the returned
+//! candidates through the cache hierarchy.
+
+pub mod bingo;
+pub mod ipcp;
+pub mod isb;
+pub mod next_line;
+pub mod spp;
+
+pub use bingo::Bingo;
+pub use ipcp::Ipcp;
+pub use isb::Isb;
+pub use next_line::NextLine;
+pub use spp::Spp;
+
+use atc_types::{LineAddr, VirtAddr};
+
+/// A demand access observed by a prefetcher.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchContext {
+    /// Instruction pointer of the demand load.
+    pub ip: u64,
+    /// Physical line touched.
+    pub line: LineAddr,
+    /// Virtual address of the load (L1D prefetchers predict in virtual
+    /// space).
+    pub vaddr: VirtAddr,
+    /// Whether the access hit at this level.
+    pub hit: bool,
+}
+
+/// A prefetch candidate emitted by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchRequest {
+    /// Prefetch a physical line (no translation needed).
+    Phys(LineAddr),
+    /// Prefetch a virtual address: the simulator must translate it first
+    /// and charges STLB-miss delays (IPCP's cross-page behaviour).
+    Virt(VirtAddr),
+}
+
+/// A hardware prefetcher observing one cache level's demand stream.
+pub trait Prefetcher: std::fmt::Debug + Send {
+    /// Prefetcher name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Observe a demand access; return prefetch candidates (possibly
+    /// empty). Implementations must bound the degree per call.
+    fn on_access(&mut self, ctx: &PrefetchContext) -> Vec<PrefetchRequest>;
+}
+
+/// Which prefetcher to attach, and where it lives in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetcherKind {
+    /// No data prefetching (the paper's main baseline).
+    #[default]
+    None,
+    /// Next-line at L2C.
+    NextLine,
+    /// IPCP at L1D (virtual, cross-page).
+    Ipcp,
+    /// SPP at L2C (physical, page-bounded).
+    Spp,
+    /// Bingo at L2C (physical, page-bounded).
+    Bingo,
+    /// ISB at L2C (temporal, physical).
+    Isb,
+}
+
+impl PrefetcherKind {
+    /// Instantiate the prefetcher, or `None` for the no-prefetch
+    /// baseline.
+    pub fn build(self) -> Option<Box<dyn Prefetcher>> {
+        match self {
+            PrefetcherKind::None => None,
+            PrefetcherKind::NextLine => Some(Box::new(NextLine::new(2))),
+            PrefetcherKind::Ipcp => Some(Box::new(Ipcp::new())),
+            PrefetcherKind::Spp => Some(Box::new(Spp::new())),
+            PrefetcherKind::Bingo => Some(Box::new(Bingo::new())),
+            PrefetcherKind::Isb => Some(Box::new(Isb::new())),
+        }
+    }
+
+    /// True if this prefetcher observes the L1D stream (IPCP); others
+    /// observe the L2C stream.
+    pub fn at_l1d(self) -> bool {
+        matches!(self, PrefetcherKind::Ipcp)
+    }
+
+    /// Label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::Ipcp => "IPCP",
+            PrefetcherKind::Spp => "SPP",
+            PrefetcherKind::Bingo => "Bingo",
+            PrefetcherKind::Isb => "ISB",
+        }
+    }
+
+    /// Every kind, for experiment sweeps.
+    pub const ALL: [PrefetcherKind; 6] = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::Isb,
+    ];
+}
+
+/// Clamp a physical prefetch candidate to the trigger's page: returns
+/// `None` if `candidate` falls outside the 4 KiB page containing
+/// `trigger` (the spatial-prefetcher page-boundary rule).
+pub fn same_page(trigger: LineAddr, candidate: LineAddr) -> Option<LineAddr> {
+    // 64 lines per 4 KiB page.
+    if trigger.raw() >> 6 == candidate.raw() >> 6 {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_filters_cross_page() {
+        let t = LineAddr::new(64); // page 1
+        assert_eq!(same_page(t, LineAddr::new(127)), Some(LineAddr::new(127)));
+        assert_eq!(same_page(t, LineAddr::new(128)), None);
+        assert_eq!(same_page(t, LineAddr::new(63)), None);
+    }
+
+    #[test]
+    fn kinds_build() {
+        assert!(PrefetcherKind::None.build().is_none());
+        for k in PrefetcherKind::ALL.into_iter().skip(1) {
+            let p = k.build().expect("builds");
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_ipcp_is_l1d() {
+        for k in PrefetcherKind::ALL {
+            assert_eq!(k.at_l1d(), k == PrefetcherKind::Ipcp);
+        }
+    }
+}

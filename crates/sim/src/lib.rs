@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! The full-system trace-driven simulator.
+//!
+//! [`Machine`](machine::Machine) wires together the out-of-order core
+//! model (`atc-cpu`), the translation engine (`atc-vm`: DTLB, STLB, PSCs,
+//! five-level page table and walker), a three-level data-cache hierarchy
+//! with pluggable replacement (`atc-cache`), data prefetchers
+//! (`atc-prefetch`), the paper's enhancements (`atc-core`: T-policies,
+//! ATP, TEMPO, ideal oracles) and a DDR5 DRAM model (`atc-dram`).
+//!
+//! Page-walk reads travel through the same caches as data (PTE blocks are
+//! ordinary 64-byte lines), each fill is tagged with its
+//! [`AccessClass`](atc_types::AccessClass), and demand loads whose
+//! translation walked the page table are tagged as *replay* loads — the
+//! paper's machinery, end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_sim::{SimConfig, run_one};
+//! use atc_workloads::{BenchmarkId, Scale};
+//!
+//! let cfg = SimConfig::baseline();
+//! let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 10_000, 50_000);
+//! assert_eq!(stats.core.instructions, 50_000);
+//! assert!(stats.core.ipc() > 0.0);
+//! ```
+
+pub mod machine;
+pub mod multicore;
+pub mod smt;
+
+pub use machine::{Machine, Probes, RunStats, SimConfig};
+pub use multicore::run_multicore;
+pub use smt::run_smt;
+
+use atc_workloads::{BenchmarkId, Scale};
+
+/// Build a machine, run `bench` for `warmup` + `measure` instructions,
+/// and return the measured statistics.
+pub fn run_one(
+    cfg: &SimConfig,
+    bench: BenchmarkId,
+    scale: Scale,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+) -> RunStats {
+    let mut wl = bench.build(scale, seed);
+    let mut machine = Machine::new(cfg);
+    machine.run(wl.as_mut(), warmup, measure)
+}

@@ -1,0 +1,234 @@
+//! Recall-distance measurement.
+//!
+//! The paper defines *recall distance* as "the number of unique accesses
+//! that arrive in the same cache set" between the moment a block is
+//! evicted and the next request to that block (§III, Figs 5/7/18). It is
+//! distinct from reuse distance: it measures how much longer a block
+//! would have had to be kept to convert the next miss into a hit.
+//!
+//! [`RecallProbe`] implements this exactly up to a configurable cap: on
+//! eviction a *window* opens for the evicted block; every subsequent
+//! access to the set adds its line to the window's unique-line set; when
+//! the evicted block is next requested, the window closes and its unique
+//! count is recorded. Windows whose unique count exceeds the cap close
+//! into the histogram's overflow bucket, which bounds memory.
+
+use atc_types::LineAddr;
+
+use crate::Histogram;
+
+/// An open measurement window for one evicted block.
+#[derive(Debug)]
+struct Window {
+    victim: LineAddr,
+    seen: Vec<LineAddr>,
+}
+
+/// Per-set state.
+#[derive(Debug, Default)]
+struct SetState {
+    windows: Vec<Window>,
+}
+
+/// Measures recall distances for one set-indexed structure (a cache level,
+/// a TLB). Drive it with [`on_access`](RecallProbe::on_access) for every
+/// lookup and [`on_evict`](RecallProbe::on_evict) for every eviction.
+#[derive(Debug)]
+pub struct RecallProbe {
+    sets: Vec<SetState>,
+    cap: usize,
+    hist: Histogram,
+}
+
+impl RecallProbe {
+    /// Create a probe for a structure with `sets` sets; distances above
+    /// `cap` land in the overflow bucket. The histogram uses bucket width
+    /// 10 (matching the paper's 0–50+ buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `cap == 0`.
+    pub fn new(sets: usize, cap: usize) -> Self {
+        assert!(sets > 0 && cap > 0);
+        RecallProbe {
+            sets: (0..sets).map(|_| SetState::default()).collect(),
+            cap,
+            hist: Histogram::new(10, cap.div_ceil(10)),
+        }
+    }
+
+    /// Record an access (hit or miss) of `line` to `set`.
+    ///
+    /// If a window is open for `line`, it closes and its unique-access
+    /// count is recorded. All other open windows in the set count this
+    /// access if the line is new to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn on_access(&mut self, set: usize, line: LineAddr) {
+        let cap = self.cap;
+        let state = &mut self.sets[set];
+        let mut closed: Option<u64> = None;
+        let mut overflowed = 0u64;
+        state.windows.retain_mut(|w| {
+            if w.victim == line {
+                closed = Some(w.seen.len() as u64);
+                return false;
+            }
+            if !w.seen.contains(&line) {
+                w.seen.push(line);
+                if w.seen.len() > cap {
+                    // Distance exceeds the cap: close into overflow so the
+                    // per-window memory stays bounded.
+                    overflowed += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        if let Some(d) = closed {
+            self.hist.record(d);
+        }
+        for _ in 0..overflowed {
+            self.hist.record(cap as u64 * 2 + 1);
+        }
+    }
+
+    /// Record the eviction of `victim` from `set`, opening a measurement
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn on_evict(&mut self, set: usize, victim: LineAddr) {
+        let state = &mut self.sets[set];
+        // A re-eviction of the same line while a window is open restarts
+        // the window (the block came back and left again).
+        state.windows.retain(|w| w.victim != victim);
+        state.windows.push(Window { victim, seen: Vec::new() });
+    }
+
+    /// The recall-distance histogram accumulated so far. Open windows
+    /// (evicted blocks never re-requested) are not included; callers that
+    /// want them counted as "infinite" should call
+    /// [`flush_open_windows`](Self::flush_open_windows) first.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Close every remaining open window into the overflow bucket. Use at
+    /// the end of a run so never-recalled blocks appear as `> cap`.
+    pub fn flush_open_windows(&mut self) {
+        let cap = self.cap as u64;
+        let mut n = 0u64;
+        for s in &mut self.sets {
+            n += s.windows.len() as u64;
+            s.windows.clear();
+        }
+        for _ in 0..n {
+            self.hist.record(cap * 2 + 1);
+        }
+    }
+
+    /// Number of currently open windows (for tests and memory checks).
+    pub fn open_windows(&self) -> usize {
+        self.sets.iter().map(|s| s.windows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    #[test]
+    fn simple_recall_distance() {
+        let mut p = RecallProbe::new(4, 100);
+        p.on_evict(0, line(42));
+        // Three unique lines touch the set, one twice (still 3 unique).
+        p.on_access(0, line(1));
+        p.on_access(0, line(2));
+        p.on_access(0, line(1));
+        p.on_access(0, line(3));
+        // The victim returns: distance 3.
+        p.on_access(0, line(42));
+        assert_eq!(p.histogram().count(), 1);
+        assert_eq!(p.histogram().sum(), 3);
+        assert_eq!(p.open_windows(), 0);
+    }
+
+    #[test]
+    fn windows_are_per_set() {
+        let mut p = RecallProbe::new(4, 100);
+        p.on_evict(0, line(42));
+        p.on_access(1, line(1)); // different set: does not count
+        p.on_access(0, line(42));
+        assert_eq!(p.histogram().sum(), 0);
+        assert_eq!(p.histogram().count(), 1);
+    }
+
+    #[test]
+    fn immediate_recall_is_zero_distance() {
+        let mut p = RecallProbe::new(1, 50);
+        p.on_evict(0, line(7));
+        p.on_access(0, line(7));
+        assert_eq!(p.histogram().count(), 1);
+        assert_eq!(p.histogram().sum(), 0);
+    }
+
+    #[test]
+    fn capped_windows_close_and_bound_memory() {
+        let mut p = RecallProbe::new(1, 20);
+        p.on_evict(0, line(999));
+        for i in 0..1000 {
+            p.on_access(0, line(i));
+        }
+        // The window exceeded the cap and closed into overflow.
+        assert_eq!(p.open_windows(), 0);
+        assert_eq!(p.histogram().count(), 1);
+        assert_eq!(p.histogram().fraction_below(20), 0.0);
+        // Recalling the victim later adds no second record (window gone).
+        p.on_access(0, line(999));
+        assert_eq!(p.histogram().count(), 1);
+        // Flushing open windows at end-of-run adds nothing here.
+        p.flush_open_windows();
+        assert_eq!(p.histogram().count(), 1);
+    }
+
+    #[test]
+    fn flush_counts_never_recalled_blocks_as_overflow() {
+        let mut p = RecallProbe::new(2, 50);
+        p.on_evict(0, line(1));
+        p.on_evict(1, line(2));
+        p.flush_open_windows();
+        assert_eq!(p.histogram().count(), 2);
+        // Both landed past the cap.
+        assert_eq!(p.histogram().fraction_below(50), 0.0);
+    }
+
+    #[test]
+    fn re_eviction_restarts_window() {
+        let mut p = RecallProbe::new(1, 50);
+        p.on_evict(0, line(5));
+        p.on_access(0, line(1));
+        p.on_access(0, line(2));
+        // Block 5 comes back (closes at 2)... but instead it gets evicted
+        // again before returning: restart.
+        p.on_evict(0, line(5));
+        p.on_access(0, line(3));
+        p.on_access(0, line(5));
+        assert_eq!(p.histogram().count(), 1);
+        assert_eq!(p.histogram().sum(), 1); // only line(3) in the new window
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        let mut p = RecallProbe::new(1, 10);
+        p.on_access(1, line(0));
+    }
+}

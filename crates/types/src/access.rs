@@ -1,0 +1,288 @@
+//! Classification of memory traffic.
+//!
+//! The paper's mechanisms hinge on distinguishing three classes of cache
+//! traffic that conventional replacement policies treat identically:
+//!
+//! * **Translations** — page-walk reads of PTE blocks, with the *leaf*
+//!   level (PTL1) being the critical one;
+//! * **Replay loads** — demand data loads whose translation missed the
+//!   STLB and had to walk the page table;
+//! * **Non-replay loads** — demand data loads whose translation hit the
+//!   DTLB or STLB.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{LineAddr, PtLevel};
+
+/// The class of a memory access / cache fill, as seen by the cache
+/// hierarchy. This is the extra information the paper plumbs from the
+/// page-table walker and load/store unit into the caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Demand data load whose translation hit in the TLBs.
+    NonReplayData,
+    /// Demand data load replayed after an STLB miss and page walk.
+    ReplayData,
+    /// Page-walk read of a PTE block at the given page-table level.
+    /// `Translation(PtLevel::L1)` is a *leaf-level translation*.
+    Translation(PtLevel),
+    /// Demand store (write) traffic.
+    Store,
+    /// Instruction fetch traffic.
+    Instruction,
+}
+
+impl AccessClass {
+    /// True for page-walk (translation) accesses at any level.
+    #[inline]
+    pub fn is_translation(self) -> bool {
+        matches!(self, AccessClass::Translation(_))
+    }
+
+    /// True for leaf-level (PTL1) translation accesses — the ones the
+    /// paper's T-policies pin with RRPV=0.
+    #[inline]
+    pub fn is_leaf_translation(self) -> bool {
+        matches!(self, AccessClass::Translation(PtLevel::L1))
+    }
+
+    /// True for replay data loads.
+    #[inline]
+    pub fn is_replay(self) -> bool {
+        matches!(self, AccessClass::ReplayData)
+    }
+
+    /// True for demand data loads (replay or non-replay), excluding
+    /// stores, instruction fetches, and page walks.
+    #[inline]
+    pub fn is_demand_load(self) -> bool {
+        matches!(self, AccessClass::NonReplayData | AccessClass::ReplayData)
+    }
+
+    /// Compact index used by per-class statistics arrays: 0 = non-replay,
+    /// 1 = replay, 2 = leaf translation, 3 = non-leaf translation,
+    /// 4 = store, 5 = instruction.
+    #[inline]
+    pub fn stat_index(self) -> usize {
+        match self {
+            AccessClass::NonReplayData => 0,
+            AccessClass::ReplayData => 1,
+            AccessClass::Translation(PtLevel::L1) => 2,
+            AccessClass::Translation(_) => 3,
+            AccessClass::Store => 4,
+            AccessClass::Instruction => 5,
+        }
+    }
+
+    /// Number of distinct [`stat_index`](Self::stat_index) values.
+    pub const STAT_CLASSES: usize = 6;
+
+    /// Short human-readable label, used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::NonReplayData => "non-replay",
+            AccessClass::ReplayData => "replay",
+            AccessClass::Translation(PtLevel::L1) => "PTL1",
+            AccessClass::Translation(l) => match l {
+                PtLevel::L2 => "PTL2",
+                PtLevel::L3 => "PTL3",
+                PtLevel::L4 => "PTL4",
+                PtLevel::L5 => "PTL5",
+                PtLevel::L1 => unreachable!(),
+            },
+            AccessClass::Store => "store",
+            AccessClass::Instruction => "ifetch",
+        }
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A level of the memory hierarchy that can service a request. Used for
+/// the paper's Fig 3 (where leaf translations and replays get their
+/// responses) and to describe where ATP found the leaf PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// First-level data cache.
+    L1d,
+    /// Private second-level cache.
+    L2c,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl MemLevel {
+    /// All levels, nearest first.
+    pub const ALL: [MemLevel; 4] = [MemLevel::L1d, MemLevel::L2c, MemLevel::Llc, MemLevel::Dram];
+
+    /// Dense index (0 = L1D … 3 = DRAM) for per-level stat arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MemLevel::L1d => 0,
+            MemLevel::L2c => 1,
+            MemLevel::Llc => 2,
+            MemLevel::Dram => 3,
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1d => "L1D",
+            MemLevel::L2c => "L2C",
+            MemLevel::Llc => "LLC",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How IP signatures are formed for signature-based replacement policies
+/// (SHiP, Hawkeye).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SignatureMode {
+    /// The original proposals: the raw instruction pointer is the
+    /// signature regardless of what the fill carries.
+    #[default]
+    IpOnly,
+    /// The paper's *address-translation-conscious signatures*: the
+    /// signature space is split per class so reuse learning of
+    /// translations, replay loads and non-replay loads is independent
+    /// (`IP << IsTranslation`, `IP << IsReplay + IsTranslation`).
+    PerClass,
+}
+
+impl SignatureMode {
+    /// Compute the training signature for an access.
+    ///
+    /// For [`SignatureMode::PerClass`], translations, replay loads and
+    /// non-replay loads are mapped into disjoint signature sub-spaces, the
+    /// functional content of the paper's shifted-IP signatures.
+    #[inline]
+    pub fn signature(self, ip: u64, class: AccessClass) -> u64 {
+        match self {
+            SignatureMode::IpOnly => ip,
+            SignatureMode::PerClass => {
+                let tag = match class {
+                    AccessClass::Translation(_) => 1,
+                    AccessClass::ReplayData => 2,
+                    _ => 0,
+                };
+                (ip << 2) | tag
+            }
+        }
+    }
+}
+
+/// Metadata accompanying every cache access: the requesting instruction
+/// pointer, the line, and the traffic class. Replacement policies and
+/// prefetchers receive this on every lookup/fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessInfo {
+    /// Instruction pointer of the triggering instruction (for page walks,
+    /// the IP of the load that missed the STLB, per the paper's noise
+    /// discussion).
+    pub ip: u64,
+    /// Physical line being accessed.
+    pub line: LineAddr,
+    /// Traffic class.
+    pub class: AccessClass,
+    /// True if this access was generated by a hardware prefetcher rather
+    /// than the core or the PTW.
+    pub is_prefetch: bool,
+}
+
+impl AccessInfo {
+    /// Convenience constructor for a demand access.
+    pub fn demand(ip: u64, line: LineAddr, class: AccessClass) -> Self {
+        AccessInfo { ip, line, class, is_prefetch: false }
+    }
+
+    /// Convenience constructor for a prefetch access.
+    pub fn prefetch(ip: u64, line: LineAddr, class: AccessClass) -> Self {
+        AccessInfo { ip, line, class, is_prefetch: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(AccessClass::Translation(PtLevel::L1).is_leaf_translation());
+        assert!(!AccessClass::Translation(PtLevel::L2).is_leaf_translation());
+        assert!(AccessClass::Translation(PtLevel::L4).is_translation());
+        assert!(AccessClass::ReplayData.is_replay());
+        assert!(AccessClass::ReplayData.is_demand_load());
+        assert!(AccessClass::NonReplayData.is_demand_load());
+        assert!(!AccessClass::Store.is_demand_load());
+    }
+
+    #[test]
+    fn stat_indices_are_dense_and_distinct() {
+        let classes = [
+            AccessClass::NonReplayData,
+            AccessClass::ReplayData,
+            AccessClass::Translation(PtLevel::L1),
+            AccessClass::Translation(PtLevel::L3),
+            AccessClass::Store,
+            AccessClass::Instruction,
+        ];
+        let mut seen = [false; AccessClass::STAT_CLASSES];
+        for c in classes {
+            let i = c.stat_index();
+            assert!(i < AccessClass::STAT_CLASSES);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // All non-leaf translation levels share one bucket.
+        assert_eq!(
+            AccessClass::Translation(PtLevel::L2).stat_index(),
+            AccessClass::Translation(PtLevel::L5).stat_index()
+        );
+    }
+
+    #[test]
+    fn per_class_signatures_are_disjoint() {
+        let ip = 0xdead;
+        let m = SignatureMode::PerClass;
+        let t = m.signature(ip, AccessClass::Translation(PtLevel::L1));
+        let r = m.signature(ip, AccessClass::ReplayData);
+        let n = m.signature(ip, AccessClass::NonReplayData);
+        assert_ne!(t, r);
+        assert_ne!(t, n);
+        assert_ne!(r, n);
+        // Different IPs never collide within a class.
+        assert_ne!(m.signature(1, AccessClass::ReplayData), r);
+    }
+
+    #[test]
+    fn ip_only_signature_ignores_class() {
+        let m = SignatureMode::IpOnly;
+        assert_eq!(
+            m.signature(7, AccessClass::ReplayData),
+            m.signature(7, AccessClass::Translation(PtLevel::L1))
+        );
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_distinct_for_stat_classes() {
+        assert_eq!(AccessClass::Translation(PtLevel::L1).label(), "PTL1");
+        assert_eq!(AccessClass::ReplayData.to_string(), "replay");
+    }
+}

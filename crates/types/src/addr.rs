@@ -1,0 +1,370 @@
+//! Address newtypes and the five-level radix page-table split.
+//!
+//! The machine models a 57-bit virtual address space translated by a
+//! five-level radix page table (Intel "LA57", as in Ice Lake / Sunny Cove):
+//! nine index bits per level plus a 12-bit page offset.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// log2 of the cache-block size (64-byte blocks throughout the hierarchy).
+pub const BLOCK_SHIFT: u32 = 6;
+/// Cache-block size in bytes.
+pub const BLOCK_SIZE: u64 = 1 << BLOCK_SHIFT;
+/// Number of index bits consumed by each page-table level.
+pub const LEVEL_BITS: u32 = 9;
+/// Size of one page-table entry in bytes.
+pub const PTE_SIZE: u64 = 8;
+/// Number of PTEs that share one 64-byte cache block (the paper's "eight
+/// contiguous translations per block").
+pub const PTES_PER_BLOCK: u64 = BLOCK_SIZE / PTE_SIZE;
+/// Width of the modelled virtual address (five levels of 9 bits + 12).
+pub const VA_BITS: u32 = 5 * LEVEL_BITS + PAGE_SHIFT; // 57
+
+/// A page-table level. `L1` is the *leaf* level whose PTE stores the
+/// physical frame of the data page; `L5` is the root pointed to by CR3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PtLevel {
+    /// Leaf level: its PTE holds the final physical page frame.
+    L1,
+    /// Second level (page directory).
+    L2,
+    /// Third level.
+    L3,
+    /// Fourth level.
+    L4,
+    /// Root level (indexed from CR3).
+    L5,
+}
+
+impl PtLevel {
+    /// All levels in walk order, from the root down to the leaf.
+    pub const WALK_ORDER: [PtLevel; 5] =
+        [PtLevel::L5, PtLevel::L4, PtLevel::L3, PtLevel::L2, PtLevel::L1];
+
+    /// Numeric level, 1 for the leaf through 5 for the root.
+    #[inline]
+    pub fn number(self) -> u8 {
+        match self {
+            PtLevel::L1 => 1,
+            PtLevel::L2 => 2,
+            PtLevel::L3 => 3,
+            PtLevel::L4 => 4,
+            PtLevel::L5 => 5,
+        }
+    }
+
+    /// Construct from a numeric level in `1..=5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=5`.
+    #[inline]
+    pub fn from_number(n: u8) -> PtLevel {
+        match n {
+            1 => PtLevel::L1,
+            2 => PtLevel::L2,
+            3 => PtLevel::L3,
+            4 => PtLevel::L4,
+            5 => PtLevel::L5,
+            _ => panic!("page-table level out of range: {n}"),
+        }
+    }
+
+    /// True for the leaf level (level 1), whose PTE stores the translation
+    /// the paper calls a *leaf-level translation*.
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        matches!(self, PtLevel::L1)
+    }
+
+    /// The next level walked after this one (towards the leaf), or `None`
+    /// if this is already the leaf.
+    #[inline]
+    pub fn next_towards_leaf(self) -> Option<PtLevel> {
+        match self {
+            PtLevel::L5 => Some(PtLevel::L4),
+            PtLevel::L4 => Some(PtLevel::L3),
+            PtLevel::L3 => Some(PtLevel::L2),
+            PtLevel::L2 => Some(PtLevel::L1),
+            PtLevel::L1 => None,
+        }
+    }
+
+    /// Low bit position of this level's 9-bit index within the VA.
+    #[inline]
+    pub fn index_shift(self) -> u32 {
+        PAGE_SHIFT + LEVEL_BITS * (self.number() as u32 - 1)
+    }
+}
+
+impl fmt::Display for PtLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PTL{}", self.number())
+    }
+}
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wrap a raw value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw underlying value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual byte address (57 bits significant).
+    VirtAddr
+}
+addr_newtype! {
+    /// A physical byte address.
+    PhysAddr
+}
+addr_newtype! {
+    /// A virtual page number (`VirtAddr >> 12`).
+    Vpn
+}
+addr_newtype! {
+    /// A physical frame number (`PhysAddr >> 12`).
+    Pfn
+}
+addr_newtype! {
+    /// A physical cache-line (64-byte block) address (`PhysAddr >> 6`).
+    LineAddr
+}
+
+impl VirtAddr {
+    /// The virtual page number of this address.
+    #[inline]
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the 4 KiB page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Block index within the page (upper six bits of the page offset) —
+    /// the extra bits the paper's modified PTW carries so ATP can form the
+    /// replay block address.
+    #[inline]
+    pub fn block_in_page(self) -> u64 {
+        self.page_offset() >> BLOCK_SHIFT
+    }
+
+    /// The 9-bit radix index used at the given page-table level.
+    #[inline]
+    pub fn pt_index(self, level: PtLevel) -> u64 {
+        (self.0 >> level.index_shift()) & ((1 << LEVEL_BITS) - 1)
+    }
+}
+
+impl Vpn {
+    /// The base virtual address of this page.
+    #[inline]
+    pub fn base_addr(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The 9-bit radix index for the given level (same as the containing
+    /// address's index, since all levels sit above the page offset).
+    #[inline]
+    pub fn pt_index(self, level: PtLevel) -> u64 {
+        (self.0 >> (level.index_shift() - PAGE_SHIFT)) & ((1 << LEVEL_BITS) - 1)
+    }
+
+    /// Upper bits of the VPN that select the page-table *block* of eight
+    /// PTEs at the given level; VPNs sharing this tag hit the same cached
+    /// PTE block.
+    #[inline]
+    pub fn pte_block_tag(self, level: PtLevel) -> u64 {
+        self.0 >> (level.index_shift() - PAGE_SHIFT + 3)
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame number of this address.
+    #[inline]
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The cache-line address of this byte address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> BLOCK_SHIFT)
+    }
+}
+
+impl Pfn {
+    /// The base physical address of this frame.
+    #[inline]
+    pub fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Physical address of byte `offset` within this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `offset >= PAGE_SIZE`.
+    #[inline]
+    pub fn addr_with_offset(self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < PAGE_SIZE);
+        PhysAddr((self.0 << PAGE_SHIFT) | offset)
+    }
+}
+
+impl LineAddr {
+    /// The base physical byte address of this line.
+    #[inline]
+    pub fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << BLOCK_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_numbers_round_trip() {
+        for n in 1..=5 {
+            assert_eq!(PtLevel::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_zero_panics() {
+        PtLevel::from_number(0);
+    }
+
+    #[test]
+    fn walk_order_is_root_to_leaf() {
+        assert_eq!(PtLevel::WALK_ORDER.first(), Some(&PtLevel::L5));
+        assert_eq!(PtLevel::WALK_ORDER.last(), Some(&PtLevel::L1));
+        assert!(PtLevel::WALK_ORDER.last().unwrap().is_leaf());
+    }
+
+    #[test]
+    fn next_towards_leaf_chain() {
+        let mut lvl = PtLevel::L5;
+        let mut seen = vec![lvl];
+        while let Some(next) = lvl.next_towards_leaf() {
+            seen.push(next);
+            lvl = next;
+        }
+        assert_eq!(seen, PtLevel::WALK_ORDER.to_vec());
+    }
+
+    #[test]
+    fn pt_index_extracts_nine_bit_chunks() {
+        // VA[20:12] is the L1 index, VA[29:21] the L2 index, etc.
+        let va = VirtAddr::new(0b1_0101_0101_1_1100_1100_u64 << PAGE_SHIFT | 0xabc);
+        assert_eq!(va.pt_index(PtLevel::L1), 0b1_1100_1100);
+        assert_eq!(va.pt_index(PtLevel::L2), 0b1_0101_0101);
+        assert_eq!(va.page_offset(), 0xabc);
+    }
+
+    #[test]
+    fn index_shift_matches_paper_chunks() {
+        // Paper: level five uses VA[56:48].
+        assert_eq!(PtLevel::L5.index_shift(), 48);
+        assert_eq!(PtLevel::L1.index_shift(), 12);
+        assert_eq!(VA_BITS, 57);
+    }
+
+    #[test]
+    fn vpn_and_offset_compose() {
+        let va = VirtAddr::new(0xdead_beef_cafe);
+        assert_eq!(
+            va.vpn().base_addr().raw() + va.page_offset(),
+            va.raw()
+        );
+    }
+
+    #[test]
+    fn vpn_pt_index_agrees_with_va() {
+        let va = VirtAddr::new(0x0123_4567_89ab_cdef & ((1 << VA_BITS) - 1));
+        for lvl in PtLevel::WALK_ORDER {
+            assert_eq!(va.pt_index(lvl), va.vpn().pt_index(lvl), "level {lvl}");
+        }
+    }
+
+    #[test]
+    fn pte_block_tag_groups_eight_consecutive_leaf_ptes() {
+        let a = Vpn::new(0x1000);
+        let b = Vpn::new(0x1007);
+        let c = Vpn::new(0x1008);
+        assert_eq!(a.pte_block_tag(PtLevel::L1), b.pte_block_tag(PtLevel::L1));
+        assert_ne!(a.pte_block_tag(PtLevel::L1), c.pte_block_tag(PtLevel::L1));
+    }
+
+    #[test]
+    fn block_in_page_is_upper_six_offset_bits() {
+        let va = VirtAddr::new((77 << PAGE_SHIFT) | (13 << BLOCK_SHIFT) | 5);
+        assert_eq!(va.block_in_page(), 13);
+    }
+
+    #[test]
+    fn phys_line_round_trip() {
+        let pa = PhysAddr::new(0x1234_5678);
+        assert_eq!(pa.line().base_addr().raw(), pa.raw() & !(BLOCK_SIZE - 1));
+    }
+
+    #[test]
+    fn pfn_offset_addr() {
+        let pfn = Pfn::new(42);
+        assert_eq!(pfn.addr_with_offset(8).raw(), 42 * PAGE_SIZE + 8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", PtLevel::L1).is_empty());
+    }
+}

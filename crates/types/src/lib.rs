@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Shared foundation types for the address-translation-conscious (ATC)
+//! cache-hierarchy simulator.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`addr`] — newtypes for virtual/physical addresses, page numbers and
+//!   cache-line addresses, plus the 57-bit five-level radix split used by
+//!   the paper's Sunny-Cove-like machine.
+//! * [`access`] — the classification of memory traffic the paper's
+//!   mechanisms key on: leaf/intermediate *translations*, *replay* data
+//!   loads (data loads whose translation missed the STLB), and
+//!   *non-replay* data loads.
+//! * [`config`] — the full machine configuration with defaults matching
+//!   Table I of the paper (ROB, TLBs, PSCs, caches, DRAM).
+//!
+//! # Example
+//!
+//! ```
+//! use atc_types::addr::{VirtAddr, PtLevel};
+//!
+//! let va = VirtAddr::new(0x1234_5678_9abc);
+//! assert_eq!(va.pt_index(PtLevel::L1), (0x1234_5678_9abc_u64 >> 12) & 0x1ff);
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod config;
+
+pub use access::{AccessClass, AccessInfo, MemLevel, SignatureMode};
+pub use addr::{LineAddr, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use config::{
+    CacheLevelConfig, CoreConfig, DramConfig, MachineConfig, PscConfig, TlbConfig,
+};

@@ -1,0 +1,261 @@
+//! Five-level radix page table.
+//!
+//! Mirrors the LA57 layout: each table is one 4 KiB physical frame holding
+//! 512 eight-byte PTEs; the level-*k* PTE for a VPN lives at
+//! `table_frame(k).base + index_k * 8`, and eight neighbouring PTEs share
+//! one 64-byte cache block. [`PageTable::pte_addr`] exposes those
+//! physical PTE addresses so the walker's reads can be played through the
+//! data-cache hierarchy.
+
+use atc_types::addr::{PTE_SIZE};
+use atc_types::{Pfn, PhysAddr, PtLevel, Vpn};
+
+use crate::frame::FrameAllocator;
+
+/// An interior or leaf radix node. Every node is backed by one physical
+/// frame (`frame`) so its PTEs have real physical addresses.
+#[derive(Debug)]
+struct Node {
+    frame: Pfn,
+    children: Vec<Option<Box<Node>>>, // interior levels
+    leaves: Vec<Option<Pfn>>,         // leaf level (L1 tables)
+}
+
+impl Node {
+    fn new_interior(frame: Pfn) -> Self {
+        Node { frame, children: (0..512).map(|_| None).collect(), leaves: Vec::new() }
+    }
+
+    fn new_leaf_table(frame: Pfn) -> Self {
+        Node { frame, children: Vec::new(), leaves: vec![None; 512] }
+    }
+}
+
+/// A demand-populated five-level page table with its own frame allocator.
+///
+/// # Example
+///
+/// ```
+/// use atc_types::{PtLevel, Vpn};
+/// use atc_vm::PageTable;
+///
+/// let mut pt = PageTable::new();
+/// let vpn = Vpn::new(0xabcde);
+/// assert_eq!(pt.translate(vpn), None);
+/// let pfn = pt.ensure_mapped(vpn);
+/// assert_eq!(pt.translate(vpn), Some(pfn));
+/// // The leaf PTE has a stable physical address:
+/// let a = pt.pte_addr(vpn, PtLevel::L1);
+/// assert_eq!(a, pt.pte_addr(vpn, PtLevel::L1));
+/// ```
+#[derive(Debug)]
+pub struct PageTable {
+    root: Node,
+    alloc: FrameAllocator,
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Create an empty page table (only the root/CR3 frame allocated).
+    pub fn new() -> Self {
+        let mut alloc = FrameAllocator::new();
+        let root_frame = alloc.alloc();
+        PageTable { root: Node::new_interior(root_frame), alloc, mapped_pages: 0 }
+    }
+
+    /// The frame of the root (level-5) table — the CR3 contents.
+    pub fn cr3(&self) -> Pfn {
+        self.root.frame
+    }
+
+    /// Number of data pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Translate a VPN to its PFN, or `None` if unmapped.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pfn> {
+        let mut node = &self.root;
+        for level in [PtLevel::L5, PtLevel::L4, PtLevel::L3, PtLevel::L2] {
+            let idx = vpn.pt_index(level) as usize;
+            node = node.children[idx].as_deref()?;
+        }
+        node.leaves[vpn.pt_index(PtLevel::L1) as usize]
+    }
+
+    /// Map `vpn` (allocating a data frame and any missing tables) or
+    /// return its existing mapping. All workload first-touches funnel
+    /// through here, modelling demand paging with a warm page table.
+    pub fn ensure_mapped(&mut self, vpn: Vpn) -> Pfn {
+        // Split borrows: walk down creating interior nodes.
+        let alloc = &mut self.alloc;
+        let mut node = &mut self.root;
+        for level in [PtLevel::L5, PtLevel::L4, PtLevel::L3] {
+            let idx = vpn.pt_index(level) as usize;
+            node = node.children[idx]
+                .get_or_insert_with(|| Box::new(Node::new_interior(alloc.alloc())));
+        }
+        // L2 node's children are leaf *tables*.
+        let idx2 = vpn.pt_index(PtLevel::L2) as usize;
+        let leaf_table = node.children[idx2]
+            .get_or_insert_with(|| Box::new(Node::new_leaf_table(alloc.alloc())));
+        let idx1 = vpn.pt_index(PtLevel::L1) as usize;
+        if let Some(pfn) = leaf_table.leaves[idx1] {
+            return pfn;
+        }
+        let pfn = alloc.alloc();
+        leaf_table.leaves[idx1] = Some(pfn);
+        self.mapped_pages += 1;
+        pfn
+    }
+
+    /// Physical address of the PTE consulted at `level` while walking
+    /// `vpn`. The VPN must already be mapped (tables exist); call
+    /// [`ensure_mapped`](Self::ensure_mapped) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path to `level` has not been populated.
+    pub fn pte_addr(&self, vpn: Vpn, level: PtLevel) -> PhysAddr {
+        let table_frame = self.table_frame(vpn, level);
+        let idx = vpn.pt_index(level);
+        table_frame.addr_with_offset(idx * PTE_SIZE)
+    }
+
+    /// Frame of the table read at `level` for `vpn` (L5 = CR3 frame).
+    fn table_frame(&self, vpn: Vpn, level: PtLevel) -> Pfn {
+        let mut node = &self.root;
+        // Descend from L5 until we reach the node whose table is read at
+        // `level`: the L5 table is the root itself.
+        let mut cur = PtLevel::L5;
+        while cur != level {
+            let idx = vpn.pt_index(cur) as usize;
+            node = node.children[idx]
+                .as_deref()
+                .unwrap_or_else(|| panic!("page-table path missing at {cur} for {vpn}"));
+            cur = cur.next_towards_leaf().expect("walked past leaf");
+        }
+        node.frame
+    }
+
+    /// Allocate a data frame directly (for workloads that need raw
+    /// backing frames, e.g. TEMPO's DRAM-side bookkeeping in tests).
+    pub fn alloc_raw_frame(&mut self) -> Pfn {
+        self.alloc.alloc()
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_types::addr::{PTES_PER_BLOCK, VA_BITS};
+
+    #[test]
+    fn unmapped_translates_to_none() {
+        let pt = PageTable::new();
+        assert_eq!(pt.translate(Vpn::new(123)), None);
+    }
+
+    #[test]
+    fn map_then_translate() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(0x12_3456_789a);
+        let pfn = pt.ensure_mapped(vpn);
+        assert_eq!(pt.translate(vpn), Some(pfn));
+        // Idempotent.
+        assert_eq!(pt.ensure_mapped(vpn), pfn);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new();
+        let a = pt.ensure_mapped(Vpn::new(1));
+        let b = pt.ensure_mapped(Vpn::new(2));
+        assert_ne!(a, b);
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn pte_addrs_differ_per_level_and_are_stable() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(0xdeadbeef);
+        pt.ensure_mapped(vpn);
+        let mut addrs = Vec::new();
+        for lvl in PtLevel::WALK_ORDER {
+            addrs.push(pt.pte_addr(vpn, lvl));
+        }
+        for i in 0..addrs.len() {
+            for j in (i + 1)..addrs.len() {
+                assert_ne!(addrs[i], addrs[j], "levels {i}/{j} collide");
+            }
+        }
+        assert_eq!(pt.pte_addr(vpn, PtLevel::L3), addrs[2]);
+    }
+
+    #[test]
+    fn l5_pte_lives_in_cr3_frame() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(0xabcdef);
+        pt.ensure_mapped(vpn);
+        assert_eq!(pt.pte_addr(vpn, PtLevel::L5).pfn(), pt.cr3());
+    }
+
+    #[test]
+    fn eight_neighbouring_pages_share_a_leaf_pte_block() {
+        let mut pt = PageTable::new();
+        let base = Vpn::new(0x4000);
+        let mut lines = std::collections::HashSet::new();
+        for i in 0..PTES_PER_BLOCK {
+            let vpn = Vpn::new(base.raw() + i);
+            pt.ensure_mapped(vpn);
+            lines.insert(pt.pte_addr(vpn, PtLevel::L1).line());
+        }
+        assert_eq!(lines.len(), 1, "8 PTEs must share one 64-byte block");
+        // The ninth page starts a new block.
+        let vpn9 = Vpn::new(base.raw() + PTES_PER_BLOCK);
+        pt.ensure_mapped(vpn9);
+        assert!(!lines.contains(&pt.pte_addr(vpn9, PtLevel::L1).line()));
+    }
+
+    #[test]
+    fn pages_in_different_l2_regions_use_different_leaf_tables() {
+        let mut pt = PageTable::new();
+        let a = Vpn::new(0);
+        let b = Vpn::new(512); // next L1 table
+        pt.ensure_mapped(a);
+        pt.ensure_mapped(b);
+        assert_ne!(
+            pt.pte_addr(a, PtLevel::L1).pfn(),
+            pt.pte_addr(b, PtLevel::L1).pfn()
+        );
+        // But they share every level above L1's table... except index may
+        // differ: the L2 PTE addresses differ (different entries of the
+        // same L2 table frame).
+        assert_eq!(
+            pt.pte_addr(a, PtLevel::L2).pfn(),
+            pt.pte_addr(b, PtLevel::L2).pfn()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "path missing")]
+    fn pte_addr_of_unmapped_panics() {
+        let pt = PageTable::new();
+        pt.pte_addr(Vpn::new(1 << 30), PtLevel::L1);
+    }
+
+    #[test]
+    fn full_va_width_round_trips() {
+        let mut pt = PageTable::new();
+        let max_vpn = Vpn::new((1 << (VA_BITS - 12)) - 1);
+        let pfn = pt.ensure_mapped(max_vpn);
+        assert_eq!(pt.translate(max_vpn), Some(pfn));
+    }
+}

@@ -1,0 +1,289 @@
+//! Set-associative TLBs with true-LRU replacement.
+//!
+//! Used for the DTLB (64-entry, 4-way) and the unified STLB (2048-entry,
+//! 16-way) of Table I. An optional [`RecallProbe`] measures the recall
+//! distance of translations at the STLB (Fig 18).
+
+use atc_types::{config::TlbConfig, LineAddr, Pfn, Vpn};
+use atc_stats::recall::RecallProbe;
+
+/// Hit/miss counters for one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: Vpn,
+    pfn: Pfn,
+    lru: u64,
+    /// IP of the load whose walk installed this entry (dead-page
+    /// predictor training signature).
+    fill_ip: u64,
+    /// Did the entry hit after being filled?
+    reused: bool,
+}
+
+/// An evicted TLB entry with its reuse outcome — the training event for
+/// dead-page predictors (DpPred, §V-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedTlbEntry {
+    /// The evicted translation's virtual page.
+    pub vpn: Vpn,
+    /// IP of the load that installed it.
+    pub fill_ip: u64,
+    /// Whether it was ever reused after its fill.
+    pub reused: bool,
+}
+
+/// A set-associative, true-LRU TLB.
+///
+/// # Example
+///
+/// ```
+/// use atc_types::{config::TlbConfig, Pfn, Vpn};
+/// use atc_vm::Tlb;
+///
+/// let mut tlb = Tlb::new(&TlbConfig { entries: 8, ways: 2, latency: 1 });
+/// assert_eq!(tlb.lookup(Vpn::new(3)), None);
+/// tlb.fill(Vpn::new(3), Pfn::new(99));
+/// assert_eq!(tlb.lookup(Vpn::new(3)), Some(Pfn::new(99)));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    latency: u64,
+    clock: u64,
+    stats: TlbStats,
+    recall: Option<RecallProbe>,
+}
+
+impl Tlb {
+    /// Build a TLB from its configuration.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        let sets = cfg.sets();
+        Tlb {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            ways: cfg.ways,
+            latency: cfg.latency,
+            clock: 0,
+            stats: TlbStats::default(),
+            recall: None,
+        }
+    }
+
+    /// Attach a recall-distance probe (Fig 18). Distances above `cap`
+    /// are bucketed as overflow.
+    pub fn enable_recall_probe(&mut self, cap: usize) {
+        self.recall = Some(RecallProbe::new(self.sets.len(), cap));
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.raw() % self.sets.len() as u64) as usize
+    }
+
+    /// Look up a translation, updating LRU and hit/miss statistics.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.clock += 1;
+        let set = self.set_of(vpn);
+        if let Some(probe) = &mut self.recall {
+            probe.on_access(set, LineAddr::new(vpn.raw()));
+        }
+        let clock = self.clock;
+        match self.sets[set].iter_mut().find(|e| e.vpn == vpn) {
+            Some(e) => {
+                e.lru = clock;
+                e.reused = true;
+                self.stats.hits += 1;
+                Some(e.pfn)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probe without updating LRU or statistics (used by prefetchers that
+    /// must not pollute training).
+    pub fn peek(&self, vpn: Vpn) -> Option<Pfn> {
+        let set = self.set_of(vpn);
+        self.sets[set].iter().find(|e| e.vpn == vpn).map(|e| e.pfn)
+    }
+
+    /// Install a translation, evicting the set's LRU entry if full.
+    /// Returns the evicted VPN, if any.
+    pub fn fill(&mut self, vpn: Vpn, pfn: Pfn) -> Option<Vpn> {
+        self.fill_tracked(vpn, pfn, 0).map(|e| e.vpn)
+    }
+
+    /// Install a translation recording the filling instruction pointer,
+    /// and report the evicted entry together with its reuse outcome —
+    /// the hook dead-page predictors train on.
+    pub fn fill_tracked(&mut self, vpn: Vpn, pfn: Pfn, fill_ip: u64) -> Option<EvictedTlbEntry> {
+        self.clock += 1;
+        let set = self.set_of(vpn);
+        let clock = self.clock;
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.pfn = pfn;
+            e.lru = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if entries.len() == self.ways {
+            let (victim_idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("full set is non-empty");
+            let victim = entries.swap_remove(victim_idx);
+            if let Some(probe) = &mut self.recall {
+                probe.on_evict(set, LineAddr::new(victim.vpn.raw()));
+            }
+            evicted = Some(EvictedTlbEntry {
+                vpn: victim.vpn,
+                fill_ip: victim.fill_ip,
+                reused: victim.reused,
+            });
+        }
+        self.sets[set].push(Entry { vpn, pfn, lru: clock, fill_ip, reused: false });
+        evicted
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Zero hit/miss counters while keeping contents (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// The recall probe, if enabled.
+    pub fn recall_probe(&self) -> Option<&RecallProbe> {
+        self.recall.as_ref()
+    }
+
+    /// Mutable recall probe (to flush open windows at end of run).
+    pub fn recall_probe_mut(&mut self) -> Option<&mut RecallProbe> {
+        self.recall.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tlb {
+        Tlb::new(&TlbConfig { entries: 4, ways: 2, latency: 1 })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = small();
+        assert_eq!(t.lookup(Vpn::new(10)), None);
+        t.fill(Vpn::new(10), Pfn::new(5));
+        assert_eq!(t.lookup(Vpn::new(10)), Some(Pfn::new(5)));
+        assert_eq!(t.stats(), TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = small(); // 2 sets × 2 ways; vpns 0,2,4 share set 0
+        t.fill(Vpn::new(0), Pfn::new(100));
+        t.fill(Vpn::new(2), Pfn::new(102));
+        t.lookup(Vpn::new(0)); // make vpn 2 the LRU
+        let evicted = t.fill(Vpn::new(4), Pfn::new(104));
+        assert_eq!(evicted, Some(Vpn::new(2)));
+        assert_eq!(t.peek(Vpn::new(0)), Some(Pfn::new(100)));
+        assert_eq!(t.peek(Vpn::new(2)), None);
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut t = small();
+        t.fill(Vpn::new(8), Pfn::new(1));
+        assert_eq!(t.fill(Vpn::new(8), Pfn::new(2)), None);
+        assert_eq!(t.peek(Vpn::new(8)), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn peek_does_not_perturb_stats_or_lru() {
+        let mut t = small();
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.fill(Vpn::new(2), Pfn::new(2));
+        // Peek vpn 0 (would refresh LRU if it were a lookup).
+        t.peek(Vpn::new(0));
+        // Insert: vpn 0 is still LRU (fills set order 0 then 2, no lookups).
+        let evicted = t.fill(Vpn::new(4), Pfn::new(3));
+        assert_eq!(evicted, Some(Vpn::new(0)));
+        assert_eq!(t.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn associativity_is_respected() {
+        let mut t = Tlb::new(&TlbConfig { entries: 16, ways: 4, latency: 1 });
+        // 4 sets; fill 5 vpns of the same set (stride 4).
+        for i in 0..5u64 {
+            t.fill(Vpn::new(i * 4), Pfn::new(i));
+        }
+        let present: usize =
+            (0..5u64).filter(|&i| t.peek(Vpn::new(i * 4)).is_some()).count();
+        assert_eq!(present, 4);
+    }
+
+    #[test]
+    fn recall_probe_records_evict_and_recall() {
+        let mut t = small();
+        t.enable_recall_probe(64);
+        t.fill(Vpn::new(0), Pfn::new(1));
+        t.fill(Vpn::new(2), Pfn::new(2));
+        t.fill(Vpn::new(4), Pfn::new(3)); // evicts vpn 0
+        t.lookup(Vpn::new(2)); // unique access 1 in window
+        t.lookup(Vpn::new(0)); // recall! distance 1
+        let h = t.recall_probe().unwrap().histogram();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1);
+    }
+
+    #[test]
+    fn mpki_uses_misses() {
+        let mut t = small();
+        t.lookup(Vpn::new(1));
+        t.lookup(Vpn::new(3));
+        assert!((t.stats().mpki(1000) - 2.0).abs() < 1e-12);
+    }
+}

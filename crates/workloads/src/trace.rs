@@ -1,0 +1,258 @@
+//! Trace capture and replay.
+//!
+//! Users with their own address traces (e.g. converted ChampSim traces)
+//! can drive the simulator without the synthetic generators:
+//!
+//! * [`capture`] records any [`Workload`]'s next *n* instructions into a
+//!   [`Trace`];
+//! * [`Trace::to_writer`] / [`Trace::from_reader`] serialize to a
+//!   compact binary format (16 bytes/record);
+//! * [`TraceReplay`] plays a trace back as a `Workload`, looping at the
+//!   end.
+//!
+//! # Format
+//!
+//! Little-endian records of `(ip: u64, packed_addr: u64)` after an
+//! 8-byte magic/header. `packed_addr` keeps the 57-bit virtual address in
+//! the low bits and flags in the top bits: bit 63 = has memory op,
+//! bit 62 = store, bit 61 = address-dependent.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_workloads::{trace, BenchmarkId, Scale, Workload};
+//!
+//! let mut wl = BenchmarkId::Mcf.build(Scale::Test, 1);
+//! let t = trace::capture(wl.as_mut(), 1000);
+//! let mut buf = Vec::new();
+//! t.to_writer(&mut buf).unwrap();
+//! let t2 = trace::Trace::from_reader(&buf[..]).unwrap();
+//! assert_eq!(t.len(), t2.len());
+//! let mut replay = trace::TraceReplay::new(t2);
+//! assert_eq!(replay.next_instr(), t.get(0));
+//! ```
+
+use std::io::{self, Read, Write};
+
+use atc_types::VirtAddr;
+
+use crate::{Instr, MemOp, Workload};
+
+/// File magic: "ATCTRACE" truncated to 8 bytes.
+const MAGIC: [u8; 8] = *b"ATCTRC01";
+
+const FLAG_MEM: u64 = 1 << 63;
+const FLAG_STORE: u64 = 1 << 62;
+const FLAG_DEP: u64 = 1 << 61;
+const ADDR_MASK: u64 = (1 << 57) - 1;
+
+/// A captured instruction trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<(u64, u64)>, // (ip, packed)
+}
+
+fn pack(i: &Instr) -> (u64, u64) {
+    let packed = match i.op {
+        None => 0,
+        Some(MemOp::Load(a)) => {
+            FLAG_MEM | (a.raw() & ADDR_MASK) | if i.dep { FLAG_DEP } else { 0 }
+        }
+        Some(MemOp::Store(a)) => {
+            FLAG_MEM | FLAG_STORE | (a.raw() & ADDR_MASK) | if i.dep { FLAG_DEP } else { 0 }
+        }
+    };
+    (i.ip, packed)
+}
+
+fn unpack(ip: u64, packed: u64) -> Instr {
+    if packed & FLAG_MEM == 0 {
+        return Instr::alu(ip);
+    }
+    let addr = VirtAddr::new(packed & ADDR_MASK);
+    let dep = packed & FLAG_DEP != 0;
+    let op = if packed & FLAG_STORE != 0 { MemOp::Store(addr) } else { MemOp::Load(addr) };
+    Instr { ip, op: Some(op), dep }
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append one instruction.
+    pub fn push(&mut self, i: &Instr) {
+        self.records.push(pack(i));
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The `idx`-th instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> Instr {
+        let (ip, packed) = self.records[idx];
+        unpack(ip, packed)
+    }
+
+    /// Serialize to a writer (16 bytes per record plus a 16-byte
+    /// header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn to_writer<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&(self.records.len() as u64).to_le_bytes())?;
+        for &(ip, packed) in &self.records {
+            w.write_all(&ip.to_le_bytes())?;
+            w.write_all(&packed.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic or truncated input, and
+    /// propagates I/O errors.
+    pub fn from_reader<R: Read>(mut r: R) -> io::Result<Trace> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ATC trace"));
+        }
+        let mut len8 = [0u8; 8];
+        r.read_exact(&mut len8)?;
+        let n = u64::from_le_bytes(len8) as usize;
+        let mut records = Vec::with_capacity(n);
+        let mut rec = [0u8; 16];
+        for _ in 0..n {
+            r.read_exact(&mut rec)?;
+            let ip = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let packed = u64::from_le_bytes(rec[8..].try_into().expect("8 bytes"));
+            records.push((ip, packed));
+        }
+        Ok(Trace { records })
+    }
+}
+
+/// Record the next `n` instructions of a workload.
+pub fn capture(wl: &mut dyn Workload, n: usize) -> Trace {
+    let mut t = Trace::new();
+    for _ in 0..n {
+        t.push(&wl.next_instr());
+    }
+    t
+}
+
+/// Replays a [`Trace`] as an infinite [`Workload`] (wrapping around at
+/// the end).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Wrap a trace for replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(trace: Trace) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TraceReplay { trace, pos: 0 }
+    }
+}
+
+impl Workload for TraceReplay {
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+
+    fn next_instr(&mut self) -> Instr {
+        let i = self.trace.get(self.pos);
+        self.pos = (self.pos + 1) % self.trace.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchmarkId, Scale};
+
+    #[test]
+    fn pack_unpack_round_trips_all_kinds() {
+        let cases = [
+            Instr::alu(0x400),
+            Instr::load(0x401, VirtAddr::new(0xdead_beef)),
+            Instr::load_dep(0x402, VirtAddr::new((1 << 57) - 1)),
+            Instr::store(0x403, VirtAddr::new(0)),
+        ];
+        for c in cases {
+            let (ip, packed) = pack(&c);
+            assert_eq!(unpack(ip, packed), c);
+        }
+    }
+
+    #[test]
+    fn capture_then_serialize_round_trips() {
+        let mut wl = BenchmarkId::Pr.build(Scale::Test, 9);
+        let t = capture(wl.as_mut(), 5_000);
+        assert_eq!(t.len(), 5_000);
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        assert_eq!(buf.len(), 16 + 16 * 5_000);
+        let t2 = Trace::from_reader(&buf[..]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn replay_matches_and_wraps() {
+        let mut wl = BenchmarkId::Canneal.build(Scale::Test, 2);
+        let t = capture(wl.as_mut(), 100);
+        let mut rp = TraceReplay::new(t.clone());
+        for i in 0..100 {
+            assert_eq!(rp.next_instr(), t.get(i));
+        }
+        // Wraps around.
+        assert_eq!(rp.next_instr(), t.get(0));
+        assert_eq!(rp.name(), "trace-replay");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTATRACE_______".to_vec();
+        assert!(Trace::from_reader(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let t = capture(wl.as_mut(), 10);
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(Trace::from_reader(&buf[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_panics() {
+        TraceReplay::new(Trace::new());
+    }
+}

@@ -1,0 +1,95 @@
+//! Plugging a custom replacement policy into the cache model.
+//!
+//! Implements random replacement (a classic low-cost policy) against the
+//! public [`ReplacementPolicy`] trait, drives it and true LRU with the
+//! same synthetic access stream, and compares hit rates — demonstrating
+//! the extension point the T-policies themselves use.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use atc_cache::policy::{Lru, ReplacementPolicy};
+use atc_cache::Cache;
+use atc_types::{AccessClass, AccessInfo, LineAddr};
+
+/// Random replacement via a tiny xorshift PRNG (no external state).
+#[derive(Debug)]
+struct RandomReplacement {
+    ways: usize,
+    state: u64,
+}
+
+impl RandomReplacement {
+    fn new(ways: usize, seed: u64) -> Self {
+        RandomReplacement { ways, state: seed.max(1) }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+}
+
+impl ReplacementPolicy for RandomReplacement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _info: &AccessInfo) {}
+
+    fn victim(&mut self, _set: usize, _info: &AccessInfo) -> usize {
+        (self.next() % self.ways as u64) as usize
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize) {}
+}
+
+/// A looping scan with a hot subset: LRU exploits the hot reuse, random
+/// replacement only partially.
+fn drive(cache: &mut Cache, lines: u64) -> f64 {
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for round in 0..200u64 {
+        for i in 0..lines {
+            // 8 hot lines touched every round + a rotating cold stream.
+            let line = if i % 4 != 0 { i % 8 } else { 1000 + (round * lines + i) % 256 };
+            let info = AccessInfo::demand(7, LineAddr::new(line), AccessClass::NonReplayData);
+            total += 1;
+            if cache.lookup(&info, round * lines + i).is_some() {
+                hits += 1;
+            } else {
+                cache.insert_miss(&info, 0, round * lines + i);
+            }
+        }
+    }
+    hits as f64 / total as f64
+}
+
+fn main() {
+    let (sets, ways) = (16, 4);
+    let mut lru = Cache::new("LRU", sets, ways, 1, 8, Box::new(Lru::new(sets, ways)));
+    let mut rnd = Cache::new(
+        "random",
+        sets,
+        ways,
+        1,
+        8,
+        Box::new(RandomReplacement::new(ways, 0xC0FFEE)),
+    );
+
+    let lru_rate = drive(&mut lru, 64);
+    let rnd_rate = drive(&mut rnd, 64);
+
+    println!("hit rate with LRU    : {:.1}%", lru_rate * 100.0);
+    println!("hit rate with random : {:.1}%", rnd_rate * 100.0);
+    println!(
+        "\nany type implementing `atc_cache::policy::ReplacementPolicy` plugs into\n\
+         `Cache::new(...)` — the paper's T-DRRIP/T-SHiP wrappers in `atc-core` are\n\
+         built on exactly this trait."
+    );
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration tests spanning the whole stack: workloads →
+//! core model → TLBs/PTW → caches → DRAM, with the paper's enhancements.
+
+use atc_core::Enhancement;
+use atc_sim::{run_one, Machine, SimConfig};
+use atc_types::{AccessClass, MemLevel, PtLevel};
+use atc_workloads::{BenchmarkId, Scale};
+
+/// Shrink the STLB so Test-scale footprints still produce walks.
+fn small_stlb(mut cfg: SimConfig) -> SimConfig {
+    cfg.machine.stlb.entries = 256;
+    cfg
+}
+
+fn run(cfg: &SimConfig, bench: BenchmarkId, n: u64) -> atc_sim::RunStats {
+    run_one(cfg, bench, Scale::Test, 7, 10_000, n)
+}
+
+#[test]
+fn every_benchmark_completes_on_every_ladder_step() {
+    for bench in BenchmarkId::ALL {
+        for e in Enhancement::ALL {
+            let cfg = small_stlb(SimConfig::with_enhancement(e));
+            let s = run(&cfg, bench, 20_000);
+            assert_eq!(s.core.instructions, 20_000, "{bench:?} {e:?}");
+            assert!(s.core.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn enhancements_never_collapse_performance() {
+    // The full ladder must stay within a few percent of baseline even on
+    // a low-MPKI workload, and help on a high-MPKI one.
+    let base_cfg = small_stlb(SimConfig::baseline());
+    let enh_cfg = small_stlb(SimConfig::with_enhancement(Enhancement::Tempo));
+
+    let base = run(&base_cfg, BenchmarkId::Canneal, 60_000);
+    let enh = run(&enh_cfg, BenchmarkId::Canneal, 60_000);
+    let speedup = base.core.cycles as f64 / enh.core.cycles as f64;
+    assert!(speedup > 0.95, "canneal speedup collapsed: {speedup:.3}");
+}
+
+#[test]
+fn t_policies_raise_onchip_translation_hit_fraction() {
+    let base = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let enh = run(
+        &small_stlb(SimConfig::with_enhancement(Enhancement::TShip)),
+        BenchmarkId::Canneal,
+        80_000,
+    );
+    let b = base.translation_hit_fraction_upto(MemLevel::Llc);
+    let e = enh.translation_hit_fraction_upto(MemLevel::Llc);
+    assert!(
+        e >= b - 0.02,
+        "T-policies should not reduce on-chip translation hits ({e:.3} vs {b:.3})"
+    );
+}
+
+#[test]
+fn atp_prefetches_are_all_consumed_or_pending() {
+    // ATP is non-speculative: every prefetch targets a block the replay
+    // load is about to demand, so usefulness should be near total.
+    let cfg = small_stlb(SimConfig::with_enhancement(Enhancement::Atp));
+    let s = run(&cfg, BenchmarkId::Mcf, 100_000);
+    assert!(s.atp_issued > 0);
+    let useful = s.llc_prefetch.1 + s.l2c_prefetch.1;
+    assert!(
+        useful as f64 >= s.atp_issued as f64 * 0.5,
+        "ATP usefulness too low: {useful} of {} issued",
+        s.atp_issued
+    );
+}
+
+#[test]
+fn walks_equal_stlb_misses() {
+    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Pr, 50_000);
+    assert_eq!(s.walks, s.stlb.misses, "every STLB miss walks exactly once");
+}
+
+#[test]
+fn replay_accesses_match_walked_loads() {
+    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Cc, 50_000);
+    // Each walked load performs exactly one replay data access at L1D.
+    // (Stores also walk but are counted as Store class.)
+    let replay_l1 = s.l1d.accesses(AccessClass::ReplayData);
+    assert!(replay_l1 > 0);
+    assert!(
+        replay_l1 <= s.walks,
+        "replay L1D accesses ({replay_l1}) cannot exceed walks ({})",
+        s.walks
+    );
+}
+
+#[test]
+fn leaf_translations_flow_through_all_levels() {
+    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let t = AccessClass::Translation(PtLevel::L1);
+    assert!(s.l1d.accesses(t) > 0, "leaf PTE reads start at L1D");
+    assert!(s.l2c.accesses(t) > 0, "some leaf PTE reads reach L2C");
+    // Service-level accounting is complete.
+    let total: u64 = s.service_translation.iter().sum();
+    assert_eq!(total, s.walks);
+}
+
+#[test]
+fn dram_sees_traffic_under_thrash() {
+    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 50_000);
+    assert!(s.dram.requests > 0);
+    assert!(s.dram.row_hits + s.dram.row_misses == s.dram.requests);
+}
+
+#[test]
+fn ideal_oracle_for_both_classes_is_fastest() {
+    let mut ideal_cfg = small_stlb(SimConfig::baseline());
+    ideal_cfg.ideal = atc_core::IdealConfig::both_levels_both_classes();
+    let base = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let ideal = run(&ideal_cfg, BenchmarkId::Canneal, 80_000);
+    assert!(
+        ideal.core.cycles <= base.core.cycles,
+        "oracle cannot be slower ({} vs {})",
+        ideal.core.cycles,
+        base.core.cycles
+    );
+}
+
+#[test]
+fn machine_is_reusable_across_runs() {
+    let cfg = small_stlb(SimConfig::baseline());
+    let mut m = Machine::new(&cfg);
+    let mut wl = BenchmarkId::Tc.build(Scale::Test, 3);
+    let a = m.run(wl.as_mut(), 1_000, 10_000);
+    let b = m.run(wl.as_mut(), 1_000, 10_000);
+    assert_eq!(a.core.instructions, b.core.instructions);
+    // Second run starts warmer; it should not be drastically slower.
+    assert!(b.core.cycles < a.core.cycles * 2);
+}

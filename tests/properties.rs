@@ -1,0 +1,304 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: page table, TLB LRU, caches, RRIP bounds, recall probe,
+//! MSHR merging, and histograms.
+
+use proptest::prelude::*;
+
+use atc_cache::policy::{Drrip, Lru, ReplacementPolicy, Ship, Srrip, RRPV_MAX};
+use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher};
+use atc_types::VirtAddr;
+use atc_workloads::trace::{Trace, TraceReplay};
+use atc_workloads::{Instr, MemOp, Workload};
+use atc_cache::{Cache, Mshr};
+use atc_stats::recall::RecallProbe;
+use atc_stats::Histogram;
+use atc_types::{AccessClass, AccessInfo, LineAddr, PtLevel, Vpn};
+use atc_vm::{PageTable, Tlb};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+proptest! {
+    #[test]
+    fn page_table_translations_are_stable_and_unique(vpns in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+        let mut pt = PageTable::new();
+        let mut seen: HashMap<u64, _> = HashMap::new();
+        for &v in &vpns {
+            let pfn = pt.ensure_mapped(Vpn::new(v));
+            if let Some(prev) = seen.insert(v, pfn) {
+                prop_assert_eq!(prev, pfn, "remap changed translation");
+            }
+        }
+        // Distinct VPNs never share a frame.
+        let frames: HashSet<_> = seen.values().collect();
+        prop_assert_eq!(frames.len(), seen.len());
+        // And translate() agrees with ensure_mapped().
+        for (&v, &pfn) in &seen {
+            prop_assert_eq!(pt.translate(Vpn::new(v)), Some(pfn));
+        }
+    }
+
+    #[test]
+    fn pte_addresses_never_collide_across_vpns(vpns in proptest::collection::hash_set(0u64..1 << 24, 2..64)) {
+        let mut pt = PageTable::new();
+        for &v in &vpns {
+            pt.ensure_mapped(Vpn::new(v));
+        }
+        // Leaf PTE byte addresses are unique per VPN.
+        let mut seen = HashSet::new();
+        for &v in &vpns {
+            let a = pt.pte_addr(Vpn::new(v), PtLevel::L1);
+            prop_assert!(seen.insert(a), "leaf PTE address collision for vpn {}", v);
+        }
+    }
+
+    #[test]
+    fn tlb_matches_reference_lru_model(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)) {
+        use atc_types::{config::TlbConfig, Pfn};
+        // 1-set fully-associative TLB vs a reference LRU list.
+        let mut tlb = Tlb::new(&TlbConfig { entries: 4, ways: 4, latency: 1 });
+        let mut reference: VecDeque<u64> = VecDeque::new(); // front = MRU
+        for (v, is_fill) in ops {
+            let vpn = Vpn::new(v * 4); // all map to set 0 (4 sets... entries/ways = 1 set)
+            if is_fill {
+                if let Some(pos) = reference.iter().position(|&x| x == v) {
+                    reference.remove(pos);
+                } else if reference.len() == 4 {
+                    reference.pop_back();
+                }
+                reference.push_front(v);
+                tlb.fill(vpn, Pfn::new(v));
+            } else {
+                let hit = tlb.lookup(vpn).is_some();
+                let ref_hit = reference.contains(&v);
+                prop_assert_eq!(hit, ref_hit, "lookup divergence on {}", v);
+                if ref_hit {
+                    let pos = reference.iter().position(|&x| x == v).unwrap();
+                    reference.remove(pos);
+                    reference.push_front(v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_never_exceeds_associativity(lines in proptest::collection::vec(0u64..512, 1..500)) {
+        let sets = 8usize;
+        let ways = 4usize;
+        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)));
+        for &l in &lines {
+            let info = AccessInfo::demand(1, LineAddr::new(l), AccessClass::NonReplayData);
+            if c.lookup(&info, 0).is_none() {
+                c.insert_miss(&info, 10, 0);
+            }
+        }
+        for set in 0..sets as u64 {
+            let resident = (0..512u64)
+                .filter(|&l| l % sets as u64 == set && c.contains(LineAddr::new(l)))
+                .count();
+            prop_assert!(resident <= ways, "set {} holds {} lines", set, resident);
+        }
+    }
+
+    #[test]
+    fn srrip_rrpvs_stay_bounded(ops in proptest::collection::vec((0usize..4, 0usize..4, 0u8..3), 1..300)) {
+        let mut p = Srrip::new(4, 4);
+        let info = AccessInfo::demand(0, LineAddr::new(0), AccessClass::NonReplayData);
+        for (set, way, op) in ops {
+            match op {
+                0 => p.on_fill(set, way, &info),
+                1 => p.on_hit(set, way, &info),
+                _ => {
+                    let v = p.victim(set, &info);
+                    prop_assert!(v < 4);
+                }
+            }
+            for w in 0..4 {
+                prop_assert!(p.rrpv(set, w) <= RRPV_MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn ship_victims_are_always_in_range(ops in proptest::collection::vec((0usize..4, 0u64..32), 1..300)) {
+        let mut p = Ship::new(4, 4);
+        for (i, (set, ip)) in ops.into_iter().enumerate() {
+            let info = AccessInfo::demand(ip, LineAddr::new(ip), AccessClass::NonReplayData);
+            match i % 3 {
+                0 => p.on_fill(set, i % 4, &info),
+                1 => p.on_hit(set, i % 4, &info),
+                _ => {
+                    let v = p.victim(set, &info);
+                    prop_assert!(v < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recall_probe_matches_naive_reference(ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..300)) {
+        // One set; cap high enough to never overflow.
+        let mut probe = RecallProbe::new(1, 1000);
+        // Reference: open windows as (victim, unique set of lines seen).
+        let mut open: Vec<(u64, HashSet<u64>)> = Vec::new();
+        let mut recorded: Vec<u64> = Vec::new();
+        for (line, is_evict) in ops {
+            if is_evict {
+                open.retain(|w| w.0 != line);
+                open.push((line, HashSet::new()));
+                probe.on_evict(0, LineAddr::new(line));
+            } else {
+                let mut closed = None;
+                open.retain(|w| {
+                    if w.0 == line {
+                        closed = Some(w.1.len() as u64);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for w in open.iter_mut() {
+                    w.1.insert(line);
+                }
+                if let Some(d) = closed {
+                    recorded.push(d);
+                }
+                probe.on_access(0, LineAddr::new(line));
+            }
+        }
+        let hist = probe.histogram();
+        prop_assert_eq!(hist.count(), recorded.len() as u64);
+        prop_assert_eq!(hist.sum(), recorded.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn mshr_merge_returns_allocated_ready(allocs in proptest::collection::vec((0u64..64, 1u64..500), 1..40)) {
+        let mut m = Mshr::new(64);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for (line, extra) in allocs {
+            if let Some(&r) = expected.get(&line) {
+                // Merge before expiry must return the stored ready.
+                if let Some(got) = m.merge(LineAddr::new(line), 0, false) {
+                    prop_assert_eq!(got, r);
+                }
+            } else {
+                let ready = m.allocate(LineAddr::new(line), 0, extra, false);
+                expected.insert(line, ready);
+            }
+        }
+    }
+
+    #[test]
+    fn drrip_victims_in_range_and_psel_bounded(ops in proptest::collection::vec((0usize..64, 0u8..3), 1..400)) {
+        let mut p = Drrip::new(64, 8);
+        let info = AccessInfo::demand(3, LineAddr::new(0), AccessClass::NonReplayData);
+        for (i, (set, op)) in ops.into_iter().enumerate() {
+            match op {
+                0 => p.on_fill(set, i % 8, &info),
+                1 => p.on_hit(set, i % 8, &info),
+                _ => {
+                    let v = p.victim(set, &info);
+                    prop_assert!(v < 8);
+                }
+            }
+            prop_assert!(p.psel() <= 1023);
+        }
+    }
+
+    #[test]
+    fn spatial_prefetchers_never_cross_pages(lines in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut spp = atc_prefetch::Spp::new();
+        let mut bingo = atc_prefetch::Bingo::new();
+        for &l in &lines {
+            let ctx = PrefetchContext {
+                ip: 9,
+                line: LineAddr::new(l),
+                vaddr: VirtAddr::new(l << 6),
+                hit: false,
+            };
+            for req in spp.on_access(&ctx).into_iter().chain(bingo.on_access(&ctx)) {
+                match req {
+                    PrefetchRequest::Phys(p) => {
+                        prop_assert_eq!(p.raw() >> 6, l >> 6, "crossed a page boundary");
+                    }
+                    PrefetchRequest::Virt(_) => prop_assert!(false, "spatial PF emitted virtual"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isb_only_predicts_previously_seen_lines(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+        let mut isb = atc_prefetch::Isb::new();
+        let mut seen = HashSet::new();
+        for &l in &lines {
+            let ctx = PrefetchContext {
+                ip: 5,
+                line: LineAddr::new(l),
+                vaddr: VirtAddr::new(l << 6),
+                hit: false,
+            };
+            for req in isb.on_access(&ctx) {
+                if let PrefetchRequest::Phys(p) = req {
+                    prop_assert!(seen.contains(&p.raw()), "ISB invented line {}", p.raw());
+                }
+            }
+            seen.insert(l);
+        }
+    }
+
+    #[test]
+    fn trace_serialization_round_trips(
+        items in proptest::collection::vec((0u64..1 << 48, 0u64..(1 << 57), 0u8..4), 1..200)
+    ) {
+        let mut t = Trace::new();
+        let mut originals = Vec::new();
+        for (ip, addr, kind) in items {
+            let i = match kind {
+                0 => Instr::alu(ip),
+                1 => Instr::load(ip, VirtAddr::new(addr)),
+                2 => Instr::load_dep(ip, VirtAddr::new(addr)),
+                _ => Instr::store(ip, VirtAddr::new(addr)),
+            };
+            t.push(&i);
+            originals.push(i);
+        }
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        let t2 = Trace::from_reader(&buf[..]).unwrap();
+        let mut rp = TraceReplay::new(t2);
+        for orig in &originals {
+            let got = rp.next_instr();
+            prop_assert_eq!(&got, orig);
+        }
+    }
+
+    #[test]
+    fn workload_memops_stay_in_57_bits(seed in 0u64..50) {
+        use atc_workloads::{BenchmarkId, Scale};
+        for b in [BenchmarkId::Pr, BenchmarkId::Mcf, BenchmarkId::Canneal] {
+            let mut wl = b.build(Scale::Test, seed);
+            for _ in 0..500 {
+                if let Some(MemOp::Load(a) | MemOp::Store(a)) = wl.next_instr().op {
+                    prop_assert!(a.raw() < 1 << 57, "{} emitted a >57-bit VA", b.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_count_and_sum_are_exact(samples in proptest::collection::vec(0u64..10_000, 0..200)) {
+        let mut h = Histogram::new(10, 50);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), samples.iter().max().copied().unwrap_or(0));
+        let below = h.fraction_below(100);
+        let expect = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().filter(|&&s| s < 100).count() as f64 / samples.len() as f64
+        };
+        prop_assert!((below - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests of the virtual-memory machinery as seen through the
+//! full simulator: PSC walk shortening, PTE caching in the data
+//! hierarchy, and translation/service accounting.
+
+use atc_sim::{run_one, SimConfig};
+use atc_types::{config::MachineConfig, AccessClass, PtLevel, Vpn};
+use atc_vm::{TranslationEngine, TranslationQuery};
+use atc_workloads::{BenchmarkId, Scale};
+
+#[test]
+fn psc_cuts_average_walk_length() {
+    // Drive a dense page sequence: after the first full walk, neighbours
+    // should start at the leaf thanks to PSCL2.
+    let mut mmu = TranslationEngine::new(&MachineConfig::default());
+    let mut total_steps = 0usize;
+    let n = 512;
+    for i in 0..n {
+        let vpn = Vpn::new(0x40_0000 + i);
+        match mmu.query(vpn) {
+            TranslationQuery::Walk(plan) => {
+                total_steps += plan.steps.len();
+                mmu.complete_walk(&plan);
+            }
+            _ => panic!("dense fresh pages must walk"),
+        }
+    }
+    let avg = total_steps as f64 / n as f64;
+    assert!(avg < 1.2, "PSCs should make walks ~1 step on dense pages (avg {avg:.2})");
+}
+
+#[test]
+fn psc_disabled_equivalent_cold_regions_walk_longer() {
+    // Jumping across distant regions defeats the small upper-level PSCs:
+    // average walk length grows well beyond the dense case.
+    let mut mmu = TranslationEngine::new(&MachineConfig::default());
+    let mut total_steps = 0usize;
+    let n = 128;
+    for i in 0..n {
+        // Distinct L4 regions (bit 39+) so even PSCL5 (2 entries) thrashes.
+        let vpn = Vpn::new((i as u64) << 28);
+        match mmu.query(vpn) {
+            TranslationQuery::Walk(plan) => {
+                total_steps += plan.steps.len();
+                mmu.complete_walk(&plan);
+            }
+            _ => panic!("fresh regions must walk"),
+        }
+    }
+    let avg = total_steps as f64 / n as f64;
+    assert!(avg > 1.5, "distant regions should defeat the PSCs (avg {avg:.2})");
+}
+
+#[test]
+fn pte_blocks_are_cached_and_reused_across_neighbour_walks() {
+    // A workload with spatial page locality reuses leaf PTE blocks:
+    // translation hit rate at L1D must be non-trivial.
+    let mut cfg = SimConfig::baseline();
+    cfg.machine.stlb.entries = 128; // force walks
+    let s = run_one(&cfg, BenchmarkId::Tc, Scale::Test, 5, 10_000, 60_000);
+    let t = AccessClass::Translation(PtLevel::L1);
+    assert!(s.l1d.accesses(t) > 100, "few leaf PTE reads: {}", s.l1d.accesses(t));
+    let hit_rate = s.l1d.hit_rate(t);
+    assert!(hit_rate > 0.05, "leaf PTE blocks never reused at L1D ({hit_rate:.3})");
+}
+
+#[test]
+fn intermediate_levels_rarely_reach_memory() {
+    // PSCs cover levels 5..2, so non-leaf PTE reads through the caches
+    // should be far fewer than leaf reads.
+    let mut cfg = SimConfig::baseline();
+    cfg.machine.stlb.entries = 128;
+    let s = run_one(&cfg, BenchmarkId::Pr, Scale::Test, 5, 10_000, 60_000);
+    let leaf = s.l1d.accesses(AccessClass::Translation(PtLevel::L1));
+    let mid = s.l1d.accesses(AccessClass::Translation(PtLevel::L3));
+    assert!(
+        mid < leaf / 2,
+        "intermediate PTE reads ({mid}) should be rare vs leaf ({leaf})"
+    );
+}
+
+#[test]
+fn bigger_stlb_reduces_walks_for_same_stream() {
+    let mk = |entries: usize| {
+        let mut cfg = SimConfig::baseline();
+        cfg.machine.stlb.entries = entries;
+        run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 5, 10_000, 60_000)
+    };
+    let small = mk(128);
+    let big = mk(2048);
+    assert!(
+        big.walks < small.walks,
+        "2048-entry STLB must walk less than 128-entry ({} vs {})",
+        big.walks,
+        small.walks
+    );
+}
+
+#[test]
+fn dtlb_filters_most_stlb_traffic() {
+    let s = run_one(&SimConfig::baseline(), BenchmarkId::Xalancbmk, Scale::Test, 5, 10_000, 60_000);
+    // Every memory op queries the DTLB; only its misses reach the STLB.
+    assert!(s.stlb.accesses() < s.dtlb.accesses());
+    assert_eq!(s.stlb.accesses(), s.dtlb.misses);
+}
