@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Offline CI gate: tier-1 build + tests, lints, and formatting.
+#
+# Everything runs with --offline against the vendored/registry-free
+# dependency set — the workspace has no external crate dependencies, so
+# a network-less container passes this script from a cold checkout.
+#
+#   ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (tier-1)"
+cargo build --offline --workspace --release
+
+echo "==> cargo test (tier-1)"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -1,18 +1,20 @@
 //! Micro-benchmarks of the cache core under each replacement policy:
 //! lookup/fill throughput on a mixed hit/miss stream.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
-use std::hint::black_box;
-
-use atc_core::PolicyChoice;
+use atc_bench::bench;
 use atc_cache::Cache;
+use atc_core::PolicyChoice;
 use atc_types::{AccessClass, AccessInfo, LineAddr};
 
 fn drive(cache: &mut Cache, n: u64) -> u64 {
     let mut hits = 0;
     for i in 0..n {
         // 50% reuse of a hot window, 50% streaming.
-        let line = if i % 2 == 0 { i % 256 } else { 10_000 + i };
+        let line = if i.is_multiple_of(2) {
+            i % 256
+        } else {
+            10_000 + i
+        };
         let info = AccessInfo::demand(
             0x400 + (i % 16),
             LineAddr::new(line),
@@ -28,9 +30,8 @@ fn drive(cache: &mut Cache, n: u64) -> u64 {
     hits
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_policy_access");
-    g.sample_size(20);
+fn main() {
+    println!("cache_policy_access: 20k mixed accesses per iteration");
     for policy in [
         PolicyChoice::Lru,
         PolicyChoice::Srrip,
@@ -39,16 +40,10 @@ fn bench_policies(c: &mut Criterion) {
         PolicyChoice::Hawkeye,
         PolicyChoice::TShip,
     ] {
-        g.bench_with_input(CritId::new("policy", policy.label()), &policy, |b, p| {
-            b.iter(|| {
-                let mut cache =
-                    Cache::new("bench", 1024, 8, 10, 16, p.build(1024, 8));
-                black_box(drive(&mut cache, 20_000))
-            })
+        bench(&format!("policy/{}", policy.label()), 20, || {
+            let mut cache = Cache::new("bench", 1024, 8, 10, 16, policy.build(1024, 8))
+                .expect("valid bench geometry");
+            drive(&mut cache, 20_000)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

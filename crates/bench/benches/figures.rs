@@ -5,9 +5,7 @@
 //! experiment kernel end to end; run the binaries for full-budget
 //! reproductions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
-use std::hint::black_box;
-
+use atc_bench::bench;
 use atc_core::{Enhancement, PolicyChoice};
 use atc_sim::{run_one, SimConfig};
 use atc_workloads::{BenchmarkId, Scale};
@@ -19,36 +17,29 @@ fn small(mut cfg: SimConfig) -> SimConfig {
     cfg
 }
 
-fn bench_table2_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig_kernels");
-    g.sample_size(10);
-    g.bench_function("table2_characterize_mcf", |b| {
-        b.iter(|| {
-            let cfg = small(SimConfig::baseline());
-            black_box(run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 5_000, N))
-        })
+fn main() {
+    println!("fig_kernels: {N} measured instructions per iteration");
+    bench("table2_characterize_mcf", 10, || {
+        let cfg = small(SimConfig::baseline());
+        run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 5_000, N).expect("healthy run")
     });
 
-    for e in [Enhancement::Baseline, Enhancement::TShip, Enhancement::Tempo] {
-        g.bench_with_input(CritId::new("fig14_ladder_pr", e.label()), &e, |b, &e| {
-            b.iter(|| {
-                let cfg = small(SimConfig::with_enhancement(e));
-                black_box(run_one(&cfg, BenchmarkId::Pr, Scale::Test, 42, 5_000, N))
-            })
+    for e in [
+        Enhancement::Baseline,
+        Enhancement::TShip,
+        Enhancement::Tempo,
+    ] {
+        bench(&format!("fig14_ladder_pr/{}", e.label()), 10, || {
+            let cfg = small(SimConfig::with_enhancement(e));
+            run_one(&cfg, BenchmarkId::Pr, Scale::Test, 42, 5_000, N).expect("healthy run")
         });
     }
 
     for p in [PolicyChoice::Lru, PolicyChoice::Ship, PolicyChoice::Hawkeye] {
-        g.bench_with_input(CritId::new("fig4_policy_canneal", p.label()), &p, |b, &p| {
-            b.iter(|| {
-                let mut cfg = small(SimConfig::baseline());
-                cfg.llc_policy = p;
-                black_box(run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 42, 5_000, N))
-            })
+        bench(&format!("fig4_policy_canneal/{}", p.label()), 10, || {
+            let mut cfg = small(SimConfig::baseline());
+            cfg.llc_policy = p;
+            run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 42, 5_000, N).expect("healthy run")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2_kernel);
-criterion_main!(benches);

@@ -1,9 +1,7 @@
 //! Micro-benchmarks of prefetcher training/prediction throughput on a
 //! mixed sequential + irregular access stream.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
-use std::hint::black_box;
-
+use atc_bench::bench;
 use atc_prefetch::{PrefetchContext, PrefetcherKind};
 use atc_types::{LineAddr, VirtAddr};
 
@@ -18,13 +16,12 @@ fn stream(i: u64) -> PrefetchContext {
         ip: 0x400 + (i % 8),
         line: LineAddr::new(line),
         vaddr: VirtAddr::new(line << 6),
-        hit: i % 2 == 0,
+        hit: i.is_multiple_of(2),
     }
 }
 
-fn bench_prefetchers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefetcher_on_access");
-    g.sample_size(20);
+fn main() {
+    println!("prefetcher_on_access: 20k accesses per iteration");
     for kind in [
         PrefetcherKind::NextLine,
         PrefetcherKind::Ipcp,
@@ -32,19 +29,13 @@ fn bench_prefetchers(c: &mut Criterion) {
         PrefetcherKind::Bingo,
         PrefetcherKind::Isb,
     ] {
-        g.bench_with_input(CritId::new("kind", kind.label()), &kind, |b, k| {
-            b.iter(|| {
-                let mut pf = k.build().expect("buildable");
-                let mut emitted = 0usize;
-                for i in 0..20_000u64 {
-                    emitted += pf.on_access(&stream(i)).len();
-                }
-                black_box(emitted)
-            })
+        bench(&format!("kind/{}", kind.label()), 20, || {
+            let mut pf = kind.build().expect("buildable");
+            let mut emitted = 0usize;
+            for i in 0..20_000u64 {
+                emitted += pf.on_access(&stream(i)).len();
+            }
+            emitted
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_prefetchers);
-criterion_main!(benches);

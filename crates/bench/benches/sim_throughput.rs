@@ -1,31 +1,25 @@
 //! End-to-end simulator throughput: instructions simulated per second
 //! for the baseline and the fully-enhanced machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion, Throughput};
-use std::hint::black_box;
-
+use atc_bench::bench_throughput;
 use atc_core::Enhancement;
 use atc_sim::{Machine, SimConfig};
 use atc_workloads::{BenchmarkId, Scale};
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
-    const N: u64 = 50_000;
-    g.throughput(Throughput::Elements(N));
-    for (label, e) in [("baseline", Enhancement::Baseline), ("full", Enhancement::Tempo)] {
-        g.bench_with_input(CritId::new("machine", label), &e, |b, &e| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_enhancement(e);
-                cfg.machine.stlb.entries = 256; // Test-scale pressure
-                let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
-                let mut m = Machine::new(&cfg);
-                black_box(m.run(wl.as_mut(), 5_000, N))
-            })
+const N: u64 = 50_000;
+
+fn main() {
+    println!("sim_throughput: {N} measured instructions per iteration");
+    for (label, e) in [
+        ("baseline", Enhancement::Baseline),
+        ("full", Enhancement::Tempo),
+    ] {
+        bench_throughput(&format!("machine/{label}"), 10, N, || {
+            let mut cfg = SimConfig::with_enhancement(e);
+            cfg.machine.stlb.entries = 256; // Test-scale pressure
+            let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+            let mut m = Machine::new(&cfg).expect("valid config");
+            m.run(wl.as_mut(), 5_000, N).expect("healthy run")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -2,55 +2,56 @@
 //! throughput and five-level walk planning (PSC probe + PTE address
 //! computation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use atc_bench::bench;
 use atc_types::{config::MachineConfig, Vpn};
 use atc_vm::{TranslationEngine, TranslationQuery};
 
-fn bench_tlb_hits(c: &mut Criterion) {
-    let cfg = MachineConfig::default();
-    let mut g = c.benchmark_group("vm");
-    g.sample_size(20);
+const N: u64 = 20_000;
 
-    g.bench_function("dtlb_hit_lookup", |b| {
+fn main() {
+    let cfg = MachineConfig::default();
+    println!("vm: {N} queries per iteration");
+
+    bench("dtlb_hit_lookup", 20, || {
         let mut mmu = TranslationEngine::new(&cfg);
         // Warm one page.
-        if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(42)) {
+        if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(42)).expect("valid vpn") {
             mmu.complete_walk(&p);
         }
-        b.iter(|| black_box(mmu.query(Vpn::new(42))));
-    });
-
-    g.bench_function("full_walk_plan_and_complete", |b| {
-        let mut mmu = TranslationEngine::new(&cfg);
-        let mut v = 0u64;
-        b.iter(|| {
-            v += 4096; // fresh region most iterations
-            match mmu.query(Vpn::new(v)) {
-                TranslationQuery::Walk(p) => {
-                    black_box(mmu.complete_walk(&p));
-                }
-                q => {
-                    black_box(q);
-                }
+        let mut hits = 0u64;
+        for _ in 0..N {
+            if matches!(mmu.query(Vpn::new(42)), Ok(TranslationQuery::DtlbHit(_))) {
+                hits += 1;
             }
-        });
+        }
+        hits
     });
 
-    g.bench_function("psc_accelerated_walk", |b| {
+    bench("full_walk_plan_and_complete", 20, || {
         let mut mmu = TranslationEngine::new(&cfg);
         let mut v = 0u64;
-        b.iter(|| {
+        let mut walks = 0u64;
+        for _ in 0..N {
+            v += 4096; // fresh region most iterations
+            if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(v)).expect("valid vpn") {
+                mmu.complete_walk(&p);
+                walks += 1;
+            }
+        }
+        walks
+    });
+
+    bench("psc_accelerated_walk", 20, || {
+        let mut mmu = TranslationEngine::new(&cfg);
+        let mut v = 0u64;
+        let mut steps = 0usize;
+        for _ in 0..N {
             v += 1; // neighbouring pages: PSCL2 hits, 1-step walks
-            if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(v)) {
-                black_box(p.steps.len());
+            if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(v)).expect("valid vpn") {
+                steps += p.steps.len();
                 mmu.complete_walk(&p);
             }
-        });
+        }
+        steps
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tlb_hits);
-criterion_main!(benches);

@@ -1,1 +1,45 @@
-//! Criterion benchmark crate (see benches/).
+#![deny(unsafe_code)]
+
+//! Plain micro-benchmark harness. Each file in `benches/` is a
+//! `harness = false` main that times closures with `std::time::Instant`
+//! and prints min/median/mean per sample — no external benchmarking
+//! dependency, so `cargo bench` works fully offline.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once untimed (warmup), then `samples` timed iterations, and
+/// print a one-line summary. The return value of `f` goes through
+/// [`std::hint::black_box`] so the work is not optimized away.
+pub fn bench<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let total: Duration = times.iter().sum();
+    let mean = total / samples;
+    println!("{name:<44} min {min:>11.2?}  median {median:>11.2?}  mean {mean:>11.2?}");
+}
+
+/// Like [`bench`], but also reports per-element throughput for loops
+/// that process `elems` items per iteration.
+pub fn bench_throughput<T>(name: &str, samples: u32, elems: u64, mut f: impl FnMut() -> T) {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let rate = elems as f64 / median.as_secs_f64();
+    println!("{name:<44} median {median:>11.2?}  ({rate:>12.0} elem/s)");
+}

@@ -7,7 +7,7 @@
 
 use atc_stats::recall::RecallProbe;
 use atc_stats::ClassCounters;
-use atc_types::{AccessClass, AccessInfo, LineAddr};
+use atc_types::{AccessClass, AccessInfo, LineAddr, SimError};
 
 use crate::mshr::Mshr;
 use crate::policy::ReplacementPolicy;
@@ -61,9 +61,10 @@ pub struct Cache {
 impl Cache {
     /// Create a cache level.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sets`, `ways` or `mshr_entries` is zero.
+    /// Returns [`SimError::Config`] if `sets`, `ways` or `mshr_entries`
+    /// is zero.
     pub fn new(
         name: &'static str,
         sets: usize,
@@ -71,16 +72,21 @@ impl Cache {
         latency: u64,
         mshr_entries: usize,
         policy: Box<dyn ReplacementPolicy>,
-    ) -> Self {
-        assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
-        Cache {
+    ) -> Result<Self, SimError> {
+        if sets == 0 || ways == 0 {
+            return Err(SimError::config(format!(
+                "{name}: cache geometry must be non-zero (sets={sets}, ways={ways})"
+            )));
+        }
+        let mshr = Mshr::new(mshr_entries).map_err(|e| SimError::config(format!("{name}: {e}")))?;
+        Ok(Cache {
             name,
             sets,
             ways,
             latency,
             lines: vec![None; sets * ways],
             policy,
-            mshr: Mshr::new(mshr_entries),
+            mshr,
             stats: ClassCounters::default(),
             recall: None,
             recall_classes: Vec::new(),
@@ -91,7 +97,7 @@ impl Cache {
             evictions_total: 0,
             evictions_dead_by_class: [0; AccessClass::STAT_CLASSES],
             evictions_total_by_class: [0; AccessClass::STAT_CLASSES],
-        }
+        })
     }
 
     /// Cache name ("L1D", "L2C", "LLC").
@@ -205,8 +211,7 @@ impl Cache {
     /// the recall probe.
     pub fn contains(&self, line: LineAddr) -> bool {
         let set = self.set_of(line);
-        (0..self.ways)
-            .any(|w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == line))
+        (0..self.ways).any(|w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == line))
     }
 
     /// Handle a miss: allocate an MSHR entry completing at `ready`
@@ -218,7 +223,9 @@ impl Cache {
         ready: u64,
         cycle: u64,
     ) -> (u64, Option<EvictedLine>) {
-        let ready = self.mshr.allocate(info.line, cycle, ready, info.is_prefetch);
+        let ready = self
+            .mshr
+            .allocate(info.line, cycle, ready, info.is_prefetch);
         let evicted = self.fill(info);
         (ready, evicted)
     }
@@ -230,8 +237,8 @@ impl Cache {
         let set = self.set_of(info.line);
         // Refill of a resident line (e.g. prefetch raced demand): just
         // update class/flags.
-        if let Some(w) =
-            (0..self.ways).find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == info.line))
+        if let Some(w) = (0..self.ways)
+            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == info.line))
         {
             let slot = self.slot(set, w);
             let line = self.lines[slot].as_mut().expect("resident");
@@ -263,7 +270,12 @@ impl Cache {
                     probe.on_evict(set, old.addr);
                 }
             }
-            EvictedLine { addr: old.addr, dirty: old.dirty, class: old.class, reused: old.reused }
+            EvictedLine {
+                addr: old.addr,
+                dirty: old.dirty,
+                class: old.class,
+                reused: old.reused,
+            }
         });
         self.lines[slot] = Some(Line {
             addr: info.line,
@@ -319,7 +331,10 @@ impl Cache {
     /// fill was of `class`.
     pub fn eviction_stats_for(&self, class: AccessClass) -> (u64, u64) {
         let i = class.stat_index();
-        (self.evictions_dead_by_class[i], self.evictions_total_by_class[i])
+        (
+            self.evictions_dead_by_class[i],
+            self.evictions_total_by_class[i],
+        )
     }
 
     /// The MSHR file (diagnostics).
@@ -360,6 +375,15 @@ mod tests {
 
     fn mk(sets: usize, ways: usize) -> Cache {
         Cache::new("T", sets, ways, 10, 4, Box::new(Lru::new(sets, ways)))
+            .expect("test geometry is valid")
+    }
+
+    #[test]
+    fn bad_geometry_is_an_error_not_a_panic() {
+        let err = Cache::new("T", 0, 2, 10, 4, Box::new(Lru::new(1, 2))).unwrap_err();
+        assert!(err.to_string().contains("geometry"), "{err}");
+        let err = Cache::new("T", 4, 2, 10, 0, Box::new(Lru::new(4, 2))).unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
     }
 
     fn load(line: u64) -> AccessInfo {
@@ -423,7 +447,9 @@ mod tests {
         for i in 0..4u64 {
             c.fill(&load(i * 2));
         }
-        let resident = (0..4u64).filter(|&i| c.contains(LineAddr::new(i * 2))).count();
+        let resident = (0..4u64)
+            .filter(|&i| c.contains(LineAddr::new(i * 2)))
+            .count();
         assert_eq!(resident, 2);
     }
 

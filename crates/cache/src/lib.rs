@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Set-associative caches, MSHRs, and cache replacement policies.
 //!
@@ -28,11 +29,12 @@
 //! use atc_cache::{Cache, policy::Lru};
 //! use atc_types::{AccessClass, AccessInfo, LineAddr};
 //!
-//! let mut c = Cache::new("L1D", 64, 8, 5, 8, Box::new(Lru::new(64, 8)));
+//! let mut c = Cache::new("L1D", 64, 8, 5, 8, Box::new(Lru::new(64, 8)))?;
 //! let info = AccessInfo::demand(0x400, LineAddr::new(0x1000), AccessClass::NonReplayData);
 //! assert!(c.lookup(&info, 0).is_none());      // cold miss
 //! c.insert_miss(&info, 100, 0);               // fill, data ready at cycle 100
 //! assert!(c.lookup(&info, 200).is_some());    // hit
+//! # Ok::<(), atc_types::SimError>(())
 //! ```
 
 pub mod cache;

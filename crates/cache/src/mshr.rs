@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use atc_types::LineAddr;
+use atc_types::{LineAddr, SimError};
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -32,19 +32,21 @@ pub struct Mshr {
 impl Mshr {
     /// Create an MSHR file with `capacity` registers.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity == 0`.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr {
+    /// Returns [`SimError::Config`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, SimError> {
+        if capacity == 0 {
+            return Err(SimError::config("MSHR capacity must be positive"));
+        }
+        Ok(Mshr {
             entries: HashMap::new(),
             capacity,
             merges: 0,
             allocations: 0,
             full_stalls: 0,
             prefetch_useful_merges: 0,
-        }
+        })
     }
 
     /// Drop entries whose fills have completed by `cycle`.
@@ -99,6 +101,15 @@ impl Mshr {
         self.entries.len()
     }
 
+    /// Outstanding entries at `cycle` without mutating the file.
+    ///
+    /// Read-only counterpart of [`in_flight`](Self::in_flight) for
+    /// diagnostics (e.g. the deadlock watchdog snapshotting machine
+    /// state).
+    pub fn outstanding_at(&self, cycle: u64) -> usize {
+        self.entries.values().filter(|e| e.ready > cycle).count()
+    }
+
     /// Total merges recorded.
     pub fn merges(&self) -> u64 {
         self.merges
@@ -137,9 +148,13 @@ mod tests {
         LineAddr::new(x)
     }
 
+    fn mshr(capacity: usize) -> Mshr {
+        Mshr::new(capacity).expect("test MSHR capacity is valid")
+    }
+
     #[test]
     fn merge_returns_inflight_ready() {
-        let mut m = Mshr::new(4);
+        let mut m = mshr(4);
         m.allocate(line(1), 0, 100, false);
         assert_eq!(m.merge(line(1), 50, false), Some(100));
         assert_eq!(m.merges(), 1);
@@ -147,14 +162,14 @@ mod tests {
 
     #[test]
     fn expired_entries_do_not_merge() {
-        let mut m = Mshr::new(4);
+        let mut m = mshr(4);
         m.allocate(line(1), 0, 100, false);
         assert_eq!(m.merge(line(1), 100, false), None);
     }
 
     #[test]
     fn full_file_delays_new_misses() {
-        let mut m = Mshr::new(2);
+        let mut m = mshr(2);
         m.allocate(line(1), 0, 100, false);
         m.allocate(line(2), 0, 120, false);
         // Third miss at cycle 10 must wait until cycle 100 frees a slot:
@@ -166,7 +181,7 @@ mod tests {
 
     #[test]
     fn free_file_does_not_delay() {
-        let mut m = Mshr::new(2);
+        let mut m = mshr(2);
         let ready = m.allocate(line(9), 5, 70, false);
         assert_eq!(ready, 70);
         assert_eq!(m.full_stalls(), 0);
@@ -174,7 +189,7 @@ mod tests {
 
     #[test]
     fn demand_merge_clears_prefetch_flag() {
-        let mut m = Mshr::new(2);
+        let mut m = mshr(2);
         m.allocate(line(4), 0, 50, true);
         assert_eq!(m.merge(line(4), 10, false), Some(50));
         // Internal flag cleared; observable only through later behaviour,
@@ -184,8 +199,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
-        Mshr::new(0);
+        let err = Mshr::new(0).unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn outstanding_at_matches_in_flight_without_mutation() {
+        let mut m = mshr(4);
+        m.allocate(line(1), 0, 100, false);
+        m.allocate(line(2), 0, 200, false);
+        assert_eq!(m.outstanding_at(50), 2);
+        assert_eq!(m.outstanding_at(150), 1);
+        assert_eq!(m.outstanding_at(250), 0);
+        // The read-only probe must not expire entries.
+        assert_eq!(m.in_flight(150), 1);
     }
 }

@@ -79,8 +79,8 @@ impl Sampler {
         self.occupancy[(t % self.window) as usize] = 0;
         let decision = match self.last.get(&line) {
             Some(&(t_prev, sig_prev)) if t - t_prev < self.window && t > t_prev => {
-                let fits = (t_prev..t)
-                    .all(|i| self.occupancy[(i % self.window) as usize] < self.capacity);
+                let fits =
+                    (t_prev..t).all(|i| self.occupancy[(i % self.window) as usize] < self.capacity);
                 if fits {
                     for i in t_prev..t {
                         self.occupancy[(i % self.window) as usize] += 1;
@@ -282,7 +282,11 @@ mod tests {
     }
 
     fn translation(ip: u64, line: u64) -> AccessInfo {
-        AccessInfo::demand(ip, LineAddr::new(line), AccessClass::Translation(PtLevel::L1))
+        AccessInfo::demand(
+            ip,
+            LineAddr::new(line),
+            AccessClass::Translation(PtLevel::L1),
+        )
     }
 
     #[test]
@@ -300,7 +304,7 @@ mod tests {
         s.access(LineAddr::new(1), 10);
         s.access(LineAddr::new(2), 11);
         s.access(LineAddr::new(2), 11); // occupies the interval
-        // A's reuse interval now saturated at time of B's liveness.
+                                        // A's reuse interval now saturated at time of B's liveness.
         let d = s.access(LineAddr::new(1), 10);
         assert_eq!(d, OptDecision::Miss(10));
     }
@@ -378,7 +382,10 @@ mod tests {
             p.on_evict(1, 0);
         }
         assert!(!p.predicts_friendly(&d));
-        assert!(p.predicts_friendly(&t), "translation signature must be unaffected");
+        assert!(
+            p.predicts_friendly(&t),
+            "translation signature must be unaffected"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ impl Lru {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0);
-        Lru { stamps: vec![0; sets * ways], ways, clock: 0 }
+        Lru {
+            stamps: vec![0; sets * ways],
+            ways,
+            clock: 0,
+        }
     }
 
     #[inline]

@@ -66,7 +66,10 @@ impl SatCounter {
     /// Panics if `initial > max`.
     pub fn new(initial: u32, max: u32) -> Self {
         assert!(initial <= max);
-        SatCounter { value: initial, max }
+        SatCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// Saturating increment.

@@ -32,7 +32,10 @@ struct RrpvArray {
 impl RrpvArray {
     fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0);
-        RrpvArray { rrpv: vec![RRPV_MAX; sets * ways], ways }
+        RrpvArray {
+            rrpv: vec![RRPV_MAX; sets * ways],
+            ways,
+        }
     }
 
     #[inline]
@@ -70,7 +73,9 @@ pub struct Srrip {
 impl Srrip {
     /// Create SRRIP metadata for a `sets × ways` cache.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Srrip { arr: RrpvArray::new(sets, ways) }
+        Srrip {
+            arr: RrpvArray::new(sets, ways),
+        }
     }
 
     /// Read a block's current RRPV (diagnostics / T-policies).
@@ -121,7 +126,10 @@ const BRRIP_LONG_INTERVAL: u64 = 32;
 impl Brrip {
     /// Create BRRIP metadata for a `sets × ways` cache.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Brrip { arr: RrpvArray::new(sets, ways), fill_count: 0 }
+        Brrip {
+            arr: RrpvArray::new(sets, ways),
+            fill_count: 0,
+        }
     }
 }
 
@@ -132,7 +140,11 @@ impl ReplacementPolicy for Brrip {
 
     fn on_fill(&mut self, set: usize, way: usize, _info: &AccessInfo) {
         self.fill_count += 1;
-        let v = if self.fill_count % BRRIP_LONG_INTERVAL == 0 { RRPV_LONG } else { RRPV_MAX };
+        let v = if self.fill_count.is_multiple_of(BRRIP_LONG_INTERVAL) {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        };
         self.arr.set(set, way, v);
     }
 
@@ -175,13 +187,13 @@ impl Drrip {
     pub fn new(sets: usize, ways: usize) -> Self {
         let stride = (sets / (2 * LEADERS)).max(1);
         let mut roles = vec![SetRole::Follower; sets];
-        for i in 0..sets {
-            if i % stride == 0 {
+        for (i, role) in roles.iter_mut().enumerate() {
+            if i.is_multiple_of(stride) {
                 let leader_idx = i / stride;
-                if leader_idx % 2 == 0 && leader_idx / 2 < LEADERS {
-                    roles[i] = SetRole::SrripLeader;
-                } else if leader_idx % 2 == 1 && leader_idx / 2 < LEADERS {
-                    roles[i] = SetRole::BrripLeader;
+                if leader_idx.is_multiple_of(2) && leader_idx / 2 < LEADERS {
+                    *role = SetRole::SrripLeader;
+                } else if !leader_idx.is_multiple_of(2) && leader_idx / 2 < LEADERS {
+                    *role = SetRole::BrripLeader;
                 }
             }
         }
@@ -195,7 +207,7 @@ impl Drrip {
 
     fn brrip_insertion(&mut self) -> u8 {
         self.fill_count += 1;
-        if self.fill_count % BRRIP_LONG_INTERVAL == 0 {
+        if self.fill_count.is_multiple_of(BRRIP_LONG_INTERVAL) {
             RRPV_LONG
         } else {
             RRPV_MAX
@@ -317,10 +329,31 @@ mod tests {
     #[test]
     fn drrip_roles_cover_both_leader_kinds() {
         let p = Drrip::new(1024, 8);
-        let srrip = p.roles.iter().filter(|r| **r == SetRole::SrripLeader).count();
-        let brrip = p.roles.iter().filter(|r| **r == SetRole::BrripLeader).count();
+        let srrip = p
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::SrripLeader)
+            .count();
+        let brrip = p
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::BrripLeader)
+            .count();
         assert_eq!(srrip, LEADERS);
         assert_eq!(brrip, LEADERS);
+    }
+
+    /// First set with the given dueling role. The constructor always
+    /// assigns [`LEADERS`] sets of each leader kind, so a missing role
+    /// means the role-assignment hash broke — fail with a message naming
+    /// the role instead of a bare `unwrap` on `position()`.
+    fn set_with_role(p: &Drrip, role: SetRole) -> usize {
+        p.roles.iter().position(|r| *r == role).unwrap_or_else(|| {
+            unreachable!(
+                "no set with role {role:?} among {} sets; set dueling is misconfigured",
+                p.roles.len()
+            )
+        })
     }
 
     #[test]
@@ -328,12 +361,12 @@ mod tests {
         let mut p = Drrip::new(1024, 8);
         let start = p.psel();
         // Find an SRRIP leader set and miss in it repeatedly.
-        let leader = p.roles.iter().position(|r| *r == SetRole::SrripLeader).unwrap();
+        let leader = set_with_role(&p, SetRole::SrripLeader);
         for _ in 0..10 {
             p.on_fill(leader, 0, &info());
         }
         assert!(p.psel() > start);
-        let bleader = p.roles.iter().position(|r| *r == SetRole::BrripLeader).unwrap();
+        let bleader = set_with_role(&p, SetRole::BrripLeader);
         for _ in 0..20 {
             p.on_fill(bleader, 0, &info());
         }
@@ -343,10 +376,10 @@ mod tests {
     #[test]
     fn drrip_followers_follow_psel() {
         let mut p = Drrip::new(1024, 8);
-        let follower = p.roles.iter().position(|r| *r == SetRole::Follower).unwrap();
+        let follower = set_with_role(&p, SetRole::Follower);
         // Bias PSEL low (SRRIP wins).
+        let bl = set_with_role(&p, SetRole::BrripLeader);
         for _ in 0..600 {
-            let bl = p.roles.iter().position(|r| *r == SetRole::BrripLeader).unwrap();
             p.on_fill(bl, 0, &info());
         }
         p.on_fill(follower, 3, &info());

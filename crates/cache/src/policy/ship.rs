@@ -57,7 +57,12 @@ impl Ship {
         assert!(sets > 0 && ways > 0);
         Ship {
             meta: vec![
-                LineMeta { rrpv: RRPV_MAX, signature: 0, outcome: false, valid: false };
+                LineMeta {
+                    rrpv: RRPV_MAX,
+                    signature: 0,
+                    outcome: false,
+                    valid: false
+                };
                 sets * ways
             ],
             ways,

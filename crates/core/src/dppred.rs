@@ -17,12 +17,17 @@
 //! translation misses themselves (dead TLB entries have long recall
 //! distances, Fig 18), so the T-policies + ATP still win.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use atc_cache::policy::{fold_hash16, ReplacementPolicy, SatCounter, Ship, RRPV_MAX};
 use atc_types::AccessInfo;
 use atc_vm::tlb::EvictedTlbEntry;
-use parking_lot::Mutex;
+
+/// Lock the shared table, tolerating poison: the table holds plain
+/// counters, so state left by a panicking holder is still consistent.
+fn lock_table(table: &Mutex<DeadPageTable>) -> MutexGuard<'_, DeadPageTable> {
+    table.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Predictor table size (matches the proposal's ~11 KB budget at 2 bits
 /// per entry).
@@ -97,12 +102,14 @@ pub struct DpPred {
 impl DpPred {
     /// Create a fresh predictor.
     pub fn new() -> Self {
-        DpPred { table: Arc::new(Mutex::new(DeadPageTable::new())) }
+        DpPred {
+            table: Arc::new(Mutex::new(DeadPageTable::new())),
+        }
     }
 
     /// Should the STLB fill for a walk triggered by `ip` be bypassed?
     pub fn should_bypass_stlb(&self, ip: u64) -> bool {
-        let mut t = self.table.lock();
+        let mut t = lock_table(&self.table);
         if t.predict_dead(ip) {
             t.note_bypass();
             true
@@ -113,17 +120,20 @@ impl DpPred {
 
     /// Train on an STLB eviction outcome.
     pub fn on_stlb_eviction(&self, evicted: &EvictedTlbEntry) {
-        self.table.lock().train(evicted.fill_ip, evicted.reused);
+        lock_table(&self.table).train(evicted.fill_ip, evicted.reused);
     }
 
     /// Build the companion CbPred LLC policy sharing this table.
     pub fn cbpred_policy(&self, sets: usize, ways: usize) -> CbPredPolicy {
-        CbPredPolicy { inner: Ship::new(sets, ways), table: Arc::clone(&self.table) }
+        CbPredPolicy {
+            inner: Ship::new(sets, ways),
+            table: Arc::clone(&self.table),
+        }
     }
 
     /// `(trainings, bypasses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        self.table.lock().stats()
+        lock_table(&self.table).stats()
     }
 }
 
@@ -156,7 +166,7 @@ impl ReplacementPolicy for CbPredPolicy {
 
     fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
         self.inner.on_fill(set, way, info);
-        if info.class.is_demand_load() && self.table.lock().predict_dead(info.ip) {
+        if info.class.is_demand_load() && lock_table(&self.table).predict_dead(info.ip) {
             self.inner.set_rrpv(set, way, RRPV_MAX);
         }
     }
@@ -180,11 +190,19 @@ mod tests {
     use atc_types::{AccessClass, LineAddr, Vpn};
 
     fn dead_eviction(ip: u64) -> EvictedTlbEntry {
-        EvictedTlbEntry { vpn: Vpn::new(1), fill_ip: ip, reused: false }
+        EvictedTlbEntry {
+            vpn: Vpn::new(1),
+            fill_ip: ip,
+            reused: false,
+        }
     }
 
     fn live_eviction(ip: u64) -> EvictedTlbEntry {
-        EvictedTlbEntry { vpn: Vpn::new(1), fill_ip: ip, reused: true }
+        EvictedTlbEntry {
+            vpn: Vpn::new(1),
+            fill_ip: ip,
+            reused: true,
+        }
     }
 
     #[test]
@@ -244,7 +262,11 @@ mod tests {
             p.on_stlb_eviction(&dead_eviction(0x42));
         }
         let mut pol = p.cbpred_policy(4, 4);
-        let t = AccessInfo::demand(0x42, LineAddr::new(3), AccessClass::Translation(PtLevel::L1));
+        let t = AccessInfo::demand(
+            0x42,
+            LineAddr::new(3),
+            AccessClass::Translation(PtLevel::L1),
+        );
         pol.on_fill(0, 2, &t);
         // Translation fills follow plain SHiP (the proposal is unaware of
         // them — the paper's criticism).

@@ -30,28 +30,46 @@ impl IdealConfig {
 
     /// Fig 2's "LLC(T)": ideal LLC for leaf translations.
     pub fn llc_translations() -> Self {
-        IdealConfig { llc_translations: true, ..Default::default() }
+        IdealConfig {
+            llc_translations: true,
+            ..Default::default()
+        }
     }
 
     /// Fig 2's "LLC(R)": ideal LLC for replay loads.
     pub fn llc_replays() -> Self {
-        IdealConfig { llc_replays: true, ..Default::default() }
+        IdealConfig {
+            llc_replays: true,
+            ..Default::default()
+        }
     }
 
     /// Fig 2's "LLC(TR)": ideal LLC for both.
     pub fn llc_both() -> Self {
-        IdealConfig { llc_translations: true, llc_replays: true, ..Default::default() }
+        IdealConfig {
+            llc_translations: true,
+            llc_replays: true,
+            ..Default::default()
+        }
     }
 
     /// Fig 2's "L2C(T)+LLC(TR)" style points: ideal L2C for translations
     /// on top of an ideal LLC for both.
     pub fn l2c_translations_llc_both() -> Self {
-        IdealConfig { l2c_translations: true, llc_translations: true, llc_replays: true, ..Default::default() }
+        IdealConfig {
+            l2c_translations: true,
+            llc_translations: true,
+            llc_replays: true,
+            ..Default::default()
+        }
     }
 
     /// Ideal L2C for replays only (Fig 2's L2C(R) point), LLC real.
     pub fn l2c_replays() -> Self {
-        IdealConfig { l2c_replays: true, ..Default::default() }
+        IdealConfig {
+            l2c_replays: true,
+            ..Default::default()
+        }
     }
 
     /// Ideal L2C and LLC for both classes (the full "TR" headroom).

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! The paper's contribution: address-translation-conscious caching and
 //! prefetching.
@@ -71,7 +72,10 @@ impl Enhancement {
 
     /// Is T-SHiP active at the LLC?
     pub fn has_tship(self) -> bool {
-        matches!(self, Enhancement::TShip | Enhancement::Atp | Enhancement::Tempo)
+        matches!(
+            self,
+            Enhancement::TShip | Enhancement::Atp | Enhancement::Tempo
+        )
     }
 
     /// Is the ATP prefetcher active?
@@ -146,9 +150,7 @@ impl PolicyChoice {
             PolicyChoice::TShip => Box::new(TShip::new(sets, ways)),
             PolicyChoice::THawkeye => Box::new(THawkeye::new(sets, ways)),
             PolicyChoice::TDrrip => Box::new(TDrrip::new(sets, ways)),
-            PolicyChoice::TDrripReplayZero => {
-                Box::new(TDrrip::with_replay_rrpv(sets, ways, 0))
-            }
+            PolicyChoice::TDrripReplayZero => Box::new(TDrrip::with_replay_rrpv(sets, ways, 0)),
             PolicyChoice::TShipReplayZero => {
                 Box::new(TShip::with_forced_replay_rrpv(sets, ways, 0))
             }

@@ -31,14 +31,22 @@ impl TDrrip {
     /// The paper's T-DRRIP: leaf translations at RRPV=0, replays at
     /// RRPV=3.
     pub fn new(sets: usize, ways: usize) -> Self {
-        TDrrip { inner: Drrip::new(sets, ways), replay_rrpv: RRPV_MAX, translation_rrpv: 0 }
+        TDrrip {
+            inner: Drrip::new(sets, ways),
+            replay_rrpv: RRPV_MAX,
+            translation_rrpv: 0,
+        }
     }
 
     /// The mis-configured variant of Fig 10 that inserts replay loads at
     /// RRPV=0 as well, demonstrating why replays must be inserted dead.
     pub fn with_replay_rrpv(sets: usize, ways: usize, replay_rrpv: u8) -> Self {
         assert!(replay_rrpv <= RRPV_MAX);
-        TDrrip { inner: Drrip::new(sets, ways), replay_rrpv, translation_rrpv: 0 }
+        TDrrip {
+            inner: Drrip::new(sets, ways),
+            replay_rrpv,
+            translation_rrpv: 0,
+        }
     }
 
     /// Read a block's RRPV (tests / diagnostics).
@@ -161,7 +169,9 @@ pub struct THawkeye {
 impl THawkeye {
     /// Per-class signatures plus leaf translations pinned at RRPV=0.
     pub fn new(sets: usize, ways: usize) -> Self {
-        THawkeye { inner: Hawkeye::with_mode(sets, ways, SignatureMode::PerClass) }
+        THawkeye {
+            inner: Hawkeye::with_mode(sets, ways, SignatureMode::PerClass),
+        }
     }
 
     /// Read a block's RRPV (tests / diagnostics).

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Out-of-order core model.
 //!
@@ -178,7 +179,10 @@ impl RobModel {
     ///
     /// Panics if called twice without an intervening `push`.
     pub fn dispatch(&mut self) -> u64 {
-        assert!(!self.pending_dispatch, "dispatch() called twice without push()");
+        assert!(
+            !self.pending_dispatch,
+            "dispatch() called twice without push()"
+        );
         // Issue-width limit.
         if self.dispatched_this_cycle == self.cfg.issue_width {
             self.clock += 1;
@@ -207,12 +211,23 @@ impl RobModel {
     /// precedes its `trans_done`.
     pub fn push(&mut self, kind: CompletionKind) {
         assert!(self.pending_dispatch, "push() without dispatch()");
-        if let CompletionKind::Load { trans_done, data_done, .. } = kind {
-            assert!(data_done >= trans_done, "data cannot arrive before translation");
+        if let CompletionKind::Load {
+            trans_done,
+            data_done,
+            ..
+        } = kind
+        {
+            assert!(
+                data_done >= trans_done,
+                "data cannot arrive before translation"
+            );
         }
         self.pending_dispatch = false;
         self.instructions += 1;
-        self.rob.push_back(Entry { dispatched: self.clock, kind });
+        self.rob.push_back(Entry {
+            dispatched: self.clock,
+            kind,
+        });
     }
 
     /// Retire the ROB head, attributing any head stall. Returns the
@@ -235,9 +250,15 @@ impl RobModel {
         if complete > self.retire_clock {
             let stall_start = self.retire_clock;
             match e.kind {
-                CompletionKind::Load { trans_done, data_done, walked } => {
+                CompletionKind::Load {
+                    trans_done,
+                    data_done,
+                    walked,
+                } => {
                     if walked {
-                        let walk_part = trans_done.saturating_sub(stall_start).min(data_done - stall_start);
+                        let walk_part = trans_done
+                            .saturating_sub(stall_start)
+                            .min(data_done - stall_start);
                         let data_part = (data_done - stall_start) - walk_part;
                         if walk_part > 0 {
                             self.stalls.stlb_walk += walk_part;
@@ -295,6 +316,34 @@ impl RobModel {
     pub fn dispatched(&self) -> u64 {
         self.instructions
     }
+
+    /// Current ROB occupancy in entries (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Human-readable description of the ROB-head instruction, including
+    /// completion cycles for loads — used by the deadlock watchdog's
+    /// diagnostic snapshot.
+    pub fn head_desc(&self) -> String {
+        match self.rob.front() {
+            None => "empty ROB".to_string(),
+            Some(e) => match e.kind {
+                CompletionKind::NonMemory => {
+                    format!("non-memory dispatched at cycle {}", e.dispatched)
+                }
+                CompletionKind::Store => format!("store dispatched at cycle {}", e.dispatched),
+                CompletionKind::Load {
+                    trans_done,
+                    data_done,
+                    walked,
+                } => format!(
+                    "load dispatched at cycle {} (translation done {}, data done {}, walked: {})",
+                    e.dispatched, trans_done, data_done, walked
+                ),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +351,11 @@ mod tests {
     use super::*;
 
     fn core() -> RobModel {
-        RobModel::new(&CoreConfig { rob_entries: 8, issue_width: 2, retire_width: 2 })
+        RobModel::new(&CoreConfig {
+            rob_entries: 8,
+            issue_width: 2,
+            retire_width: 2,
+        })
     }
 
     #[test]
@@ -320,7 +373,11 @@ mod tests {
 
     #[test]
     fn ideal_stream_ipc_close_to_retire_width() {
-        let mut r = RobModel::new(&CoreConfig { rob_entries: 32, issue_width: 4, retire_width: 4 });
+        let mut r = RobModel::new(&CoreConfig {
+            rob_entries: 32,
+            issue_width: 4,
+            retire_width: 4,
+        });
         for _ in 0..4000 {
             let _ = r.dispatch();
             r.push(CompletionKind::NonMemory);
@@ -335,7 +392,11 @@ mod tests {
     fn slow_load_attributes_stall_by_phase() {
         let mut r = core();
         let at = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: at + 50, data_done: at + 250, walked: true });
+        r.push(CompletionKind::Load {
+            trans_done: at + 50,
+            data_done: at + 250,
+            walked: true,
+        });
         let s = r.finish();
         // Head could retire at dispatch+1; walk part ≈ 49, replay ≈ 200.
         assert_eq!(s.stalls.stlb_walk, 49);
@@ -349,7 +410,11 @@ mod tests {
     fn non_replay_load_attributes_to_non_replay() {
         let mut r = core();
         let at = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: at + 1, data_done: at + 40, walked: false });
+        r.push(CompletionKind::Load {
+            trans_done: at + 1,
+            data_done: at + 40,
+            walked: false,
+        });
         let s = r.finish();
         assert_eq!(s.stalls.non_replay_data, 39);
         assert_eq!(s.stalls.stlb_walk, 0);
@@ -360,9 +425,17 @@ mod tests {
         // A slow load behind a slower one does not stall the head again.
         let mut r = core();
         let a = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: a + 1, data_done: a + 100, walked: false });
+        r.push(CompletionKind::Load {
+            trans_done: a + 1,
+            data_done: a + 100,
+            walked: false,
+        });
         let b = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: b + 1, data_done: b + 90, walked: false });
+        r.push(CompletionKind::Load {
+            trans_done: b + 1,
+            data_done: b + 90,
+            walked: false,
+        });
         let s = r.finish();
         // Second load completed before the head retired: one stall only.
         assert_eq!(s.non_replay_stall_hist.count(), 1);
@@ -373,7 +446,11 @@ mod tests {
     fn rob_full_blocks_dispatch_until_head_retires() {
         let mut r = core(); // 8 entries
         let a = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: a + 1, data_done: a + 1000, walked: false });
+        r.push(CompletionKind::Load {
+            trans_done: a + 1,
+            data_done: a + 1000,
+            walked: false,
+        });
         for _ in 0..7 {
             let _ = r.dispatch();
             r.push(CompletionKind::NonMemory);
@@ -382,7 +459,11 @@ mod tests {
         // ≥ its completion.
         let c = r.dispatch();
         r.push(CompletionKind::NonMemory);
-        assert!(c >= a + 1000, "dispatch at {c}, load completes at {}", a + 1000);
+        assert!(
+            c >= a + 1000,
+            "dispatch at {c}, load completes at {}",
+            a + 1000
+        );
         let s = r.finish();
         assert_eq!(s.instructions, 9);
     }
@@ -390,7 +471,11 @@ mod tests {
     #[test]
     fn retire_width_bounds_throughput() {
         // 100 ready instructions retire at ≤ retire_width per cycle.
-        let mut r = RobModel::new(&CoreConfig { rob_entries: 256, issue_width: 8, retire_width: 2 });
+        let mut r = RobModel::new(&CoreConfig {
+            rob_entries: 256,
+            issue_width: 8,
+            retire_width: 2,
+        });
         for _ in 0..100 {
             let _ = r.dispatch();
             r.push(CompletionKind::NonMemory);
@@ -421,14 +506,22 @@ mod tests {
     fn bad_load_times_panic() {
         let mut r = core();
         let _ = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: 10, data_done: 5, walked: true });
+        r.push(CompletionKind::Load {
+            trans_done: 10,
+            data_done: 5,
+            walked: true,
+        });
     }
 
     #[test]
     fn walked_load_with_fast_data_counts_walk_only() {
         let mut r = core();
         let at = r.dispatch();
-        r.push(CompletionKind::Load { trans_done: at + 60, data_done: at + 60, walked: true });
+        r.push(CompletionKind::Load {
+            trans_done: at + 60,
+            data_done: at + 60,
+            walked: true,
+        });
         let s = r.finish();
         assert_eq!(s.stalls.stlb_walk, 59);
         assert_eq!(s.stalls.replay_data, 0);

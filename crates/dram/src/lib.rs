@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! A simple DDR5 bank/row DRAM timing model.
 //!
@@ -79,8 +80,11 @@ impl Dram {
     /// completion cycle.
     pub fn access(&mut self, line: LineAddr, cycle: u64) -> u64 {
         let (bank_idx, row) = self.route(line);
-        let (row_hit, row_miss, busy) =
-            (self.cfg.row_hit_cycles, self.cfg.row_miss_cycles, self.cfg.bank_busy_cycles);
+        let (row_hit, row_miss, busy) = (
+            self.cfg.row_hit_cycles,
+            self.cfg.row_miss_cycles,
+            self.cfg.bank_busy_cycles,
+        );
         let bank = &mut self.banks[bank_idx];
         let start = cycle.max(bank.busy_until);
         let latency = if bank.open_row == Some(row) {

@@ -25,45 +25,67 @@ use atc_stats::{geomean, table::Table};
 fn main() -> ExitCode {
     let opts = Opts::parse();
 
+    #[allow(clippy::type_complexity)]
     let variants: Vec<(&str, Box<dyn Fn() -> SimConfig>)> = vec![
-        ("T-DRRIP only", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.l2c_policy = PolicyChoice::TDrrip;
-            c
-        })),
-        ("T-SHiP only", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.llc_policy = PolicyChoice::TShip;
-            c
-        })),
-        ("both T-policies", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.l2c_policy = PolicyChoice::TDrrip;
-            c.llc_policy = PolicyChoice::TShip;
-            c
-        })),
-        ("NewSign only", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.llc_policy = PolicyChoice::ShipNewSign;
-            c
-        })),
-        ("pin only", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.llc_policy = PolicyChoice::TShipPinOnly;
-            c
-        })),
-        ("ATP on baseline", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.atp = true;
-            c
-        })),
-        ("ATP on T-policies", Box::new(|| {
-            let mut c = SimConfig::baseline();
-            c.l2c_policy = PolicyChoice::TDrrip;
-            c.llc_policy = PolicyChoice::TShip;
-            c.atp = true;
-            c
-        })),
+        (
+            "T-DRRIP only",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.l2c_policy = PolicyChoice::TDrrip;
+                c
+            }),
+        ),
+        (
+            "T-SHiP only",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.llc_policy = PolicyChoice::TShip;
+                c
+            }),
+        ),
+        (
+            "both T-policies",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.l2c_policy = PolicyChoice::TDrrip;
+                c.llc_policy = PolicyChoice::TShip;
+                c
+            }),
+        ),
+        (
+            "NewSign only",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.llc_policy = PolicyChoice::ShipNewSign;
+                c
+            }),
+        ),
+        (
+            "pin only",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.llc_policy = PolicyChoice::TShipPinOnly;
+                c
+            }),
+        ),
+        (
+            "ATP on baseline",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.atp = true;
+                c
+            }),
+        ),
+        (
+            "ATP on T-policies",
+            Box::new(|| {
+                let mut c = SimConfig::baseline();
+                c.l2c_policy = PolicyChoice::TDrrip;
+                c.llc_policy = PolicyChoice::TShip;
+                c.atp = true;
+                c
+            }),
+        ),
     ];
 
     let mut headers = vec!["benchmark"];
@@ -71,42 +93,66 @@ fn main() -> ExitCode {
     let mut table = Table::new(&headers);
     let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     let mut atp_issued = (0u64, 0u64); // (baseline-policies, t-policies)
-    for bench in &opts.benchmarks {
-        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+    'bench: for bench in &opts.benchmarks {
+        let Some(base) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let base = base.core.cycles;
         let mut cells = vec![bench.name().to_string()];
-        for (i, (name, mk)) in variants.iter().enumerate() {
-            let s = opts.run(&mk(), *bench);
+        let mut speedups = Vec::with_capacity(variants.len());
+        let mut atp_counts = (0u64, 0u64);
+        for (name, mk) in variants.iter() {
+            let Some(s) = opts.run_or_skip(&mk(), *bench) else {
+                continue 'bench;
+            };
             let sp = base as f64 / s.core.cycles as f64;
-            per_variant[i].push(sp);
+            speedups.push(sp);
             cells.push(f3(sp));
             if *name == "ATP on baseline" {
-                atp_issued.0 += s.atp_issued;
+                atp_counts.0 += s.atp_issued;
             } else if *name == "ATP on T-policies" {
-                atp_issued.1 += s.atp_issued;
+                atp_counts.1 += s.atp_issued;
             }
         }
+        for (i, sp) in speedups.into_iter().enumerate() {
+            per_variant[i].push(sp);
+        }
+        atp_issued.0 += atp_counts.0;
+        atp_issued.1 += atp_counts.1;
         table.row(&cells);
     }
     let means: Vec<f64> = per_variant.iter().map(|v| geomean(v)).collect();
     let mut cells = vec!["geomean".to_string()];
     cells.extend(means.iter().map(|&m| f3(m)));
     table.row(&cells);
-    opts.emit("Ablation: placement, T-SHiP decomposition, ATP context", &table);
+    opts.emit(
+        "Ablation: placement, T-SHiP decomposition, ATP context",
+        &table,
+    );
 
     // Methodology ablation: dependency modelling.
     let mut dep_tbl = Table::new(&["benchmark", "IPC (deps)", "IPC (no deps)"]);
     let mut dep_ipc = Vec::new();
     let mut nodep_ipc = Vec::new();
     for bench in &opts.benchmarks {
-        let with = opts.run(&SimConfig::baseline(), *bench).core.ipc();
+        let Some(with) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let with = with.core.ipc();
         let mut cfg = SimConfig::baseline();
         cfg.ignore_deps = true;
-        let without = opts.run(&cfg, *bench).core.ipc();
+        let Some(without) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
+        let without = without.core.ipc();
         dep_tbl.row(&[bench.name().to_string(), f3(with), f3(without)]);
         dep_ipc.push(with);
         nodep_ipc.push(without);
     }
-    opts.emit("Methodology ablation: address-dependency modelling", &dep_tbl);
+    opts.emit(
+        "Methodology ablation: address-dependency modelling",
+        &dep_tbl,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
@@ -126,8 +172,7 @@ fn main() -> ExitCode {
     );
     let full_tship = by_name("T-SHiP only");
     checks.claim(
-        full_tship >= by_name("NewSign only") - 0.005
-            && full_tship >= by_name("pin only") - 0.005,
+        full_tship >= by_name("NewSign only") - 0.005 && full_tship >= by_name("pin only") - 0.005,
         &format!("full T-SHiP ≥ its halves ({full_tship:.3})"),
     );
     checks.claim(

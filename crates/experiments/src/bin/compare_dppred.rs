@@ -19,27 +19,36 @@ use atc_stats::{geomean, table::Table};
 fn main() -> ExitCode {
     let opts = Opts::parse();
 
-    let mut table = Table::new(&["benchmark", "CbPred+DpPred", "T+ATP+TEMPO", "ours-vs-cbpred"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "CbPred+DpPred",
+        "T+ATP+TEMPO",
+        "ours-vs-cbpred",
+    ]);
     let mut cb_all = Vec::new();
     let mut ours_all = Vec::new();
     for bench in &opts.benchmarks {
-        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+        let Some(base) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let base = base.core.cycles;
 
         let mut cb_cfg = SimConfig::baseline();
         cb_cfg.dppred = true;
-        let cb = base as f64 / opts.run(&cb_cfg, *bench).core.cycles as f64;
+        let Some(s_cb) = opts.run_or_skip(&cb_cfg, *bench) else {
+            continue;
+        };
+        let cb = base as f64 / s_cb.core.cycles as f64;
 
         let ours_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
-        let ours = base as f64 / opts.run(&ours_cfg, *bench).core.cycles as f64;
+        let Some(s_ours) = opts.run_or_skip(&ours_cfg, *bench) else {
+            continue;
+        };
+        let ours = base as f64 / s_ours.core.cycles as f64;
 
         cb_all.push(cb);
         ours_all.push(ours);
-        table.row(&[
-            bench.name().to_string(),
-            f3(cb),
-            f3(ours),
-            f3(ours / cb),
-        ]);
+        table.row(&[bench.name().to_string(), f3(cb), f3(ours), f3(ours / cb)]);
     }
     let (gcb, gours) = (geomean(&cb_all), geomean(&ours_all));
     table.row(&["geomean".to_string(), f3(gcb), f3(gours), f3(gours / gcb)]);

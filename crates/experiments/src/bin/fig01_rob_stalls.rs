@@ -21,14 +21,24 @@ fn main() -> ExitCode {
     let cfg = SimConfig::baseline();
 
     let mut table = Table::new(&[
-        "benchmark", "walk-avg", "walk-max", "replay-avg", "replay-max", "nonreplay-avg",
+        "benchmark",
+        "walk-avg",
+        "walk-max",
+        "replay-avg",
+        "replay-max",
+        "nonreplay-avg",
         "nonreplay-max",
     ]);
     let mut rows = Vec::new();
     for bench in &opts.benchmarks {
-        let s = opts.run(&cfg, *bench);
-        let (w, r, n) =
-            (&s.core.walk_stall_hist, &s.core.replay_stall_hist, &s.core.non_replay_stall_hist);
+        let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
+        let (w, r, n) = (
+            &s.core.walk_stall_hist,
+            &s.core.replay_stall_hist,
+            &s.core.non_replay_stall_hist,
+        );
         table.row(&[
             bench.name().to_string(),
             f2(w.mean()),
@@ -40,6 +50,7 @@ fn main() -> ExitCode {
         ]);
         rows.push((*bench, w.mean(), w.max(), r.mean(), r.max(), n.mean()));
     }
+    #[allow(clippy::type_complexity)]
     let avg = |f: fn(&(atc_workloads::BenchmarkId, f64, u64, f64, u64, f64)) -> f64| {
         rows.iter().map(f).sum::<f64>() / rows.len() as f64
     };
@@ -53,14 +64,23 @@ fn main() -> ExitCode {
         f2(na),
         String::new(),
     ]);
-    opts.emit("Fig 1: head-of-ROB stall cycles per stalling load (baseline)", &table);
+    opts.emit(
+        "Fig 1: head-of-ROB stall cycles per stalling load (baseline)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
-    checks.claim(ra > wa, &format!("avg replay stall {ra:.1} > avg walk stall {wa:.1}"));
-    checks.claim(ra > na, &format!("avg replay stall {ra:.1} > avg non-replay stall {na:.1}"));
+    checks.claim(
+        ra > wa,
+        &format!("avg replay stall {ra:.1} > avg walk stall {wa:.1}"),
+    );
+    checks.claim(
+        ra > na,
+        &format!("avg replay stall {ra:.1} > avg non-replay stall {na:.1}"),
+    );
     // The paper's "maximum" is the worst per-benchmark average, not a
     // per-event max.
     let max_avg_replay = rows.iter().map(|r| r.3).fold(f64::MIN, f64::max);

@@ -28,19 +28,33 @@ fn main() -> ExitCode {
     ];
 
     let mut table = Table::new(&[
-        "benchmark", "LLC(T)", "LLC(R)", "LLC(TR)", "L2C(T)+LLC(TR)", "L2C+LLC(TR)",
+        "benchmark",
+        "LLC(T)",
+        "LLC(R)",
+        "LLC(TR)",
+        "L2C(T)+LLC(TR)",
+        "L2C+LLC(TR)",
     ]);
     let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for bench in &opts.benchmarks {
-        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+    'bench: for bench in &opts.benchmarks {
+        let Some(base) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let base = base.core.cycles;
         let mut cells = vec![bench.name().to_string()];
-        for (i, (_, ideal)) in variants.iter().enumerate() {
+        let mut speedups = Vec::with_capacity(variants.len());
+        for (_, ideal) in variants.iter() {
             let mut cfg = SimConfig::baseline();
             cfg.ideal = *ideal;
-            let c = opts.run(&cfg, *bench).core.cycles;
-            let speedup = base as f64 / c as f64;
-            per_variant[i].push(speedup);
+            let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+                continue 'bench;
+            };
+            let speedup = base as f64 / s.core.cycles as f64;
+            speedups.push(speedup);
             cells.push(f3(speedup));
+        }
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_variant[i].push(s);
         }
         table.row(&cells);
     }
@@ -48,18 +62,36 @@ fn main() -> ExitCode {
     let mut cells = vec!["geomean".to_string()];
     cells.extend(means.iter().map(|&m| f3(m)));
     table.row(&cells);
-    opts.emit("Fig 2: normalized performance with ideal caches (baseline = real caches)", &table);
+    opts.emit(
+        "Fig 2: normalized performance with ideal caches (baseline = real caches)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
     let [t, r, tr, l2t, full] = [means[0], means[1], means[2], means[3], means[4]];
-    checks.claim(means.iter().all(|&m| m > 0.995), "all oracles ≥ baseline (within noise)");
+    checks.claim(
+        means.iter().all(|&m| m > 0.995),
+        "all oracles ≥ baseline (within noise)",
+    );
     checks.claim(tr >= r - 0.005, &format!("LLC(TR) {tr:.3} ≥ LLC(R) {r:.3}"));
-    checks.claim(r > t, &format!("replay oracle {r:.3} > translation oracle {t:.3} (paper: 30.2% vs 4.7%)"));
-    checks.claim(full >= tr, &format!("adding ideal L2C helps: {full:.3} ≥ {tr:.3}"));
-    checks.claim(full > 1.05, &format!("full oracle shows real headroom ({full:.3})"));
-    checks.claim(l2t >= tr - 0.005, &format!("L2C(T) on top of LLC(TR): {l2t:.3} ≥ {tr:.3}"));
+    checks.claim(
+        r > t,
+        &format!("replay oracle {r:.3} > translation oracle {t:.3} (paper: 30.2% vs 4.7%)"),
+    );
+    checks.claim(
+        full >= tr,
+        &format!("adding ideal L2C helps: {full:.3} ≥ {tr:.3}"),
+    );
+    checks.claim(
+        full > 1.05,
+        &format!("full oracle shows real headroom ({full:.3})"),
+    );
+    checks.claim(
+        l2t >= tr - 0.005,
+        &format!("L2C(T) on top of LLC(TR): {l2t:.3} ≥ {tr:.3}"),
+    );
     checks.finish()
 }

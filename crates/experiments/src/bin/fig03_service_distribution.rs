@@ -19,15 +19,31 @@ fn main() -> ExitCode {
     let cfg = SimConfig::baseline();
 
     let mut table = Table::new(&[
-        "benchmark", "T@L1D", "T@L2C", "T@LLC", "T@DRAM", "R@L1D", "R@L2C", "R@LLC", "R@DRAM",
+        "benchmark",
+        "T@L1D",
+        "T@L2C",
+        "T@LLC",
+        "T@DRAM",
+        "R@L1D",
+        "R@L2C",
+        "R@LLC",
+        "R@DRAM",
     ]);
     let mut agg_t = [0u64; 4];
     let mut agg_r = [0u64; 4];
     for bench in &opts.benchmarks {
-        let s = opts.run(&cfg, *bench);
+        let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
         let tt: u64 = s.service_translation.iter().sum();
         let tr: u64 = s.service_replay.iter().sum();
-        let frac = |v: u64, total: u64| if total == 0 { 0.0 } else { v as f64 / total as f64 };
+        let frac = |v: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                v as f64 / total as f64
+            }
+        };
         let mut cells = vec![bench.name().to_string()];
         for lvl in MemLevel::ALL {
             cells.push(pct(frac(s.service_translation[lvl.index()], tt)));
@@ -64,7 +80,10 @@ fn main() -> ExitCode {
     let dram_r = agg_r[3] as f64 / tr as f64;
     checks.claim(
         onchip_t > 0.5,
-        &format!("most leaf translations serviced on-chip ({})", pct(onchip_t)),
+        &format!(
+            "most leaf translations serviced on-chip ({})",
+            pct(onchip_t)
+        ),
     );
     checks.claim(
         dram_r > 0.6,

@@ -28,13 +28,22 @@ fn main() -> ExitCode {
     };
 
     let mut table = Table::new(&[
-        "benchmark", "LLC<10", "LLC<50", "LLC<100", "LLC>cap", "L2C<10", "L2C<50", "L2C<100",
+        "benchmark",
+        "LLC<10",
+        "LLC<50",
+        "LLC<100",
+        "LLC>cap",
+        "L2C<10",
+        "L2C<50",
+        "L2C<100",
         "L2C>cap",
     ]);
     let mut agg_llc = Histogram::new(10, Probes::CAP.div_ceil(10));
     let mut agg_l2c = Histogram::new(10, Probes::CAP.div_ceil(10));
     for bench in &opts.benchmarks {
-        let s = opts.run(&cfg, *bench);
+        let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
         let llc = s.llc_recall.as_ref().expect("probe on");
         let l2c = s.l2c_recall.as_ref().expect("probe on");
         table.row(&[
@@ -62,7 +71,10 @@ fn main() -> ExitCode {
         pct(agg_l2c.fraction_below(100)),
         pct(1.0 - agg_l2c.fraction_below(Probes::CAP as u64)),
     ]);
-    opts.emit("Fig 5: recall distance of leaf-level translations (LLC / L2C)", &table);
+    opts.emit(
+        "Fig 5: recall distance of leaf-level translations (LLC / L2C)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
@@ -72,12 +84,21 @@ fn main() -> ExitCode {
     let l2c50 = agg_l2c.fraction_below(50);
     checks.claim(
         llc50 > 0.15,
-        &format!("LLC: sizeable short-recall translation fraction ({}; paper ~30%)", pct(llc50)),
+        &format!(
+            "LLC: sizeable short-recall translation fraction ({}; paper ~30%)",
+            pct(llc50)
+        ),
     );
     checks.claim(
         l2c50 > 0.15,
-        &format!("L2C: sizeable short-recall translation fraction ({})", pct(l2c50)),
+        &format!(
+            "L2C: sizeable short-recall translation fraction ({})",
+            pct(l2c50)
+        ),
     );
-    checks.claim(agg_llc.count() > 0 && agg_l2c.count() > 0, "probes observed evictions");
+    checks.claim(
+        agg_llc.count() > 0 && agg_l2c.count() > 0,
+        "probes observed evictions",
+    );
     checks.finish()
 }

@@ -21,27 +21,46 @@ fn main() -> ExitCode {
     let opts = Opts::parse();
     let policies = PolicyChoice::FIG4_SET;
 
-    let mut table =
-        Table::new(&["benchmark", "LRU", "SRRIP", "DRRIP", "SHiP", "Hawkeye", "dead-replay%"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "LRU",
+        "SRRIP",
+        "DRRIP",
+        "SHiP",
+        "Hawkeye",
+        "dead-replay%",
+    ]);
     let mut sums = vec![0.0; policies.len()];
     let mut dead_total = (0u64, 0u64);
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
         let mut dead_frac = 0.0;
-        for (i, p) in policies.iter().enumerate() {
+        let mut mpkis = Vec::with_capacity(policies.len());
+        let mut dead_counts = (0u64, 0u64);
+        for p in policies.iter() {
             let mut cfg = SimConfig::baseline();
             cfg.llc_policy = *p;
-            let s = opts.run(&cfg, *bench);
+            let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+                continue 'bench;
+            };
             let mpki = s.llc_mpki(AccessClass::ReplayData);
-            sums[i] += mpki;
+            mpkis.push(mpki);
             cells.push(f3(mpki));
             if *p == PolicyChoice::Ship {
                 let (dead, total) = s.llc_replay_evictions;
-                dead_frac = if total == 0 { 0.0 } else { dead as f64 / total as f64 };
-                dead_total.0 += dead;
-                dead_total.1 += total;
+                dead_frac = if total == 0 {
+                    0.0
+                } else {
+                    dead as f64 / total as f64
+                };
+                dead_counts = (dead, total);
             }
         }
+        for (i, m) in mpkis.into_iter().enumerate() {
+            sums[i] += m;
+        }
+        dead_total.0 += dead_counts.0;
+        dead_total.1 += dead_counts.1;
         cells.push(pct(dead_frac));
         table.row(&cells);
     }
@@ -55,7 +74,10 @@ fn main() -> ExitCode {
         dead_total.0 as f64 / dead_total.1 as f64
     }));
     table.row(&cells);
-    opts.emit("Fig 6: replay-load MPKI at the LLC by replacement policy", &table);
+    opts.emit(
+        "Fig 6: replay-load MPKI at the LLC by replacement policy",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
@@ -70,7 +92,10 @@ fn main() -> ExitCode {
     let dead = dead_total.0 as f64 / dead_total.1.max(1) as f64;
     checks.claim(
         dead > 0.80,
-        &format!("most evicted replay blocks are dead ({}; paper >95%)", pct(dead)),
+        &format!(
+            "most evicted replay blocks are dead ({}; paper >95%)",
+            pct(dead)
+        ),
     );
     checks.finish()
 }

@@ -19,9 +19,7 @@ use atc_types::{AccessClass, PtLevel};
 fn main() -> ExitCode {
     let opts = Opts::parse();
 
-    let mut table = Table::new(&[
-        "benchmark", "LLC<50", "LLC>50", "L2C<50", "L2C>50",
-    ]);
+    let mut table = Table::new(&["benchmark", "LLC<50", "LLC>50", "L2C<50", "L2C>50"]);
     let mut agg_llc = Histogram::new(10, Probes::CAP.div_ceil(10));
     let mut agg_l2c = Histogram::new(10, Probes::CAP.div_ceil(10));
     let mut agg_t_llc = Histogram::new(10, Probes::CAP.div_ceil(10));
@@ -32,7 +30,9 @@ fn main() -> ExitCode {
             llc_recall: Some(vec![AccessClass::ReplayData]),
             stlb_recall: false,
         };
-        let s = opts.run(&cfg, *bench);
+        let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
         let llc = s.llc_recall.as_ref().expect("probe on");
         let l2c = s.l2c_recall.as_ref().expect("probe on");
         table.row(&[
@@ -52,7 +52,9 @@ fn main() -> ExitCode {
             llc_recall: Some(vec![AccessClass::Translation(PtLevel::L1)]),
             stlb_recall: false,
         };
-        let st = opts.run(&cfg_t, *bench);
+        let Some(st) = opts.run_or_skip(&cfg_t, *bench) else {
+            continue;
+        };
         agg_t_llc.merge(st.llc_recall.as_ref().expect("probe on"));
     }
     table.row(&[
@@ -71,7 +73,10 @@ fn main() -> ExitCode {
     let beyond = 1.0 - agg_llc.fraction_below(50);
     checks.claim(
         beyond > 0.5,
-        &format!("LLC: majority of replay recalls beyond 50 ({}; paper >60%)", pct(beyond)),
+        &format!(
+            "LLC: majority of replay recalls beyond 50 ({}; paper >60%)",
+            pct(beyond)
+        ),
     );
     let t50 = agg_t_llc.fraction_below(50);
     let r50 = agg_llc.fraction_below(50);

@@ -24,17 +24,26 @@ fn main() -> ExitCode {
     let mut proper_all = Vec::new();
     let mut zero_all = Vec::new();
     for bench in &opts.benchmarks {
-        let base = opts.run(&SimConfig::baseline(), *bench).core.cycles;
+        let Some(base) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let base = base.core.cycles;
 
         let mut cfg_proper = SimConfig::baseline();
         cfg_proper.l2c_policy = PolicyChoice::TDrrip;
         cfg_proper.llc_policy = PolicyChoice::TShip;
-        let proper = base as f64 / opts.run(&cfg_proper, *bench).core.cycles as f64;
+        let Some(s_proper) = opts.run_or_skip(&cfg_proper, *bench) else {
+            continue;
+        };
+        let proper = base as f64 / s_proper.core.cycles as f64;
 
         let mut cfg_zero = SimConfig::baseline();
         cfg_zero.l2c_policy = PolicyChoice::TDrripReplayZero;
         cfg_zero.llc_policy = PolicyChoice::TShipReplayZero;
-        let zero = base as f64 / opts.run(&cfg_zero, *bench).core.cycles as f64;
+        let Some(s_zero) = opts.run_or_skip(&cfg_zero, *bench) else {
+            continue;
+        };
+        let zero = base as f64 / s_zero.core.cycles as f64;
 
         proper_all.push(proper);
         zero_all.push(zero);

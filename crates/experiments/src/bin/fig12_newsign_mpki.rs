@@ -26,18 +26,30 @@ fn main() -> ExitCode {
         PolicyChoice::THawkeye,
     ];
 
-    let mut table =
-        Table::new(&["benchmark", "SHiP", "NewSign", "T-SHiP", "Hawkeye", "T-Hawkeye"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "SHiP",
+        "NewSign",
+        "T-SHiP",
+        "Hawkeye",
+        "T-Hawkeye",
+    ]);
     let mut sums = vec![0.0; policies.len()];
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
-        for (i, p) in policies.iter().enumerate() {
+        let mut mpkis = Vec::with_capacity(policies.len());
+        for p in policies.iter() {
             let mut cfg = SimConfig::baseline();
             cfg.llc_policy = *p;
-            let s = opts.run(&cfg, *bench);
+            let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+                continue 'bench;
+            };
             let mpki = s.llc_mpki(t);
-            sums[i] += mpki;
+            mpkis.push(mpki);
             cells.push(f3(mpki));
+        }
+        for (i, m) in mpkis.into_iter().enumerate() {
+            sums[i] += m;
         }
         table.row(&cells);
     }
@@ -46,14 +58,16 @@ fn main() -> ExitCode {
     let mut cells = vec!["average".to_string()];
     cells.extend(avgs.iter().map(|&a| f3(a)));
     table.row(&cells);
-    opts.emit("Fig 12: LLC leaf-translation MPKI with enhanced signatures", &table);
+    opts.emit(
+        "Fig 12: LLC leaf-translation MPKI with enhanced signatures",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
-    let [ship, newsign, tship, hawkeye, thawkeye] =
-        [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
+    let [ship, newsign, tship, hawkeye, thawkeye] = [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
     checks.claim(
         newsign <= ship * 1.02,
         &format!("NewSign does not hurt translation MPKI ({newsign:.3} vs SHiP {ship:.3})"),

@@ -23,7 +23,14 @@ fn main() -> ExitCode {
     let ladder = Enhancement::ALL;
 
     let mut table = Table::new(&[
-        "benchmark", "T-DRRIP", "+T-SHiP", "+ATP", "+TEMPO", "onchip-T%", "ATP-pf", "TEMPO-pf",
+        "benchmark",
+        "T-DRRIP",
+        "+T-SHiP",
+        "+ATP",
+        "+TEMPO",
+        "onchip-T%",
+        "ATP-pf",
+        "TEMPO-pf",
     ]);
     let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); ladder.len() - 1];
     let mut full_speedups = Vec::new();
@@ -35,7 +42,7 @@ fn main() -> ExitCode {
         let mut tempo_pf = 0;
         for e in ladder {
             let cfg = SimConfig::with_enhancement(e);
-            let s = opts.run(&cfg, bench);
+            let s = opts.run_or_skip(&cfg, bench)?;
             cycles.push(s.core.cycles);
             if e == Enhancement::Tempo {
                 onchip = s.translation_hit_fraction_upto(MemLevel::Llc);
@@ -43,12 +50,14 @@ fn main() -> ExitCode {
                 tempo_pf = s.tempo_issued;
             }
         }
-        (bench, cycles, onchip, atp_pf, tempo_pf)
+        Some((bench, cycles, onchip, atp_pf, tempo_pf))
     });
-    for (bench, cycles, onchip, atp_pf, tempo_pf) in results {
+    for (bench, cycles, onchip, atp_pf, tempo_pf) in results.into_iter().flatten() {
         let base = cycles[0];
-        let speedups: Vec<f64> =
-            cycles[1..].iter().map(|&c| base as f64 / c as f64).collect();
+        let speedups: Vec<f64> = cycles[1..]
+            .iter()
+            .map(|&c| base as f64 / c as f64)
+            .collect();
         for (i, s) in speedups.iter().enumerate() {
             per_stage[i].push(*s);
         }
@@ -86,7 +95,10 @@ fn main() -> ExitCode {
     let mut checks = Checks::new();
     checks.claim(
         *means.last().expect("stages") > 1.0,
-        &format!("full ladder geomean speedup {:.3} > 1.0", means.last().unwrap()),
+        &format!(
+            "full ladder geomean speedup {:.3} > 1.0",
+            means.last().unwrap()
+        ),
     );
     checks.claim(
         means[3] >= means[0] - 0.01,
@@ -94,10 +106,19 @@ fn main() -> ExitCode {
     );
     checks.claim(
         means[2] > means[1],
-        &format!("ATP adds on top of T-SHiP ({:.3} > {:.3})", means[2], means[1]),
+        &format!(
+            "ATP adds on top of T-SHiP ({:.3} > {:.3})",
+            means[2], means[1]
+        ),
     );
-    let best = full_speedups.iter().cloned().fold(f64::MIN, |a, (_, s)| a.max(s));
-    checks.claim(best > 1.02, &format!("best benchmark gains ≥ 2% ({best:.3})"));
+    let best = full_speedups
+        .iter()
+        .cloned()
+        .fold(f64::MIN, |a, (_, s)| a.max(s));
+    checks.claim(
+        best > 1.02,
+        &format!("best benchmark gains ≥ 2% ({best:.3})"),
+    );
     for (b, s) in &full_speedups {
         checks.claim(
             *s > 0.97,

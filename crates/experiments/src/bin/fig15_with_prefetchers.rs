@@ -1,5 +1,5 @@
-//! Fig 15: performance of the full enhancement stack (T-DRRIP + T-SHiP
-//! + ATP + TEMPO) in the presence of data prefetchers. For each
+//! Fig 15: performance of the full enhancement stack (T-DRRIP, T-SHiP,
+//! ATP, and TEMPO) in the presence of data prefetchers. For each
 //! prefetcher, both baseline and enhanced machines run the prefetcher;
 //! the speedup is enhanced-over-baseline.
 //!
@@ -31,20 +31,28 @@ fn main() -> ExitCode {
 
     let mut table = Table::new(&["benchmark", "none", "IPCP", "SPP", "Bingo", "ISB"]);
     let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
-        for (i, k) in kinds.iter().enumerate() {
+        let mut speedups = Vec::with_capacity(kinds.len());
+        for k in kinds.iter() {
             let mut base_cfg = SimConfig::baseline();
             base_cfg.prefetcher = *k;
-            let base = opts.run(&base_cfg, *bench).core.cycles;
+            let Some(base) = opts.run_or_skip(&base_cfg, *bench) else {
+                continue 'bench;
+            };
 
             let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
             enh_cfg.prefetcher = *k;
-            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+            let Some(enh) = opts.run_or_skip(&enh_cfg, *bench) else {
+                continue 'bench;
+            };
 
-            let speedup = base as f64 / enh as f64;
-            per_kind[i].push(speedup);
+            let speedup = base.core.cycles as f64 / enh.core.cycles as f64;
+            speedups.push(speedup);
             cells.push(f3(speedup));
+        }
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_kind[i].push(s);
         }
         table.row(&cells);
     }

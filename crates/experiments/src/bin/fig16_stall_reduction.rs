@@ -20,13 +20,21 @@ fn main() -> ExitCode {
     let opts = Opts::parse();
 
     let mut table = Table::new(&[
-        "benchmark", "walk-stall-red", "replay-stall-red", "combined-red",
+        "benchmark",
+        "walk-stall-red",
+        "replay-stall-red",
+        "combined-red",
     ]);
     let mut agg_base = (0u64, 0u64); // (walk, replay)
     let mut agg_enh = (0u64, 0u64);
     for bench in &opts.benchmarks {
-        let base = opts.run(&SimConfig::baseline(), *bench);
-        let enh = opts.run(&SimConfig::with_enhancement(Enhancement::Tempo), *bench);
+        let Some(base) = opts.run_or_skip(&SimConfig::baseline(), *bench) else {
+            continue;
+        };
+        let Some(enh) = opts.run_or_skip(&SimConfig::with_enhancement(Enhancement::Tempo), *bench)
+        else {
+            continue;
+        };
         let red = |b: u64, e: u64| {
             if b == 0 {
                 0.0
@@ -51,8 +59,7 @@ fn main() -> ExitCode {
     }
     let wred = 1.0 - agg_enh.0 as f64 / agg_base.0.max(1) as f64;
     let rred = 1.0 - agg_enh.1 as f64 / agg_base.1.max(1) as f64;
-    let cred =
-        1.0 - (agg_enh.0 + agg_enh.1) as f64 / (agg_base.0 + agg_base.1).max(1) as f64;
+    let cred = 1.0 - (agg_enh.0 + agg_enh.1) as f64 / (agg_base.0 + agg_base.1).max(1) as f64;
     table.row(&["average".to_string(), pct(wred), pct(rred), pct(cred)]);
     opts.emit(
         "Fig 16: reduction in head-of-ROB stall cycles (full enhancements vs baseline)",
@@ -63,11 +70,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
-    checks.claim(wred > 0.0, &format!("walk stalls reduced ({}; paper 28.8%)", pct(wred)));
-    checks.claim(rred > 0.0, &format!("replay stalls reduced ({}; paper 18.5%)", pct(rred)));
+    checks.claim(
+        wred > 0.0,
+        &format!("walk stalls reduced ({}; paper 28.8%)", pct(wred)),
+    );
+    checks.claim(
+        rred > 0.0,
+        &format!("replay stalls reduced ({}; paper 18.5%)", pct(rred)),
+    );
     checks.claim(
         cred > 0.05,
-        &format!("combined translation-related stalls clearly reduced ({}; paper 46.7%)", pct(cred)),
+        &format!(
+            "combined translation-related stalls clearly reduced ({}; paper 46.7%)",
+            pct(cred)
+        ),
     );
     checks.finish()
 }

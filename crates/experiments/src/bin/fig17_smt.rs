@@ -48,8 +48,16 @@ fn main() -> ExitCode {
     let mut speedups = Vec::new();
     let mut by_mix = Vec::new();
     for (a, b) in MIXES {
-        let base = run_pair(&SimConfig::baseline(), a, b);
-        let enh = run_pair(&SimConfig::with_enhancement(Enhancement::Tempo), a, b);
+        let pair = run_pair(&SimConfig::baseline(), a, b).and_then(|base| {
+            run_pair(&SimConfig::with_enhancement(Enhancement::Tempo), a, b).map(|enh| (base, enh))
+        });
+        let (base, enh) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("SKIPPED {}-{}: {e}", a.name(), b.name());
+                continue;
+            }
+        };
         let per_thread: Vec<f64> = (0..2)
             .map(|i| base.threads[i].cycles as f64 / enh.threads[i].cycles as f64)
             .collect();
@@ -60,20 +68,26 @@ fn main() -> ExitCode {
     }
     let g = geomean(&speedups);
     table.row(&["geomean".to_string(), f3(g)]);
-    opts.emit("Fig 17: 2-way SMT harmonic speedup (full enhancements vs baseline)", &table);
+    opts.emit(
+        "Fig 17: 2-way SMT harmonic speedup (full enhancements vs baseline)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.claim(by_mix.len() == MIXES.len(), "all SMT mixes completed");
     checks.claim(g > 1.0, &format!("SMT geomean harmonic speedup {g:.3} > 1"));
-    let low_low = by_mix[0].1;
-    let best_high = by_mix[2].1.max(by_mix[3].1).max(by_mix[7].1);
-    checks.claim(
-        best_high > low_low,
-        &format!("a High-High mix gains more than Low-Low ({best_high:.3} > {low_low:.3})"),
-    );
-    let gaining = by_mix.iter().filter(|(_, h)| *h > 1.0).count();
-    checks.claim(gaining >= 6, &format!("most mixes gain ({gaining}/8)"));
+    if by_mix.len() == MIXES.len() {
+        let low_low = by_mix[0].1;
+        let best_high = by_mix[2].1.max(by_mix[3].1).max(by_mix[7].1);
+        checks.claim(
+            best_high > low_low,
+            &format!("a High-High mix gains more than Low-Low ({best_high:.3} > {low_low:.3})"),
+        );
+        let gaining = by_mix.iter().filter(|(_, h)| *h > 1.0).count();
+        checks.claim(gaining >= 6, &format!("most mixes gain ({gaining}/8)"));
+    }
     checks.finish()
 }

@@ -17,12 +17,18 @@ use atc_stats::{table::Table, Histogram};
 fn main() -> ExitCode {
     let opts = Opts::parse();
     let mut cfg = SimConfig::baseline();
-    cfg.probes = Probes { l2c_recall: None, llc_recall: None, stlb_recall: true };
+    cfg.probes = Probes {
+        l2c_recall: None,
+        llc_recall: None,
+        stlb_recall: true,
+    };
 
     let mut table = Table::new(&["benchmark", "<10", "<50", ">=50"]);
     let mut agg = Histogram::new(10, Probes::CAP.div_ceil(10));
     for bench in &opts.benchmarks {
-        let s = opts.run(&cfg, *bench);
+        let Some(s) = opts.run_or_skip(&cfg, *bench) else {
+            continue;
+        };
         let h = s.stlb_recall.as_ref().expect("probe on");
         table.row(&[
             bench.name().to_string(),
@@ -38,7 +44,10 @@ fn main() -> ExitCode {
         pct(agg.fraction_below(50)),
         pct(1.0 - agg.fraction_below(50)),
     ]);
-    opts.emit("Fig 18: recall distance of translations at the STLB", &table);
+    opts.emit(
+        "Fig 18: recall distance of translations at the STLB",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
@@ -47,7 +56,10 @@ fn main() -> ExitCode {
     let beyond = 1.0 - agg.fraction_below(50);
     checks.claim(
         beyond > 0.3,
-        &format!("large dead-entry fraction at the STLB ({}; paper >40%)", pct(beyond)),
+        &format!(
+            "large dead-entry fraction at the STLB ({}; paper >40%)",
+            pct(beyond)
+        ),
     );
     checks.claim(agg.count() > 0, "STLB evictions observed");
     checks.finish()

@@ -22,20 +22,28 @@ fn main() -> ExitCode {
 
     let mut table = Table::new(&["benchmark", "512", "1024", "2048", "4096"]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
-        for (i, entries) in SIZES.iter().enumerate() {
+        let mut speedups = Vec::with_capacity(SIZES.len());
+        for entries in SIZES.iter() {
             let mut base_cfg = SimConfig::baseline();
             base_cfg.machine.stlb.entries = *entries;
-            let base = opts.run(&base_cfg, *bench).core.cycles;
+            let Some(base) = opts.run_or_skip(&base_cfg, *bench) else {
+                continue 'bench;
+            };
 
             let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
             enh_cfg.machine.stlb.entries = *entries;
-            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+            let Some(enh) = opts.run_or_skip(&enh_cfg, *bench) else {
+                continue 'bench;
+            };
 
-            let s = base as f64 / enh as f64;
-            per_size[i].push(s);
+            let s = base.core.cycles as f64 / enh.core.cycles as f64;
+            speedups.push(s);
             cells.push(f3(s));
+        }
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_size[i].push(s);
         }
         table.row(&cells);
     }
@@ -43,14 +51,20 @@ fn main() -> ExitCode {
     let mut cells = vec!["geomean".to_string()];
     cells.extend(means.iter().map(|&m| f3(m)));
     table.row(&cells);
-    opts.emit("Fig 19: STLB sensitivity (speedup of full enhancements per STLB size)", &table);
+    opts.emit(
+        "Fig 19: STLB sensitivity (speedup of full enhancements per STLB size)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
     for (sz, m) in SIZES.iter().zip(&means) {
-        checks.claim(*m > 1.0, &format!("gains persist at {sz}-entry STLB ({m:.3})"));
+        checks.claim(
+            *m > 1.0,
+            &format!("gains persist at {sz}-entry STLB ({m:.3})"),
+        );
     }
     checks.claim(
         means[0] >= means[3] - 0.005,

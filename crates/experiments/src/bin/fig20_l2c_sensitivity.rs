@@ -27,9 +27,10 @@ fn main() -> ExitCode {
 
     let mut table = Table::new(&["benchmark", "256KB", "512KB", "768KB", "1MB"]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
-        for (i, (size, ways, lat)) in POINTS.iter().enumerate() {
+        let mut speedups = Vec::with_capacity(POINTS.len());
+        for (size, ways, lat) in POINTS.iter() {
             let apply = |cfg: &mut SimConfig| {
                 cfg.machine.l2c.size_bytes = *size;
                 cfg.machine.l2c.ways = *ways;
@@ -37,15 +38,22 @@ fn main() -> ExitCode {
             };
             let mut base_cfg = SimConfig::baseline();
             apply(&mut base_cfg);
-            let base = opts.run(&base_cfg, *bench).core.cycles;
+            let Some(base) = opts.run_or_skip(&base_cfg, *bench) else {
+                continue 'bench;
+            };
 
             let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
             apply(&mut enh_cfg);
-            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+            let Some(enh) = opts.run_or_skip(&enh_cfg, *bench) else {
+                continue 'bench;
+            };
 
-            let s = base as f64 / enh as f64;
-            per_size[i].push(s);
+            let s = base.core.cycles as f64 / enh.core.cycles as f64;
+            speedups.push(s);
             cells.push(f3(s));
+        }
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_size[i].push(s);
         }
         table.row(&cells);
     }
@@ -53,18 +61,27 @@ fn main() -> ExitCode {
     let mut cells = vec!["geomean".to_string()];
     cells.extend(means.iter().map(|&m| f3(m)));
     table.row(&cells);
-    opts.emit("Fig 20: L2C sensitivity (speedup of full enhancements per L2C size)", &table);
+    opts.emit(
+        "Fig 20: L2C sensitivity (speedup of full enhancements per L2C size)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
     for ((sz, _, _), m) in POINTS.iter().zip(&means) {
-        checks.claim(*m > 1.0, &format!("gains persist at {} KiB L2C ({m:.3})", sz / 1024));
+        checks.claim(
+            *m > 1.0,
+            &format!("gains persist at {} KiB L2C ({m:.3})", sz / 1024),
+        );
     }
     checks.claim(
         means[3] <= means[0] + 0.02,
-        &format!("gains do not grow with L2C size ({:.3} vs {:.3})", means[3], means[0]),
+        &format!(
+            "gains do not grow with L2C size ({:.3} vs {:.3})",
+            means[3], means[0]
+        ),
     );
     checks.finish()
 }

@@ -15,36 +15,39 @@ use atc_sim::SimConfig;
 use atc_stats::{geomean, table::Table};
 
 /// `(size_bytes, latency)` sweep points.
-const POINTS: [(usize, u64); 4] = [
-    (1 << 20, 18),
-    (2 << 20, 20),
-    (4 << 20, 22),
-    (8 << 20, 24),
-];
+const POINTS: [(usize, u64); 4] = [(1 << 20, 18), (2 << 20, 20), (4 << 20, 22), (8 << 20, 24)];
 
 fn main() -> ExitCode {
     let opts = Opts::parse();
 
     let mut table = Table::new(&["benchmark", "1MB", "2MB", "4MB", "8MB"]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
-    for bench in &opts.benchmarks {
+    'bench: for bench in &opts.benchmarks {
         let mut cells = vec![bench.name().to_string()];
-        for (i, (size, lat)) in POINTS.iter().enumerate() {
+        let mut speedups = Vec::with_capacity(POINTS.len());
+        for (size, lat) in POINTS.iter() {
             let apply = |cfg: &mut SimConfig| {
                 cfg.machine.llc.size_bytes = *size;
                 cfg.machine.llc.latency = *lat;
             };
             let mut base_cfg = SimConfig::baseline();
             apply(&mut base_cfg);
-            let base = opts.run(&base_cfg, *bench).core.cycles;
+            let Some(base) = opts.run_or_skip(&base_cfg, *bench) else {
+                continue 'bench;
+            };
 
             let mut enh_cfg = SimConfig::with_enhancement(Enhancement::Tempo);
             apply(&mut enh_cfg);
-            let enh = opts.run(&enh_cfg, *bench).core.cycles;
+            let Some(enh) = opts.run_or_skip(&enh_cfg, *bench) else {
+                continue 'bench;
+            };
 
-            let s = base as f64 / enh as f64;
-            per_size[i].push(s);
+            let s = base.core.cycles as f64 / enh.core.cycles as f64;
+            speedups.push(s);
             cells.push(f3(s));
+        }
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_size[i].push(s);
         }
         table.row(&cells);
     }
@@ -52,18 +55,27 @@ fn main() -> ExitCode {
     let mut cells = vec!["geomean".to_string()];
     cells.extend(means.iter().map(|&m| f3(m)));
     table.row(&cells);
-    opts.emit("Fig 21: LLC sensitivity (speedup of full enhancements per LLC size)", &table);
+    opts.emit(
+        "Fig 21: LLC sensitivity (speedup of full enhancements per LLC size)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
     for ((sz, _), m) in POINTS.iter().zip(&means) {
-        checks.claim(*m > 1.0, &format!("gains persist at {} MiB LLC ({m:.3})", sz >> 20));
+        checks.claim(
+            *m > 1.0,
+            &format!("gains persist at {} MiB LLC ({m:.3})", sz >> 20),
+        );
     }
     checks.claim(
         means[0] >= means[3] - 0.005,
-        &format!("1 MiB gains ≥ 8 MiB gains ({:.3} vs {:.3})", means[0], means[3]),
+        &format!(
+            "1 MiB gains ≥ 8 MiB gains ({:.3} vs {:.3})",
+            means[0], means[3]
+        ),
     );
     checks.finish()
 }

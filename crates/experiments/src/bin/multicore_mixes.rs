@@ -24,16 +24,24 @@ fn mixes() -> Vec<(&'static str, Vec<BenchmarkId>)> {
     vec![
         ("8×xalancbmk (homog-low)", vec![Xalancbmk; 8]),
         ("8×pr (homog-high)", vec![Pr; 8]),
-        ("4×pr+4×cc (high-high)", vec![Pr, Cc, Pr, Cc, Pr, Cc, Pr, Cc]),
+        (
+            "4×pr+4×cc (high-high)",
+            vec![Pr, Cc, Pr, Cc, Pr, Cc, Pr, Cc],
+        ),
         (
             "mixed-all",
             vec![Xalancbmk, Tc, Canneal, Mis, Mcf, Bf, Radii, Pr],
         ),
         (
             "high+low",
-            vec![Pr, Xalancbmk, Cc, Xalancbmk, Radii, Xalancbmk, Bf, Xalancbmk],
+            vec![
+                Pr, Xalancbmk, Cc, Xalancbmk, Radii, Xalancbmk, Bf, Xalancbmk,
+            ],
         ),
-        ("med-heavy", vec![Tc, Canneal, Mis, Mcf, Tc, Canneal, Mis, Mcf]),
+        (
+            "med-heavy",
+            vec![Tc, Canneal, Mis, Mcf, Tc, Canneal, Mis, Mcf],
+        ),
     ]
 }
 
@@ -55,8 +63,17 @@ fn main() -> ExitCode {
     let mut table = Table::new(&["mix", "hspeedup"]);
     let mut all = Vec::new();
     for (name, benches) in mixes() {
-        let base = run_mix(&SimConfig::baseline(), &benches);
-        let enh = run_mix(&SimConfig::with_enhancement(Enhancement::Tempo), &benches);
+        let pair = run_mix(&SimConfig::baseline(), &benches).and_then(|base| {
+            run_mix(&SimConfig::with_enhancement(Enhancement::Tempo), &benches)
+                .map(|enh| (base, enh))
+        });
+        let (base, enh) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("SKIPPED {name}: {e}");
+                continue;
+            }
+        };
         let per_core: Vec<f64> = base
             .iter()
             .zip(&enh)
@@ -68,7 +85,10 @@ fn main() -> ExitCode {
     }
     let g = geomean(&all.iter().map(|(_, h)| *h).collect::<Vec<_>>());
     table.row(&["geomean".to_string(), f3(g)]);
-    opts.emit("§V multi-core: 8-core mixes, harmonic speedup (enhanced vs baseline)", &table);
+    opts.emit(
+        "§V multi-core: 8-core mixes, harmonic speedup (enhanced vs baseline)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;

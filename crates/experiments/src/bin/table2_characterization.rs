@@ -22,13 +22,21 @@ fn main() -> ExitCode {
     let n = AccessClass::NonReplayData;
 
     let mut table = Table::new(&[
-        "benchmark", "suite", "category", "STLB", "L2C-replay", "L2C-nonreplay", "L2C-PTL1",
-        "LLC-replay", "LLC-nonreplay", "LLC-PTL1",
+        "benchmark",
+        "suite",
+        "category",
+        "STLB",
+        "L2C-replay",
+        "L2C-nonreplay",
+        "L2C-PTL1",
+        "LLC-replay",
+        "LLC-nonreplay",
+        "LLC-PTL1",
     ]);
     let results = atc_experiments::par_map(&opts.benchmarks, |bench| {
-        let s = opts.run(&cfg, bench);
-        (bench, s)
+        opts.run_or_skip(&cfg, bench).map(|s| (bench, s))
     });
+    let results: Vec<_> = results.into_iter().flatten().collect();
     let mut rows = Vec::new();
     for (bench, s) in &results {
         let stlb = s.stlb_mpki();
@@ -46,7 +54,10 @@ fn main() -> ExitCode {
         ]);
         rows.push((*bench, stlb, s.llc_mpki(r)));
     }
-    opts.emit("Table II: benchmark characterization (baseline DRRIP+SHiP)", &table);
+    opts.emit(
+        "Table II: benchmark characterization (baseline DRRIP+SHiP)",
+        &table,
+    );
 
     if !opts.check {
         return ExitCode::SUCCESS;
@@ -58,7 +69,10 @@ fn main() -> ExitCode {
             MpkiCategory::Medium => *stlb > 3.0 && *stlb < 40.0,
             MpkiCategory::High => *stlb > 15.0,
         };
-        checks.claim(band_ok, &format!("{}: STLB MPKI {stlb:.2} in its Table II band", b.name()));
+        checks.claim(
+            band_ok,
+            &format!("{}: STLB MPKI {stlb:.2} in its Table II band", b.name()),
+        );
         checks.claim(
             *stlb > 0.05,
             &format!("{}: workload produces STLB misses", b.name()),
@@ -68,16 +82,30 @@ fn main() -> ExitCode {
     for (b, stlb, replay) in &rows {
         checks.claim(
             *replay <= *stlb * 1.3 + 2.0,
-            &format!("{}: LLC replay MPKI {replay:.2} ≲ STLB MPKI {stlb:.2}", b.name()),
+            &format!(
+                "{}: LLC replay MPKI {replay:.2} ≲ STLB MPKI {stlb:.2}",
+                b.name()
+            ),
         );
     }
     // Ordering shape: pr has the highest STLB MPKI, xalancbmk the lowest.
     if rows.len() == 9 {
         let max = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max);
         let min = rows.iter().map(|r| r.1).fold(f64::MAX, f64::min);
-        let pr = rows.iter().find(|r| r.0.name() == "pr").map(|r| r.1).unwrap_or(0.0);
-        let xal = rows.iter().find(|r| r.0.name() == "xalancbmk").map(|r| r.1).unwrap_or(0.0);
-        checks.claim(pr == max, &format!("pr has the highest STLB MPKI ({pr:.2} vs max {max:.2})"));
+        let pr = rows
+            .iter()
+            .find(|r| r.0.name() == "pr")
+            .map(|r| r.1)
+            .unwrap_or(0.0);
+        let xal = rows
+            .iter()
+            .find(|r| r.0.name() == "xalancbmk")
+            .map(|r| r.1)
+            .unwrap_or(0.0);
+        checks.claim(
+            pr == max,
+            &format!("pr has the highest STLB MPKI ({pr:.2} vs max {max:.2})"),
+        );
         checks.claim(
             xal == min,
             &format!("xalancbmk has the lowest STLB MPKI ({xal:.2} vs min {min:.2})"),

@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! Experiment harness shared by the per-figure binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
@@ -20,7 +22,7 @@ use atc_sim::SimConfig;
 use atc_stats::table::Table;
 use atc_workloads::{BenchmarkId, Scale};
 
-pub use atc_sim::{run_one, RunStats};
+pub use atc_sim::{run_one, RunStats, SimFailure};
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone)]
@@ -59,55 +61,86 @@ impl Opts {
     /// Parse `std::env::args()`; exits the process with a usage message
     /// on malformed input.
     pub fn parse() -> Opts {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--seed N] [--scale test|small|paper] [--warmup N] \
+                     [--instructions N] [--benchmarks a,b,c] [--csv] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parse from an explicit argument iterator (testable).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unknown flags or malformed values.
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Opts {
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
         let mut o = Opts::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+            let numeric = |name: &str, v: String| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("{name} needs a number, got {v:?}"))
             };
             match a.as_str() {
-                "--seed" => o.seed = value("--seed").parse().expect("numeric --seed"),
-                "--warmup" => o.warmup = value("--warmup").parse().expect("numeric --warmup"),
+                "--seed" => o.seed = numeric("--seed", value("--seed")?)?,
+                "--warmup" => o.warmup = numeric("--warmup", value("--warmup")?)?,
                 "--instructions" => {
-                    o.measure = value("--instructions").parse().expect("numeric --instructions")
+                    o.measure = numeric("--instructions", value("--instructions")?)?
                 }
                 "--scale" => {
-                    o.scale = match value("--scale").as_str() {
+                    o.scale = match value("--scale")?.as_str() {
                         "test" => Scale::Test,
                         "small" => Scale::Small,
                         "paper" => Scale::Paper,
-                        other => panic!("unknown scale {other:?} (test|small|paper)"),
+                        other => return Err(format!("unknown scale {other:?} (test|small|paper)")),
                     }
                 }
                 "--benchmarks" => {
-                    o.benchmarks = value("--benchmarks")
+                    o.benchmarks = value("--benchmarks")?
                         .split(',')
                         .map(|s| {
                             BenchmarkId::parse(s.trim())
-                                .unwrap_or_else(|| panic!("unknown benchmark {s:?}"))
+                                .ok_or_else(|| format!("unknown benchmark {s:?}"))
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
                 "--csv" => o.csv = true,
                 "--check" => o.check = true,
-                other => panic!("unknown flag {other:?}"),
+                other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        o
+        Ok(o)
     }
 
     /// Run `bench` under `cfg` with this option set's budget.
-    pub fn run(&self, cfg: &SimConfig, bench: BenchmarkId) -> RunStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimFailure`] from [`run_one`].
+    pub fn run(&self, cfg: &SimConfig, bench: BenchmarkId) -> Result<RunStats, SimFailure> {
         run_one(cfg, bench, self.scale, self.seed, self.warmup, self.measure)
+    }
+
+    /// [`run`](Self::run), reporting a failed configuration on stderr and
+    /// returning `None` so sweeps skip it instead of aborting the whole
+    /// figure. A deadlocked run's partial statistics are summarised in
+    /// the report.
+    pub fn run_or_skip(&self, cfg: &SimConfig, bench: BenchmarkId) -> Option<RunStats> {
+        match self.run(cfg, bench) {
+            Ok(s) => Some(s),
+            Err(fail) => {
+                eprintln!("SKIPPED {bench:?}: {fail}");
+                None
+            }
+        }
     }
 
     /// Print the table in the selected format.
@@ -130,15 +163,17 @@ where
     R: Send,
     F: Fn(BenchmarkId) -> R + Sync,
 {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let job = &job;
         let handles: Vec<_> = benchmarks
             .iter()
-            .map(|&b| s.spawn(move |_| job(b)))
+            .map(|&b| s.spawn(move || job(b)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("benchmark job panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark job panicked"))
+            .collect()
     })
-    .expect("scope")
 }
 
 /// Accumulates `--check` assertion results; prints failures and converts
@@ -169,7 +204,11 @@ impl Checks {
         for f in &self.failures {
             eprintln!("CHECK FAILED: {f}");
         }
-        eprintln!("checks: {} passed, {} failed", self.passes, self.failures.len());
+        eprintln!(
+            "checks: {} passed, {} failed",
+            self.passes,
+            self.failures.len()
+        );
         if self.failures.is_empty() {
             ExitCode::SUCCESS
         } else {
@@ -212,11 +251,24 @@ mod tests {
     #[test]
     fn parse_flags() {
         let o = Opts::parse_from(
-            ["--seed", "7", "--scale", "test", "--benchmarks", "pr,mcf", "--csv", "--check",
-             "--warmup", "10", "--instructions", "100"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+            [
+                "--seed",
+                "7",
+                "--scale",
+                "test",
+                "--benchmarks",
+                "pr,mcf",
+                "--csv",
+                "--check",
+                "--warmup",
+                "10",
+                "--instructions",
+                "100",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("well-formed flags parse");
         assert_eq!(o.seed, 7);
         assert_eq!(o.scale, Scale::Test);
         assert_eq!(o.benchmarks, vec![BenchmarkId::Pr, BenchmarkId::Mcf]);
@@ -227,9 +279,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        let _ = Opts::parse_from(["--bogus".to_string()]);
+    fn unknown_flag_is_an_error() {
+        let err = Opts::parse_from(["--bogus".to_string()]).unwrap_err();
+        assert!(err.contains("unknown flag"), "got {err:?}");
+        let err = Opts::parse_from(["--seed".to_string()]).unwrap_err();
+        assert!(err.contains("missing value"), "got {err:?}");
+        let err = Opts::parse_from(["--seed".to_string(), "abc".to_string()]).unwrap_err();
+        assert!(err.contains("needs a number"), "got {err:?}");
     }
 
     #[test]

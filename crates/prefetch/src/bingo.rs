@@ -59,7 +59,8 @@ impl Bingo {
             self.by_ip_offset.clear();
         }
         self.by_ip_addr.insert((r.trigger_ip, region), r.footprint);
-        self.by_ip_offset.insert((r.trigger_ip, r.trigger_offset), r.footprint);
+        self.by_ip_offset
+            .insert((r.trigger_ip, r.trigger_offset), r.footprint);
     }
 }
 
@@ -117,7 +118,9 @@ impl Prefetcher for Bingo {
         if footprint != 0 {
             for bit in 0..REGION_LINES {
                 if bit as u8 != offset && footprint & (1 << bit) != 0 {
-                    out.push(PrefetchRequest::Phys(LineAddr::new(region * REGION_LINES + bit)));
+                    out.push(PrefetchRequest::Phys(LineAddr::new(
+                        region * REGION_LINES + bit,
+                    )));
                 }
             }
         }
@@ -131,7 +134,12 @@ mod tests {
     use atc_types::VirtAddr;
 
     fn ctx(ip: u64, line: u64) -> PrefetchContext {
-        PrefetchContext { ip, line: LineAddr::new(line), vaddr: VirtAddr::new(line << 6), hit: false }
+        PrefetchContext {
+            ip,
+            line: LineAddr::new(line),
+            vaddr: VirtAddr::new(line << 6),
+            hit: false,
+        }
     }
 
     #[test]
@@ -156,7 +164,10 @@ mod tests {
             .collect();
         assert!(lines.contains(&131));
         assert!(lines.contains(&135));
-        assert!(!lines.contains(&128), "trigger line itself is not prefetched");
+        assert!(
+            !lines.contains(&128),
+            "trigger line itself is not prefetched"
+        );
     }
 
     #[test]

@@ -127,7 +127,12 @@ mod tests {
     use atc_types::LineAddr;
 
     fn ctx(ip: u64, va: u64) -> PrefetchContext {
-        PrefetchContext { ip, line: LineAddr::new(va >> 6), vaddr: VirtAddr::new(va), hit: false }
+        PrefetchContext {
+            ip,
+            line: LineAddr::new(va >> 6),
+            vaddr: VirtAddr::new(va),
+            hit: false,
+        }
     }
 
     #[test]
@@ -165,10 +170,15 @@ mod tests {
         let mut total = 0;
         let mut x = 12345u64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             total += p.on_access(&ctx(11, x % (1 << 40))).len();
         }
-        assert!(total < 20, "irregular stream should rarely trigger ({total})");
+        assert!(
+            total < 20,
+            "irregular stream should rarely trigger ({total})"
+        );
     }
 
     #[test]

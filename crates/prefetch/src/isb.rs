@@ -104,7 +104,12 @@ mod tests {
     use atc_types::VirtAddr;
 
     fn ctx(ip: u64, line: u64) -> PrefetchContext {
-        PrefetchContext { ip, line: LineAddr::new(line), vaddr: VirtAddr::new(line << 6), hit: false }
+        PrefetchContext {
+            ip,
+            line: LineAddr::new(line),
+            vaddr: VirtAddr::new(line << 6),
+            hit: false,
+        }
     }
 
     #[test]
@@ -159,7 +164,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(lines, vec![20, 30], "stream 1 replays without stream 2 lines");
+        assert_eq!(
+            lines,
+            vec![20, 30],
+            "stream 1 replays without stream 2 lines"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Hardware data prefetchers used as the paper's comparison points
 //! (Fig 8 / Fig 15): IPCP, SPP, Bingo, ISB, plus a next-line strawman.

@@ -42,7 +42,12 @@ mod tests {
     use atc_types::VirtAddr;
 
     fn ctx(line: u64) -> PrefetchContext {
-        PrefetchContext { ip: 1, line: LineAddr::new(line), vaddr: VirtAddr::new(line << 6), hit: false }
+        PrefetchContext {
+            ip: 1,
+            line: LineAddr::new(line),
+            vaddr: VirtAddr::new(line << 6),
+            hit: false,
+        }
     }
 
     #[test]

@@ -77,7 +77,11 @@ fn update_signature(sig: u16, delta: i8) -> u16 {
 impl Spp {
     /// Create an SPP prefetcher.
     pub fn new() -> Self {
-        Spp { pages: HashMap::new(), patterns: HashMap::new(), page_cap: 4096 }
+        Spp {
+            pages: HashMap::new(),
+            patterns: HashMap::new(),
+            page_cap: 4096,
+        }
     }
 }
 
@@ -113,7 +117,13 @@ impl Prefetcher for Spp {
                 }
             }
             None => {
-                self.pages.insert(page, PageEntry { signature: 0, last_offset: offset });
+                self.pages.insert(
+                    page,
+                    PageEntry {
+                        signature: 0,
+                        last_offset: offset,
+                    },
+                );
                 (0, false)
             }
         };
@@ -127,8 +137,12 @@ impl Prefetcher for Spp {
         let mut conf = 1.0f64;
         let mut off = offset as i64;
         for _ in 0..MAX_DEPTH {
-            let Some(pattern) = self.patterns.get(&sig) else { break };
-            let Some((delta, c)) = pattern.best() else { break };
+            let Some(pattern) = self.patterns.get(&sig) else {
+                break;
+            };
+            let Some((delta, c)) = pattern.best() else {
+                break;
+            };
             conf *= c;
             if conf < CONF_THRESHOLD {
                 break;
@@ -153,7 +167,12 @@ mod tests {
     use atc_types::VirtAddr;
 
     fn ctx(line: u64) -> PrefetchContext {
-        PrefetchContext { ip: 3, line: LineAddr::new(line), vaddr: VirtAddr::new(line << 6), hit: false }
+        PrefetchContext {
+            ip: 3,
+            line: LineAddr::new(line),
+            vaddr: VirtAddr::new(line << 6),
+            hit: false,
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! The full-system trace-driven simulator.
 //!
@@ -15,6 +16,12 @@
 //! translation walked the page table are tagged as *replay* loads — the
 //! paper's machinery, end to end.
 //!
+//! Runs are fallible: invalid configurations surface as
+//! [`SimError::Config`](atc_types::SimError), and a machine whose memory
+//! system stops answering aborts with
+//! [`SimError::Deadlock`](atc_types::SimError) wrapped in a
+//! [`SimFailure`] that still carries the partial statistics.
+//!
 //! # Example
 //!
 //! ```
@@ -22,16 +29,17 @@
 //! use atc_workloads::{BenchmarkId, Scale};
 //!
 //! let cfg = SimConfig::baseline();
-//! let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 10_000, 50_000);
+//! let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 10_000, 50_000)?;
 //! assert_eq!(stats.core.instructions, 50_000);
 //! assert!(stats.core.ipc() > 0.0);
+//! # Ok::<(), atc_sim::SimFailure>(())
 //! ```
 
 pub mod machine;
 pub mod multicore;
 pub mod smt;
 
-pub use machine::{Machine, Probes, RunStats, SimConfig};
+pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure};
 pub use multicore::run_multicore;
 pub use smt::run_smt;
 
@@ -39,6 +47,11 @@ use atc_workloads::{BenchmarkId, Scale};
 
 /// Build a machine, run `bench` for `warmup` + `measure` instructions,
 /// and return the measured statistics.
+///
+/// # Errors
+///
+/// Returns a [`SimFailure`] for an invalid configuration (no partial
+/// statistics) or a deadlocked run (partial statistics attached).
 pub fn run_one(
     cfg: &SimConfig,
     bench: BenchmarkId,
@@ -46,8 +59,8 @@ pub fn run_one(
     seed: u64,
     warmup: u64,
     measure: u64,
-) -> RunStats {
+) -> Result<RunStats, SimFailure> {
     let mut wl = bench.build(scale, seed);
-    let mut machine = Machine::new(cfg);
+    let mut machine = Machine::new(cfg)?;
     machine.run(wl.as_mut(), warmup, measure)
 }

@@ -7,7 +7,10 @@ use atc_cpu::{CompletionKind, CoreStats, RobModel};
 use atc_dram::{Dram, DramStats};
 use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher, PrefetcherKind};
 use atc_stats::{ClassCounters, Histogram};
-use atc_types::{config::MachineConfig, AccessClass, AccessInfo, LineAddr, MemLevel, VirtAddr};
+use atc_types::{
+    config::MachineConfig, AccessClass, AccessInfo, DeadlockDiag, LineAddr, MemLevel, SimError,
+    VirtAddr,
+};
 use atc_vm::tlb::TlbStats;
 use atc_vm::{TranslationEngine, TranslationQuery, WalkPlan};
 use atc_workloads::{Instr, MemOp, Workload};
@@ -60,6 +63,12 @@ pub struct SimConfig {
     /// Ablation: ignore address dependencies between loads (restores the
     /// unbounded-MLP model; shows why dependent issue matters for Fig 1).
     pub ignore_deps: bool,
+    /// Forward-progress watchdog: if the core clock advances by more than
+    /// this many cycles across a single instruction (the ROB head is
+    /// stuck waiting on memory that will never answer), the run aborts
+    /// with [`SimError::Deadlock`]. The default is far above any latency
+    /// a correctly configured memory system can produce.
+    pub watchdog_cycles: u64,
     /// Measurement probes.
     pub probes: Probes,
 }
@@ -78,6 +87,7 @@ impl SimConfig {
             ideal: IdealConfig::none(),
             dppred: false,
             ignore_deps: false,
+            watchdog_cycles: 2_000_000,
             probes: Probes::default(),
         }
     }
@@ -112,7 +122,7 @@ pub(crate) struct CoreCtx {
 }
 
 impl CoreCtx {
-    pub(crate) fn new(cfg: &SimConfig) -> Self {
+    pub(crate) fn new(cfg: &SimConfig) -> Result<Self, SimError> {
         let m = &cfg.machine;
         let l1d = Cache::new(
             "L1D",
@@ -124,7 +134,7 @@ impl CoreCtx {
             // untouched: optimizing L1D for rare classes hurts
             // non-replays).
             PolicyChoice::Lru.build(m.l1d.sets(), m.l1d.ways),
-        );
+        )?;
         let mut l2c = Cache::new(
             "L2C",
             m.l2c.sets(),
@@ -132,7 +142,7 @@ impl CoreCtx {
             m.l2c.latency,
             m.l2c.mshr_entries,
             cfg.l2c_policy.build(m.l2c.sets(), m.l2c.ways),
-        );
+        )?;
         if let Some(classes) = &cfg.probes.l2c_recall {
             l2c.enable_recall_probe(Probes::CAP, classes);
         }
@@ -141,8 +151,12 @@ impl CoreCtx {
             mmu.stlb_mut().enable_recall_probe(Probes::CAP);
         }
         let pf = cfg.prefetcher.build();
-        let (l1_pf, l2_pf) = if cfg.prefetcher.at_l1d() { (pf, None) } else { (None, pf) };
-        CoreCtx {
+        let (l1_pf, l2_pf) = if cfg.prefetcher.at_l1d() {
+            (pf, None)
+        } else {
+            (None, pf)
+        };
+        Ok(CoreCtx {
             mmu,
             l1d,
             l2c,
@@ -153,7 +167,7 @@ impl CoreCtx {
             dppred: cfg.dppred.then(DpPred::new),
             service_translation: [0; 4],
             service_replay: [0; 4],
-        }
+        })
     }
 
     pub(crate) fn reset_stats(&mut self) {
@@ -169,6 +183,7 @@ impl CoreCtx {
 /// Returns `(requester_ready, serving_level)`. Missed levels along the
 /// path are filled with the final ready time; ideal-oracle levels answer
 /// the requester early while the real miss still consumes bandwidth.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn access_path(
     l1d: &mut Cache,
     l2c: &mut Cache,
@@ -228,6 +243,7 @@ pub(crate) fn access_path(
 /// Execute a page walk: play each PTE read through the caches, trigger
 /// ATP/TEMPO on the leaf read, install TLB/PSC entries. Returns the cycle
 /// the translation resolves.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn do_walk(
     core: &mut CoreCtx,
     llc: &mut Cache,
@@ -240,9 +256,21 @@ pub(crate) fn do_walk(
 ) -> u64 {
     let mut t = start_time;
     for step in &plan.steps {
-        let info = AccessInfo::demand(ip, step.pte_addr.line(), AccessClass::Translation(step.level));
-        let (ready, served) =
-            access_path(&mut core.l1d, &mut core.l2c, llc, dram, ideal, &info, t, MemLevel::L1d);
+        let info = AccessInfo::demand(
+            ip,
+            step.pte_addr.line(),
+            AccessClass::Translation(step.level),
+        );
+        let (ready, served) = access_path(
+            &mut core.l1d,
+            &mut core.l2c,
+            llc,
+            dram,
+            ideal,
+            &info,
+            t,
+            MemLevel::L1d,
+        );
         if step.level.is_leaf() {
             core.service_translation[served.index()] += 1;
             // ATP: leaf PTE hit at L2C/LLC → prefetch the replay block
@@ -255,7 +283,14 @@ pub(crate) fn do_walk(
                         _ => MemLevel::Llc,
                     };
                     let _ = access_path(
-                        &mut core.l1d, &mut core.l2c, llc, dram, ideal, &pf_info, ready, start,
+                        &mut core.l1d,
+                        &mut core.l2c,
+                        llc,
+                        dram,
+                        ideal,
+                        &pf_info,
+                        ready,
+                        start,
                     );
                 }
             }
@@ -289,6 +324,7 @@ pub(crate) fn do_walk(
 
 /// Issue prefetch candidates produced by a prefetcher observing `core`'s
 /// demand stream.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn issue_prefetches(
     core: &mut CoreCtx,
     llc: &mut Cache,
@@ -307,14 +343,26 @@ pub(crate) fn issue_prefetches(
                 }
                 let info = AccessInfo::prefetch(ip, line, AccessClass::NonReplayData);
                 let _ = access_path(
-                    &mut core.l1d, &mut core.l2c, llc, dram, ideal, &info, cycle, MemLevel::L2c,
+                    &mut core.l1d,
+                    &mut core.l2c,
+                    llc,
+                    dram,
+                    ideal,
+                    &info,
+                    cycle,
+                    MemLevel::L2c,
                 );
             }
             PrefetchRequest::Virt(va) => {
                 // Virtual prefetch must translate first; an STLB miss
                 // delays it (late prefetch), it does not fill the TLBs.
                 let vpn = va.vpn();
-                let (pfn, delay) = match core.mmu.dtlb().peek(vpn).or_else(|| core.mmu.stlb().peek(vpn)) {
+                let (pfn, delay) = match core
+                    .mmu
+                    .dtlb()
+                    .peek(vpn)
+                    .or_else(|| core.mmu.stlb().peek(vpn))
+                {
                     Some(pfn) => (pfn, 0),
                     None => {
                         let pfn = core.mmu.page_table_mut().ensure_mapped(vpn);
@@ -322,13 +370,24 @@ pub(crate) fn issue_prefetches(
                     }
                 };
                 let line = LineAddr::new((pfn.raw() << 6) | va.block_in_page());
-                let start = if from_l1 { MemLevel::L1d } else { MemLevel::L2c };
+                let start = if from_l1 {
+                    MemLevel::L1d
+                } else {
+                    MemLevel::L2c
+                };
                 if (from_l1 && core.l1d.contains(line)) || (!from_l1 && core.l2c.contains(line)) {
                     continue;
                 }
                 let info = AccessInfo::prefetch(ip, line, AccessClass::NonReplayData);
                 let _ = access_path(
-                    &mut core.l1d, &mut core.l2c, llc, dram, ideal, &info, cycle + delay, start,
+                    &mut core.l1d,
+                    &mut core.l2c,
+                    llc,
+                    dram,
+                    ideal,
+                    &info,
+                    cycle + delay,
+                    start,
                 );
             }
         }
@@ -338,6 +397,11 @@ pub(crate) fn issue_prefetches(
 /// Execute one instruction against the memory system and push it into
 /// `rob`. `va_offset` relocates the workload's address space (used to
 /// give SMT threads / cores disjoint address spaces).
+///
+/// # Errors
+///
+/// Propagates [`SimError::Walk`] from the translation engine (a
+/// corrupted page-table path; unreachable with demand mapping).
 pub(crate) fn exec_instr(
     core: &mut CoreCtx,
     llc: &mut Cache,
@@ -346,7 +410,7 @@ pub(crate) fn exec_instr(
     rob: &mut RobModel,
     instr: Instr,
     va_offset: u64,
-) {
+) -> Result<(), SimError> {
     exec_instr_opts(core, llc, dram, ideal, rob, instr, va_offset, false)
 }
 
@@ -361,11 +425,11 @@ pub(crate) fn exec_instr_opts(
     instr: Instr,
     va_offset: u64,
     ignore_deps: bool,
-) {
+) -> Result<(), SimError> {
     let at = rob.dispatch();
     let Some(op) = instr.op else {
         rob.push(CompletionKind::NonMemory);
-        return;
+        return Ok(());
     };
     let (va_raw, is_store) = match op {
         MemOp::Load(a) => (a.raw(), false),
@@ -375,10 +439,14 @@ pub(crate) fn exec_instr_opts(
     let ip = instr.ip;
     // Address-dependent ops (pointer chases, gathers) cannot issue until
     // the producing load returns.
-    let at = if instr.dep && !ignore_deps { at.max(rob.last_load_completion()) } else { at };
+    let at = if instr.dep && !ignore_deps {
+        at.max(rob.last_load_completion())
+    } else {
+        at
+    };
 
     // --- Translation ---
-    let query = core.mmu.query(va.vpn());
+    let query = core.mmu.query(va.vpn())?;
     let dtlb_lat = core.mmu.dtlb_latency();
     let stlb_lat = core.mmu.stlb_latency();
     let psc_lat = core.mmu.psc_latency();
@@ -388,7 +456,14 @@ pub(crate) fn exec_instr_opts(
         TranslationQuery::Walk(plan) => {
             let walk_start = at + dtlb_lat + stlb_lat + psc_lat;
             let done = do_walk(
-                core, llc, dram, ideal, ip, &plan, va.block_in_page(), walk_start,
+                core,
+                llc,
+                dram,
+                ideal,
+                ip,
+                &plan,
+                va.block_in_page(),
+                walk_start,
             );
             (done, plan.data_pfn, true)
         }
@@ -408,15 +483,28 @@ pub(crate) fn exec_instr_opts(
     // L1D prefetcher observes the demand stream (virtual addresses).
     let l1_hit_before = core.l1d.contains(line);
     if let Some(pf) = &mut core.l1_pf {
-        let ctx = PrefetchContext { ip, line, vaddr: va, hit: l1_hit_before };
+        let ctx = PrefetchContext {
+            ip,
+            line,
+            vaddr: va,
+            hit: l1_hit_before,
+        };
         let reqs = pf.on_access(&ctx);
         if !reqs.is_empty() {
             issue_prefetches(core, llc, dram, ideal, &reqs, ip, trans_done, true);
         }
     }
 
-    let (data_done, served) =
-        access_path(&mut core.l1d, &mut core.l2c, llc, dram, ideal, &info, trans_done, MemLevel::L1d);
+    let (data_done, served) = access_path(
+        &mut core.l1d,
+        &mut core.l2c,
+        llc,
+        dram,
+        ideal,
+        &info,
+        trans_done,
+        MemLevel::L1d,
+    );
     if class == AccessClass::ReplayData {
         core.service_replay[served.index()] += 1;
     }
@@ -424,7 +512,12 @@ pub(crate) fn exec_instr_opts(
     // L2C prefetcher observes accesses that reached the L2C.
     if served != MemLevel::L1d {
         if let Some(pf) = &mut core.l2_pf {
-            let ctx = PrefetchContext { ip, line, vaddr: va, hit: served == MemLevel::L2c };
+            let ctx = PrefetchContext {
+                ip,
+                line,
+                vaddr: va,
+                hit: served == MemLevel::L2c,
+            };
             let reqs = pf.on_access(&ctx);
             if !reqs.is_empty() {
                 issue_prefetches(core, llc, dram, ideal, &reqs, ip, trans_done, false);
@@ -437,7 +530,36 @@ pub(crate) fn exec_instr_opts(
         rob.push(CompletionKind::Store);
     } else {
         rob.note_load_completion(data_done);
-        rob.push(CompletionKind::Load { trans_done, data_done, walked });
+        rob.push(CompletionKind::Load {
+            trans_done,
+            data_done,
+            walked,
+        });
+    }
+    Ok(())
+}
+
+/// Snapshot the machine state behind a stuck ROB head into a
+/// [`DeadlockDiag`] (the payload of [`SimError::Deadlock`]).
+pub(crate) fn deadlock_diag(
+    rob: &RobModel,
+    core: &CoreCtx,
+    llc: &Cache,
+    last_progress_cycle: u64,
+) -> DeadlockDiag {
+    let now = rob.now();
+    DeadlockDiag {
+        cycle: now,
+        last_progress_cycle,
+        instructions: rob.dispatched(),
+        rob_occupancy: rob.occupancy(),
+        rob_head: rob.head_desc(),
+        mshr_outstanding: [
+            core.l1d.mshr().outstanding_at(now),
+            core.l2c.mshr().outstanding_at(now),
+            llc.mshr().outstanding_at(now),
+        ],
+        walks_completed: core.mmu.walk_count(),
     }
 }
 
@@ -512,6 +634,47 @@ impl RunStats {
     }
 }
 
+/// A failed simulation run: the error, plus whatever statistics had been
+/// gathered before the failure (so a deadlocked configuration still
+/// reports how far it got).
+#[derive(Debug)]
+pub struct SimFailure {
+    /// What went wrong.
+    pub error: SimError,
+    /// Statistics collected up to the failure point, when the machine had
+    /// started executing (boxed: `RunStats` is large).
+    pub partial: Option<Box<RunStats>>,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)?;
+        if let Some(p) = &self.partial {
+            write!(
+                f,
+                " (partial stats: {} instructions in {} cycles)",
+                p.core.instructions, p.core.cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SimFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<SimError> for SimFailure {
+    fn from(error: SimError) -> Self {
+        SimFailure {
+            error,
+            partial: None,
+        }
+    }
+}
+
 /// The single-core machine.
 pub struct Machine {
     cfg: SimConfig,
@@ -531,9 +694,15 @@ impl std::fmt::Debug for Machine {
 
 impl Machine {
     /// Build a machine from a configuration.
-    pub fn new(cfg: &SimConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the machine configuration fails
+    /// [`MachineConfig::validate`] (bad geometry, zero-capacity MSHRs, …).
+    pub fn new(cfg: &SimConfig) -> Result<Self, SimError> {
+        cfg.machine.validate()?;
         let m = &cfg.machine;
-        let core = CoreCtx::new(cfg);
+        let core = CoreCtx::new(cfg)?;
         let policy = match &core.dppred {
             // CbPred replaces the LLC policy and shares DpPred's table.
             Some(p) => Box::new(p.cbpred_policy(m.llc.sets(), m.llc.ways)) as _,
@@ -546,35 +715,73 @@ impl Machine {
             m.llc.latency,
             m.llc.mshr_entries,
             policy,
-        );
+        )?;
         if let Some(classes) = &cfg.probes.llc_recall {
             llc.enable_recall_probe(Probes::CAP, classes);
         }
-        Machine { cfg: cfg.clone(), core, llc, dram: Dram::new(&m.dram) }
+        Ok(Machine {
+            cfg: cfg.clone(),
+            core,
+            llc,
+            dram: Dram::new(&m.dram),
+        })
     }
 
     /// Run `warmup` instructions (state only), then `measure` instructions
     /// with statistics, and return the measured statistics.
-    pub fn run(&mut self, wl: &mut dyn Workload, warmup: u64, measure: u64) -> RunStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimFailure`] wrapping [`SimError::Deadlock`] if the
+    /// core clock jumps by more than `watchdog_cycles` across a single
+    /// instruction — the ROB head is waiting on memory that will never
+    /// (within any plausible latency) answer. The failure carries the
+    /// statistics gathered so far, so a sweep can report the broken
+    /// configuration instead of hanging or lying.
+    pub fn run(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
+    ) -> Result<RunStats, SimFailure> {
         let mut rob = RobModel::new(&self.cfg.machine.core);
         let deps = self.cfg.ignore_deps;
-        for _ in 0..warmup {
-            let i = wl.next_instr();
-            exec_instr_opts(
-                &mut self.core, &mut self.llc, &mut self.dram, &self.cfg.ideal, &mut rob, i, 0,
-                deps,
-            );
+        let watchdog = self.cfg.watchdog_cycles.max(1);
+        let mut last_now = rob.now();
+        for (phase, budget) in [warmup, measure].into_iter().enumerate() {
+            for _ in 0..budget {
+                let i = wl.next_instr();
+                if let Err(error) = exec_instr_opts(
+                    &mut self.core,
+                    &mut self.llc,
+                    &mut self.dram,
+                    &self.cfg.ideal,
+                    &mut rob,
+                    i,
+                    0,
+                    deps,
+                ) {
+                    return Err(SimFailure {
+                        error,
+                        partial: Some(Box::new(self.collect(rob.finish()))),
+                    });
+                }
+                let now = rob.now();
+                if now.saturating_sub(last_now) > watchdog {
+                    let diag = deadlock_diag(&rob, &self.core, &self.llc, last_now);
+                    return Err(SimFailure {
+                        error: SimError::Deadlock(Box::new(diag)),
+                        partial: Some(Box::new(self.collect(rob.finish()))),
+                    });
+                }
+                last_now = now;
+            }
+            if phase == 0 {
+                self.reset_stats();
+                rob.reset_measurement();
+            }
         }
-        self.reset_stats();
-        rob.reset_measurement();
-        for _ in 0..measure {
-            let i = wl.next_instr();
-            exec_instr_opts(
-                &mut self.core, &mut self.llc, &mut self.dram, &self.cfg.ideal, &mut rob, i, 0,
-                deps,
-            );
-        }
-        self.collect(rob.finish())
+        Ok(self.collect(rob.finish()))
     }
 
     fn reset_stats(&mut self) {
@@ -632,8 +839,8 @@ mod tests {
 
     fn quick(cfg: &SimConfig, bench: BenchmarkId) -> RunStats {
         let mut wl = bench.build(Scale::Test, 3);
-        let mut m = Machine::new(cfg);
-        m.run(wl.as_mut(), 5_000, 30_000)
+        let mut m = Machine::new(cfg).expect("valid config");
+        m.run(wl.as_mut(), 5_000, 30_000).expect("run completes")
     }
 
     /// Shrink the STLB so Test-scale footprints (a few MiB) still miss
@@ -697,14 +904,14 @@ mod tests {
     fn ideal_llc_for_translations_speeds_up() {
         let base_cfg = small_stlb(SimConfig::baseline());
         let mut base_wl = BenchmarkId::Canneal.build(Scale::Test, 3);
-        let mut m1 = Machine::new(&base_cfg);
-        let base = m1.run(base_wl.as_mut(), 5_000, 40_000);
+        let mut m1 = Machine::new(&base_cfg).unwrap();
+        let base = m1.run(base_wl.as_mut(), 5_000, 40_000).unwrap();
 
         let mut cfg = small_stlb(SimConfig::baseline());
         cfg.ideal = IdealConfig::both_levels_both_classes();
         let mut wl2 = BenchmarkId::Canneal.build(Scale::Test, 3);
-        let mut m2 = Machine::new(&cfg);
-        let ideal = m2.run(wl2.as_mut(), 5_000, 40_000);
+        let mut m2 = Machine::new(&cfg).unwrap();
+        let ideal = m2.run(wl2.as_mut(), 5_000, 40_000).unwrap();
         assert!(
             ideal.core.cycles < base.core.cycles,
             "ideal {} !< base {}",
@@ -730,7 +937,12 @@ mod tests {
 
     #[test]
     fn prefetchers_run_end_to_end() {
-        for kind in [PrefetcherKind::NextLine, PrefetcherKind::Ipcp, PrefetcherKind::Spp, PrefetcherKind::Isb] {
+        for kind in [
+            PrefetcherKind::NextLine,
+            PrefetcherKind::Ipcp,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Isb,
+        ] {
             let mut cfg = SimConfig::baseline();
             cfg.prefetcher = kind;
             let s = quick(&cfg, BenchmarkId::Xalancbmk);
@@ -743,9 +955,9 @@ mod tests {
         let mut cfg = small_stlb(SimConfig::baseline());
         cfg.dppred = true;
         let mut wl = BenchmarkId::Canneal.build(Scale::Test, 3);
-        let mut m = Machine::new(&cfg);
+        let mut m = Machine::new(&cfg).unwrap();
         assert_eq!(m.llc().policy_name(), "CbPred");
-        let s = m.run(wl.as_mut(), 10_000, 40_000);
+        let s = m.run(wl.as_mut(), 10_000, 40_000).unwrap();
         assert_eq!(s.core.instructions, 40_000);
         // canneal's cold pages die unused, so DpPred must learn to
         // bypass some STLB fills.
@@ -760,15 +972,26 @@ mod tests {
         b_cfg.ignore_deps = true;
         let a = {
             let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
-            Machine::new(&a_cfg).run(wl.as_mut(), 5_000, 30_000)
+            Machine::new(&a_cfg)
+                .unwrap()
+                .run(wl.as_mut(), 5_000, 30_000)
+                .unwrap()
         };
         let b = {
             let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
-            Machine::new(&b_cfg).run(wl.as_mut(), 5_000, 30_000)
+            Machine::new(&b_cfg)
+                .unwrap()
+                .run(wl.as_mut(), 5_000, 30_000)
+                .unwrap()
         };
         // mcf's serial pointer chase: removing dependencies must speed
         // it up dramatically...
-        assert!(b.core.cycles < a.core.cycles, "{} !< {}", b.core.cycles, a.core.cycles);
+        assert!(
+            b.core.cycles < a.core.cycles,
+            "{} !< {}",
+            b.core.cycles,
+            a.core.cycles
+        );
         // ...without changing the access stream (same STLB misses).
         assert_eq!(a.stlb.misses, b.stlb.misses);
         a_cfg.ignore_deps = false; // silence unused-mut lint paths
@@ -782,8 +1005,8 @@ mod tests {
         let mut orig = BenchmarkId::Tc.build(Scale::Test, 5);
         let trace = capture(orig.as_mut(), 20_000);
         let mut replay = TraceReplay::new(trace);
-        let mut m = Machine::new(&cfg);
-        let s = m.run(&mut replay, 2_000, 15_000);
+        let mut m = Machine::new(&cfg).unwrap();
+        let s = m.run(&mut replay, 2_000, 15_000).unwrap();
         assert_eq!(s.core.instructions, 15_000);
         assert!(s.stlb.misses > 0);
     }
@@ -794,5 +1017,69 @@ mod tests {
         let b = quick(&SimConfig::baseline(), BenchmarkId::Cc);
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.llc.total_misses(), b.llc.total_misses());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = SimConfig::baseline();
+        cfg.machine.l1d.ways = 16; // 48 KiB / 16 ways = 48 sets: not a power of two
+        let err = Machine::new(&cfg).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
+        assert!(err.to_string().contains("power of two"), "{err}");
+
+        let mut cfg2 = SimConfig::baseline();
+        cfg2.machine.l2c.mshr_entries = 0;
+        assert!(Machine::new(&cfg2).is_err());
+    }
+
+    #[test]
+    fn watchdog_turns_livelock_into_deadlock_error() {
+        // Memory that effectively never answers: every DRAM access takes
+        // billions of cycles, so the first miss parks the ROB head until
+        // a cycle the watchdog classifies as "never".
+        // Large enough that one access dwarfs the watchdog window, small
+        // enough that a few hundred chained misses cannot overflow u64.
+        const NEVER: u64 = 1_000_000_000_000;
+        let mut cfg = small_stlb(SimConfig::baseline());
+        cfg.machine.dram.row_hit_cycles = NEVER;
+        cfg.machine.dram.row_miss_cycles = NEVER;
+        cfg.watchdog_cycles = 1_000_000;
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let mut m = Machine::new(&cfg).expect("config itself is well-formed");
+        let fail = m.run(wl.as_mut(), 5_000, 30_000).unwrap_err();
+        assert!(
+            fail.error.is_deadlock(),
+            "expected deadlock, got: {}",
+            fail.error
+        );
+        let SimError::Deadlock(diag) = &fail.error else {
+            unreachable!()
+        };
+        assert!(diag.cycle > diag.last_progress_cycle + cfg.watchdog_cycles);
+        assert!(
+            diag.instructions > 0,
+            "some instructions dispatched before the stall"
+        );
+        assert!(
+            diag.rob_head.contains("load"),
+            "head should be a stuck load: {}",
+            diag.rob_head
+        );
+        // Partial statistics are still delivered and non-trivial.
+        let partial = fail.partial.as_ref().expect("partial stats present");
+        assert!(partial.core.instructions > 0);
+        assert!(partial.core.cycles > 0);
+        let msg = fail.to_string();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("partial stats"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_default_is_silent_on_healthy_runs() {
+        let cfg = small_stlb(SimConfig::baseline());
+        assert_eq!(cfg.watchdog_cycles, 2_000_000);
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let mut m = Machine::new(&cfg).unwrap();
+        assert!(m.run(wl.as_mut(), 5_000, 30_000).is_ok());
     }
 }

@@ -5,9 +5,10 @@
 use atc_cache::Cache;
 use atc_cpu::{CoreStats, RobModel};
 use atc_dram::Dram;
+use atc_types::SimError;
 use atc_workloads::Workload;
 
-use crate::machine::{exec_instr, CoreCtx, SimConfig};
+use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig};
 
 /// Per-core virtual-address-space offset.
 const CORE_VA_STRIDE: u64 = 1 << 47;
@@ -16,24 +17,33 @@ const CORE_VA_STRIDE: u64 = 1 << 47;
 /// instructions against private L1D/L2C/TLBs and a shared, size-scaled
 /// LLC. Returns per-core measured statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `workloads` is empty.
+/// Returns [`SimError::Config`] when `workloads` is empty or the scaled
+/// machine configuration is invalid, and [`SimError::Deadlock`] if any
+/// core's clock stops making forward progress (see
+/// [`SimConfig::watchdog_cycles`]).
 pub fn run_multicore(
     cfg: &SimConfig,
     workloads: &mut [Box<dyn Workload>],
     warmup: u64,
     measure: u64,
-) -> Vec<CoreStats> {
-    assert!(!workloads.is_empty(), "need at least one workload");
+) -> Result<Vec<CoreStats>, SimError> {
+    if workloads.is_empty() {
+        return Err(SimError::config("multicore: need at least one workload"));
+    }
     let n = workloads.len();
     let mut mcfg = cfg.clone();
     mcfg.machine = mcfg.machine.with_llc_scaled_for_cores(n);
     // One DDR channel per four cores, as in Table I.
     mcfg.machine.dram.channels = n.div_ceil(4);
+    mcfg.machine.validate()?;
     let m = &mcfg.machine;
+    let watchdog = mcfg.watchdog_cycles.max(1);
 
-    let mut cores: Vec<CoreCtx> = (0..n).map(|_| CoreCtx::new(&mcfg)).collect();
+    let mut cores: Vec<CoreCtx> = (0..n)
+        .map(|_| CoreCtx::new(&mcfg))
+        .collect::<Result<_, _>>()?;
     let mut llc = Cache::new(
         "LLC",
         m.llc.sets(),
@@ -41,16 +51,17 @@ pub fn run_multicore(
         m.llc.latency,
         m.llc.mshr_entries * n,
         mcfg.llc_policy.build(m.llc.sets(), m.llc.ways),
-    );
+    )?;
     let mut dram = Dram::new(&m.dram);
     let mut robs: Vec<RobModel> = (0..n).map(|_| RobModel::new(&m.core)).collect();
 
     let phase = |cores: &mut Vec<CoreCtx>,
-                     robs: &mut Vec<RobModel>,
-                     llc: &mut Cache,
-                     dram: &mut Dram,
-                     wls: &mut [Box<dyn Workload>],
-                     budget: u64| {
+                 robs: &mut Vec<RobModel>,
+                 llc: &mut Cache,
+                 dram: &mut Dram,
+                 wls: &mut [Box<dyn Workload>],
+                 budget: u64|
+     -> Result<(), SimError> {
         let mut done = vec![0u64; n];
         loop {
             // Pick the unfinished core whose clock lags most.
@@ -58,12 +69,12 @@ pub fn run_multicore(
             for (i, d) in done.iter().enumerate() {
                 if *d < budget {
                     let now = robs[i].now();
-                    if pick.map_or(true, |(_, t)| now < t) {
+                    if pick.is_none_or(|(_, t)| now < t) {
                         pick = Some((i, now));
                     }
                 }
             }
-            let Some((i, _)) = pick else { break };
+            let Some((i, before)) = pick else { break };
             let instr = wls[i].next_instr();
             exec_instr(
                 &mut cores[i],
@@ -73,12 +84,19 @@ pub fn run_multicore(
                 &mut robs[i],
                 instr,
                 i as u64 * CORE_VA_STRIDE,
-            );
+            )?;
+            if robs[i].now().saturating_sub(before) > watchdog {
+                let diag = deadlock_diag(&robs[i], &cores[i], llc, before);
+                return Err(SimError::Deadlock(Box::new(diag)));
+            }
             done[i] += 1;
         }
+        Ok(())
     };
 
-    phase(&mut cores, &mut robs, &mut llc, &mut dram, workloads, warmup);
+    phase(
+        &mut cores, &mut robs, &mut llc, &mut dram, workloads, warmup,
+    )?;
     for c in cores.iter_mut() {
         c.reset_stats();
     }
@@ -87,9 +105,11 @@ pub fn run_multicore(
     for r in robs.iter_mut() {
         r.reset_measurement();
     }
-    phase(&mut cores, &mut robs, &mut llc, &mut dram, workloads, measure);
+    phase(
+        &mut cores, &mut robs, &mut llc, &mut dram, workloads, measure,
+    )?;
 
-    robs.into_iter().map(|r| r.finish()).collect()
+    Ok(robs.into_iter().map(|r| r.finish()).collect())
 }
 
 #[cfg(test)]
@@ -110,7 +130,7 @@ mod tests {
         .enumerate()
         .map(|(i, b)| b.build(Scale::Test, i as u64 + 1))
         .collect();
-        let stats = run_multicore(&cfg, &mut wls, 1_000, 5_000);
+        let stats = run_multicore(&cfg, &mut wls, 1_000, 5_000).expect("mix runs");
         assert_eq!(stats.len(), 4);
         for s in &stats {
             assert_eq!(s.instructions, 5_000);
@@ -122,8 +142,16 @@ mod tests {
     fn single_core_multicore_matches_machine_shape() {
         let cfg = SimConfig::baseline();
         let mut wls: Vec<Box<dyn Workload>> = vec![BenchmarkId::Cc.build(Scale::Test, 5)];
-        let stats = run_multicore(&cfg, &mut wls, 1_000, 5_000);
+        let stats = run_multicore(&cfg, &mut wls, 1_000, 5_000).expect("single core runs");
         assert_eq!(stats.len(), 1);
         assert!(stats[0].cycles > 0);
+    }
+
+    #[test]
+    fn empty_mix_is_a_config_error() {
+        let cfg = SimConfig::baseline();
+        let mut wls: Vec<Box<dyn Workload>> = Vec::new();
+        let err = run_multicore(&cfg, &mut wls, 100, 100).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
     }
 }

@@ -9,9 +9,10 @@
 //! without a cycle-accurate scheduler.
 
 use atc_cpu::{CoreStats, RobModel};
+use atc_types::SimError;
 use atc_workloads::Workload;
 
-use crate::machine::{exec_instr, CoreCtx, SimConfig};
+use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig};
 use atc_cache::Cache;
 use atc_dram::Dram;
 
@@ -30,15 +31,23 @@ pub struct SmtStats {
 /// instructions of warmup and `measure` measured instructions; a thread
 /// that finishes early stops issuing (the other keeps the hierarchy to
 /// itself for its tail, as in multi-programmed methodology).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an invalid machine configuration and
+/// [`SimError::Deadlock`] if either thread's clock stops making forward
+/// progress (see [`SimConfig::watchdog_cycles`]).
 pub fn run_smt(
     cfg: &SimConfig,
     wl0: &mut dyn Workload,
     wl1: &mut dyn Workload,
     warmup: u64,
     measure: u64,
-) -> SmtStats {
+) -> Result<SmtStats, SimError> {
+    cfg.machine.validate()?;
     let m = &cfg.machine;
-    let mut core = CoreCtx::new(cfg);
+    let watchdog = cfg.watchdog_cycles.max(1);
+    let mut core = CoreCtx::new(cfg)?;
     let mut llc = Cache::new(
         "LLC",
         m.llc.sets(),
@@ -46,19 +55,20 @@ pub fn run_smt(
         m.llc.latency,
         m.llc.mshr_entries,
         cfg.llc_policy.build(m.llc.sets(), m.llc.ways),
-    );
+    )?;
     let mut dram = Dram::new(&m.dram);
     let mut robs = [RobModel::new(&m.core), RobModel::new(&m.core)];
     let mut done = [0u64; 2];
     let mut wls: [&mut dyn Workload; 2] = [wl0, wl1];
 
     let phase = |robs: &mut [RobModel; 2],
-                     wls: &mut [&mut dyn Workload; 2],
-                     done: &mut [u64; 2],
-                     core: &mut CoreCtx,
-                     llc: &mut Cache,
-                     dram: &mut Dram,
-                     budget: u64| {
+                 wls: &mut [&mut dyn Workload; 2],
+                 done: &mut [u64; 2],
+                 core: &mut CoreCtx,
+                 llc: &mut Cache,
+                 dram: &mut Dram,
+                 budget: u64|
+     -> Result<(), SimError> {
         *done = [0, 0];
         while done[0] < budget || done[1] < budget {
             // Pick the laggard among unfinished threads.
@@ -69,6 +79,7 @@ pub fn run_smt(
                 (false, false) => unreachable!(),
             };
             let instr = wls[tid].next_instr();
+            let before = robs[tid].now();
             exec_instr(
                 core,
                 llc,
@@ -77,22 +88,33 @@ pub fn run_smt(
                 &mut robs[tid],
                 instr,
                 tid as u64 * THREAD_VA_STRIDE,
-            );
+            )?;
+            if robs[tid].now().saturating_sub(before) > watchdog {
+                let diag = deadlock_diag(&robs[tid], core, llc, before);
+                return Err(SimError::Deadlock(Box::new(diag)));
+            }
             done[tid] += 1;
         }
+        Ok(())
     };
 
-    phase(&mut robs, &mut wls, &mut done, &mut core, &mut llc, &mut dram, warmup);
+    phase(
+        &mut robs, &mut wls, &mut done, &mut core, &mut llc, &mut dram, warmup,
+    )?;
     core.reset_stats();
     llc.reset_stats();
     dram.reset_stats();
     for r in robs.iter_mut() {
         r.reset_measurement();
     }
-    phase(&mut robs, &mut wls, &mut done, &mut core, &mut llc, &mut dram, measure);
+    phase(
+        &mut robs, &mut wls, &mut done, &mut core, &mut llc, &mut dram, measure,
+    )?;
 
     let [r0, r1] = robs;
-    SmtStats { threads: [r0.finish(), r1.finish()] }
+    Ok(SmtStats {
+        threads: [r0.finish(), r1.finish()],
+    })
 }
 
 #[cfg(test)]
@@ -105,7 +127,7 @@ mod tests {
         let cfg = SimConfig::baseline();
         let mut a = BenchmarkId::Mcf.build(Scale::Test, 1);
         let mut b = BenchmarkId::Xalancbmk.build(Scale::Test, 2);
-        let s = run_smt(&cfg, a.as_mut(), b.as_mut(), 2_000, 10_000);
+        let s = run_smt(&cfg, a.as_mut(), b.as_mut(), 2_000, 10_000).expect("smt runs");
         assert_eq!(s.threads[0].instructions, 10_000);
         assert_eq!(s.threads[1].instructions, 10_000);
         assert!(s.threads[0].ipc() > 0.0);
@@ -117,12 +139,12 @@ mod tests {
         let cfg = SimConfig::baseline();
         // Alone run of mcf.
         let mut alone_wl = BenchmarkId::Mcf.build(Scale::Test, 1);
-        let mut m = crate::Machine::new(&cfg);
-        let alone = m.run(alone_wl.as_mut(), 2_000, 10_000);
+        let mut m = crate::Machine::new(&cfg).unwrap();
+        let alone = m.run(alone_wl.as_mut(), 2_000, 10_000).unwrap();
 
         let mut a = BenchmarkId::Mcf.build(Scale::Test, 1);
         let mut b = BenchmarkId::Pr.build(Scale::Test, 2);
-        let shared = run_smt(&cfg, a.as_mut(), b.as_mut(), 2_000, 10_000);
+        let shared = run_smt(&cfg, a.as_mut(), b.as_mut(), 2_000, 10_000).unwrap();
         assert!(
             shared.threads[0].cycles > alone.core.cycles,
             "shared {} !> alone {}",

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Statistics and measurement infrastructure for the ATC simulator.
 //!
@@ -19,7 +20,6 @@ pub mod recall;
 pub mod table;
 
 use atc_types::AccessClass;
-use serde::{Deserialize, Serialize};
 
 /// Per-class access/hit/miss counters.
 ///
@@ -36,7 +36,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.hits(AccessClass::ReplayData), 1);
 /// assert!((c.mpki(AccessClass::ReplayData, 1000) - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClassCounters {
     accesses: [u64; AccessClass::STAT_CLASSES],
     hits: [u64; AccessClass::STAT_CLASSES],
@@ -113,7 +114,8 @@ impl ClassCounters {
 
 /// A histogram over `u64` samples with uniform buckets plus an overflow
 /// bucket, tracking count, sum, and max.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     bucket_width: u64,
     buckets: Vec<u64>,
@@ -226,7 +228,8 @@ impl Histogram {
 /// Head-of-ROB stall cycles attributed by cause — the paper's Fig 1 / 16
 /// taxonomy. A demand load that missed the STLB contributes its walk wait
 /// to `stlb_walk` and its subsequent data wait to `replay_data`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StallBreakdown {
     /// Cycles the ROB head waited on an outstanding page walk.
     pub stlb_walk: u64,
@@ -397,7 +400,12 @@ mod tests {
 
     #[test]
     fn stall_breakdown_totals() {
-        let s = StallBreakdown { stlb_walk: 10, replay_data: 20, non_replay_data: 5, other: 1 };
+        let s = StallBreakdown {
+            stlb_walk: 10,
+            replay_data: 20,
+            non_replay_data: 5,
+            other: 1,
+        };
         assert_eq!(s.total(), 36);
         assert_eq!(s.translation_related(), 30);
     }

@@ -106,7 +106,10 @@ impl RecallProbe {
         // A re-eviction of the same line while a window is open restarts
         // the window (the block came back and left again).
         state.windows.retain(|w| w.victim != victim);
-        state.windows.push(Window { victim, seen: Vec::new() });
+        state.windows.push(Window {
+            victim,
+            seen: Vec::new(),
+        });
     }
 
     /// The recall-distance histogram accumulated so far. Open windows

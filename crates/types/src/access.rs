@@ -12,14 +12,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{LineAddr, PtLevel};
 
 /// The class of a memory access / cache fill, as seen by the cache
 /// hierarchy. This is the extra information the paper plumbs from the
 /// page-table walker and load/store unit into the caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessClass {
     /// Demand data load whose translation hit in the TLBs.
     NonReplayData,
@@ -107,7 +106,8 @@ impl fmt::Display for AccessClass {
 /// A level of the memory hierarchy that can service a request. Used for
 /// the paper's Fig 3 (where leaf translations and replays get their
 /// responses) and to describe where ATP found the leaf PTE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemLevel {
     /// First-level data cache.
     L1d,
@@ -153,7 +153,8 @@ impl fmt::Display for MemLevel {
 
 /// How IP signatures are formed for signature-based replacement policies
 /// (SHiP, Hawkeye).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SignatureMode {
     /// The original proposals: the raw instruction pointer is the
     /// signature regardless of what the fill carries.
@@ -191,7 +192,8 @@ impl SignatureMode {
 /// Metadata accompanying every cache access: the requesting instruction
 /// pointer, the line, and the traffic class. Replacement policies and
 /// prefetchers receive this on every lookup/fill.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessInfo {
     /// Instruction pointer of the triggering instruction (for page walks,
     /// the IP of the load that missed the STLB, per the paper's noise
@@ -209,12 +211,22 @@ pub struct AccessInfo {
 impl AccessInfo {
     /// Convenience constructor for a demand access.
     pub fn demand(ip: u64, line: LineAddr, class: AccessClass) -> Self {
-        AccessInfo { ip, line, class, is_prefetch: false }
+        AccessInfo {
+            ip,
+            line,
+            class,
+            is_prefetch: false,
+        }
     }
 
     /// Convenience constructor for a prefetch access.
     pub fn prefetch(ip: u64, line: LineAddr, class: AccessClass) -> Self {
-        AccessInfo { ip, line, class, is_prefetch: true }
+        AccessInfo {
+            ip,
+            line,
+            class,
+            is_prefetch: true,
+        }
     }
 }
 

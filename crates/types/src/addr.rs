@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// log2 of the page size (4 KiB pages).
 pub const PAGE_SHIFT: u32 = 12;
 /// Page size in bytes.
@@ -28,7 +26,8 @@ pub const VA_BITS: u32 = 5 * LEVEL_BITS + PAGE_SHIFT; // 57
 
 /// A page-table level. `L1` is the *leaf* level whose PTE stores the
 /// physical frame of the data page; `L5` is the root pointed to by CR3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PtLevel {
     /// Leaf level: its PTE holds the final physical page frame.
     L1,
@@ -44,8 +43,13 @@ pub enum PtLevel {
 
 impl PtLevel {
     /// All levels in walk order, from the root down to the leaf.
-    pub const WALK_ORDER: [PtLevel; 5] =
-        [PtLevel::L5, PtLevel::L4, PtLevel::L3, PtLevel::L2, PtLevel::L1];
+    pub const WALK_ORDER: [PtLevel; 5] = [
+        PtLevel::L5,
+        PtLevel::L4,
+        PtLevel::L3,
+        PtLevel::L2,
+        PtLevel::L1,
+    ];
 
     /// Numeric level, 1 for the leaf through 5 for the root.
     #[inline]
@@ -114,8 +118,8 @@ macro_rules! addr_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(u64);
 
         impl $name {
@@ -302,6 +306,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped as two 9-bit PT indices
     fn pt_index_extracts_nine_bit_chunks() {
         // VA[20:12] is the L1 index, VA[29:21] the L2 index, etc.
         let va = VirtAddr::new(0b1_0101_0101_1_1100_1100_u64 << PAGE_SHIFT | 0xabc);
@@ -321,10 +326,7 @@ mod tests {
     #[test]
     fn vpn_and_offset_compose() {
         let va = VirtAddr::new(0xdead_beef_cafe);
-        assert_eq!(
-            va.vpn().base_addr().raw() + va.page_offset(),
-            va.raw()
-        );
+        assert_eq!(va.vpn().base_addr().raw() + va.page_offset(), va.raw());
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! 48 KiB L1D (5 cycles), 512 KiB L2 (10 cycles, DRRIP), 2 MiB/core LLC
 //! (20 cycles, SHiP); one DDR5-6400 channel per 4 cores.
 
-use serde::{Deserialize, Serialize};
+use crate::error::SimError;
 
 /// Out-of-order core parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreConfig {
     /// Reorder-buffer capacity in instructions.
     pub rob_entries: usize,
@@ -21,12 +22,17 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { rob_entries: 352, issue_width: 6, retire_width: 4 }
+        CoreConfig {
+            rob_entries: 352,
+            issue_width: 6,
+            retire_width: 4,
+        }
     }
 }
 
 /// A set-associative TLB level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TlbConfig {
     /// Total entries.
     pub entries: usize,
@@ -43,15 +49,42 @@ impl TlbConfig {
     ///
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn sets(&self) -> usize {
-        assert!(self.ways > 0 && self.entries % self.ways == 0,
-                "TLB entries ({}) must be a multiple of ways ({})", self.entries, self.ways);
+        assert!(
+            self.ways > 0 && self.entries.is_multiple_of(self.ways),
+            "TLB entries ({}) must be a multiple of ways ({})",
+            self.entries,
+            self.ways
+        );
         self.entries / self.ways
+    }
+
+    /// Check the geometry without panicking: non-zero ways, entries a
+    /// multiple of ways, and a power-of-two set count (set-index masks
+    /// assume it).
+    pub fn validate(&self, name: &str) -> Result<(), SimError> {
+        if self.ways == 0 {
+            return Err(SimError::config(format!("{name}: ways must be non-zero")));
+        }
+        if self.entries == 0 || !self.entries.is_multiple_of(self.ways) {
+            return Err(SimError::config(format!(
+                "{name}: entries ({}) must be a positive multiple of ways ({})",
+                self.entries, self.ways
+            )));
+        }
+        let sets = self.entries / self.ways;
+        if !sets.is_power_of_two() {
+            return Err(SimError::config(format!(
+                "{name}: implied set count {sets} is not a power of two"
+            )));
+        }
+        Ok(())
     }
 }
 
 /// Paging-structure-cache sizes (fully associative, searched in parallel
 /// in one cycle).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PscConfig {
     /// Entries caching level-5 PTEs (PSCL5).
     pub pscl5_entries: usize,
@@ -78,7 +111,8 @@ impl Default for PscConfig {
 }
 
 /// One level of the data-cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub size_bytes: usize,
@@ -98,14 +132,53 @@ impl CacheLevelConfig {
     /// Panics if the geometry does not divide evenly.
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / 64;
-        assert!(self.ways > 0 && lines % self.ways == 0,
-                "cache of {} lines not divisible by {} ways", lines, self.ways);
+        assert!(
+            self.ways > 0 && lines.is_multiple_of(self.ways),
+            "cache of {} lines not divisible by {} ways",
+            lines,
+            self.ways
+        );
         lines / self.ways
+    }
+
+    /// Check the geometry without panicking: a 64 B-line-aligned capacity,
+    /// non-zero ways/MSHRs, lines divisible by ways, and a power-of-two
+    /// set count.
+    pub fn validate(&self, name: &str) -> Result<(), SimError> {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(64) {
+            return Err(SimError::config(format!(
+                "{name}: size ({} B) must be a positive multiple of the 64 B line size",
+                self.size_bytes
+            )));
+        }
+        if self.ways == 0 {
+            return Err(SimError::config(format!("{name}: ways must be non-zero")));
+        }
+        if self.mshr_entries == 0 {
+            return Err(SimError::config(format!(
+                "{name}: mshr_entries must be non-zero"
+            )));
+        }
+        let lines = self.size_bytes / 64;
+        if !lines.is_multiple_of(self.ways) {
+            return Err(SimError::config(format!(
+                "{name}: {lines} lines not divisible by {} ways",
+                self.ways
+            )));
+        }
+        let sets = lines / self.ways;
+        if !sets.is_power_of_two() {
+            return Err(SimError::config(format!(
+                "{name}: implied set count {sets} is not a power of two"
+            )));
+        }
+        Ok(())
     }
 }
 
 /// DRAM timing parameters for a simple DDR5 bank model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramConfig {
     /// Independent channels (paper: 1 channel per 4 cores).
     pub channels: usize,
@@ -122,6 +195,38 @@ pub struct DramConfig {
     /// Row-buffer size in bytes (lines mapping to the same row hit open
     /// rows).
     pub row_bytes: u64,
+}
+
+impl DramConfig {
+    /// Check the timing parameters: non-zero channel/bank counts, non-zero
+    /// latencies, a row-hit no slower than a row-miss, and a power-of-two
+    /// row size (row mapping uses shifts).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.channels == 0 || self.banks_per_channel == 0 {
+            return Err(SimError::config(format!(
+                "dram: channels ({}) and banks_per_channel ({}) must be non-zero",
+                self.channels, self.banks_per_channel
+            )));
+        }
+        if self.row_hit_cycles == 0 || self.row_miss_cycles == 0 {
+            return Err(SimError::config(
+                "dram: row_hit_cycles and row_miss_cycles must be non-zero",
+            ));
+        }
+        if self.row_hit_cycles > self.row_miss_cycles {
+            return Err(SimError::config(format!(
+                "dram: row hit ({} cycles) cannot be slower than row miss ({} cycles)",
+                self.row_hit_cycles, self.row_miss_cycles
+            )));
+        }
+        if !self.row_bytes.is_power_of_two() || self.row_bytes < 64 {
+            return Err(SimError::config(format!(
+                "dram: row_bytes ({}) must be a power of two of at least one 64 B line",
+                self.row_bytes
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for DramConfig {
@@ -153,7 +258,8 @@ impl Default for DramConfig {
 /// cfg.llc.size_bytes = 8 << 20;
 /// assert_eq!(cfg.llc.sets(), 8192);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Core pipeline parameters.
     pub core: CoreConfig,
@@ -177,8 +283,16 @@ impl Default for MachineConfig {
     fn default() -> Self {
         MachineConfig {
             core: CoreConfig::default(),
-            dtlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
-            stlb: TlbConfig { entries: 2048, ways: 16, latency: 8 },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                latency: 1,
+            },
+            stlb: TlbConfig {
+                entries: 2048,
+                ways: 16,
+                latency: 8,
+            },
             psc: PscConfig::default(),
             l1d: CacheLevelConfig {
                 size_bytes: 48 * 1024,
@@ -210,6 +324,28 @@ impl MachineConfig {
         assert!(n > 0, "core count must be positive");
         self.llc.size_bytes = 2 * 1024 * 1024 * n;
         self
+    }
+
+    /// Validate every component of the machine. Run before constructing a
+    /// simulator so a malformed sweep point fails fast with a
+    /// [`SimError::Config`] naming the offending field instead of
+    /// panicking mid-run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.core.rob_entries == 0 {
+            return Err(SimError::config("core: rob_entries must be non-zero"));
+        }
+        if self.core.issue_width == 0 || self.core.retire_width == 0 {
+            return Err(SimError::config(
+                "core: issue_width and retire_width must be non-zero",
+            ));
+        }
+        self.dtlb.validate("dtlb")?;
+        self.stlb.validate("stlb")?;
+        self.l1d.validate("l1d")?;
+        self.l2c.validate("l2c")?;
+        self.llc.validate("llc")?;
+        self.dram.validate()?;
+        Ok(())
     }
 }
 
@@ -250,7 +386,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of ways")]
     fn bad_tlb_geometry_panics() {
-        TlbConfig { entries: 63, ways: 4, latency: 1 }.sets();
+        TlbConfig {
+            entries: 63,
+            ways: 4,
+            latency: 1,
+        }
+        .sets();
     }
 
     #[test]
@@ -260,15 +401,48 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_round_trip() {
+    fn config_debug_format_is_complete() {
         let cfg = MachineConfig::default();
-        let json = serde_json_lite(&cfg);
-        assert!(json.contains("352"));
+        let dump = format!("{:?}", cfg);
+        assert!(dump.contains("352"));
     }
 
-    // Minimal check that Serialize derives compile & produce output without
-    // pulling serde_json into the dependency set.
-    fn serde_json_lite(cfg: &MachineConfig) -> String {
-        format!("{:?}", cfg)
+    #[test]
+    fn default_machine_validates() {
+        assert!(MachineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut cfg = MachineConfig::default();
+        cfg.dtlb.entries = 63;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("dtlb"), "{err}");
+
+        let mut cfg = MachineConfig::default();
+        cfg.l2c.ways = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("l2c"));
+
+        let mut cfg = MachineConfig::default();
+        cfg.llc.mshr_entries = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("mshr"));
+
+        // 48 KiB / 12 ways = 64 sets (power of two, ok); 48 KiB / 16 ways
+        // = 48 sets (not a power of two).
+        let mut cfg = MachineConfig::default();
+        cfg.l1d.ways = 16;
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("power of two"));
+
+        let mut cfg = MachineConfig::default();
+        cfg.dram.row_hit_cycles = 500;
+        assert!(cfg.validate().unwrap_err().to_string().contains("row"));
+
+        let mut cfg = MachineConfig::default();
+        cfg.core.rob_entries = 0;
+        assert!(cfg.validate().unwrap_err().to_string().contains("rob"));
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Shared foundation types for the address-translation-conscious (ATC)
 //! cache-hierarchy simulator.
@@ -13,7 +14,13 @@
 //!   loads (data loads whose translation missed the STLB), and
 //!   *non-replay* data loads.
 //! * [`config`] — the full machine configuration with defaults matching
-//!   Table I of the paper (ROB, TLBs, PSCs, caches, DRAM).
+//!   Table I of the paper (ROB, TLBs, PSCs, caches, DRAM), with
+//!   [`config::MachineConfig::validate`] for fail-fast sweeps.
+//! * [`error`] — the typed [`error::SimError`] every fallible layer of the
+//!   simulator reports instead of panicking.
+//! * [`rng`] — the in-tree deterministic [`rng::SimRng`]
+//!   (SplitMix64-seeded xoshiro256**) used by workloads and property
+//!   tests, keeping the workspace free of external dependencies.
 //!
 //! # Example
 //!
@@ -27,9 +34,11 @@
 pub mod access;
 pub mod addr;
 pub mod config;
+pub mod error;
+pub mod rng;
 
 pub use access::{AccessClass, AccessInfo, MemLevel, SignatureMode};
 pub use addr::{LineAddr, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
-pub use config::{
-    CacheLevelConfig, CoreConfig, DramConfig, MachineConfig, PscConfig, TlbConfig,
-};
+pub use config::{CacheLevelConfig, CoreConfig, DramConfig, MachineConfig, PscConfig, TlbConfig};
+pub use error::{DeadlockDiag, SimError};
+pub use rng::SimRng;

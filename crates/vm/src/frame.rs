@@ -93,7 +93,11 @@ mod tests {
             let f = alloc.alloc();
             groups.insert(f.raw() % 2048);
         }
-        assert!(groups.len() > 512, "only {} set groups covered", groups.len());
+        assert!(
+            groups.len() > 512,
+            "only {} set groups covered",
+            groups.len()
+        );
     }
 
     #[test]

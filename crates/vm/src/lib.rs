@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Virtual-memory substrate: five-level radix page table, physical frame
 //! allocation, TLBs, paging-structure caches (PSCs), and the page-table
@@ -21,14 +22,15 @@
 //! let mut mmu = TranslationEngine::new(&cfg);
 //! let va = VirtAddr::new(0x7000_1234_5678);
 //! // First touch: DTLB and STLB miss, full five-level walk.
-//! let q = mmu.query(va.vpn());
+//! let q = mmu.query(va.vpn())?;
 //! let walk = q.walk().expect("cold TLBs must walk").clone();
 //! assert_eq!(walk.steps.len(), 5);
 //! let pfn = mmu.complete_walk(&walk);
 //! // Second touch: DTLB hit.
-//! let q2 = mmu.query(va.vpn());
+//! let q2 = mmu.query(va.vpn())?;
 //! assert!(q2.is_dtlb_hit());
 //! assert_eq!(mmu.page_table().translate(va.vpn()), Some(pfn));
+//! # Ok::<(), atc_types::SimError>(())
 //! ```
 
 pub mod frame;

@@ -7,8 +7,8 @@
 //! physical PTE addresses so the walker's reads can be played through the
 //! data-cache hierarchy.
 
-use atc_types::addr::{PTE_SIZE};
-use atc_types::{Pfn, PhysAddr, PtLevel, Vpn};
+use atc_types::addr::PTE_SIZE;
+use atc_types::{Pfn, PhysAddr, PtLevel, SimError, Vpn};
 
 use crate::frame::FrameAllocator;
 
@@ -23,11 +23,19 @@ struct Node {
 
 impl Node {
     fn new_interior(frame: Pfn) -> Self {
-        Node { frame, children: (0..512).map(|_| None).collect(), leaves: Vec::new() }
+        Node {
+            frame,
+            children: (0..512).map(|_| None).collect(),
+            leaves: Vec::new(),
+        }
     }
 
     fn new_leaf_table(frame: Pfn) -> Self {
-        Node { frame, children: Vec::new(), leaves: vec![None; 512] }
+        Node {
+            frame,
+            children: Vec::new(),
+            leaves: vec![None; 512],
+        }
     }
 }
 
@@ -45,8 +53,9 @@ impl Node {
 /// let pfn = pt.ensure_mapped(vpn);
 /// assert_eq!(pt.translate(vpn), Some(pfn));
 /// // The leaf PTE has a stable physical address:
-/// let a = pt.pte_addr(vpn, PtLevel::L1);
-/// assert_eq!(a, pt.pte_addr(vpn, PtLevel::L1));
+/// let a = pt.pte_addr(vpn, PtLevel::L1)?;
+/// assert_eq!(a, pt.pte_addr(vpn, PtLevel::L1)?);
+/// # Ok::<(), atc_types::SimError>(())
 /// ```
 #[derive(Debug)]
 pub struct PageTable {
@@ -60,7 +69,11 @@ impl PageTable {
     pub fn new() -> Self {
         let mut alloc = FrameAllocator::new();
         let root_frame = alloc.alloc();
-        PageTable { root: Node::new_interior(root_frame), alloc, mapped_pages: 0 }
+        PageTable {
+            root: Node::new_interior(root_frame),
+            alloc,
+            mapped_pages: 0,
+        }
     }
 
     /// The frame of the root (level-5) table — the CR3 contents.
@@ -113,29 +126,34 @@ impl PageTable {
     /// `vpn`. The VPN must already be mapped (tables exist); call
     /// [`ensure_mapped`](Self::ensure_mapped) first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the path to `level` has not been populated.
-    pub fn pte_addr(&self, vpn: Vpn, level: PtLevel) -> PhysAddr {
-        let table_frame = self.table_frame(vpn, level);
+    /// Returns [`SimError::Walk`] if the path to `level` has not been
+    /// populated.
+    pub fn pte_addr(&self, vpn: Vpn, level: PtLevel) -> Result<PhysAddr, SimError> {
+        let table_frame = self.table_frame(vpn, level)?;
         let idx = vpn.pt_index(level);
-        table_frame.addr_with_offset(idx * PTE_SIZE)
+        Ok(table_frame.addr_with_offset(idx * PTE_SIZE))
     }
 
     /// Frame of the table read at `level` for `vpn` (L5 = CR3 frame).
-    fn table_frame(&self, vpn: Vpn, level: PtLevel) -> Pfn {
+    fn table_frame(&self, vpn: Vpn, level: PtLevel) -> Result<Pfn, SimError> {
         let mut node = &self.root;
         // Descend from L5 until we reach the node whose table is read at
         // `level`: the L5 table is the root itself.
         let mut cur = PtLevel::L5;
         while cur != level {
             let idx = vpn.pt_index(cur) as usize;
-            node = node.children[idx]
-                .as_deref()
-                .unwrap_or_else(|| panic!("page-table path missing at {cur} for {vpn}"));
-            cur = cur.next_towards_leaf().expect("walked past leaf");
+            node = node.children[idx].as_deref().ok_or(SimError::Walk {
+                vpn: vpn.raw(),
+                level: cur.number(),
+            })?;
+            cur = cur.next_towards_leaf().ok_or(SimError::Walk {
+                vpn: vpn.raw(),
+                level: cur.number(),
+            })?;
         }
-        node.frame
+        Ok(node.frame)
     }
 
     /// Allocate a data frame directly (for workloads that need raw
@@ -189,14 +207,14 @@ mod tests {
         pt.ensure_mapped(vpn);
         let mut addrs = Vec::new();
         for lvl in PtLevel::WALK_ORDER {
-            addrs.push(pt.pte_addr(vpn, lvl));
+            addrs.push(pt.pte_addr(vpn, lvl).expect("mapped path exists"));
         }
         for i in 0..addrs.len() {
             for j in (i + 1)..addrs.len() {
                 assert_ne!(addrs[i], addrs[j], "levels {i}/{j} collide");
             }
         }
-        assert_eq!(pt.pte_addr(vpn, PtLevel::L3), addrs[2]);
+        assert_eq!(pt.pte_addr(vpn, PtLevel::L3).unwrap(), addrs[2]);
     }
 
     #[test]
@@ -204,7 +222,7 @@ mod tests {
         let mut pt = PageTable::new();
         let vpn = Vpn::new(0xabcdef);
         pt.ensure_mapped(vpn);
-        assert_eq!(pt.pte_addr(vpn, PtLevel::L5).pfn(), pt.cr3());
+        assert_eq!(pt.pte_addr(vpn, PtLevel::L5).unwrap().pfn(), pt.cr3());
     }
 
     #[test]
@@ -215,13 +233,13 @@ mod tests {
         for i in 0..PTES_PER_BLOCK {
             let vpn = Vpn::new(base.raw() + i);
             pt.ensure_mapped(vpn);
-            lines.insert(pt.pte_addr(vpn, PtLevel::L1).line());
+            lines.insert(pt.pte_addr(vpn, PtLevel::L1).unwrap().line());
         }
         assert_eq!(lines.len(), 1, "8 PTEs must share one 64-byte block");
         // The ninth page starts a new block.
         let vpn9 = Vpn::new(base.raw() + PTES_PER_BLOCK);
         pt.ensure_mapped(vpn9);
-        assert!(!lines.contains(&pt.pte_addr(vpn9, PtLevel::L1).line()));
+        assert!(!lines.contains(&pt.pte_addr(vpn9, PtLevel::L1).unwrap().line()));
     }
 
     #[test]
@@ -232,23 +250,27 @@ mod tests {
         pt.ensure_mapped(a);
         pt.ensure_mapped(b);
         assert_ne!(
-            pt.pte_addr(a, PtLevel::L1).pfn(),
-            pt.pte_addr(b, PtLevel::L1).pfn()
+            pt.pte_addr(a, PtLevel::L1).unwrap().pfn(),
+            pt.pte_addr(b, PtLevel::L1).unwrap().pfn()
         );
         // But they share every level above L1's table... except index may
         // differ: the L2 PTE addresses differ (different entries of the
         // same L2 table frame).
         assert_eq!(
-            pt.pte_addr(a, PtLevel::L2).pfn(),
-            pt.pte_addr(b, PtLevel::L2).pfn()
+            pt.pte_addr(a, PtLevel::L2).unwrap().pfn(),
+            pt.pte_addr(b, PtLevel::L2).unwrap().pfn()
         );
     }
 
     #[test]
-    #[should_panic(expected = "path missing")]
-    fn pte_addr_of_unmapped_panics() {
+    fn pte_addr_of_unmapped_is_a_walk_error() {
         let pt = PageTable::new();
-        pt.pte_addr(Vpn::new(1 << 30), PtLevel::L1);
+        let err = pt.pte_addr(Vpn::new(1 << 30), PtLevel::L1).unwrap_err();
+        assert!(
+            matches!(err, SimError::Walk { level: 5, .. }),
+            "unmapped VPN must fail at the root level: {err}"
+        );
+        assert!(err.to_string().contains("path missing"), "{err}");
     }
 
     #[test]

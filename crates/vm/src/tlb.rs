@@ -4,8 +4,8 @@
 //! 16-way) of Table I. An optional [`RecallProbe`] measures the recall
 //! distance of translations at the STLB (Fig 18).
 
-use atc_types::{config::TlbConfig, LineAddr, Pfn, Vpn};
 use atc_stats::recall::RecallProbe;
+use atc_types::{config::TlbConfig, LineAddr, Pfn, Vpn};
 
 /// Hit/miss counters for one TLB.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -178,7 +178,13 @@ impl Tlb {
                 reused: victim.reused,
             });
         }
-        self.sets[set].push(Entry { vpn, pfn, lru: clock, fill_ip, reused: false });
+        self.sets[set].push(Entry {
+            vpn,
+            pfn,
+            lru: clock,
+            fill_ip,
+            reused: false,
+        });
         evicted
     }
 
@@ -208,7 +214,11 @@ mod tests {
     use super::*;
 
     fn small() -> Tlb {
-        Tlb::new(&TlbConfig { entries: 4, ways: 2, latency: 1 })
+        Tlb::new(&TlbConfig {
+            entries: 4,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -255,13 +265,18 @@ mod tests {
 
     #[test]
     fn associativity_is_respected() {
-        let mut t = Tlb::new(&TlbConfig { entries: 16, ways: 4, latency: 1 });
+        let mut t = Tlb::new(&TlbConfig {
+            entries: 16,
+            ways: 4,
+            latency: 1,
+        });
         // 4 sets; fill 5 vpns of the same set (stride 4).
         for i in 0..5u64 {
             t.fill(Vpn::new(i * 4), Pfn::new(i));
         }
-        let present: usize =
-            (0..5u64).filter(|&i| t.peek(Vpn::new(i * 4)).is_some()).count();
+        let present: usize = (0..5u64)
+            .filter(|&i| t.peek(Vpn::new(i * 4)).is_some())
+            .count();
         assert_eq!(present, 4);
     }
 

@@ -16,7 +16,7 @@
 //! it touches, which is how the paper's `IsLeafLevel` PTW flag reaches
 //! the hierarchy to drive T-policies and the ATP prefetcher.
 
-use atc_types::{config::MachineConfig, Pfn, PhysAddr, PtLevel, Vpn};
+use atc_types::{config::MachineConfig, Pfn, PhysAddr, PtLevel, SimError, Vpn};
 
 use crate::page_table::PageTable;
 use crate::psc::PscArray;
@@ -103,29 +103,47 @@ impl TranslationEngine {
 
     /// Translate `vpn`, advancing TLB/PSC state. Unmapped pages are
     /// demand-mapped first (the simulated OS has a warm page table).
-    pub fn query(&mut self, vpn: Vpn) -> TranslationQuery {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Walk`] if the page-table path is missing — the
+    /// demand-mapping above makes that unreachable in normal operation,
+    /// but a corrupted PSC resume level would surface here instead of
+    /// panicking.
+    pub fn query(&mut self, vpn: Vpn) -> Result<TranslationQuery, SimError> {
         let pfn = self.page_table.ensure_mapped(vpn);
         if let Some(p) = self.dtlb.lookup(vpn) {
-            return TranslationQuery::DtlbHit(p);
+            return Ok(TranslationQuery::DtlbHit(p));
         }
         if let Some(p) = self.stlb.lookup(vpn) {
             self.dtlb.fill(vpn, p);
-            return TranslationQuery::StlbHit(p);
+            return Ok(TranslationQuery::StlbHit(p));
         }
         self.walks += 1;
         let start_level = match self.pscs.lookup(vpn) {
             // PSCL-k hit supplies the level-(k-1) table frame: resume
-            // there.
-            Some(hit_level) => hit_level.next_towards_leaf().expect("PSC levels are ≥ 2"),
+            // there. PSC levels are ≥ 2, so there is always a next level.
+            Some(hit_level) => hit_level.next_towards_leaf().ok_or(SimError::Walk {
+                vpn: vpn.raw(),
+                level: hit_level.number(),
+            })?,
             None => PtLevel::L5,
         };
         let mut steps = Vec::with_capacity(start_level.number() as usize);
         let mut lvl = Some(start_level);
         while let Some(l) = lvl {
-            steps.push(WalkStep { level: l, pte_addr: self.page_table.pte_addr(vpn, l) });
+            steps.push(WalkStep {
+                level: l,
+                pte_addr: self.page_table.pte_addr(vpn, l)?,
+            });
             lvl = l.next_towards_leaf();
         }
-        TranslationQuery::Walk(WalkPlan { vpn, start_level, steps, data_pfn: pfn })
+        Ok(TranslationQuery::Walk(WalkPlan {
+            vpn,
+            start_level,
+            steps,
+            data_pfn: pfn,
+        }))
     }
 
     /// Finish a walk: install PSC entries for every intermediate level
@@ -226,7 +244,7 @@ mod tests {
     #[test]
     fn cold_query_walks_all_five_levels() {
         let mut e = engine();
-        let q = e.query(Vpn::new(0x123456));
+        let q = e.query(Vpn::new(0x123456)).unwrap();
         let plan = q.walk().expect("must walk");
         assert_eq!(plan.start_level, PtLevel::L5);
         assert_eq!(plan.steps.len(), 5);
@@ -239,31 +257,31 @@ mod tests {
     fn walk_then_dtlb_hit_then_stlb_hit() {
         let mut e = engine();
         let vpn = Vpn::new(0x42);
-        let plan = e.query(vpn).walk().unwrap().clone();
+        let plan = e.query(vpn).unwrap().walk().unwrap().clone();
         let pfn = e.complete_walk(&plan);
-        assert!(matches!(e.query(vpn), TranslationQuery::DtlbHit(p) if p == pfn));
+        assert!(matches!(e.query(vpn).unwrap(), TranslationQuery::DtlbHit(p) if p == pfn));
         // Evict from DTLB by filling conflicting entries; the DTLB has 16
         // sets × 4 ways, so 5 co-set VPNs evict it.
         for i in 1..=5u64 {
             let v = Vpn::new(0x42 + i * 16);
-            let p = e.query(v);
+            let p = e.query(v).unwrap();
             if let TranslationQuery::Walk(plan) = p {
                 e.complete_walk(&plan);
             }
         }
-        assert!(matches!(e.query(vpn), TranslationQuery::StlbHit(p) if p == pfn));
+        assert!(matches!(e.query(vpn).unwrap(), TranslationQuery::StlbHit(p) if p == pfn));
     }
 
     #[test]
     fn psc_shortens_second_walk_in_same_region() {
         let mut e = engine();
         let a = Vpn::new(0x10_0000);
-        let plan = e.query(a).walk().unwrap().clone();
+        let plan = e.query(a).unwrap().walk().unwrap().clone();
         e.complete_walk(&plan);
         // Neighbouring page in same leaf table: PSCL2 hit ⇒ 1-step walk
         // (only the leaf PTE).
         let b = Vpn::new(0x10_0001);
-        let plan_b = e.query(b).walk().unwrap().clone();
+        let plan_b = e.query(b).unwrap().walk().unwrap().clone();
         assert_eq!(plan_b.start_level, PtLevel::L1);
         assert_eq!(plan_b.steps.len(), 1);
         assert!(plan_b.steps[0].level.is_leaf());
@@ -273,7 +291,7 @@ mod tests {
     fn walk_plan_translation_matches_page_table() {
         let mut e = engine();
         let vpn = VirtAddr::new(0xABCD_EF01_2345).vpn();
-        let plan = e.query(vpn).walk().unwrap().clone();
+        let plan = e.query(vpn).unwrap().walk().unwrap().clone();
         let pfn = e.complete_walk(&plan);
         assert_eq!(e.page_table().translate(vpn), Some(pfn));
         assert_eq!(plan.data_pfn, pfn);
@@ -283,9 +301,9 @@ mod tests {
     fn walk_count_increments_only_on_walks() {
         let mut e = engine();
         let vpn = Vpn::new(7);
-        let plan = e.query(vpn).walk().unwrap().clone();
+        let plan = e.query(vpn).unwrap().walk().unwrap().clone();
         e.complete_walk(&plan);
-        e.query(vpn); // DTLB hit
+        e.query(vpn).unwrap(); // DTLB hit
         assert_eq!(e.walk_count(), 1);
     }
 
@@ -294,9 +312,9 @@ mod tests {
         let mut e = engine();
         let a = Vpn::new(0x8000);
         let b = Vpn::new(0x8001);
-        let plan_a = e.query(a).walk().unwrap().clone();
+        let plan_a = e.query(a).unwrap().walk().unwrap().clone();
         e.complete_walk(&plan_a);
-        let plan_b = e.query(b).walk().unwrap().clone();
+        let plan_b = e.query(b).unwrap().walk().unwrap().clone();
         let leaf_a = plan_a.steps.last().unwrap().pte_addr.line();
         let leaf_b = plan_b.steps.last().unwrap().pte_addr.line();
         assert_eq!(leaf_a, leaf_b, "adjacent pages share a leaf PTE block");

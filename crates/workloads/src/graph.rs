@@ -7,10 +7,8 @@
 //! spatial correlation between a vertex's neighbours (defeating spatial
 //! prefetchers, as Fig 8 requires).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::Scale;
+use atc_types::rng::SimRng;
 
 /// A compressed-sparse-row directed graph.
 #[derive(Debug, Clone)]
@@ -31,20 +29,20 @@ impl CsrGraph {
     /// Panics if `n == 0` or `avg_degree == 0`.
     pub fn synth(n: usize, avg_degree: usize, seed: u64) -> Self {
         assert!(n > 0 && avg_degree > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(n * avg_degree);
         offsets.push(0u64);
         for _ in 0..n {
             // Out-degree: heavy-tailed around avg_degree (between 1 and
             // 4×avg, skewed low).
-            let u: f64 = rng.random::<f64>();
+            let u: f64 = rng.next_f64();
             let deg = ((avg_degree as f64) * (0.25 + 3.75 * u * u * u)).max(1.0) as usize;
             for _ in 0..deg {
                 // Hub-skew: a high power of a uniform variate concentrates
                 // targets heavily on low IDs (web/social graphs route most
                 // edges through hubs) without eliminating the tail.
-                let t: f64 = rng.random::<f64>();
+                let t: f64 = rng.next_f64();
                 let target = (t.powi(6) * n as f64) as usize % n;
                 targets.push(target as u32);
             }

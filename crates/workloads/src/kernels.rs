@@ -8,11 +8,10 @@
 //! produce the paper's replay loads; the ALU density controls where each
 //! benchmark lands in Table II's MPKI bands.
 
+use atc_types::rng::SimRng;
 use std::collections::VecDeque;
 
 use atc_types::VirtAddr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::graph::CsrGraph;
 use crate::{Instr, Scale, Workload};
@@ -46,7 +45,7 @@ struct Chassis {
     graph: CsrGraph,
     v: usize,
     buf: VecDeque<Instr>,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl Chassis {
@@ -56,10 +55,9 @@ impl Chassis {
             graph: CsrGraph::synth(n, d, seed),
             v: 0,
             buf: VecDeque::with_capacity(256),
-            rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A),
+            rng: SimRng::seed_from_u64(seed ^ 0xA5A5_5A5A),
         }
     }
-
 }
 
 macro_rules! graph_kernel {
@@ -151,7 +149,7 @@ graph_kernel!(
             ch.buf.push_back(Instr::alu(ip + 4));
             ch.buf.push_back(Instr::alu(ip + 5));
         }
-        if ch.rng.random::<f32>() < 0.3 {
+        if ch.rng.next_f32() < 0.3 {
             ch.buf.push_back(Instr::store(ip + 3, a_prop_a(v)));
         }
     }
@@ -176,7 +174,7 @@ graph_kernel!(
         // Frontier membership check (sequential bitmap load).
         ch.buf.push_back(Instr::load(ip, a_prop_b(v / 64)));
         ch.buf.push_back(Instr::alu(ip + 7));
-        if ch.rng.random::<f32>() >= 0.22 {
+        if ch.rng.next_f32() >= 0.22 {
             return; // not in frontier this pass
         }
         ch.buf.push_back(Instr::load(ip + 8, a_offsets(v)));
@@ -187,7 +185,7 @@ graph_kernel!(
             ch.buf.push_back(Instr::alu(ip + 4));
             ch.buf.push_back(Instr::alu(ip + 5));
             ch.buf.push_back(Instr::alu(ip + 9));
-            if ch.rng.random::<f32>() < 0.15 {
+            if ch.rng.next_f32() < 0.15 {
                 ch.buf.push_back(Instr::store(ip + 3, a_prop_a(t)));
             }
         }
@@ -251,7 +249,7 @@ graph_kernel!(
                 ch.buf.push_back(Instr::alu(ip + 8 + (k % 4)));
             }
         }
-        if ch.rng.random::<f32>() < 0.2 {
+        if ch.rng.next_f32() < 0.2 {
             ch.buf.push_back(Instr::store(ip + 3, a_prop_a(v)));
         }
     }
@@ -280,7 +278,7 @@ graph_kernel!(
             // Intersections against already-resident lists are skipped
             // cheaply; a fraction jump to u's adjacency (irregular offset
             // read) and scan it sequentially (two-pointer intersection).
-            if ch.rng.random::<f32>() >= 0.15 {
+            if ch.rng.next_f32() >= 0.15 {
                 ch.buf.push_back(Instr::alu(ip + 7));
                 continue;
             }
@@ -336,7 +334,9 @@ mod tests {
         let mut pr = PageRank::new(Scale::Test, 3);
         let mut mis = Mis::new(Scale::Test, 3);
         let pr_mem = (0..20_000).filter(|_| pr.next_instr().op.is_some()).count();
-        let mis_mem = (0..20_000).filter(|_| mis.next_instr().op.is_some()).count();
+        let mis_mem = (0..20_000)
+            .filter(|_| mis.next_instr().op.is_some())
+            .count();
         assert!(mis_mem < pr_mem);
     }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Synthetic workload generators standing in for the paper's benchmarks.
 //!
@@ -64,23 +65,39 @@ pub struct Instr {
 impl Instr {
     /// An ALU/branch instruction.
     pub fn alu(ip: u64) -> Self {
-        Instr { ip, op: None, dep: false }
+        Instr {
+            ip,
+            op: None,
+            dep: false,
+        }
     }
 
     /// An independent load (address known at dispatch).
     pub fn load(ip: u64, addr: VirtAddr) -> Self {
-        Instr { ip, op: Some(MemOp::Load(addr)), dep: false }
+        Instr {
+            ip,
+            op: Some(MemOp::Load(addr)),
+            dep: false,
+        }
     }
 
     /// A dependent load: its address comes from the previous load's
     /// value (e.g. `rank[edge.target]`, `node->next`).
     pub fn load_dep(ip: u64, addr: VirtAddr) -> Self {
-        Instr { ip, op: Some(MemOp::Load(addr)), dep: true }
+        Instr {
+            ip,
+            op: Some(MemOp::Load(addr)),
+            dep: true,
+        }
     }
 
     /// A store instruction.
     pub fn store(ip: u64, addr: VirtAddr) -> Self {
-        Instr { ip, op: Some(MemOp::Store(addr)), dep: false }
+        Instr {
+            ip,
+            op: Some(MemOp::Store(addr)),
+            dep: false,
+        }
     }
 }
 
@@ -247,7 +264,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = BenchmarkId::Pr.build(Scale::Test, 1);
         let mut b = BenchmarkId::Pr.build(Scale::Test, 2);
-        let same = (0..2000).filter(|_| a.next_instr() == b.next_instr()).count();
+        let same = (0..2000)
+            .filter(|_| a.next_instr() == b.next_instr())
+            .count();
         assert!(same < 2000);
     }
 

@@ -7,11 +7,10 @@
 //! occasional far accesses (low STLB MPKI); `canneal` performs random
 //! element swaps across a huge netlist array.
 
+use atc_types::rng::SimRng;
 use std::collections::VecDeque;
 
 use atc_types::VirtAddr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{Instr, Scale, Workload};
 
@@ -28,7 +27,7 @@ pub struct Mcf {
     arcs: usize,
     cursor: u64,
     buf: VecDeque<Instr>,
-    rng: StdRng,
+    rng: SimRng,
     scan_pos: usize,
 }
 
@@ -38,16 +37,16 @@ impl Mcf {
     /// Build the generator; footprint scales with `scale`.
     pub fn new(scale: Scale, seed: u64) -> Self {
         let nodes = match scale {
-            Scale::Test => 64 * 1024,         // ~4 MiB of node records
-            Scale::Small => 1 << 21,          // 2M nodes ≈ 128 MiB with arcs
-            Scale::Paper => 3 << 21,          // ≈ 380 MiB
+            Scale::Test => 64 * 1024, // ~4 MiB of node records
+            Scale::Small => 1 << 21,  // 2M nodes ≈ 128 MiB with arcs
+            Scale::Paper => 3 << 21,  // ≈ 380 MiB
         };
         Mcf {
             nodes,
             arcs: nodes * 3,
             cursor: 1,
             buf: VecDeque::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             scan_pos: 0,
         }
     }
@@ -72,18 +71,19 @@ impl Mcf {
             self.cursor = self
                 .cursor
                 .wrapping_mul(6364136223846793005)
-                .wrapping_add(self.rng.random::<u16>() as u64);
-            let n = if self.rng.random::<f32>() < 0.92 {
+                .wrapping_add(self.rng.next_u16() as u64);
+            let n = if self.rng.next_f32() < 0.92 {
                 self.cursor % hot_nodes
             } else {
                 self.cursor % self.nodes as u64
             };
             self.buf.push_back(Instr::load_dep(ip, self.node_addr(n)));
-            self.buf.push_back(Instr::load_dep(ip + 1, self.arc_addr(n * 3)));
+            self.buf
+                .push_back(Instr::load_dep(ip + 1, self.arc_addr(n * 3)));
             self.buf.push_back(Instr::alu(ip + 4));
             self.buf.push_back(Instr::alu(ip + 5));
             self.buf.push_back(Instr::alu(ip + 6));
-            if self.rng.random::<f32>() < 0.2 {
+            if self.rng.next_f32() < 0.2 {
                 self.buf.push_back(Instr::store(ip + 3, self.node_addr(n)));
             }
         }
@@ -91,7 +91,8 @@ impl Mcf {
         // "pbeampp" scan): keeps a non-replay load component alive.
         for _ in 0..8 {
             self.scan_pos = (self.scan_pos + 1) % self.arcs;
-            self.buf.push_back(Instr::load(ip + 2, self.arc_addr(self.scan_pos as u64)));
+            self.buf
+                .push_back(Instr::load(ip + 2, self.arc_addr(self.scan_pos as u64)));
             self.buf.push_back(Instr::alu(ip + 7));
         }
     }
@@ -117,7 +118,7 @@ pub struct Xalancbmk {
     hot_bytes: u64,
     cold_bytes: u64,
     buf: VecDeque<Instr>,
-    rng: StdRng,
+    rng: SimRng,
     string_pos: u64,
 }
 
@@ -135,7 +136,7 @@ impl Xalancbmk {
             hot_bytes: hot,
             cold_bytes: cold,
             buf: VecDeque::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             string_pos: 0,
         }
     }
@@ -145,24 +146,34 @@ impl Xalancbmk {
         // DOM-node manipulation in the hot region (hash-like hopping —
         // cache-unfriendly but TLB-friendly, so SHiP-visible reuse).
         for _ in 0..6 {
-            let a = self.rng.random::<u64>() % self.hot_bytes;
-            self.buf.push_back(Instr::load(ip, VirtAddr::new(XAL_HOT_BASE + (a & !7))));
+            let a = self.rng.next_u64() % self.hot_bytes;
+            self.buf
+                .push_back(Instr::load(ip, VirtAddr::new(XAL_HOT_BASE + (a & !7))));
             self.buf.push_back(Instr::alu(ip + 4));
             self.buf.push_back(Instr::alu(ip + 5));
         }
         // Sequential string/character scanning (dense, prefetchable).
         for _ in 0..10 {
             self.string_pos = (self.string_pos + 8) % self.hot_bytes;
-            self.buf.push_back(Instr::load(ip + 1, VirtAddr::new(XAL_HOT_BASE + self.string_pos)));
+            self.buf.push_back(Instr::load(
+                ip + 1,
+                VirtAddr::new(XAL_HOT_BASE + self.string_pos),
+            ));
             self.buf.push_back(Instr::alu(ip + 6));
         }
         // Occasional far dereference into the cold DOM arena.
-        if self.rng.random::<f32>() < 0.2 {
-            let a = self.rng.random::<u64>() % self.cold_bytes;
-            self.buf.push_back(Instr::load_dep(ip + 2, VirtAddr::new(XAL_COLD_BASE + (a & !7))));
+        if self.rng.next_f32() < 0.2 {
+            let a = self.rng.next_u64() % self.cold_bytes;
+            self.buf.push_back(Instr::load_dep(
+                ip + 2,
+                VirtAddr::new(XAL_COLD_BASE + (a & !7)),
+            ));
             self.buf.push_back(Instr::alu(ip + 7));
-            if self.rng.random::<f32>() < 0.2 {
-                self.buf.push_back(Instr::store(ip + 3, VirtAddr::new(XAL_COLD_BASE + (a & !7))));
+            if self.rng.next_f32() < 0.2 {
+                self.buf.push_back(Instr::store(
+                    ip + 3,
+                    VirtAddr::new(XAL_COLD_BASE + (a & !7)),
+                ));
             }
         }
     }
@@ -187,7 +198,7 @@ impl Workload for Xalancbmk {
 pub struct Canneal {
     elements: u64,
     buf: VecDeque<Instr>,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 const CAN_IP: u64 = 0x0009_0000;
@@ -200,7 +211,11 @@ impl Canneal {
             Scale::Small => 1 << 22, // 4M × 32 B = 128 MiB
             Scale::Paper => 1 << 23, // 8M × 32 B = 256 MiB
         };
-        Canneal { elements, buf: VecDeque::new(), rng: StdRng::seed_from_u64(seed) }
+        Canneal {
+            elements,
+            buf: VecDeque::new(),
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     fn elem_addr(&self, i: u64) -> VirtAddr {
@@ -212,9 +227,9 @@ impl Canneal {
         // Annealing revisits a temperature-dependent hot set: most swap
         // candidates come from a small hot window, the rest are uniform.
         let hot = (self.elements / 128).max(1);
-        let pick = |rng: &mut StdRng| {
-            let x = rng.random::<u64>();
-            if rng.random::<f32>() < 0.9 {
+        let pick = |rng: &mut SimRng| {
+            let x = rng.next_u64();
+            if rng.next_f32() < 0.9 {
                 x % hot
             } else {
                 x
@@ -225,14 +240,15 @@ impl Canneal {
         // Read both elements and their neighbour lists.
         self.buf.push_back(Instr::load_dep(ip, self.elem_addr(a)));
         self.buf.push_back(Instr::alu(ip + 4));
-        self.buf.push_back(Instr::load_dep(ip + 1, self.elem_addr(b)));
+        self.buf
+            .push_back(Instr::load_dep(ip + 1, self.elem_addr(b)));
         self.buf.push_back(Instr::alu(ip + 5));
         // Swap-cost computation.
         for k in 0..5 {
             self.buf.push_back(Instr::alu(ip + 6 + k));
         }
         // Commit the swap ~40% of the time.
-        if self.rng.random::<f32>() < 0.4 {
+        if self.rng.next_f32() < 0.4 {
             self.buf.push_back(Instr::store(ip + 2, self.elem_addr(a)));
             self.buf.push_back(Instr::store(ip + 3, self.elem_addr(b)));
         }

@@ -55,9 +55,7 @@ pub struct Trace {
 fn pack(i: &Instr) -> (u64, u64) {
     let packed = match i.op {
         None => 0,
-        Some(MemOp::Load(a)) => {
-            FLAG_MEM | (a.raw() & ADDR_MASK) | if i.dep { FLAG_DEP } else { 0 }
-        }
+        Some(MemOp::Load(a)) => FLAG_MEM | (a.raw() & ADDR_MASK) | if i.dep { FLAG_DEP } else { 0 },
         Some(MemOp::Store(a)) => {
             FLAG_MEM | FLAG_STORE | (a.raw() & ADDR_MASK) | if i.dep { FLAG_DEP } else { 0 }
         }
@@ -71,8 +69,16 @@ fn unpack(ip: u64, packed: u64) -> Instr {
     }
     let addr = VirtAddr::new(packed & ADDR_MASK);
     let dep = packed & FLAG_DEP != 0;
-    let op = if packed & FLAG_STORE != 0 { MemOp::Store(addr) } else { MemOp::Load(addr) };
-    Instr { ip, op: Some(op), dep }
+    let op = if packed & FLAG_STORE != 0 {
+        MemOp::Store(addr)
+    } else {
+        MemOp::Load(addr)
+    };
+    Instr {
+        ip,
+        op: Some(op),
+        dep,
+    }
 }
 
 impl Trace {
@@ -132,7 +138,10 @@ impl Trace {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ATC trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an ATC trace",
+            ));
         }
         let mut len8 = [0u8; 8];
         r.read_exact(&mut len8)?;

@@ -22,7 +22,10 @@ struct RandomReplacement {
 
 impl RandomReplacement {
     fn new(ways: usize, seed: u64) -> Self {
-        RandomReplacement { ways, state: seed.max(1) }
+        RandomReplacement {
+            ways,
+            state: seed.max(1),
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -57,7 +60,11 @@ fn drive(cache: &mut Cache, lines: u64) -> f64 {
     for round in 0..200u64 {
         for i in 0..lines {
             // 8 hot lines touched every round + a rotating cold stream.
-            let line = if i % 4 != 0 { i % 8 } else { 1000 + (round * lines + i) % 256 };
+            let line = if i % 4 != 0 {
+                i % 8
+            } else {
+                1000 + (round * lines + i) % 256
+            };
             let info = AccessInfo::demand(7, LineAddr::new(line), AccessClass::NonReplayData);
             total += 1;
             if cache.lookup(&info, round * lines + i).is_some() {
@@ -72,7 +79,8 @@ fn drive(cache: &mut Cache, lines: u64) -> f64 {
 
 fn main() {
     let (sets, ways) = (16, 4);
-    let mut lru = Cache::new("LRU", sets, ways, 1, 8, Box::new(Lru::new(sets, ways)));
+    let mut lru = Cache::new("LRU", sets, ways, 1, 8, Box::new(Lru::new(sets, ways)))
+        .expect("valid geometry");
     let mut rnd = Cache::new(
         "random",
         sets,
@@ -80,7 +88,8 @@ fn main() {
         1,
         8,
         Box::new(RandomReplacement::new(ways, 0xC0FFEE)),
-    );
+    )
+    .expect("valid geometry");
 
     let lru_rate = drive(&mut lru, 64);
     let rnd_rate = drive(&mut rnd, 64);

@@ -22,14 +22,17 @@ fn main() {
             .enumerate()
             .map(|(i, b)| b.build(Scale::Small, i as u64 + 1))
             .collect();
-        run_multicore(cfg, &mut wls, warmup, measure)
+        run_multicore(cfg, &mut wls, warmup, measure).expect("mix runs to completion")
     };
 
     println!("8-core heterogeneous mix, {measure} instructions per core\n");
     let base = run(&SimConfig::baseline());
     let enh = run(&SimConfig::with_enhancement(Enhancement::Tempo));
 
-    println!("{:<10} {:>12} {:>12} {:>9}", "core", "base IPC", "enh IPC", "speedup");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "core", "base IPC", "enh IPC", "speedup"
+    );
     let mut speedups = Vec::new();
     for (i, b) in mix.iter().enumerate() {
         let s = base[i].cycles as f64 / enh[i].cycles as f64;
@@ -42,5 +45,8 @@ fn main() {
             s
         );
     }
-    println!("\nharmonic speedup of the mix: {:.3}", harmonic_speedup(&speedups));
+    println!(
+        "\nharmonic speedup of the mix: {:.3}",
+        harmonic_speedup(&speedups)
+    );
 }

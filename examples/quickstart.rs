@@ -5,17 +5,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use atc_sim::{run_one, SimConfig};
+use atc_sim::{run_one, SimConfig, SimFailure};
 use atc_types::{AccessClass, MemLevel, PtLevel};
 use atc_workloads::{BenchmarkId, Scale};
 
-fn main() {
+fn main() -> Result<(), SimFailure> {
     // Table I machine: 352-entry ROB, 2048-entry STLB, 48K/512K/2M caches,
     // DRRIP at L2C and SHiP at the LLC.
     let cfg = SimConfig::baseline();
 
     // An mcf-like pointer-chasing workload, 100k warmup + 500k measured.
-    let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Small, 42, 100_000, 500_000);
+    // Invalid configurations and livelocked runs surface as errors here
+    // rather than panics.
+    let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Small, 42, 100_000, 500_000)?;
 
     println!("benchmark        : mcf (synthetic stand-in)");
     println!("instructions     : {}", stats.core.instructions);
@@ -39,4 +41,5 @@ fn main() {
         "translations serviced on-chip: {:.1}%",
         stats.translation_hit_fraction_upto(MemLevel::Llc) * 100.0
     );
+    Ok(())
 }

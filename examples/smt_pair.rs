@@ -18,7 +18,7 @@ fn main() {
     let run = |cfg: &SimConfig| {
         let mut w0 = a.build(Scale::Small, 1);
         let mut w1 = b.build(Scale::Small, 2);
-        run_smt(cfg, w0.as_mut(), w1.as_mut(), warmup, measure)
+        run_smt(cfg, w0.as_mut(), w1.as_mut(), warmup, measure).expect("pair runs to completion")
     };
 
     let base = run(&SimConfig::baseline());
@@ -35,5 +35,8 @@ fn main() {
     let speedups: Vec<f64> = (0..2)
         .map(|i| base.threads[i].cycles as f64 / enh.threads[i].cycles as f64)
         .collect();
-    println!("harmonic speedup of the enhancements: {:.3}", harmonic_speedup(&speedups));
+    println!(
+        "harmonic speedup of the enhancements: {:.3}",
+        harmonic_speedup(&speedups)
+    );
 }

@@ -17,7 +17,15 @@ fn main() {
     let (warmup, measure) = (100_000, 500_000);
 
     println!("running pr on the enhancement ladder ({measure} instructions each)...\n");
-    let base = run_one(&SimConfig::baseline(), bench, Scale::Small, 42, warmup, measure);
+    let base = run_one(
+        &SimConfig::baseline(),
+        bench,
+        Scale::Small,
+        42,
+        warmup,
+        measure,
+    )
+    .expect("baseline runs to completion");
 
     println!(
         "{:<10} {:>9} {:>7} {:>10} {:>10} {:>9} {:>8}",
@@ -26,7 +34,8 @@ fn main() {
     let t = AccessClass::Translation(PtLevel::L1);
     for e in Enhancement::ALL {
         let cfg = SimConfig::with_enhancement(e);
-        let s = run_one(&cfg, bench, Scale::Small, 42, warmup, measure);
+        let s = run_one(&cfg, bench, Scale::Small, 42, warmup, measure)
+            .expect("ladder step runs to completion");
         println!(
             "{:<10} {:>9} {:>7.3} {:>10} {:>10} {:>9.3} {:>7.1}%",
             e.label(),

@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+
 //! Root meta-crate: re-exports the whole ATC simulator stack under one
 //! name, so downstream users can depend on a single crate.
 //!
@@ -12,8 +14,9 @@
 //! use atc::workloads::{BenchmarkId, Scale};
 //!
 //! let cfg = SimConfig::baseline();
-//! let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 1_000, 5_000);
+//! let stats = run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 1_000, 5_000)?;
 //! assert_eq!(stats.core.instructions, 5_000);
+//! # Ok::<(), atc::sim::SimFailure>(())
 //! ```
 
 pub use atc_cache as cache;

@@ -13,7 +13,7 @@ fn small_stlb(mut cfg: SimConfig) -> SimConfig {
 }
 
 fn run(cfg: &SimConfig, bench: BenchmarkId, n: u64) -> atc_sim::RunStats {
-    run_one(cfg, bench, Scale::Test, 7, 10_000, n)
+    run_one(cfg, bench, Scale::Test, 7, 10_000, n).expect("healthy run")
 }
 
 #[test]
@@ -43,7 +43,11 @@ fn enhancements_never_collapse_performance() {
 
 #[test]
 fn t_policies_raise_onchip_translation_hit_fraction() {
-    let base = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let base = run(
+        &small_stlb(SimConfig::baseline()),
+        BenchmarkId::Canneal,
+        80_000,
+    );
     let enh = run(
         &small_stlb(SimConfig::with_enhancement(Enhancement::TShip)),
         BenchmarkId::Canneal,
@@ -94,7 +98,11 @@ fn replay_accesses_match_walked_loads() {
 
 #[test]
 fn leaf_translations_flow_through_all_levels() {
-    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let s = run(
+        &small_stlb(SimConfig::baseline()),
+        BenchmarkId::Canneal,
+        80_000,
+    );
     let t = AccessClass::Translation(PtLevel::L1);
     assert!(s.l1d.accesses(t) > 0, "leaf PTE reads start at L1D");
     assert!(s.l2c.accesses(t) > 0, "some leaf PTE reads reach L2C");
@@ -105,7 +113,11 @@ fn leaf_translations_flow_through_all_levels() {
 
 #[test]
 fn dram_sees_traffic_under_thrash() {
-    let s = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 50_000);
+    let s = run(
+        &small_stlb(SimConfig::baseline()),
+        BenchmarkId::Canneal,
+        50_000,
+    );
     assert!(s.dram.requests > 0);
     assert!(s.dram.row_hits + s.dram.row_misses == s.dram.requests);
 }
@@ -114,7 +126,11 @@ fn dram_sees_traffic_under_thrash() {
 fn ideal_oracle_for_both_classes_is_fastest() {
     let mut ideal_cfg = small_stlb(SimConfig::baseline());
     ideal_cfg.ideal = atc_core::IdealConfig::both_levels_both_classes();
-    let base = run(&small_stlb(SimConfig::baseline()), BenchmarkId::Canneal, 80_000);
+    let base = run(
+        &small_stlb(SimConfig::baseline()),
+        BenchmarkId::Canneal,
+        80_000,
+    );
     let ideal = run(&ideal_cfg, BenchmarkId::Canneal, 80_000);
     assert!(
         ideal.core.cycles <= base.core.cycles,
@@ -127,10 +143,10 @@ fn ideal_oracle_for_both_classes_is_fastest() {
 #[test]
 fn machine_is_reusable_across_runs() {
     let cfg = small_stlb(SimConfig::baseline());
-    let mut m = Machine::new(&cfg);
+    let mut m = Machine::new(&cfg).expect("valid config");
     let mut wl = BenchmarkId::Tc.build(Scale::Test, 3);
-    let a = m.run(wl.as_mut(), 1_000, 10_000);
-    let b = m.run(wl.as_mut(), 1_000, 10_000);
+    let a = m.run(wl.as_mut(), 1_000, 10_000).expect("healthy run");
+    let b = m.run(wl.as_mut(), 1_000, 10_000).expect("healthy run");
     assert_eq!(a.core.instructions, b.core.instructions);
     // Second run starts warmer; it should not be drastically slower.
     assert!(b.core.cycles < a.core.cycles * 2);

@@ -10,7 +10,7 @@ fn run_with_llc(policy: PolicyChoice, bench: BenchmarkId) -> atc_sim::RunStats {
     let mut cfg = SimConfig::baseline();
     cfg.machine.stlb.entries = 256;
     cfg.llc_policy = policy;
-    run_one(&cfg, bench, Scale::Test, 11, 10_000, 60_000)
+    run_one(&cfg, bench, Scale::Test, 11, 10_000, 60_000).expect("healthy run")
 }
 
 #[test]
@@ -59,11 +59,12 @@ fn policies_cannot_change_replay_traffic_volume() {
 fn t_drrip_at_l2c_does_not_hurt_l2c_non_replay_hits() {
     let mut base_cfg = SimConfig::baseline();
     base_cfg.machine.stlb.entries = 256;
-    let base = run_one(&base_cfg, BenchmarkId::Tc, Scale::Test, 11, 10_000, 60_000);
+    let base =
+        run_one(&base_cfg, BenchmarkId::Tc, Scale::Test, 11, 10_000, 60_000).expect("healthy run");
 
     let mut t_cfg = base_cfg.clone();
     t_cfg.l2c_policy = PolicyChoice::TDrrip;
-    let t = run_one(&t_cfg, BenchmarkId::Tc, Scale::Test, 11, 10_000, 60_000);
+    let t = run_one(&t_cfg, BenchmarkId::Tc, Scale::Test, 11, 10_000, 60_000).expect("healthy run");
 
     let n = AccessClass::NonReplayData;
     let base_rate = base.l2c.hit_rate(n);
@@ -88,11 +89,22 @@ fn hawkeye_and_ship_disagree_somewhere() {
         cfg.llc_policy = p;
         // xalancbmk's hot region (1 MiB) thrashes the shrunken LLC with
         // real reuse, so victim choices change outcomes.
-        run_one(&cfg, BenchmarkId::Xalancbmk, Scale::Test, 11, 10_000, 80_000)
+        run_one(
+            &cfg,
+            BenchmarkId::Xalancbmk,
+            Scale::Test,
+            11,
+            10_000,
+            80_000,
+        )
+        .expect("healthy run")
     };
     let a = run(PolicyChoice::Ship);
     let b = run(PolicyChoice::Hawkeye);
-    assert!(a.llc.hits(atc_types::AccessClass::NonReplayData) > 0, "need LLC reuse");
+    assert!(
+        a.llc.hits(atc_types::AccessClass::NonReplayData) > 0,
+        "need LLC reuse"
+    );
     assert_ne!(
         (a.llc.total_misses(), a.core.cycles),
         (b.llc.total_misses(), b.core.cycles)

@@ -1,43 +1,69 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: page table, TLB LRU, caches, RRIP bounds, recall probe,
-//! MSHR merging, and histograms.
-
-use proptest::prelude::*;
+//! Property-style tests over the core data structures and invariants:
+//! page table, TLB LRU, caches, RRIP bounds, recall probe, MSHR merging,
+//! and histograms.
+//!
+//! Each test runs many randomized cases driven by the in-tree seeded
+//! [`SimRng`] (no external property-testing dependency), so failures
+//! reproduce deterministically: the panic message names the fixed seed
+//! and case index.
 
 use atc_cache::policy::{Drrip, Lru, ReplacementPolicy, Ship, Srrip, RRPV_MAX};
-use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher};
-use atc_types::VirtAddr;
-use atc_workloads::trace::{Trace, TraceReplay};
-use atc_workloads::{Instr, MemOp, Workload};
 use atc_cache::{Cache, Mshr};
+use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher};
 use atc_stats::recall::RecallProbe;
 use atc_stats::Histogram;
-use atc_types::{AccessClass, AccessInfo, LineAddr, PtLevel, Vpn};
+use atc_types::{AccessClass, AccessInfo, LineAddr, PtLevel, SimRng, VirtAddr, Vpn};
 use atc_vm::{PageTable, Tlb};
+use atc_workloads::trace::{Trace, TraceReplay};
+use atc_workloads::{Instr, MemOp, Workload};
 use std::collections::{HashMap, HashSet, VecDeque};
 
-proptest! {
-    #[test]
-    fn page_table_translations_are_stable_and_unique(vpns in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+/// Randomized cases per property.
+const CASES: u64 = 48;
+
+/// Per-case RNG: deterministic, distinct across tests and cases.
+fn rng_for(test_tag: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(0x5EED_0000_0000_0000 ^ (test_tag << 32) ^ case)
+}
+
+/// `len` uniform in `[lo, hi)`.
+fn rand_len(rng: &mut SimRng, lo: u64, hi: u64) -> usize {
+    (lo + rng.next_below(hi - lo)) as usize
+}
+
+#[test]
+fn page_table_translations_are_stable_and_unique() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n = rand_len(&mut rng, 1, 200);
+        let vpns: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 30)).collect();
         let mut pt = PageTable::new();
         let mut seen: HashMap<u64, _> = HashMap::new();
         for &v in &vpns {
             let pfn = pt.ensure_mapped(Vpn::new(v));
             if let Some(prev) = seen.insert(v, pfn) {
-                prop_assert_eq!(prev, pfn, "remap changed translation");
+                assert_eq!(prev, pfn, "case {case}: remap changed translation");
             }
         }
         // Distinct VPNs never share a frame.
         let frames: HashSet<_> = seen.values().collect();
-        prop_assert_eq!(frames.len(), seen.len());
+        assert_eq!(frames.len(), seen.len(), "case {case}: frame collision");
         // And translate() agrees with ensure_mapped().
         for (&v, &pfn) in &seen {
-            prop_assert_eq!(pt.translate(Vpn::new(v)), Some(pfn));
+            assert_eq!(pt.translate(Vpn::new(v)), Some(pfn), "case {case}: vpn {v}");
         }
     }
+}
 
-    #[test]
-    fn pte_addresses_never_collide_across_vpns(vpns in proptest::collection::hash_set(0u64..1 << 24, 2..64)) {
+#[test]
+fn pte_addresses_never_collide_across_vpns() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let target = rand_len(&mut rng, 2, 64);
+        let mut vpns = HashSet::new();
+        while vpns.len() < target {
+            vpns.insert(rng.next_below(1 << 24));
+        }
         let mut pt = PageTable::new();
         for &v in &vpns {
             pt.ensure_mapped(Vpn::new(v));
@@ -45,19 +71,34 @@ proptest! {
         // Leaf PTE byte addresses are unique per VPN.
         let mut seen = HashSet::new();
         for &v in &vpns {
-            let a = pt.pte_addr(Vpn::new(v), PtLevel::L1);
-            prop_assert!(seen.insert(a), "leaf PTE address collision for vpn {}", v);
+            let a = pt
+                .pte_addr(Vpn::new(v), PtLevel::L1)
+                .expect("mapped vpn has a leaf PTE");
+            assert!(
+                seen.insert(a),
+                "case {case}: leaf PTE address collision for vpn {v}"
+            );
         }
     }
+}
 
-    #[test]
-    fn tlb_matches_reference_lru_model(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)) {
-        use atc_types::{config::TlbConfig, Pfn};
+#[test]
+fn tlb_matches_reference_lru_model() {
+    use atc_types::{config::TlbConfig, Pfn};
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let n = rand_len(&mut rng, 1, 400);
         // 1-set fully-associative TLB vs a reference LRU list.
-        let mut tlb = Tlb::new(&TlbConfig { entries: 4, ways: 4, latency: 1 });
+        let mut tlb = Tlb::new(&TlbConfig {
+            entries: 4,
+            ways: 4,
+            latency: 1,
+        });
         let mut reference: VecDeque<u64> = VecDeque::new(); // front = MRU
-        for (v, is_fill) in ops {
-            let vpn = Vpn::new(v * 4); // all map to set 0 (4 sets... entries/ways = 1 set)
+        for _ in 0..n {
+            let v = rng.next_below(64);
+            let is_fill = rng.chance(0.5);
+            let vpn = Vpn::new(v * 4); // entries/ways = 1 set: everything maps to set 0
             if is_fill {
                 if let Some(pos) = reference.iter().position(|&x| x == v) {
                     reference.remove(pos);
@@ -69,7 +110,7 @@ proptest! {
             } else {
                 let hit = tlb.lookup(vpn).is_some();
                 let ref_hit = reference.contains(&v);
-                prop_assert_eq!(hit, ref_hit, "lookup divergence on {}", v);
+                assert_eq!(hit, ref_hit, "case {case}: lookup divergence on {v}");
                 if ref_hit {
                     let pos = reference.iter().position(|&x| x == v).unwrap();
                     reference.remove(pos);
@@ -78,13 +119,19 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn cache_never_exceeds_associativity(lines in proptest::collection::vec(0u64..512, 1..500)) {
-        let sets = 8usize;
-        let ways = 4usize;
-        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)));
-        for &l in &lines {
+#[test]
+fn cache_never_exceeds_associativity() {
+    let sets = 8usize;
+    let ways = 4usize;
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let n = rand_len(&mut rng, 1, 500);
+        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)))
+            .expect("valid test geometry");
+        for _ in 0..n {
+            let l = rng.next_below(512);
             let info = AccessInfo::demand(1, LineAddr::new(l), AccessClass::NonReplayData);
             if c.lookup(&info, 0).is_none() {
                 c.insert_miss(&info, 10, 0);
@@ -94,53 +141,77 @@ proptest! {
             let resident = (0..512u64)
                 .filter(|&l| l % sets as u64 == set && c.contains(LineAddr::new(l)))
                 .count();
-            prop_assert!(resident <= ways, "set {} holds {} lines", set, resident);
+            assert!(
+                resident <= ways,
+                "case {case}: set {set} holds {resident} lines"
+            );
         }
     }
+}
 
-    #[test]
-    fn srrip_rrpvs_stay_bounded(ops in proptest::collection::vec((0usize..4, 0usize..4, 0u8..3), 1..300)) {
+#[test]
+fn srrip_rrpvs_stay_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let n = rand_len(&mut rng, 1, 300);
         let mut p = Srrip::new(4, 4);
         let info = AccessInfo::demand(0, LineAddr::new(0), AccessClass::NonReplayData);
-        for (set, way, op) in ops {
-            match op {
+        for _ in 0..n {
+            let set = rng.next_below(4) as usize;
+            let way = rng.next_below(4) as usize;
+            match rng.next_below(3) {
                 0 => p.on_fill(set, way, &info),
                 1 => p.on_hit(set, way, &info),
                 _ => {
                     let v = p.victim(set, &info);
-                    prop_assert!(v < 4);
+                    assert!(v < 4, "case {case}: victim {v} out of range");
                 }
             }
             for w in 0..4 {
-                prop_assert!(p.rrpv(set, w) <= RRPV_MAX);
+                assert!(
+                    p.rrpv(set, w) <= RRPV_MAX,
+                    "case {case}: RRPV out of bounds"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn ship_victims_are_always_in_range(ops in proptest::collection::vec((0usize..4, 0u64..32), 1..300)) {
+#[test]
+fn ship_victims_are_always_in_range() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let n = rand_len(&mut rng, 1, 300);
         let mut p = Ship::new(4, 4);
-        for (i, (set, ip)) in ops.into_iter().enumerate() {
+        for i in 0..n {
+            let set = rng.next_below(4) as usize;
+            let ip = rng.next_below(32);
             let info = AccessInfo::demand(ip, LineAddr::new(ip), AccessClass::NonReplayData);
             match i % 3 {
                 0 => p.on_fill(set, i % 4, &info),
                 1 => p.on_hit(set, i % 4, &info),
                 _ => {
                     let v = p.victim(set, &info);
-                    prop_assert!(v < 4);
+                    assert!(v < 4, "case {case}: victim {v} out of range");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn recall_probe_matches_naive_reference(ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..300)) {
+#[test]
+fn recall_probe_matches_naive_reference() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let n = rand_len(&mut rng, 1, 300);
         // One set; cap high enough to never overflow.
         let mut probe = RecallProbe::new(1, 1000);
         // Reference: open windows as (victim, unique set of lines seen).
         let mut open: Vec<(u64, HashSet<u64>)> = Vec::new();
         let mut recorded: Vec<u64> = Vec::new();
-        for (line, is_evict) in ops {
+        for _ in 0..n {
+            let line = rng.next_below(24);
+            let is_evict = rng.chance(0.5);
             if is_evict {
                 open.retain(|w| w.0 != line);
                 open.push((line, HashSet::new()));
@@ -165,19 +236,25 @@ proptest! {
             }
         }
         let hist = probe.histogram();
-        prop_assert_eq!(hist.count(), recorded.len() as u64);
-        prop_assert_eq!(hist.sum(), recorded.iter().sum::<u64>());
+        assert_eq!(hist.count(), recorded.len() as u64, "case {case}: count");
+        assert_eq!(hist.sum(), recorded.iter().sum::<u64>(), "case {case}: sum");
     }
+}
 
-    #[test]
-    fn mshr_merge_returns_allocated_ready(allocs in proptest::collection::vec((0u64..64, 1u64..500), 1..40)) {
-        let mut m = Mshr::new(64);
+#[test]
+fn mshr_merge_returns_allocated_ready() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let n = rand_len(&mut rng, 1, 40);
+        let mut m = Mshr::new(64).expect("valid capacity");
         let mut expected: HashMap<u64, u64> = HashMap::new();
-        for (line, extra) in allocs {
+        for _ in 0..n {
+            let line = rng.next_below(64);
+            let extra = 1 + rng.next_below(499);
             if let Some(&r) = expected.get(&line) {
                 // Merge before expiry must return the stored ready.
                 if let Some(got) = m.merge(LineAddr::new(line), 0, false) {
-                    prop_assert_eq!(got, r);
+                    assert_eq!(got, r, "case {case}: merge returned wrong ready");
                 }
             } else {
                 let ready = m.allocate(LineAddr::new(line), 0, extra, false);
@@ -185,29 +262,92 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn drrip_victims_in_range_and_psel_bounded(ops in proptest::collection::vec((0usize..64, 0u8..3), 1..400)) {
+#[test]
+fn mshr_never_leaks_entries_over_random_fill_drain_cycles() {
+    // Robustness property: after arbitrary interleavings of allocates,
+    // merges, and time advances, the file never exceeds its capacity and
+    // fully drains once the clock passes every outstanding fill.
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let capacity = 1 + rand_len(&mut rng, 1, 16);
+        let mut m = Mshr::new(capacity).expect("valid capacity");
+        let mut cycle = 0u64;
+        let mut max_ready = 0u64;
+        let ops = rand_len(&mut rng, 50, 400);
+        for _ in 0..ops {
+            match rng.next_below(3) {
+                0 => {
+                    let line = LineAddr::new(rng.next_below(32));
+                    let latency = 1 + rng.next_below(200);
+                    let pf = rng.chance(0.3);
+                    let ready = m.allocate(line, cycle, cycle + latency, pf);
+                    max_ready = max_ready.max(ready);
+                }
+                1 => {
+                    let line = LineAddr::new(rng.next_below(32));
+                    if let Some(ready) = m.merge(line, cycle, rng.chance(0.3)) {
+                        assert!(ready > cycle, "case {case}: merged an expired entry");
+                        max_ready = max_ready.max(ready);
+                    }
+                }
+                _ => {
+                    cycle += rng.next_below(100);
+                }
+            }
+            assert!(
+                m.in_flight(cycle) <= capacity,
+                "case {case}: {} entries exceed capacity {capacity}",
+                m.in_flight(cycle),
+            );
+        }
+        // Drain: once the clock passes every fill, nothing may linger.
+        let after = max_ready + 1;
+        assert_eq!(
+            m.in_flight(after),
+            0,
+            "case {case}: MSHR leaked entries past cycle {after}"
+        );
+        assert_eq!(
+            m.outstanding_at(after),
+            0,
+            "case {case}: read-only probe disagrees"
+        );
+    }
+}
+
+#[test]
+fn drrip_victims_in_range_and_psel_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let n = rand_len(&mut rng, 1, 400);
         let mut p = Drrip::new(64, 8);
         let info = AccessInfo::demand(3, LineAddr::new(0), AccessClass::NonReplayData);
-        for (i, (set, op)) in ops.into_iter().enumerate() {
-            match op {
+        for i in 0..n {
+            let set = rng.next_below(64) as usize;
+            match rng.next_below(3) {
                 0 => p.on_fill(set, i % 8, &info),
                 1 => p.on_hit(set, i % 8, &info),
                 _ => {
                     let v = p.victim(set, &info);
-                    prop_assert!(v < 8);
+                    assert!(v < 8, "case {case}: victim {v} out of range");
                 }
             }
-            prop_assert!(p.psel() <= 1023);
+            assert!(p.psel() <= 1023, "case {case}: PSEL overflow");
         }
     }
+}
 
-    #[test]
-    fn spatial_prefetchers_never_cross_pages(lines in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+#[test]
+fn spatial_prefetchers_never_cross_pages() {
+    for case in 0..CASES {
+        let mut rng = rng_for(11, case);
+        let n = rand_len(&mut rng, 1, 300);
         let mut spp = atc_prefetch::Spp::new();
         let mut bingo = atc_prefetch::Bingo::new();
-        for &l in &lines {
+        for _ in 0..n {
+            let l = rng.next_below(1 << 20);
             let ctx = PrefetchContext {
                 ip: 9,
                 line: LineAddr::new(l),
@@ -217,19 +357,26 @@ proptest! {
             for req in spp.on_access(&ctx).into_iter().chain(bingo.on_access(&ctx)) {
                 match req {
                     PrefetchRequest::Phys(p) => {
-                        prop_assert_eq!(p.raw() >> 6, l >> 6, "crossed a page boundary");
+                        assert_eq!(p.raw() >> 6, l >> 6, "case {case}: crossed a page boundary");
                     }
-                    PrefetchRequest::Virt(_) => prop_assert!(false, "spatial PF emitted virtual"),
+                    PrefetchRequest::Virt(_) => {
+                        panic!("case {case}: spatial PF emitted virtual")
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn isb_only_predicts_previously_seen_lines(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+#[test]
+fn isb_only_predicts_previously_seen_lines() {
+    for case in 0..CASES {
+        let mut rng = rng_for(12, case);
+        let n = rand_len(&mut rng, 1, 300);
         let mut isb = atc_prefetch::Isb::new();
         let mut seen = HashSet::new();
-        for &l in &lines {
+        for _ in 0..n {
+            let l = rng.next_below(4096);
             let ctx = PrefetchContext {
                 ip: 5,
                 line: LineAddr::new(l),
@@ -238,21 +385,29 @@ proptest! {
             };
             for req in isb.on_access(&ctx) {
                 if let PrefetchRequest::Phys(p) = req {
-                    prop_assert!(seen.contains(&p.raw()), "ISB invented line {}", p.raw());
+                    assert!(
+                        seen.contains(&p.raw()),
+                        "case {case}: ISB invented line {}",
+                        p.raw()
+                    );
                 }
             }
             seen.insert(l);
         }
     }
+}
 
-    #[test]
-    fn trace_serialization_round_trips(
-        items in proptest::collection::vec((0u64..1 << 48, 0u64..(1 << 57), 0u8..4), 1..200)
-    ) {
+#[test]
+fn trace_serialization_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(13, case);
+        let n = rand_len(&mut rng, 1, 200);
         let mut t = Trace::new();
         let mut originals = Vec::new();
-        for (ip, addr, kind) in items {
-            let i = match kind {
+        for _ in 0..n {
+            let ip = rng.next_below(1 << 48);
+            let addr = rng.next_below(1 << 57);
+            let i = match rng.next_below(4) {
                 0 => Instr::alu(ip),
                 1 => Instr::load(ip, VirtAddr::new(addr)),
                 2 => Instr::load_dep(ip, VirtAddr::new(addr)),
@@ -267,38 +422,53 @@ proptest! {
         let mut rp = TraceReplay::new(t2);
         for orig in &originals {
             let got = rp.next_instr();
-            prop_assert_eq!(&got, orig);
+            assert_eq!(&got, orig, "case {case}: trace round-trip diverged");
         }
     }
+}
 
-    #[test]
-    fn workload_memops_stay_in_57_bits(seed in 0u64..50) {
-        use atc_workloads::{BenchmarkId, Scale};
+#[test]
+fn workload_memops_stay_in_57_bits() {
+    use atc_workloads::{BenchmarkId, Scale};
+    for seed in 0..CASES {
         for b in [BenchmarkId::Pr, BenchmarkId::Mcf, BenchmarkId::Canneal] {
             let mut wl = b.build(Scale::Test, seed);
             for _ in 0..500 {
                 if let Some(MemOp::Load(a) | MemOp::Store(a)) = wl.next_instr().op {
-                    prop_assert!(a.raw() < 1 << 57, "{} emitted a >57-bit VA", b.name());
+                    assert!(
+                        a.raw() < 1 << 57,
+                        "seed {seed}: {} emitted a >57-bit VA",
+                        b.name()
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn histogram_count_and_sum_are_exact(samples in proptest::collection::vec(0u64..10_000, 0..200)) {
+#[test]
+fn histogram_count_and_sum_are_exact() {
+    for case in 0..CASES {
+        let mut rng = rng_for(14, case);
+        let n = rand_len(&mut rng, 0, 200);
+        let samples: Vec<u64> = (0..n).map(|_| rng.next_below(10_000)).collect();
         let mut h = Histogram::new(10, 50);
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
-        prop_assert_eq!(h.max(), samples.iter().max().copied().unwrap_or(0));
+        assert_eq!(h.count(), samples.len() as u64, "case {case}: count");
+        assert_eq!(h.sum(), samples.iter().sum::<u64>(), "case {case}: sum");
+        assert_eq!(
+            h.max(),
+            samples.iter().max().copied().unwrap_or(0),
+            "case {case}: max"
+        );
         let below = h.fraction_below(100);
         let expect = if samples.is_empty() {
             0.0
         } else {
             samples.iter().filter(|&&s| s < 100).count() as f64 / samples.len() as f64
         };
-        prop_assert!((below - expect).abs() < 1e-9);
+        assert!((below - expect).abs() < 1e-9, "case {case}: fraction_below");
     }
 }

@@ -16,7 +16,7 @@ fn psc_cuts_average_walk_length() {
     let n = 512;
     for i in 0..n {
         let vpn = Vpn::new(0x40_0000 + i);
-        match mmu.query(vpn) {
+        match mmu.query(vpn).expect("valid vpn") {
             TranslationQuery::Walk(plan) => {
                 total_steps += plan.steps.len();
                 mmu.complete_walk(&plan);
@@ -25,7 +25,10 @@ fn psc_cuts_average_walk_length() {
         }
     }
     let avg = total_steps as f64 / n as f64;
-    assert!(avg < 1.2, "PSCs should make walks ~1 step on dense pages (avg {avg:.2})");
+    assert!(
+        avg < 1.2,
+        "PSCs should make walks ~1 step on dense pages (avg {avg:.2})"
+    );
 }
 
 #[test]
@@ -38,7 +41,7 @@ fn psc_disabled_equivalent_cold_regions_walk_longer() {
     for i in 0..n {
         // Distinct L4 regions (bit 39+) so even PSCL5 (2 entries) thrashes.
         let vpn = Vpn::new((i as u64) << 28);
-        match mmu.query(vpn) {
+        match mmu.query(vpn).expect("valid vpn") {
             TranslationQuery::Walk(plan) => {
                 total_steps += plan.steps.len();
                 mmu.complete_walk(&plan);
@@ -47,7 +50,10 @@ fn psc_disabled_equivalent_cold_regions_walk_longer() {
         }
     }
     let avg = total_steps as f64 / n as f64;
-    assert!(avg > 1.5, "distant regions should defeat the PSCs (avg {avg:.2})");
+    assert!(
+        avg > 1.5,
+        "distant regions should defeat the PSCs (avg {avg:.2})"
+    );
 }
 
 #[test]
@@ -56,11 +62,18 @@ fn pte_blocks_are_cached_and_reused_across_neighbour_walks() {
     // translation hit rate at L1D must be non-trivial.
     let mut cfg = SimConfig::baseline();
     cfg.machine.stlb.entries = 128; // force walks
-    let s = run_one(&cfg, BenchmarkId::Tc, Scale::Test, 5, 10_000, 60_000);
+    let s = run_one(&cfg, BenchmarkId::Tc, Scale::Test, 5, 10_000, 60_000).expect("healthy run");
     let t = AccessClass::Translation(PtLevel::L1);
-    assert!(s.l1d.accesses(t) > 100, "few leaf PTE reads: {}", s.l1d.accesses(t));
+    assert!(
+        s.l1d.accesses(t) > 100,
+        "few leaf PTE reads: {}",
+        s.l1d.accesses(t)
+    );
     let hit_rate = s.l1d.hit_rate(t);
-    assert!(hit_rate > 0.05, "leaf PTE blocks never reused at L1D ({hit_rate:.3})");
+    assert!(
+        hit_rate > 0.05,
+        "leaf PTE blocks never reused at L1D ({hit_rate:.3})"
+    );
 }
 
 #[test]
@@ -69,7 +82,7 @@ fn intermediate_levels_rarely_reach_memory() {
     // should be far fewer than leaf reads.
     let mut cfg = SimConfig::baseline();
     cfg.machine.stlb.entries = 128;
-    let s = run_one(&cfg, BenchmarkId::Pr, Scale::Test, 5, 10_000, 60_000);
+    let s = run_one(&cfg, BenchmarkId::Pr, Scale::Test, 5, 10_000, 60_000).expect("healthy run");
     let leaf = s.l1d.accesses(AccessClass::Translation(PtLevel::L1));
     let mid = s.l1d.accesses(AccessClass::Translation(PtLevel::L3));
     assert!(
@@ -83,7 +96,7 @@ fn bigger_stlb_reduces_walks_for_same_stream() {
     let mk = |entries: usize| {
         let mut cfg = SimConfig::baseline();
         cfg.machine.stlb.entries = entries;
-        run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 5, 10_000, 60_000)
+        run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 5, 10_000, 60_000).expect("healthy run")
     };
     let small = mk(128);
     let big = mk(2048);
@@ -97,7 +110,15 @@ fn bigger_stlb_reduces_walks_for_same_stream() {
 
 #[test]
 fn dtlb_filters_most_stlb_traffic() {
-    let s = run_one(&SimConfig::baseline(), BenchmarkId::Xalancbmk, Scale::Test, 5, 10_000, 60_000);
+    let s = run_one(
+        &SimConfig::baseline(),
+        BenchmarkId::Xalancbmk,
+        Scale::Test,
+        5,
+        10_000,
+        60_000,
+    )
+    .expect("healthy run");
     // Every memory op queries the DTLB; only its misses reach the STLB.
     assert!(s.stlb.accesses() < s.dtlb.accesses());
     assert_eq!(s.stlb.accesses(), s.dtlb.misses);
