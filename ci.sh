@@ -22,4 +22,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> bench smoke (sim_throughput --json BENCH_sim.json)"
+# cargo runs bench binaries with cwd = the package root, so pass an
+# absolute path to land the trajectory file at the repo root.
+cargo bench --offline -p atc-bench --bench sim_throughput -- --samples 2 --json "$PWD/BENCH_sim.json"
+cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
+
 echo "CI OK"

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the cache core under each replacement policy:
 //! lookup/fill throughput on a mixed hit/miss stream.
 
-use atc_bench::bench;
+use atc_bench::Reporter;
 use atc_cache::Cache;
 use atc_core::PolicyChoice;
 use atc_types::{AccessClass, AccessInfo, LineAddr};
@@ -31,6 +31,7 @@ fn drive(cache: &mut Cache, n: u64) -> u64 {
 }
 
 fn main() {
+    let mut reporter = Reporter::from_env();
     println!("cache_policy_access: 20k mixed accesses per iteration");
     for policy in [
         PolicyChoice::Lru,
@@ -40,10 +41,11 @@ fn main() {
         PolicyChoice::Hawkeye,
         PolicyChoice::TShip,
     ] {
-        bench(&format!("policy/{}", policy.label()), 20, || {
+        reporter.bench(&format!("policy/{}", policy.label()), 20, || {
             let mut cache = Cache::new("bench", 1024, 8, 10, 16, policy.build(1024, 8))
                 .expect("valid bench geometry");
             drive(&mut cache, 20_000)
         });
     }
+    reporter.finish();
 }

@@ -5,7 +5,7 @@
 //! experiment kernel end to end; run the binaries for full-budget
 //! reproductions.
 
-use atc_bench::bench;
+use atc_bench::Reporter;
 use atc_core::{Enhancement, PolicyChoice};
 use atc_sim::{run_one, SimConfig};
 use atc_workloads::{BenchmarkId, Scale};
@@ -18,8 +18,9 @@ fn small(mut cfg: SimConfig) -> SimConfig {
 }
 
 fn main() {
+    let mut reporter = Reporter::from_env();
     println!("fig_kernels: {N} measured instructions per iteration");
-    bench("table2_characterize_mcf", 10, || {
+    reporter.bench("table2_characterize_mcf", 10, || {
         let cfg = small(SimConfig::baseline());
         run_one(&cfg, BenchmarkId::Mcf, Scale::Test, 42, 5_000, N).expect("healthy run")
     });
@@ -29,17 +30,18 @@ fn main() {
         Enhancement::TShip,
         Enhancement::Tempo,
     ] {
-        bench(&format!("fig14_ladder_pr/{}", e.label()), 10, || {
+        reporter.bench(&format!("fig14_ladder_pr/{}", e.label()), 10, || {
             let cfg = small(SimConfig::with_enhancement(e));
             run_one(&cfg, BenchmarkId::Pr, Scale::Test, 42, 5_000, N).expect("healthy run")
         });
     }
 
     for p in [PolicyChoice::Lru, PolicyChoice::Ship, PolicyChoice::Hawkeye] {
-        bench(&format!("fig4_policy_canneal/{}", p.label()), 10, || {
+        reporter.bench(&format!("fig4_policy_canneal/{}", p.label()), 10, || {
             let mut cfg = small(SimConfig::baseline());
             cfg.llc_policy = p;
             run_one(&cfg, BenchmarkId::Canneal, Scale::Test, 42, 5_000, N).expect("healthy run")
         });
     }
+    reporter.finish();
 }

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of prefetcher training/prediction throughput on a
 //! mixed sequential + irregular access stream.
 
-use atc_bench::bench;
+use atc_bench::Reporter;
 use atc_prefetch::{PrefetchContext, PrefetcherKind};
 use atc_types::{LineAddr, VirtAddr};
 
@@ -21,6 +21,7 @@ fn stream(i: u64) -> PrefetchContext {
 }
 
 fn main() {
+    let mut reporter = Reporter::from_env();
     println!("prefetcher_on_access: 20k accesses per iteration");
     for kind in [
         PrefetcherKind::NextLine,
@@ -29,7 +30,7 @@ fn main() {
         PrefetcherKind::Bingo,
         PrefetcherKind::Isb,
     ] {
-        bench(&format!("kind/{}", kind.label()), 20, || {
+        reporter.bench(&format!("kind/{}", kind.label()), 20, || {
             let mut pf = kind.build().expect("buildable");
             let mut emitted = 0usize;
             for i in 0..20_000u64 {
@@ -38,4 +39,5 @@ fn main() {
             emitted
         });
     }
+    reporter.finish();
 }

@@ -1,7 +1,8 @@
 //! End-to-end simulator throughput: instructions simulated per second
-//! for the baseline and the fully-enhanced machine.
+//! for the baseline and the fully-enhanced machine. This is the bench
+//! behind `BENCH_sim.json` (see `ci.sh` and DESIGN.md).
 
-use atc_bench::bench_throughput;
+use atc_bench::Reporter;
 use atc_core::Enhancement;
 use atc_sim::{Machine, SimConfig};
 use atc_workloads::{BenchmarkId, Scale};
@@ -9,12 +10,13 @@ use atc_workloads::{BenchmarkId, Scale};
 const N: u64 = 50_000;
 
 fn main() {
+    let mut reporter = Reporter::from_env();
     println!("sim_throughput: {N} measured instructions per iteration");
     for (label, e) in [
         ("baseline", Enhancement::Baseline),
         ("full", Enhancement::Tempo),
     ] {
-        bench_throughput(&format!("machine/{label}"), 10, N, || {
+        reporter.bench_throughput(&format!("machine/{label}"), 10, N, || {
             let mut cfg = SimConfig::with_enhancement(e);
             cfg.machine.stlb.entries = 256; // Test-scale pressure
             let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
@@ -22,4 +24,5 @@ fn main() {
             m.run(wl.as_mut(), 5_000, N).expect("healthy run")
         });
     }
+    reporter.finish();
 }

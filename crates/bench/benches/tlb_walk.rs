@@ -2,17 +2,18 @@
 //! throughput and five-level walk planning (PSC probe + PTE address
 //! computation).
 
-use atc_bench::bench;
+use atc_bench::Reporter;
 use atc_types::{config::MachineConfig, Vpn};
 use atc_vm::{TranslationEngine, TranslationQuery};
 
 const N: u64 = 20_000;
 
 fn main() {
+    let mut reporter = Reporter::from_env();
     let cfg = MachineConfig::default();
     println!("vm: {N} queries per iteration");
 
-    bench("dtlb_hit_lookup", 20, || {
+    reporter.bench("dtlb_hit_lookup", 20, || {
         let mut mmu = TranslationEngine::new(&cfg);
         // Warm one page.
         if let TranslationQuery::Walk(p) = mmu.query(Vpn::new(42)).expect("valid vpn") {
@@ -27,7 +28,7 @@ fn main() {
         hits
     });
 
-    bench("full_walk_plan_and_complete", 20, || {
+    reporter.bench("full_walk_plan_and_complete", 20, || {
         let mut mmu = TranslationEngine::new(&cfg);
         let mut v = 0u64;
         let mut walks = 0u64;
@@ -41,7 +42,7 @@ fn main() {
         walks
     });
 
-    bench("psc_accelerated_walk", 20, || {
+    reporter.bench("psc_accelerated_walk", 20, || {
         let mut mmu = TranslationEngine::new(&cfg);
         let mut v = 0u64;
         let mut steps = 0usize;
@@ -54,4 +55,5 @@ fn main() {
         }
         steps
     });
+    reporter.finish();
 }

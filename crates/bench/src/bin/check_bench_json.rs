@@ -1,0 +1,67 @@
+//! CI validator for bench trajectory files: checks that the given file
+//! parses as `atc-bench-v1` JSON with a non-empty result list whose
+//! entries carry the expected keys.
+//!
+//! ```text
+//! cargo run -p atc-bench --bin check_bench_json -- BENCH_sim.json
+//! ```
+
+use std::process::ExitCode;
+
+use atc_bench::json::{self, Value};
+
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" string")?;
+    if schema != "atc-bench-v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("missing \"results\" array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".to_string());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("result {i}: missing \"name\" string"))?;
+        for key in ["samples", "min_ns", "median_ns", "mean_ns"] {
+            let x = r
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or(format!("result {i} ({name}): missing {key:?} number"))?;
+            if x < 0.0 || x.is_nan() {
+                return Err(format!("result {i} ({name}): {key} = {x} is invalid"));
+            }
+        }
+        // Throughput entries carry both elems and the derived rate.
+        if r.get("elems").is_some() && r.get("elems_per_s").and_then(Value::as_f64).is_none() {
+            return Err(format!("result {i} ({name}): elems without elems_per_s"));
+        }
+    }
+    Ok(results.len())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_bench_json <file.json>");
+        return ExitCode::from(2);
+    };
+    match check(&path) {
+        Ok(n) => {
+            println!("{path}: ok ({n} results)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_bench_json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,34 +2,86 @@
 
 //! Plain micro-benchmark harness. Each file in `benches/` is a
 //! `harness = false` main that times closures with `std::time::Instant`
-//! and prints min/median/mean per sample — no external benchmarking
-//! dependency, so `cargo bench` works fully offline.
+//! — no external benchmarking dependency, so `cargo bench` works fully
+//! offline.
+//!
+//! Every measurement prints a human-readable line *and* a
+//! machine-readable JSON line, and a [`Reporter`] collects all results
+//! so `--json <path>` writes the run to a file (the repo's perf
+//! trajectory lives in `BENCH_sim.json`; see DESIGN.md for the schema).
+//!
+//! ```text
+//! cargo bench -p atc-bench --bench sim_throughput -- --samples 2 --json BENCH_sim.json
+//! ```
+
+pub mod json;
 
 use std::time::{Duration, Instant};
 
-/// Run `f` once untimed (warmup), then `samples` timed iterations, and
-/// print a one-line summary. The return value of `f` goes through
-/// [`std::hint::black_box`] so the work is not optimized away.
-pub fn bench<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
-    let samples = samples.max(1);
-    std::hint::black_box(f());
-    let mut times = Vec::with_capacity(samples as usize);
-    for _ in 0..samples {
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        times.push(t0.elapsed());
-    }
-    times.sort();
-    let min = times[0];
-    let median = times[times.len() / 2];
-    let total: Duration = times.iter().sum();
-    let mean = total / samples;
-    println!("{name:<44} min {min:>11.2?}  median {median:>11.2?}  mean {mean:>11.2?}");
+/// One benchmark measurement: sorted-sample timing statistics plus the
+/// optional per-iteration element count for throughput benches.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `machine/baseline`.
+    pub name: String,
+    /// Timed iterations measured.
+    pub samples: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// Elements processed per iteration (throughput benches).
+    pub elems: Option<u64>,
 }
 
-/// Like [`bench`], but also reports per-element throughput for loops
-/// that process `elems` items per iteration.
-pub fn bench_throughput<T>(name: &str, samples: u32, elems: u64, mut f: impl FnMut() -> T) {
+impl BenchResult {
+    /// Median throughput in elements per second, when `elems` is known.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        let elems = self.elems?;
+        if self.median_ns == 0 {
+            return None;
+        }
+        Some(elems as f64 * 1e9 / self.median_ns as f64)
+    }
+
+    /// The result as one JSON object (the per-bench stdout line and the
+    /// elements of the `--json` file).
+    pub fn to_json(&self) -> json::Value {
+        let mut obj = vec![
+            ("name".to_string(), json::Value::String(self.name.clone())),
+            (
+                "samples".to_string(),
+                json::Value::from(self.samples as f64),
+            ),
+            ("min_ns".to_string(), json::Value::from(self.min_ns as f64)),
+            (
+                "median_ns".to_string(),
+                json::Value::from(self.median_ns as f64),
+            ),
+            (
+                "mean_ns".to_string(),
+                json::Value::from(self.mean_ns as f64),
+            ),
+        ];
+        if let Some(e) = self.elems {
+            obj.push(("elems".to_string(), json::Value::from(e as f64)));
+            let rate = self.elems_per_sec().unwrap_or(f64::NAN);
+            obj.push(("elems_per_s".to_string(), json::Value::from(rate)));
+        }
+        json::Value::Object(obj)
+    }
+}
+
+/// Time `f`: one untimed warmup run, then `samples` timed iterations
+/// with the return value passed through [`std::hint::black_box`].
+fn measure<T>(
+    name: &str,
+    samples: u32,
+    elems: Option<u64>,
+    mut f: impl FnMut() -> T,
+) -> BenchResult {
     let samples = samples.max(1);
     std::hint::black_box(f());
     let mut times = Vec::with_capacity(samples as usize);
@@ -39,7 +91,208 @@ pub fn bench_throughput<T>(name: &str, samples: u32, elems: u64, mut f: impl FnM
         times.push(t0.elapsed());
     }
     times.sort();
-    let median = times[times.len() / 2];
-    let rate = elems as f64 / median.as_secs_f64();
-    println!("{name:<44} median {median:>11.2?}  ({rate:>12.0} elem/s)");
+    let total: Duration = times.iter().sum();
+    BenchResult {
+        name: name.to_string(),
+        samples,
+        min_ns: times[0].as_nanos() as u64,
+        median_ns: times[times.len() / 2].as_nanos() as u64,
+        mean_ns: (total / samples).as_nanos() as u64,
+        elems,
+    }
+}
+
+fn print_result(r: &BenchResult) {
+    let median = Duration::from_nanos(r.median_ns);
+    match r.elems_per_sec() {
+        Some(rate) => {
+            println!(
+                "{:<44} median {median:>11.2?}  ({rate:>12.0} elem/s)",
+                r.name
+            );
+        }
+        None => {
+            let min = Duration::from_nanos(r.min_ns);
+            let mean = Duration::from_nanos(r.mean_ns);
+            println!(
+                "{:<44} min {min:>11.2?}  median {median:>11.2?}  mean {mean:>11.2?}",
+                r.name
+            );
+        }
+    }
+    println!("{}", r.to_json().render());
+}
+
+/// Collects [`BenchResult`]s and handles the shared bench command line:
+///
+/// * `--samples N` overrides each bench's default sample count (CI smoke
+///   runs pass a small N);
+/// * `--json PATH` writes all results to `PATH` on [`finish`](Self::finish).
+///
+/// Unknown arguments are ignored — `cargo bench` passes `--bench` (and
+/// filter strings) through to `harness = false` binaries.
+#[derive(Debug, Default)]
+pub struct Reporter {
+    samples_override: Option<u32>,
+    json_path: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Reporter {
+    /// Build from `std::env::args()`.
+    pub fn from_env() -> Reporter {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Build from an explicit argument list (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Reporter {
+        let mut r = Reporter::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--samples" => {
+                    r.samples_override = it.next().and_then(|v| v.parse().ok());
+                }
+                "--json" => {
+                    r.json_path = it.next();
+                }
+                _ => {} // cargo's --bench etc.
+            }
+        }
+        r
+    }
+
+    fn samples(&self, default: u32) -> u32 {
+        self.samples_override.unwrap_or(default).max(1)
+    }
+
+    /// Time `f` and record/print the result.
+    pub fn bench<T>(&mut self, name: &str, default_samples: u32, f: impl FnMut() -> T) {
+        let r = measure(name, self.samples(default_samples), None, f);
+        print_result(&r);
+        self.results.push(r);
+    }
+
+    /// Time `f`, which processes `elems` items per iteration, and
+    /// record/print the result with throughput.
+    pub fn bench_throughput<T>(
+        &mut self,
+        name: &str,
+        default_samples: u32,
+        elems: u64,
+        f: impl FnMut() -> T,
+    ) {
+        let r = measure(name, self.samples(default_samples), Some(elems), f);
+        print_result(&r);
+        self.results.push(r);
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The whole run as the `atc-bench-v1` JSON document.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::Object(vec![
+            (
+                "schema".to_string(),
+                json::Value::String("atc-bench-v1".to_string()),
+            ),
+            (
+                "results".to_string(),
+                json::Value::Array(self.results.iter().map(BenchResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Write the JSON document to the `--json` path, if one was given.
+    /// Call once at the end of each bench main.
+    pub fn finish(self) {
+        if let Some(path) = &self.json_path {
+            let doc = self.to_json().render();
+            if let Err(e) = std::fs::write(path, doc + "\n") {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {} results to {path}", self.results.len());
+        }
+    }
+}
+
+/// One-shot [`Reporter::bench`] without result collection (kept for
+/// ad-hoc timing; bench mains should prefer a [`Reporter`]).
+pub fn bench<T>(name: &str, samples: u32, f: impl FnMut() -> T) {
+    print_result(&measure(name, samples.max(1), None, f));
+}
+
+/// One-shot [`Reporter::bench_throughput`] without result collection.
+pub fn bench_throughput<T>(name: &str, samples: u32, elems: u64, f: impl FnMut() -> T) {
+    print_result(&measure(name, samples.max(1), Some(elems), f));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reporter_parses_flags_and_ignores_cargo_noise() {
+        let r = Reporter::from_args(
+            ["--bench", "--samples", "3", "--json", "out.json", "filter"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(r.samples(20), 3);
+        assert_eq!(r.json_path.as_deref(), Some("out.json"));
+        let r = Reporter::from_args(std::iter::empty());
+        assert_eq!(r.samples(20), 20);
+        assert!(r.json_path.is_none());
+    }
+
+    #[test]
+    fn results_collect_and_serialize() {
+        let mut r = Reporter::from_args(["--samples".to_string(), "2".to_string()]);
+        r.bench("unit/a", 20, || 1 + 1);
+        r.bench_throughput("unit/b", 20, 1000, || std::hint::black_box(0u64));
+        assert_eq!(r.results().len(), 2);
+        assert_eq!(r.results()[0].samples, 2);
+        let doc = r.to_json().render();
+        let parsed = json::parse(&doc).expect("self-emitted JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(json::Value::as_str),
+            Some("atc-bench-v1")
+        );
+        let results = parsed
+            .get("results")
+            .and_then(json::Value::as_array)
+            .expect("results array");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("name").and_then(json::Value::as_str),
+            Some("unit/a")
+        );
+        assert!(results[1]
+            .get("median_ns")
+            .and_then(json::Value::as_f64)
+            .is_some());
+        assert!(results[1]
+            .get("elems_per_s")
+            .and_then(json::Value::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn throughput_is_elems_over_median() {
+        let r = BenchResult {
+            name: "x".into(),
+            samples: 1,
+            min_ns: 500,
+            median_ns: 1_000,
+            mean_ns: 1_000,
+            elems: Some(2_000),
+        };
+        assert_eq!(r.elems_per_sec(), Some(2e9));
+        let no_elems = BenchResult { elems: None, ..r };
+        assert_eq!(no_elems.elems_per_sec(), None);
+    }
 }

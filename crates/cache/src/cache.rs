@@ -4,6 +4,23 @@
 //! [`ReplacementPolicy`](crate::policy::ReplacementPolicy). Timing is
 //! call-based: lookups and fills carry the current cycle, and the MSHR
 //! file keeps in-flight misses visible so later requests merge with them.
+//!
+//! # Hot-path data layout
+//!
+//! Every simulated instruction probes several cache levels, so the
+//! per-way scan is the hottest loop in the simulator. Tags and line
+//! metadata are stored in *split parallel arrays*:
+//!
+//! * `tags: Vec<u64>` — one word per way, [`EMPTY_TAG`] (`u64::MAX`)
+//!   marking an invalid way. A set's ways are contiguous, so a lookup
+//!   scans `ways × 8` bytes of one or two cache lines with no `Option`
+//!   discriminant and no pointer chasing.
+//! * `meta: Vec<LineMeta>` — class/dirty/prefetched/reused bookkeeping,
+//!   only touched on a hit or a fill.
+//!
+//! Set selection is a mask (`line & (sets - 1)`) rather than a modulo,
+//! which is why [`Cache::new`] requires a power-of-two set count (the
+//! machine-level `MachineConfig::validate` already guarantees it).
 
 use atc_stats::recall::RecallProbe;
 use atc_stats::ClassCounters;
@@ -12,14 +29,28 @@ use atc_types::{AccessClass, AccessInfo, LineAddr, SimError};
 use crate::mshr::Mshr;
 use crate::policy::ReplacementPolicy;
 
-/// A resident cache line's bookkeeping.
+/// Tag value marking an empty (invalid) way. Physical line addresses are
+/// bounded far below this (57-bit VA space, frame allocator counts up),
+/// so no real line can collide with it; `fill` debug-asserts that.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// A resident cache line's bookkeeping, parallel to its tag.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    addr: LineAddr,
+struct LineMeta {
     class: AccessClass,
     dirty: bool,
     prefetched: bool,
     reused: bool,
+}
+
+impl LineMeta {
+    /// Placeholder metadata behind an [`EMPTY_TAG`]; never read.
+    const EMPTY: LineMeta = LineMeta {
+        class: AccessClass::NonReplayData,
+        dirty: false,
+        prefetched: false,
+        reused: false,
+    };
 }
 
 /// Information about an evicted line, returned from fills so the caller
@@ -36,6 +67,22 @@ pub struct EvictedLine {
     pub reused: bool,
 }
 
+/// Bit position of `class` in the recall-class bitmask. Distinct for
+/// every class *including* each page-table level, so filtering is exact
+/// (unlike `stat_index`, which buckets non-leaf translations together).
+#[inline]
+fn class_bit(class: AccessClass) -> u16 {
+    let bit = match class {
+        AccessClass::NonReplayData => 0,
+        AccessClass::ReplayData => 1,
+        // Translation levels 1..=5 map to bits 2..=6.
+        AccessClass::Translation(l) => 1 + l.number() as u32,
+        AccessClass::Store => 7,
+        AccessClass::Instruction => 8,
+    };
+    1 << bit
+}
+
 /// One level of the cache hierarchy.
 #[derive(Debug)]
 pub struct Cache {
@@ -43,12 +90,19 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     latency: u64,
-    lines: Vec<Option<Line>>,
+    /// `sets - 1`; valid because `sets` is a power of two.
+    set_mask: u64,
+    /// Per-way tags, `EMPTY_TAG` = invalid. Indexed `set * ways + way`.
+    tags: Vec<u64>,
+    /// Per-way metadata, parallel to `tags`.
+    meta: Vec<LineMeta>,
     policy: Box<dyn ReplacementPolicy>,
     mshr: Mshr,
     stats: ClassCounters,
     recall: Option<RecallProbe>,
-    recall_classes: Vec<AccessClass>,
+    /// Bitmask of classes the recall probe tracks (see [`class_bit`]);
+    /// all-ones when the probe tracks every class.
+    recall_mask: u16,
     writebacks: u64,
     prefetch_fills: u64,
     prefetch_useful: u64,
@@ -64,7 +118,8 @@ impl Cache {
     /// # Errors
     ///
     /// Returns [`SimError::Config`] if `sets`, `ways` or `mshr_entries`
-    /// is zero.
+    /// is zero, or if `sets` is not a power of two (set selection is a
+    /// mask).
     pub fn new(
         name: &'static str,
         sets: usize,
@@ -78,18 +133,25 @@ impl Cache {
                 "{name}: cache geometry must be non-zero (sets={sets}, ways={ways})"
             )));
         }
+        if !sets.is_power_of_two() {
+            return Err(SimError::config(format!(
+                "{name}: set count {sets} is not a power of two (set index is a mask)"
+            )));
+        }
         let mshr = Mshr::new(mshr_entries).map_err(|e| SimError::config(format!("{name}: {e}")))?;
         Ok(Cache {
             name,
             sets,
             ways,
             latency,
-            lines: vec![None; sets * ways],
+            set_mask: sets as u64 - 1,
+            tags: vec![EMPTY_TAG; sets * ways],
+            meta: vec![LineMeta::EMPTY; sets * ways],
             policy,
             mshr,
             stats: ClassCounters::default(),
             recall: None,
-            recall_classes: Vec::new(),
+            recall_mask: u16::MAX,
             writebacks: 0,
             prefetch_fills: 0,
             prefetch_useful: 0,
@@ -136,21 +198,45 @@ impl Cache {
     /// Pass an empty slice to probe every class.
     pub fn enable_recall_probe(&mut self, cap: usize, classes: &[AccessClass]) {
         self.recall = Some(RecallProbe::new(self.sets, cap));
-        self.recall_classes = classes.to_vec();
+        self.recall_mask = if classes.is_empty() {
+            u16::MAX
+        } else {
+            classes.iter().fold(0, |mask, &c| mask | class_bit(c))
+        };
     }
 
+    #[inline]
     fn recall_tracks(&self, class: AccessClass) -> bool {
-        self.recall_classes.is_empty() || self.recall_classes.contains(&class)
+        self.recall_mask & class_bit(class) != 0
     }
 
     #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.raw() % self.sets as u64) as usize
+        (line.raw() & self.set_mask) as usize
     }
 
     #[inline]
     fn slot(&self, set: usize, way: usize) -> usize {
         set * self.ways + way
+    }
+
+    /// Way holding `line` in `set`, if resident — a contiguous scan over
+    /// the set's tag words.
+    #[inline]
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == line.raw())
+    }
+
+    /// First empty way in `set`, if any.
+    #[inline]
+    fn find_empty_way(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == EMPTY_TAG)
     }
 
     /// If `info.line` has an in-flight MSHR fill at `cycle`, merge and
@@ -170,30 +256,28 @@ impl Cache {
     /// hierarchy and then calls [`insert_miss`](Self::insert_miss)).
     pub fn lookup(&mut self, info: &AccessInfo, cycle: u64) -> Option<u64> {
         let set = self.set_of(info.line);
-        let track = !info.is_prefetch && self.recall_tracks(info.class);
-        if track {
+        if !info.is_prefetch && self.recall.is_some() && self.recall_tracks(info.class) {
             // Recall distance is a property of the demand stream.
             if let Some(probe) = &mut self.recall {
                 probe.on_access(set, info.line);
             }
         }
-        let way = (0..self.ways)
-            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == info.line));
-        match way {
+        match self.find_way(set, info.line) {
             Some(w) => {
                 if !info.is_prefetch {
                     self.stats.record(info.class, true);
                 }
                 let slot = self.slot(set, w);
-                let line = self.lines[slot].as_mut().expect("checked above");
-                if line.prefetched && !line.reused && !info.is_prefetch {
+                let m = self.meta[slot];
+                if m.prefetched && !m.reused && !info.is_prefetch {
                     self.prefetch_useful += 1;
                 }
+                let m = &mut self.meta[slot];
                 if !info.is_prefetch {
-                    line.reused = true;
+                    m.reused = true;
                 }
                 if info.class == AccessClass::Store {
-                    line.dirty = true;
+                    m.dirty = true;
                 }
                 self.policy.on_hit(set, w, info);
                 Some(cycle + self.latency)
@@ -210,8 +294,7 @@ impl Cache {
     /// Probe for residency without perturbing statistics, LRU state, or
     /// the recall probe.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        (0..self.ways).any(|w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == line))
+        self.find_way(self.set_of(line), line).is_some()
     }
 
     /// Handle a miss: allocate an MSHR entry completing at `ready`
@@ -234,18 +317,27 @@ impl Cache {
     /// eviction, if any. Exposed separately for oracles and tests; the
     /// normal miss path is [`insert_miss`](Self::insert_miss).
     pub fn fill(&mut self, info: &AccessInfo) -> Option<EvictedLine> {
+        debug_assert_ne!(
+            info.line.raw(),
+            EMPTY_TAG,
+            "line address collides with the empty-way sentinel"
+        );
         let set = self.set_of(info.line);
         // Refill of a resident line (e.g. prefetch raced demand): just
-        // update class/flags.
-        if let Some(w) = (0..self.ways)
-            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == info.line))
-        {
+        // update class/flags. The class must follow the latest fill so
+        // eviction/dead-block accounting attributes the block correctly,
+        // and a demand refill consumes any prefetched status.
+        if let Some(w) = self.find_way(set, info.line) {
             let slot = self.slot(set, w);
-            let line = self.lines[slot].as_mut().expect("resident");
-            line.dirty |= info.class == AccessClass::Store;
+            let m = &mut self.meta[slot];
+            m.class = info.class;
+            m.dirty |= info.class == AccessClass::Store;
+            if !info.is_prefetch {
+                m.prefetched = false;
+            }
             return None;
         }
-        let way = match (0..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none()) {
+        let way = match self.find_empty_way(set) {
             Some(w) => w,
             None => {
                 let w = self.policy.victim(set, info);
@@ -254,7 +346,9 @@ impl Cache {
             }
         };
         let slot = self.slot(set, way);
-        let evicted = self.lines[slot].take().map(|old| {
+        let evicted = if self.tags[slot] != EMPTY_TAG {
+            let old_addr = LineAddr::new(self.tags[slot]);
+            let old = self.meta[slot];
             self.policy.on_evict(set, way);
             self.evictions_total += 1;
             self.evictions_total_by_class[old.class.stat_index()] += 1;
@@ -265,25 +359,27 @@ impl Cache {
             if old.dirty {
                 self.writebacks += 1;
             }
-            if self.recall_classes.is_empty() || self.recall_classes.contains(&old.class) {
+            if self.recall_tracks(old.class) {
                 if let Some(probe) = &mut self.recall {
-                    probe.on_evict(set, old.addr);
+                    probe.on_evict(set, old_addr);
                 }
             }
-            EvictedLine {
-                addr: old.addr,
+            Some(EvictedLine {
+                addr: old_addr,
                 dirty: old.dirty,
                 class: old.class,
                 reused: old.reused,
-            }
-        });
-        self.lines[slot] = Some(Line {
-            addr: info.line,
+            })
+        } else {
+            None
+        };
+        self.tags[slot] = info.line.raw();
+        self.meta[slot] = LineMeta {
             class: info.class,
             dirty: info.class == AccessClass::Store,
             prefetched: info.is_prefetch,
             reused: false,
-        });
+        };
         self.policy.on_fill(set, way, info);
         if info.is_prefetch {
             self.prefetch_fills += 1;
@@ -295,9 +391,7 @@ impl Cache {
     /// to adjust a just-filled block's RRPV.
     pub fn locate(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
-        (0..self.ways)
-            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == line))
-            .map(|w| (set, w))
+        self.find_way(set, line).map(|w| (set, w))
     }
 
     /// Per-class hit/miss statistics.
@@ -384,6 +478,12 @@ mod tests {
         assert!(err.to_string().contains("geometry"), "{err}");
         let err = Cache::new("T", 4, 2, 10, 0, Box::new(Lru::new(4, 2))).unwrap_err();
         assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn non_power_of_two_sets_is_an_error() {
+        let err = Cache::new("T", 3, 2, 10, 4, Box::new(Lru::new(3, 2))).unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
     }
 
     fn load(line: u64) -> AccessInfo {
@@ -491,6 +591,40 @@ mod tests {
     }
 
     #[test]
+    fn demand_refill_updates_class_and_consumes_prefetched_state() {
+        // Regression: the resident-refill path used to update only
+        // `dirty`, leaving the prefetch's class in eviction accounting
+        // and the `prefetched` flag armed.
+        let mut c = mk(1, 1);
+        let pf = AccessInfo::prefetch(0, LineAddr::new(5), AccessClass::NonReplayData);
+        c.fill(&pf);
+        // Demand refill of the resident line with a different class.
+        let demand = AccessInfo::demand(1, LineAddr::new(5), AccessClass::ReplayData);
+        assert!(c.fill(&demand).is_none());
+        // The refill consumed the block: a later demand hit is not a
+        // "useful prefetch" anymore.
+        c.lookup(&demand, 0);
+        assert_eq!(c.prefetch_stats(), (1, 0));
+        // Eviction accounting attributes the block to the demand class.
+        let ev = c.fill(&load(7)).expect("eviction");
+        assert_eq!(ev.class, AccessClass::ReplayData);
+        assert_eq!(c.eviction_stats_for(AccessClass::ReplayData), (0, 1));
+        assert_eq!(c.eviction_stats_for(AccessClass::NonReplayData), (0, 0));
+    }
+
+    #[test]
+    fn prefetch_refill_keeps_prefetched_state() {
+        let mut c = mk(1, 1);
+        let pf = AccessInfo::prefetch(0, LineAddr::new(5), AccessClass::ReplayData);
+        c.fill(&pf);
+        c.fill(&pf);
+        // Still counts as a useful prefetch when demand arrives.
+        let d = AccessInfo::demand(1, LineAddr::new(5), AccessClass::ReplayData);
+        assert!(c.lookup(&d, 0).is_some());
+        assert_eq!(c.prefetch_stats().1, 1);
+    }
+
+    #[test]
     fn recall_probe_filters_classes() {
         let mut c = mk(1, 1);
         c.enable_recall_probe(32, &[AccessClass::Translation(PtLevel::L1)]);
@@ -501,6 +635,22 @@ mod tests {
         // Translation line evicted: tracked.
         let t = AccessInfo::demand(9, LineAddr::new(3), AccessClass::Translation(PtLevel::L1));
         c.fill(&t);
+        c.fill(&load(4));
+        assert_eq!(c.recall_probe().unwrap().open_windows(), 1);
+    }
+
+    #[test]
+    fn recall_class_mask_distinguishes_translation_levels() {
+        // The bitmask must be exact per page-table level, not bucketed
+        // like `stat_index` (which merges non-leaf levels).
+        let mut c = mk(1, 1);
+        c.enable_recall_probe(32, &[AccessClass::Translation(PtLevel::L2)]);
+        let l3 = AccessInfo::demand(9, LineAddr::new(1), AccessClass::Translation(PtLevel::L3));
+        c.fill(&l3);
+        c.fill(&load(2));
+        assert_eq!(c.recall_probe().unwrap().open_windows(), 0);
+        let l2 = AccessInfo::demand(9, LineAddr::new(3), AccessClass::Translation(PtLevel::L2));
+        c.fill(&l2);
         c.fill(&load(4));
         assert_eq!(c.recall_probe().unwrap().open_windows(), 1);
     }

@@ -232,9 +232,14 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
-/// Format a ratio as a percentage with 1 decimal.
+/// Format a ratio as a percentage with 1 decimal. NaN (e.g. a hit
+/// fraction over zero events) renders as `n/a` rather than `NaN%`.
 pub fn pct(x: f64) -> String {
-    format!("{:.1}%", x * 100.0)
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
 }
 
 #[cfg(test)]
@@ -301,5 +306,6 @@ mod tests {
         assert_eq!(f2(1.005), "1.00");
         assert_eq!(f3(0.1234), "0.123");
         assert_eq!(pct(0.051), "5.1%");
+        assert_eq!(pct(f64::NAN), "n/a");
     }
 }

@@ -195,7 +195,10 @@ pub(crate) fn access_path(
     start: MemLevel,
 ) -> (u64, MemLevel) {
     let mut t = cycle;
-    let mut missed: Vec<MemLevel> = Vec::with_capacity(3);
+    // At most three levels can miss; a fixed inline buffer keeps this
+    // per-access path allocation-free.
+    let mut missed = [MemLevel::L1d; 3];
+    let mut n_missed = 0usize;
     let mut oracle_ready: Option<u64> = None;
     let mut outcome: Option<(u64, MemLevel)> = None;
 
@@ -220,12 +223,13 @@ pub(crate) fn access_path(
         if oracle_ready.is_none() && ideal.applies(level, info.class) {
             oracle_ready = Some(t + cache.latency());
         }
-        missed.push(level);
+        missed[n_missed] = level;
+        n_missed += 1;
         t += cache.latency();
     }
 
     let (ready, served) = outcome.unwrap_or_else(|| (dram.access(info.line, t), MemLevel::Dram));
-    for level in missed {
+    for &level in &missed[..n_missed] {
         let cache: &mut Cache = match level {
             MemLevel::L1d => &mut *l1d,
             MemLevel::L2c => &mut *l2c,
@@ -365,7 +369,12 @@ pub(crate) fn issue_prefetches(
                 {
                     Some(pfn) => (pfn, 0),
                     None => {
-                        let pfn = core.mmu.page_table_mut().ensure_mapped(vpn);
+                        // Consult the page table read-only: a speculative
+                        // prefetch must never allocate a mapping for a
+                        // page the program has not touched.
+                        let Some(pfn) = core.mmu.page_table().translate(vpn) else {
+                            continue;
+                        };
                         (pfn, PREFETCH_STLB_MISS_DELAY)
                     }
                 };
@@ -580,6 +589,10 @@ pub struct RunStats {
     pub stlb: TlbStats,
     /// Page walks performed.
     pub walks: u64,
+    /// Pages mapped in the page table when statistics were collected.
+    /// Only demand accesses may grow this; speculative prefetches must
+    /// not (see `issue_prefetches`).
+    pub mapped_pages: u64,
     /// PSC `(hits, misses)`.
     pub psc: (u64, u64),
     /// DRAM access statistics.
@@ -623,11 +636,13 @@ impl RunStats {
     }
 
     /// Fraction (0..=1) of leaf translations serviced at or before the
-    /// given level ("on-chip hit rate" when `level = Llc`).
+    /// given level ("on-chip hit rate" when `level = Llc`). Returns
+    /// `f64::NAN` when no walks occurred — a walk-free run has no
+    /// translation hit rate, perfect or otherwise.
     pub fn translation_hit_fraction_upto(&self, level: MemLevel) -> f64 {
         let total: u64 = self.service_translation.iter().sum();
         if total == 0 {
-            return 1.0;
+            return f64::NAN;
         }
         let upto: u64 = self.service_translation[..=level.index()].iter().sum();
         upto as f64 / total as f64
@@ -805,6 +820,7 @@ impl Machine {
             dtlb: self.core.mmu.dtlb().stats(),
             stlb: self.core.mmu.stlb().stats(),
             walks: self.core.mmu.walk_count(),
+            mapped_pages: self.core.mmu.page_table().mapped_pages(),
             psc: self.core.mmu.pscs().stats(),
             dram: self.dram.stats(),
             service_translation: self.core.service_translation,
@@ -1009,6 +1025,71 @@ mod tests {
         let s = m.run(&mut replay, 2_000, 15_000).unwrap();
         assert_eq!(s.core.instructions, 15_000);
         assert!(s.stlb.misses > 0);
+    }
+
+    #[test]
+    fn virtual_prefetches_to_unmapped_pages_are_dropped() {
+        // Regression: a Virt prefetch whose VPN missed the TLBs used to
+        // call `ensure_mapped`, growing the page table speculatively.
+        let mut m = Machine::new(&SimConfig::baseline()).unwrap();
+        let va = VirtAddr::new(0x5_0000_0000);
+        let before = m.core.mmu.page_table().mapped_pages();
+        issue_prefetches(
+            &mut m.core,
+            &mut m.llc,
+            &mut m.dram,
+            &IdealConfig::none(),
+            &[PrefetchRequest::Virt(va)],
+            0x400,
+            0,
+            true,
+        );
+        assert_eq!(
+            m.core.mmu.page_table().mapped_pages(),
+            before,
+            "prefetch to an unmapped page must not allocate a mapping"
+        );
+        assert_eq!(m.core.l1d.prefetch_stats().0, 0, "prefetch must be dropped");
+
+        // Once the page is demand-mapped (but still absent from the
+        // TLBs), the prefetch proceeds on the delayed path.
+        m.core.mmu.page_table_mut().ensure_mapped(va.vpn());
+        issue_prefetches(
+            &mut m.core,
+            &mut m.llc,
+            &mut m.dram,
+            &IdealConfig::none(),
+            &[PrefetchRequest::Virt(va)],
+            0x400,
+            0,
+            true,
+        );
+        assert_eq!(m.core.l1d.prefetch_stats().0, 1, "mapped page prefetches");
+    }
+
+    #[test]
+    fn prefetchers_do_not_grow_the_page_table() {
+        // Same workload stream with and without IPCP must touch exactly
+        // the same set of pages (workload generation is timing-free).
+        let none = quick(&small_stlb(SimConfig::baseline()), BenchmarkId::Xalancbmk);
+        let mut cfg = small_stlb(SimConfig::baseline());
+        cfg.prefetcher = PrefetcherKind::Ipcp;
+        let ipcp = quick(&cfg, BenchmarkId::Xalancbmk);
+        assert_eq!(
+            none.mapped_pages, ipcp.mapped_pages,
+            "a speculative prefetcher must not perturb the page table"
+        );
+    }
+
+    #[test]
+    fn zero_walk_run_has_undefined_translation_fraction() {
+        // Regression: a walk-free RunStats used to report a "perfect"
+        // 100% on-chip translation hit rate.
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let mut m = Machine::new(&SimConfig::baseline()).unwrap();
+        let s = m.run(wl.as_mut(), 0, 0).expect("empty run is healthy");
+        assert_eq!(s.walks, 0);
+        assert!(s.translation_hit_fraction_upto(MemLevel::Llc).is_nan());
     }
 
     #[test]

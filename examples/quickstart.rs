@@ -37,9 +37,12 @@ fn main() -> Result<(), SimFailure> {
         stats.core.stalls.replay_data,
         stats.core.stalls.non_replay_data,
     );
-    println!(
-        "translations serviced on-chip: {:.1}%",
-        stats.translation_hit_fraction_upto(MemLevel::Llc) * 100.0
-    );
+    // NaN when the run performed no walks at all.
+    let onchip = stats.translation_hit_fraction_upto(MemLevel::Llc);
+    if onchip.is_nan() {
+        println!("translations serviced on-chip: n/a (no walks)");
+    } else {
+        println!("translations serviced on-chip: {:.1}%", onchip * 100.0);
+    }
     Ok(())
 }

@@ -36,15 +36,22 @@ fn main() {
         let cfg = SimConfig::with_enhancement(e);
         let s = run_one(&cfg, bench, Scale::Small, 42, warmup, measure)
             .expect("ladder step runs to completion");
+        // NaN when the run performed no walks at all.
+        let onchip = s.translation_hit_fraction_upto(MemLevel::Llc);
+        let onchip = if onchip.is_nan() {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", onchip * 100.0)
+        };
         println!(
-            "{:<10} {:>9} {:>7.3} {:>10} {:>10} {:>9.3} {:>7.1}%",
+            "{:<10} {:>9} {:>7.3} {:>10} {:>10} {:>9.3} {:>8}",
             e.label(),
             s.core.cycles,
             base.core.cycles as f64 / s.core.cycles as f64,
             s.core.stalls.stlb_walk,
             s.core.stalls.replay_data,
             s.llc_mpki(t),
-            s.translation_hit_fraction_upto(MemLevel::Llc) * 100.0,
+            onchip,
         );
     }
 

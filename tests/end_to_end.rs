@@ -56,6 +56,10 @@ fn t_policies_raise_onchip_translation_hit_fraction() {
     let b = base.translation_hit_fraction_upto(MemLevel::Llc);
     let e = enh.translation_hit_fraction_upto(MemLevel::Llc);
     assert!(
+        !b.is_nan() && !e.is_nan(),
+        "these runs walk; fraction defined"
+    );
+    assert!(
         e >= b - 0.02,
         "T-policies should not reduce on-chip translation hits ({e:.3} vs {b:.3})"
     );

@@ -149,6 +149,109 @@ fn cache_never_exceeds_associativity() {
     }
 }
 
+/// Reference model of the pre-tag-array cache: per-way `Option<u64>`
+/// lines scanned linearly, modulo set selection, first-empty-way fill,
+/// and true-LRU stamps — the behavior the split tag array must preserve
+/// bit for bit.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Option<u64>>,
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets,
+            ways,
+            lines: vec![None; sets * ways],
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.stamp[slot] = self.clock;
+    }
+
+    /// Access `line`: `(hit, evicted_line)`.
+    fn access(&mut self, line: u64) -> (bool, Option<u64>) {
+        let set = line as usize % self.sets;
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.lines[base + w] == Some(line) {
+                self.touch(base + w);
+                return (true, None);
+            }
+        }
+        let way = (0..self.ways)
+            .find(|&w| self.lines[base + w].is_none())
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.stamp[base + w])
+                    .expect("ways > 0")
+            });
+        let evicted = self.lines[base + way];
+        self.lines[base + way] = Some(line);
+        self.touch(base + way);
+        (false, evicted)
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        let base = (line as usize % self.sets) * self.ways;
+        self.lines[base..base + self.ways].contains(&Some(line))
+    }
+}
+
+#[test]
+fn tag_array_cache_matches_reference_scan_model() {
+    // Drive the real cache and the reference through the same 10k-access
+    // random streams and demand identical hits, misses, evictions, and
+    // final contents.
+    let (sets, ways) = (16usize, 4usize);
+    for case in 0..8u64 {
+        let mut rng = rng_for(15, case);
+        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)))
+            .expect("valid test geometry");
+        let mut reference = RefCache::new(sets, ways);
+        let (mut hits, mut evictions) = (0u64, 0u64);
+        for i in 0..10_000u64 {
+            let line = rng.next_below(4096);
+            let info = AccessInfo::demand(1, LineAddr::new(line), AccessClass::NonReplayData);
+            let (ref_hit, ref_evicted) = reference.access(line);
+            match c.lookup(&info, 0) {
+                Some(_) => {
+                    assert!(ref_hit, "case {case} access {i}: spurious hit on {line}");
+                    hits += 1;
+                }
+                None => {
+                    assert!(!ref_hit, "case {case} access {i}: spurious miss on {line}");
+                    let (_, ev) = c.insert_miss(&info, 10, 0);
+                    assert_eq!(
+                        ev.map(|e| e.addr.raw()),
+                        ref_evicted,
+                        "case {case} access {i}: eviction divergence on {line}"
+                    );
+                    evictions += u64::from(ev.is_some());
+                }
+            }
+        }
+        let total_hits = c.stats().total_accesses() - c.stats().total_misses();
+        assert_eq!(total_hits, hits, "case {case}: hit total");
+        assert_eq!(c.eviction_stats().1, evictions, "case {case}: evictions");
+        for line in 0..4096u64 {
+            assert_eq!(
+                c.contains(LineAddr::new(line)),
+                reference.contains(line),
+                "case {case}: residency divergence on {line}"
+            );
+        }
+    }
+}
+
 #[test]
 fn srrip_rrpvs_stay_bounded() {
     for case in 0..CASES {
