@@ -28,4 +28,12 @@ echo "==> bench smoke (sim_throughput --json BENCH_sim.json)"
 cargo bench --offline -p atc-bench --bench sim_throughput -- --samples 2 --json "$PWD/BENCH_sim.json"
 cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
 
+echo "==> telemetry smoke (telemetry_study --json target/telemetry_smoke.json)"
+# Runs a small workload with telemetry attached; the example itself
+# exits nonzero if telemetry counters fail to reconcile with RunStats,
+# and the validator checks the atc-telemetry-v1 document it wrote.
+cargo run --offline --release --example telemetry_study -- \
+    --warmup 10000 --measure 60000 --json target/telemetry_smoke.json
+cargo run --offline --release -p atc-bench --bin check_bench_json -- target/telemetry_smoke.json
+
 echo "CI OK"

@@ -1,10 +1,12 @@
 //! End-to-end simulator throughput: instructions simulated per second
-//! for the baseline and the fully-enhanced machine. This is the bench
-//! behind `BENCH_sim.json` (see `ci.sh` and DESIGN.md).
+//! for the baseline, the fully-enhanced machine, and the baseline with
+//! the telemetry layer attached (its overhead is the delta against the
+//! plain baseline). This is the bench behind `BENCH_sim.json` (see
+//! `ci.sh` and DESIGN.md).
 
 use atc_bench::Reporter;
 use atc_core::Enhancement;
-use atc_sim::{Machine, SimConfig};
+use atc_sim::{Machine, SimConfig, TelemetryConfig};
 use atc_workloads::{BenchmarkId, Scale};
 
 const N: u64 = 50_000;
@@ -12,17 +14,36 @@ const N: u64 = 50_000;
 fn main() {
     let mut reporter = Reporter::from_env();
     println!("sim_throughput: {N} measured instructions per iteration");
-    for (label, e) in [
-        ("baseline", Enhancement::Baseline),
-        ("full", Enhancement::Tempo),
+    for (label, e, telemetry) in [
+        ("baseline", Enhancement::Baseline, false),
+        ("full", Enhancement::Tempo, false),
+        ("baseline+telemetry", Enhancement::Baseline, true),
     ] {
         reporter.bench_throughput(&format!("machine/{label}"), 10, N, || {
             let mut cfg = SimConfig::with_enhancement(e);
             cfg.machine.stlb.entries = 256; // Test-scale pressure
+            if telemetry {
+                cfg.probes.telemetry = Some(TelemetryConfig::default());
+            }
             let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
             let mut m = Machine::new(&cfg).expect("valid config");
             m.run(wl.as_mut(), 5_000, N).expect("healthy run")
         });
+    }
+    let rate = |name: &str| {
+        reporter
+            .results()
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.elems_per_sec())
+    };
+    if let (Some(plain), Some(telem)) =
+        (rate("machine/baseline"), rate("machine/baseline+telemetry"))
+    {
+        println!(
+            "telemetry overhead: {:+.1}% instructions/s vs detached baseline",
+            (plain / telem - 1.0) * 100.0
+        );
     }
     reporter.finish();
 }

@@ -1,6 +1,8 @@
-//! CI validator for bench trajectory files: checks that the given file
-//! parses as `atc-bench-v1` JSON with a non-empty result list whose
-//! entries carry the expected keys.
+//! CI validator for machine-readable JSON artifacts. Dispatches on the
+//! document's `schema` field: `atc-bench-v1` trajectory files are
+//! checked for a non-empty result list with the expected keys,
+//! `atc-telemetry-v1` documents via
+//! [`atc_bench::telemetry::check_telemetry`].
 //!
 //! ```text
 //! cargo run -p atc-bench --bin check_bench_json -- BENCH_sim.json
@@ -9,14 +11,23 @@
 use std::process::ExitCode;
 
 use atc_bench::json::{self, Value};
+use atc_bench::telemetry::{check_telemetry, TELEMETRY_SCHEMA};
 
-fn check(path: &str) -> Result<usize, String> {
+fn check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let schema = doc
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\" string")?;
+    if schema == TELEMETRY_SCHEMA {
+        check_telemetry(&doc)?;
+        let n = doc.get("counters").map_or(0, |c| match c {
+            Value::Object(members) => members.len(),
+            _ => 0,
+        });
+        return Ok(format!("{n} counters"));
+    }
     if schema != "atc-bench-v1" {
         return Err(format!("unexpected schema {schema:?}"));
     }
@@ -46,7 +57,7 @@ fn check(path: &str) -> Result<usize, String> {
             return Err(format!("result {i} ({name}): elems without elems_per_s"));
         }
     }
-    Ok(results.len())
+    Ok(format!("{} results", results.len()))
 }
 
 fn main() -> ExitCode {
@@ -55,8 +66,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match check(&path) {
-        Ok(n) => {
-            println!("{path}: ok ({n} results)");
+        Ok(what) => {
+            println!("{path}: ok ({what})");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -15,6 +15,7 @@
 //! ```
 
 pub mod json;
+pub mod telemetry;
 
 use std::time::{Duration, Instant};
 

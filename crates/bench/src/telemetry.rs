@@ -1,0 +1,327 @@
+//! `atc-telemetry-v1` JSON export and validation for
+//! [`TelemetrySnapshot`]s (see DESIGN.md for the schema).
+
+use crate::json::Value;
+use atc_obs::TelemetrySnapshot;
+
+/// Schema identifier written into every telemetry document.
+pub const TELEMETRY_SCHEMA: &str = "atc-telemetry-v1";
+
+fn u(x: u64) -> Value {
+    Value::from(x as f64)
+}
+
+fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Render a snapshot as an `atc-telemetry-v1` document:
+///
+/// * `counters` — name → integer value;
+/// * `histograms` — name → `{count, sum, min, max, mean, p50, p95, p99,
+///   buckets: [{lo, hi, count}]}` (only non-empty buckets);
+/// * `spans` — `{sample_every, dropped, walk: [...], replay: [...]}`.
+pub fn telemetry_to_json(snap: &TelemetrySnapshot) -> Value {
+    let counters = Value::Object(
+        snap.counters
+            .iter()
+            .map(|&(name, v)| (name.to_string(), u(v)))
+            .collect(),
+    );
+    let histograms = Value::Object(
+        snap.histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = Value::Array(
+                    h.iter_nonzero()
+                        .map(|(lo, hi, count)| {
+                            obj(vec![("lo", u(lo)), ("hi", u(hi)), ("count", u(count))])
+                        })
+                        .collect(),
+                );
+                let doc = obj(vec![
+                    ("count", u(h.count())),
+                    ("sum", u(h.sum())),
+                    ("min", u(h.min())),
+                    ("max", u(h.max())),
+                    ("mean", Value::from(h.mean())),
+                    ("p50", u(h.p50())),
+                    ("p95", u(h.p95())),
+                    ("p99", u(h.p99())),
+                    ("buckets", buckets),
+                ]);
+                (name.to_string(), doc)
+            })
+            .collect(),
+    );
+    let walk = Value::Array(
+        snap.walk_spans
+            .iter()
+            .map(|w| {
+                let hops = Value::Array(
+                    w.hops()
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("level", u(u64::from(h.level.number()))),
+                                ("served", Value::String(h.served.label().to_string())),
+                                ("latency", u(h.latency)),
+                            ])
+                        })
+                        .collect(),
+                );
+                obj(vec![
+                    ("start", u(w.start)),
+                    ("end", u(w.end)),
+                    ("hops", hops),
+                ])
+            })
+            .collect(),
+    );
+    let replay = Value::Array(
+        snap.replay_spans
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("line", u(r.line)),
+                    ("walk_done", u(r.walk_done)),
+                    ("fill_done", u(r.fill_done)),
+                    ("served", Value::String(r.served.label().to_string())),
+                    ("outcome", Value::String(r.outcome.label().to_string())),
+                    ("outcome_cycle", u(r.outcome_cycle)),
+                ])
+            })
+            .collect(),
+    );
+    let spans = obj(vec![
+        ("sample_every", u(snap.span_sample_every)),
+        ("dropped", u(snap.spans_dropped)),
+        ("walk", walk),
+        ("replay", replay),
+    ]);
+    obj(vec![
+        ("schema", Value::String(TELEMETRY_SCHEMA.to_string())),
+        ("counters", counters),
+        ("histograms", histograms),
+        ("spans", spans),
+    ])
+}
+
+fn nonneg(v: &Value, what: &str) -> Result<f64, String> {
+    let x = v.as_f64().ok_or(format!("{what}: not a number"))?;
+    if x < 0.0 || x.is_nan() {
+        return Err(format!("{what}: {x} is invalid"));
+    }
+    Ok(x)
+}
+
+/// Validate a parsed `atc-telemetry-v1` document.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed element: wrong schema,
+/// non-numeric counter, histogram whose bucket counts do not sum to its
+/// `count`, non-monotone percentiles, or a span with an invalid serving
+/// level / outcome label or `end < start`.
+pub fn check_telemetry(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" string")?;
+    if schema != TELEMETRY_SCHEMA {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let Some(Value::Object(counters)) = doc.get("counters") else {
+        return Err("missing \"counters\" object".to_string());
+    };
+    if counters.is_empty() {
+        return Err("\"counters\" is empty".to_string());
+    }
+    for (name, v) in counters {
+        nonneg(v, &format!("counter {name}"))?;
+    }
+    let Some(Value::Object(hists)) = doc.get("histograms") else {
+        return Err("missing \"histograms\" object".to_string());
+    };
+    for (name, h) in hists {
+        let count = nonneg(
+            h.get("count").unwrap_or(&Value::Null),
+            &format!("histogram {name}: count"),
+        )?;
+        let mut quantiles = Vec::new();
+        for key in ["p50", "p95", "p99"] {
+            quantiles.push(nonneg(
+                h.get(key).unwrap_or(&Value::Null),
+                &format!("histogram {name}: {key}"),
+            )?);
+        }
+        if !(quantiles[0] <= quantiles[1] && quantiles[1] <= quantiles[2]) {
+            return Err(format!("histogram {name}: percentiles not monotone"));
+        }
+        let buckets = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or(format!("histogram {name}: missing buckets"))?;
+        let mut total = 0.0;
+        for b in buckets {
+            total += nonneg(
+                b.get("count").unwrap_or(&Value::Null),
+                &format!("histogram {name}: bucket count"),
+            )?;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram {name}: bucket counts sum to {total}, count is {count}"
+            ));
+        }
+    }
+    let spans = doc.get("spans").ok_or("missing \"spans\" object")?;
+    nonneg(
+        spans.get("sample_every").unwrap_or(&Value::Null),
+        "sample_every",
+    )?;
+    let levels = ["L1D", "L2C", "LLC", "DRAM"];
+    for w in spans
+        .get("walk")
+        .and_then(Value::as_array)
+        .ok_or("missing spans.walk array")?
+    {
+        let start = nonneg(w.get("start").unwrap_or(&Value::Null), "walk span start")?;
+        let end = nonneg(w.get("end").unwrap_or(&Value::Null), "walk span end")?;
+        if end < start {
+            return Err(format!("walk span: end {end} < start {start}"));
+        }
+        for h in w
+            .get("hops")
+            .and_then(Value::as_array)
+            .ok_or("walk span: missing hops")?
+        {
+            let served = h.get("served").and_then(Value::as_str).unwrap_or("");
+            if !levels.contains(&served) {
+                return Err(format!("walk hop: bad serving level {served:?}"));
+            }
+        }
+    }
+    for r in spans
+        .get("replay")
+        .and_then(Value::as_array)
+        .ok_or("missing spans.replay array")?
+    {
+        let walk_done = nonneg(
+            r.get("walk_done").unwrap_or(&Value::Null),
+            "replay walk_done",
+        )?;
+        let fill_done = nonneg(
+            r.get("fill_done").unwrap_or(&Value::Null),
+            "replay fill_done",
+        )?;
+        if fill_done < walk_done {
+            return Err(format!("replay span: fill {fill_done} < walk {walk_done}"));
+        }
+        let outcome = r.get("outcome").and_then(Value::as_str).unwrap_or("");
+        if !["reused", "dead", "open"].contains(&outcome) {
+            return Err(format!("replay span: bad outcome {outcome:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use atc_obs::{Log2Histogram, ReplayOutcome, ReplaySpan, WalkHop, WalkSpan, MAX_WALK_HOPS};
+    use atc_types::{MemLevel, PtLevel};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut hist = Log2Histogram::new();
+        for v in [3, 40, 41, 900] {
+            hist.record(v);
+        }
+        let mut hops = [WalkHop::PAD; MAX_WALK_HOPS];
+        hops[0] = WalkHop {
+            level: PtLevel::L2,
+            served: MemLevel::L2c,
+            latency: 16,
+        };
+        hops[1] = WalkHop {
+            level: PtLevel::L1,
+            served: MemLevel::Dram,
+            latency: 120,
+        };
+        TelemetrySnapshot {
+            counters: vec![("walk.count", 4), ("core.cycles", 10_000)],
+            histograms: vec![("walk.latency_cycles", hist)],
+            span_sample_every: 8,
+            walk_spans: vec![WalkSpan {
+                start: 100,
+                end: 236,
+                hops,
+                hop_count: 2,
+            }],
+            replay_spans: vec![ReplaySpan {
+                line: 0x4040,
+                walk_done: 236,
+                fill_done: 300,
+                served: MemLevel::Llc,
+                outcome: ReplayOutcome::Reused,
+                outcome_cycle: 450,
+            }],
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_and_validates() {
+        let doc = telemetry_to_json(&sample_snapshot());
+        let text = doc.render();
+        let parsed = json::parse(&text).expect("telemetry JSON parses");
+        check_telemetry(&parsed).expect("telemetry JSON validates");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("walk.count")),
+            Some(&Value::Number(4.0))
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("walk.latency_cycles"))
+            .expect("histogram exported");
+        assert_eq!(hist.get("count").and_then(Value::as_f64), Some(4.0));
+        let walk = parsed
+            .get("spans")
+            .and_then(|s| s.get("walk"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(walk.len(), 1);
+        let hops = walk[0].get("hops").and_then(Value::as_array).unwrap();
+        assert_eq!(hops.len(), 2, "only recorded hops are exported");
+        assert_eq!(hops[1].get("served").and_then(Value::as_str), Some("DRAM"));
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_documents() {
+        let good = telemetry_to_json(&sample_snapshot());
+        check_telemetry(&good).unwrap();
+
+        let mut wrong_schema = good.clone();
+        if let Value::Object(members) = &mut wrong_schema {
+            members[0].1 = Value::String("atc-bench-v1".into());
+        }
+        assert!(check_telemetry(&wrong_schema).is_err());
+
+        // Corrupt a histogram bucket count: sum no longer matches.
+        let text = good.render().replace("\"count\":4", "\"count\":5");
+        let parsed = json::parse(&text).unwrap();
+        assert!(check_telemetry(&parsed).is_err());
+
+        let text = good
+            .render()
+            .replace("\"outcome\":\"reused\"", "\"outcome\":\"zombie\"");
+        let parsed = json::parse(&text).unwrap();
+        assert!(check_telemetry(&parsed).is_err());
+    }
+}

@@ -110,6 +110,12 @@ pub struct Cache {
     evictions_total: u64,
     evictions_dead_by_class: [u64; AccessClass::STAT_CLASSES],
     evictions_total_by_class: [u64; AccessClass::STAT_CLASSES],
+    /// Demand fills (new insertions, not resident refills) by class;
+    /// prefetch insertions are counted in `prefetch_fills` instead.
+    fills_by_class: [u64; AccessClass::STAT_CLASSES],
+    /// Translation (PTE) blocks evicted, indexed by the *incoming* fill
+    /// that displaced them (see [`Cache::EVICTOR_SLOTS`]).
+    translation_evicted_by: [u64; Cache::EVICTOR_SLOTS],
 }
 
 impl Cache {
@@ -159,8 +165,19 @@ impl Cache {
             evictions_total: 0,
             evictions_dead_by_class: [0; AccessClass::STAT_CLASSES],
             evictions_total_by_class: [0; AccessClass::STAT_CLASSES],
+            fills_by_class: [0; AccessClass::STAT_CLASSES],
+            translation_evicted_by: [0; Cache::EVICTOR_SLOTS],
         })
     }
+
+    /// Slots in [`translation_evicted_by`](Self::translation_evicted_by):
+    /// one per [`AccessClass::stat_index`] value for demand evictors,
+    /// plus a final slot for prefetch evictors of any class.
+    pub const EVICTOR_SLOTS: usize = AccessClass::STAT_CLASSES + 1;
+
+    /// Index of the prefetch slot in
+    /// [`translation_evicted_by`](Self::translation_evicted_by).
+    pub const PREFETCH_EVICTOR: usize = AccessClass::STAT_CLASSES;
 
     /// Cache name ("L1D", "L2C", "LLC").
     pub fn name(&self) -> &'static str {
@@ -352,6 +369,14 @@ impl Cache {
             self.policy.on_evict(set, way);
             self.evictions_total += 1;
             self.evictions_total_by_class[old.class.stat_index()] += 1;
+            if old.class.is_translation() {
+                let evictor = if info.is_prefetch {
+                    Cache::PREFETCH_EVICTOR
+                } else {
+                    info.class.stat_index()
+                };
+                self.translation_evicted_by[evictor] += 1;
+            }
             if !old.reused {
                 self.evictions_dead += 1;
                 self.evictions_dead_by_class[old.class.stat_index()] += 1;
@@ -383,6 +408,8 @@ impl Cache {
         self.policy.on_fill(set, way, info);
         if info.is_prefetch {
             self.prefetch_fills += 1;
+        } else {
+            self.fills_by_class[info.class.stat_index()] += 1;
         }
         evicted
     }
@@ -431,6 +458,30 @@ impl Cache {
         )
     }
 
+    /// `(dead evictions, total evictions)` of translation (PTE) blocks,
+    /// summed over every page-table level.
+    pub fn pte_eviction_stats(&self) -> (u64, u64) {
+        let leaf = AccessClass::Translation(atc_types::PtLevel::L1).stat_index();
+        let upper = AccessClass::Translation(atc_types::PtLevel::L2).stat_index();
+        (
+            self.evictions_dead_by_class[leaf] + self.evictions_dead_by_class[upper],
+            self.evictions_total_by_class[leaf] + self.evictions_total_by_class[upper],
+        )
+    }
+
+    /// Demand fills (new insertions) by [`AccessClass::stat_index`];
+    /// prefetch insertions are in [`prefetch_stats`](Self::prefetch_stats).
+    pub fn fills_by_class(&self) -> &[u64; AccessClass::STAT_CLASSES] {
+        &self.fills_by_class
+    }
+
+    /// Translation (PTE) evictions indexed by the incoming fill that
+    /// displaced them: [`AccessClass::stat_index`] for demand fills,
+    /// [`Cache::PREFETCH_EVICTOR`] for prefetches.
+    pub fn translation_evicted_by(&self) -> &[u64; Cache::EVICTOR_SLOTS] {
+        &self.translation_evicted_by
+    }
+
     /// The MSHR file (diagnostics).
     pub fn mshr(&self) -> &Mshr {
         &self.mshr
@@ -448,6 +499,8 @@ impl Cache {
         self.evictions_total = 0;
         self.evictions_dead_by_class = [0; AccessClass::STAT_CLASSES];
         self.evictions_total_by_class = [0; AccessClass::STAT_CLASSES];
+        self.fills_by_class = [0; AccessClass::STAT_CLASSES];
+        self.translation_evicted_by = [0; Cache::EVICTOR_SLOTS];
     }
 
     /// The recall probe, if enabled.
@@ -653,6 +706,58 @@ mod tests {
         c.fill(&l2);
         c.fill(&load(4));
         assert_eq!(c.recall_probe().unwrap().open_windows(), 1);
+    }
+
+    #[test]
+    fn fills_counted_by_class_excluding_refills_and_prefetches() {
+        let mut c = mk(1, 2);
+        c.fill(&load(1));
+        c.fill(&load(1)); // resident refill: not a new fill
+        let t = AccessInfo::demand(9, LineAddr::new(3), AccessClass::Translation(PtLevel::L1));
+        c.fill(&t);
+        let pf = AccessInfo::prefetch(0, LineAddr::new(5), AccessClass::ReplayData);
+        c.fill(&pf); // prefetch insertion: counted as prefetch, not class
+        let fills = c.fills_by_class();
+        assert_eq!(fills[AccessClass::NonReplayData.stat_index()], 1);
+        assert_eq!(fills[t.class.stat_index()], 1);
+        assert_eq!(fills[AccessClass::ReplayData.stat_index()], 0);
+        assert_eq!(c.prefetch_stats().0, 1);
+    }
+
+    #[test]
+    fn translation_evictions_attributed_to_incoming_fill() {
+        let mut c = mk(1, 1);
+        let t = AccessInfo::demand(9, LineAddr::new(1), AccessClass::Translation(PtLevel::L1));
+        // PTE evicted by a demand load.
+        c.fill(&t);
+        c.fill(&load(2));
+        // PTE evicted by a prefetch.
+        c.fill(&t);
+        let pf = AccessInfo::prefetch(0, LineAddr::new(4), AccessClass::ReplayData);
+        c.fill(&pf);
+        // Data evicted by data: no PTE attribution.
+        c.fill(&load(6));
+        let by = c.translation_evicted_by();
+        assert_eq!(by[AccessClass::NonReplayData.stat_index()], 1);
+        assert_eq!(by[Cache::PREFETCH_EVICTOR], 1);
+        assert_eq!(by.iter().sum::<u64>(), 2);
+        assert_eq!(c.pte_eviction_stats(), (2, 2), "both PTEs died unreused");
+    }
+
+    #[test]
+    fn pte_eviction_stats_sum_all_levels() {
+        let mut c = mk(1, 1);
+        let leaf = AccessInfo::demand(9, LineAddr::new(1), AccessClass::Translation(PtLevel::L1));
+        let upper = AccessInfo::demand(9, LineAddr::new(3), AccessClass::Translation(PtLevel::L4));
+        c.fill(&leaf);
+        c.lookup(&leaf, 0); // reused
+        c.fill(&upper); // evicts leaf (reused)
+        c.fill(&load(5)); // evicts upper (dead)
+        assert_eq!(c.pte_eviction_stats(), (1, 2));
+        c.reset_stats();
+        assert_eq!(c.pte_eviction_stats(), (0, 0));
+        assert_eq!(c.fills_by_class().iter().sum::<u64>(), 0);
+        assert_eq!(c.translation_evicted_by().iter().sum::<u64>(), 0);
     }
 
     #[test]

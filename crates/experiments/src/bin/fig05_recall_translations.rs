@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         l2c_recall: Some(vec![t]),
         llc_recall: Some(vec![t]),
         stlb_recall: false,
+        telemetry: None,
     };
 
     let mut table = Table::new(&[

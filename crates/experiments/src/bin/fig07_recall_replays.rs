@@ -29,6 +29,7 @@ fn main() -> ExitCode {
             l2c_recall: Some(vec![AccessClass::ReplayData]),
             llc_recall: Some(vec![AccessClass::ReplayData]),
             stlb_recall: false,
+            telemetry: None,
         };
         let Some(s) = opts.run_or_skip(&cfg, *bench) else {
             continue;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
             l2c_recall: None,
             llc_recall: Some(vec![AccessClass::Translation(PtLevel::L1)]),
             stlb_recall: false,
+            telemetry: None,
         };
         let Some(st) = opts.run_or_skip(&cfg_t, *bench) else {
             continue;

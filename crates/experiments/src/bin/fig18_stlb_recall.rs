@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         l2c_recall: None,
         llc_recall: None,
         stlb_recall: true,
+        telemetry: None,
     };
 
     let mut table = Table::new(&["benchmark", "<10", "<50", ">=50"]);

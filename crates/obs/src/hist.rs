@@ -1,0 +1,328 @@
+//! Log2-bucketed latency histogram.
+//!
+//! Cycle latencies span four orders of magnitude (an L1D hit is ~5
+//! cycles, a five-level walk through DRAM is thousands), so the
+//! telemetry histogram buckets by power of two: bucket 0 holds the value
+//! 0 and bucket *k* (k ≥ 1) holds `[2^(k-1), 2^k)`. Recording is a
+//! `leading_zeros` and an array increment — no allocation, no float.
+
+/// Number of buckets: one for 0 plus one per bit position of `u64`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use atc_obs::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// // p50 reports the upper bound of the bucket holding the median
+/// // (rank 50 lands in [32, 64)), clamped to the observed max.
+/// assert_eq!(h.p50(), 63);
+/// assert_eq!(h.p99(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `idx`.
+#[inline]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (idx - 1);
+        let hi = if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        };
+        (lo, hi)
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket holding
+    /// the sample of rank `⌈q·count⌉`, clamped to the observed `[min,
+    /// max]` range (so `percentile(1.0)` is exactly the max). Returns 0
+    /// when empty. `q` is clamped to `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`percentile`](Self::percentile)).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Zero the histogram.
+    pub fn reset(&mut self) {
+        *self = Log2Histogram::new();
+    }
+
+    /// Iterate the populated buckets as `(lo, hi, count)` with inclusive
+    /// value bounds.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let (lo, hi) = bucket_bounds(idx);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        let mut h = Log2Histogram::new();
+        // Each (sample, expected inclusive bucket bounds).
+        for (v, lo, hi) in [
+            (0u64, 0u64, 0u64),
+            (1, 1, 1),
+            (2, 2, 3),
+            (3, 2, 3),
+            (4, 4, 7),
+            (7, 4, 7),
+            (8, 8, 15),
+            (1023, 512, 1023),
+            (1024, 1024, 2047),
+            (u64::MAX, 1 << 63, u64::MAX),
+        ] {
+            h.reset();
+            h.record(v);
+            let buckets: Vec<_> = h.iter_nonzero().collect();
+            assert_eq!(buckets, vec![(lo, hi, 1)], "sample {v}");
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_track_samples() {
+        let mut h = Log2Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        for v in [3u64, 0, 900, 17] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 920);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 900);
+        assert!((h.mean() - 230.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_known_uniform_distribution() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // rank 50 → value 50 → bucket [32,63]; upper bound reported.
+        assert_eq!(h.p50(), 63);
+        // rank 95 → value 95 → bucket [64,127], clamped to max 100.
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(0.0), 1, "q=0 is the min");
+        assert_eq!(h.percentile(1.0), 100, "q=1 is the max");
+    }
+
+    #[test]
+    fn percentiles_on_known_bimodal_distribution() {
+        // 90 fast samples at 10 cycles, 10 slow at 5000.
+        let mut h = Log2Histogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        // Ranks 1..=90 land in the [8,15] bucket.
+        assert_eq!(h.p50(), 15);
+        // Rank 95 lands in the slow mode's [4096,8191] bucket → max.
+        assert_eq!(h.p95(), 5000);
+        assert_eq!(h.p99(), 5000);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Log2Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), 37, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.iter_nonzero().count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_buckets_and_stats() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [200u64, 3000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 3000);
+        // Bucket contents are the union.
+        let direct: Vec<_> = {
+            let mut h = Log2Histogram::new();
+            for v in [1u64, 5, 9, 200, 3000] {
+                h.record(v);
+            }
+            h.iter_nonzero().collect()
+        };
+        assert_eq!(merged.iter_nonzero().collect::<Vec<_>>(), direct);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Log2Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&Log2Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Log2Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut h = Log2Histogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h, Log2Histogram::new());
+    }
+}

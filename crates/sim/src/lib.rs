@@ -38,10 +38,13 @@
 pub mod machine;
 pub mod multicore;
 pub mod smt;
+pub mod telemetry;
 
+pub use atc_obs::TelemetrySnapshot;
 pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure};
 pub use multicore::run_multicore;
 pub use smt::run_smt;
+pub use telemetry::TelemetryConfig;
 
 use atc_workloads::{BenchmarkId, Scale};
 

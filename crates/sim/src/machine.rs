@@ -1,10 +1,12 @@
 //! The single-core machine and the shared memory-path logic reused by
 //! the SMT and multi-core drivers.
 
+use crate::telemetry::{SimTelemetry, TelemetryConfig};
 use atc_cache::Cache;
 use atc_core::{Atp, DpPred, IdealConfig, PolicyChoice, Tempo};
 use atc_cpu::{CompletionKind, CoreStats, RobModel};
 use atc_dram::{Dram, DramStats};
+use atc_obs::{TelemetrySnapshot, WalkHop, MAX_WALK_HOPS};
 use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher, PrefetcherKind};
 use atc_stats::{ClassCounters, Histogram};
 use atc_types::{
@@ -22,7 +24,7 @@ const PREFETCH_STLB_MISS_DELAY: u64 = 120;
 /// Cap on prefetch candidates issued per demand access.
 const MAX_PREFETCH_PER_ACCESS: usize = 4;
 
-/// Optional measurement probes (recall distances).
+/// Optional measurement probes (recall distances, telemetry).
 #[derive(Debug, Clone, Default)]
 pub struct Probes {
     /// Track recall distance at the L2C for these classes (empty list =
@@ -32,6 +34,11 @@ pub struct Probes {
     pub llc_recall: Option<Vec<AccessClass>>,
     /// Track recall distance of translations at the STLB (Fig 18).
     pub stlb_recall: bool,
+    /// Attach the telemetry layer: counters, latency histograms and
+    /// sampled walk/replay spans, snapshotted into
+    /// [`RunStats::telemetry`]. `None` = detached (zero overhead beyond
+    /// one branch per event).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Probes {
@@ -119,6 +126,7 @@ pub(crate) struct CoreCtx {
     pub dppred: Option<DpPred>,
     pub service_translation: [u64; 4],
     pub service_replay: [u64; 4],
+    pub telem: Option<Box<SimTelemetry>>,
 }
 
 impl CoreCtx {
@@ -167,6 +175,11 @@ impl CoreCtx {
             dppred: cfg.dppred.then(DpPred::new),
             service_translation: [0; 4],
             service_replay: [0; 4],
+            telem: cfg
+                .probes
+                .telemetry
+                .as_ref()
+                .map(|t| Box::new(SimTelemetry::new(t))),
         })
     }
 
@@ -176,6 +189,9 @@ impl CoreCtx {
         self.l2c.reset_stats();
         self.service_translation = [0; 4];
         self.service_replay = [0; 4];
+        if let Some(t) = &mut self.telem {
+            t.reset();
+        }
     }
 }
 
@@ -259,6 +275,10 @@ pub(crate) fn do_walk(
     start_time: u64,
 ) -> u64 {
     let mut t = start_time;
+    // Per-PTE-read hop record for the telemetry span tracer; a fixed
+    // stack buffer keeps the walk path allocation-free.
+    let mut hops = [WalkHop::PAD; MAX_WALK_HOPS];
+    let mut hop_count = 0usize;
     for step in &plan.steps {
         let info = AccessInfo::demand(
             ip,
@@ -275,6 +295,14 @@ pub(crate) fn do_walk(
             t,
             MemLevel::L1d,
         );
+        if hop_count < MAX_WALK_HOPS {
+            hops[hop_count] = WalkHop {
+                level: step.level,
+                served,
+                latency: ready.saturating_sub(t),
+            };
+            hop_count += 1;
+        }
         if step.level.is_leaf() {
             core.service_translation[served.index()] += 1;
             // ATP: leaf PTE hit at L2C/LLC → prefetch the replay block
@@ -312,6 +340,9 @@ pub(crate) fn do_walk(
             }
         }
         t = ready;
+    }
+    if let Some(tm) = &mut core.telem {
+        tm.on_walk_complete(start_time, t, &hops[..hop_count]);
     }
     // DpPred (§V-B comparison): bypass the STLB for predicted-dead pages
     // and train on the evicted entry's reuse outcome.
@@ -517,6 +548,15 @@ pub(crate) fn exec_instr_opts(
     if class == AccessClass::ReplayData {
         core.service_replay[served.index()] += 1;
     }
+    if let Some(tm) = &mut core.telem {
+        // Close a traced replay span for this line first, then (for
+        // replay loads) open a new one — a replayed line must not close
+        // its own span.
+        tm.on_demand_access(line.raw(), data_done, served);
+        if class == AccessClass::ReplayData {
+            tm.on_replay_fill(line.raw(), trans_done, data_done, served);
+        }
+    }
 
     // L2C prefetcher observes accesses that reached the L2C.
     if served != MemLevel::L1d {
@@ -611,12 +651,20 @@ pub struct RunStats {
     pub l2c_prefetch: (u64, u64),
     /// LLC `(dead, total)` evictions for replay-load blocks (§III).
     pub llc_replay_evictions: (u64, u64),
+    /// L2C `(dead, total)` evictions of translation (PTE) blocks.
+    pub l2c_pte_evictions: (u64, u64),
+    /// LLC `(dead, total)` evictions of translation (PTE) blocks.
+    pub llc_pte_evictions: (u64, u64),
     /// L2C recall-distance histogram, when probed.
     pub l2c_recall: Option<Histogram>,
     /// LLC recall-distance histogram, when probed.
     pub llc_recall: Option<Histogram>,
     /// STLB recall-distance histogram, when probed (Fig 18).
     pub stlb_recall: Option<Histogram>,
+    /// Telemetry snapshot, when the telemetry probe was attached
+    /// (boxed: the snapshot carries every counter, histogram and span
+    /// sample).
+    pub telemetry: Option<Box<TelemetrySnapshot>>,
 }
 
 impl RunStats {
@@ -812,6 +860,28 @@ impl Machine {
                 p.histogram().clone()
             })
         };
+        let dram_stats = self.dram.stats();
+        let telemetry = match self.core.telem.as_mut() {
+            Some(tm) => {
+                tm.ingest(
+                    &core_stats,
+                    &self.core.l1d,
+                    &self.core.l2c,
+                    &self.llc,
+                    self.core.mmu.dtlb().stats(),
+                    self.core.mmu.stlb().stats(),
+                    self.core.mmu.pscs().stats(),
+                    &dram_stats,
+                );
+                let (l1d, l2c, llc) = (&self.core.l1d, &self.core.l2c, &self.llc);
+                let resident = |line: u64| {
+                    let la = LineAddr::new(line);
+                    l1d.contains(la) || l2c.contains(la) || llc.contains(la)
+                };
+                Some(Box::new(tm.snapshot(resident, core_stats.cycles)))
+            }
+            None => None,
+        };
         RunStats {
             core: core_stats,
             l1d: self.core.l1d.stats().clone(),
@@ -822,7 +892,7 @@ impl Machine {
             walks: self.core.mmu.walk_count(),
             mapped_pages: self.core.mmu.page_table().mapped_pages(),
             psc: self.core.mmu.pscs().stats(),
-            dram: self.dram.stats(),
+            dram: dram_stats,
             service_translation: self.core.service_translation,
             service_replay: self.core.service_replay,
             atp_issued: self.core.atp.as_ref().map_or(0, |a| a.issued()),
@@ -830,9 +900,12 @@ impl Machine {
             llc_prefetch: self.llc.prefetch_stats(),
             l2c_prefetch: self.core.l2c.prefetch_stats(),
             llc_replay_evictions: self.llc.eviction_stats_for(AccessClass::ReplayData),
+            l2c_pte_evictions: self.core.l2c.pte_eviction_stats(),
+            llc_pte_evictions: self.llc.pte_eviction_stats(),
             l2c_recall: flush(self.core.l2c.recall_probe_mut()),
             llc_recall: flush(self.llc.recall_probe_mut()),
             stlb_recall: flush(self.core.mmu.stlb_mut().recall_probe_mut()),
+            telemetry,
         }
     }
 
@@ -943,6 +1016,7 @@ mod tests {
             l2c_recall: Some(vec![AccessClass::Translation(PtLevel::L1)]),
             llc_recall: Some(vec![AccessClass::Translation(PtLevel::L1)]),
             stlb_recall: true,
+            telemetry: None,
         };
         let s = quick(&cfg, BenchmarkId::Canneal);
         assert!(s.l2c_recall.is_some());
@@ -1153,6 +1227,121 @@ mod tests {
         let msg = fail.to_string();
         assert!(msg.contains("deadlock"), "{msg}");
         assert!(msg.contains("partial stats"), "{msg}");
+    }
+
+    #[test]
+    fn telemetry_detached_by_default() {
+        let s = quick(&small_stlb(SimConfig::baseline()), BenchmarkId::Mcf);
+        assert!(s.telemetry.is_none());
+        // PTE-eviction stats are cheap and always collected.
+        assert!(s.l2c_pte_evictions.1 >= s.l2c_pte_evictions.0);
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_with_run_stats() {
+        let mut cfg = small_stlb(SimConfig::baseline());
+        cfg.probes.telemetry = Some(TelemetryConfig {
+            span_sample_every: 8,
+            span_capacity: 64,
+        });
+        let s = quick(&cfg, BenchmarkId::Canneal);
+        let t = s.telemetry.as_ref().expect("telemetry attached");
+        let c = |name: &str| t.counter(name).expect(name);
+
+        assert_eq!(c("walk.count"), s.walks);
+        for (i, lvl) in ["l1d", "l2c", "llc", "dram"].iter().enumerate() {
+            assert_eq!(
+                t.counter(&format!("walk.leaf_served.{lvl}")).unwrap(),
+                s.service_translation[i]
+            );
+            assert_eq!(
+                t.counter(&format!("replay.served.{lvl}")).unwrap(),
+                s.service_replay[i]
+            );
+        }
+        assert_eq!(c("replay.count"), s.service_replay.iter().sum::<u64>());
+        assert_eq!(c("core.instructions"), s.core.instructions);
+        assert_eq!(c("core.cycles"), s.core.cycles);
+        assert_eq!(c("stall.translation_cycles"), s.core.stalls.stlb_walk);
+        assert_eq!(c("stall.replay_cycles"), s.core.stalls.replay_data);
+        assert_eq!(c("stall.regular_cycles"), s.core.stalls.non_replay_data);
+        assert_eq!(c("tlb.stlb.misses"), s.stlb.misses);
+        assert_eq!(c("dram.requests"), s.dram.requests);
+
+        // Per-level hit/miss groups partition the ClassCounters totals.
+        for (lvl, cc) in [("l1d", &s.l1d), ("l2c", &s.l2c), ("llc", &s.llc)] {
+            let hits = c(&format!("{lvl}.hits.translation"))
+                + c(&format!("{lvl}.hits.replay"))
+                + c(&format!("{lvl}.hits.regular"));
+            let misses = c(&format!("{lvl}.misses.translation"))
+                + c(&format!("{lvl}.misses.replay"))
+                + c(&format!("{lvl}.misses.regular"));
+            assert_eq!(misses, cc.total_misses(), "{lvl} misses");
+            assert_eq!(hits + misses, cc.total_accesses(), "{lvl} accesses");
+        }
+
+        assert_eq!(c("l2c.pte_evict.dead"), s.l2c_pte_evictions.0);
+        assert_eq!(c("l2c.pte_evict.total"), s.l2c_pte_evictions.1);
+        assert_eq!(c("llc.pte_evict.total"), s.llc_pte_evictions.1);
+        // Every PTE eviction is attributed to exactly one evictor class.
+        for lvl in ["l2c", "llc"] {
+            let by: u64 = ["translation", "replay", "regular", "prefetch"]
+                .iter()
+                .map(|k| c(&format!("{lvl}.pte_evicted_by.{k}")))
+                .sum();
+            assert_eq!(by, c(&format!("{lvl}.pte_evict.total")), "{lvl} evictors");
+        }
+
+        // Latency histograms observe one value per walk / replay.
+        let wh = t.histogram("walk.latency_cycles").expect("walk hist");
+        assert_eq!(wh.count(), s.walks);
+        assert!(wh.p50() <= wh.p95() && wh.p95() <= wh.p99());
+        let rh = t.histogram("replay.latency_cycles").expect("replay hist");
+        assert_eq!(rh.count(), s.service_replay.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn telemetry_spans_are_sampled_and_well_formed() {
+        let mut cfg = small_stlb(SimConfig::baseline());
+        cfg.probes.telemetry = Some(TelemetryConfig {
+            span_sample_every: 4,
+            span_capacity: 128,
+        });
+        let s = quick(&cfg, BenchmarkId::Canneal);
+        let t = s.telemetry.as_ref().unwrap();
+        assert_eq!(t.span_sample_every, 4);
+        assert!(!t.walk_spans.is_empty(), "walks occurred, spans sampled");
+        for w in &t.walk_spans {
+            assert!(w.end >= w.start);
+            assert!(!w.hops().is_empty());
+            let leaf = w.hops().last().unwrap();
+            assert!(leaf.level.is_leaf(), "last hop reads the leaf PTE");
+        }
+        assert!(!t.replay_spans.is_empty(), "replay loads traced");
+        for r in &t.replay_spans {
+            assert!(r.fill_done >= r.walk_done);
+            assert!(r.outcome_cycle >= r.fill_done);
+        }
+    }
+
+    #[test]
+    fn telemetry_rides_along_in_failure_partials() {
+        const NEVER: u64 = 1_000_000_000_000;
+        let mut cfg = small_stlb(SimConfig::baseline());
+        cfg.machine.dram.row_hit_cycles = NEVER;
+        cfg.machine.dram.row_miss_cycles = NEVER;
+        cfg.watchdog_cycles = 1_000_000;
+        cfg.probes.telemetry = Some(TelemetryConfig::default());
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let mut m = Machine::new(&cfg).unwrap();
+        let fail = m.run(wl.as_mut(), 5_000, 30_000).unwrap_err();
+        assert!(fail.error.is_deadlock());
+        let partial = fail.partial.as_ref().expect("partial stats");
+        let t = partial.telemetry.as_ref().expect("telemetry in partial");
+        assert_eq!(
+            t.counter("core.instructions"),
+            Some(partial.core.instructions)
+        );
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! Simulator-side telemetry: what to count, when to sample, and how to
+//! snapshot.
+//!
+//! [`SimTelemetry`] owns an `atc-obs` [`Registry`] and [`SpanTracer`]
+//! and is attached per core via `Probes::telemetry`. The division of
+//! labour:
+//!
+//! * **Hot path** (`on_walk_complete`, `on_replay_fill`,
+//!   `on_demand_access`): pre-registered counter/histogram handles and a
+//!   fixed-capacity open-span table — no allocation, no name lookups.
+//!   When no telemetry is attached the simulator skips these calls
+//!   entirely (`Option::is_none`), so the detached cost is one branch.
+//! * **Snapshot time** (`ingest`, `snapshot`): counters that other
+//!   components already accumulate (cache/TLB/PSC/DRAM statistics, stall
+//!   attribution) are copied in by name once per run.
+//!
+//! Span sampling is 1-in-N (`TelemetryConfig::span_sample_every`): every
+//! walk and replay updates the counters, but only each Nth is traced as
+//! a span, bounding both ring-buffer churn and open-replay tracking.
+
+use atc_cache::Cache;
+use atc_cpu::CoreStats;
+use atc_dram::DramStats;
+use atc_obs::{
+    CounterId, HistId, Registry, ReplayOutcome, ReplaySpan, Sink, SpanTracer, TelemetrySnapshot,
+    WalkHop, WalkSpan, MAX_WALK_HOPS,
+};
+use atc_types::{AccessClass, MemLevel, PtLevel};
+use atc_vm::tlb::TlbStats;
+
+/// Telemetry probe configuration (`Probes::telemetry`).
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Trace every Nth walk / replay as a span (≥ 1; 1 = every event).
+    pub span_sample_every: u64,
+    /// Ring-buffer capacity per span kind.
+    pub span_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            span_sample_every: 64,
+            span_capacity: 256,
+        }
+    }
+}
+
+/// Open replay samples tracked at once; the oldest retires as
+/// [`ReplayOutcome::Open`] when a new sample would exceed this.
+const OPEN_CAP: usize = 16;
+
+/// Pre-registered hot-path handles.
+#[derive(Debug, Clone, Copy)]
+struct HotIds {
+    walks: CounterId,
+    walk_leaf_served: [CounterId; 4],
+    replays: CounterId,
+    replay_served: [CounterId; 4],
+    walk_latency: HistId,
+    replay_latency: HistId,
+}
+
+/// Per-core telemetry state (see the module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct SimTelemetry {
+    reg: Registry,
+    tracer: SpanTracer,
+    sample_every: u64,
+    walk_seq: u64,
+    replay_seq: u64,
+    open: Vec<ReplaySpan>,
+    ids: HotIds,
+}
+
+impl SimTelemetry {
+    pub(crate) fn new(cfg: &TelemetryConfig) -> Self {
+        let mut reg = Registry::new();
+        let ids = HotIds {
+            walks: reg.counter("walk.count"),
+            walk_leaf_served: [
+                reg.counter("walk.leaf_served.l1d"),
+                reg.counter("walk.leaf_served.l2c"),
+                reg.counter("walk.leaf_served.llc"),
+                reg.counter("walk.leaf_served.dram"),
+            ],
+            replays: reg.counter("replay.count"),
+            replay_served: [
+                reg.counter("replay.served.l1d"),
+                reg.counter("replay.served.l2c"),
+                reg.counter("replay.served.llc"),
+                reg.counter("replay.served.dram"),
+            ],
+            walk_latency: reg.histogram("walk.latency_cycles"),
+            replay_latency: reg.histogram("replay.latency_cycles"),
+        };
+        SimTelemetry {
+            reg,
+            tracer: SpanTracer::new(cfg.span_capacity),
+            sample_every: cfg.span_sample_every.max(1),
+            walk_seq: 0,
+            replay_seq: 0,
+            open: Vec::with_capacity(OPEN_CAP),
+            ids,
+        }
+    }
+
+    /// A page walk finished: `hops` holds one entry per PTE read, leaf
+    /// last.
+    pub(crate) fn on_walk_complete(&mut self, start: u64, end: u64, hops: &[WalkHop]) {
+        self.reg.inc(self.ids.walks);
+        if let Some(leaf) = hops.last() {
+            self.reg.inc(self.ids.walk_leaf_served[leaf.served.index()]);
+        }
+        self.reg
+            .observe(self.ids.walk_latency, end.saturating_sub(start));
+        self.walk_seq += 1;
+        if self.walk_seq.is_multiple_of(self.sample_every) {
+            let n = hops.len().min(MAX_WALK_HOPS);
+            let mut padded = [WalkHop::PAD; MAX_WALK_HOPS];
+            padded[..n].copy_from_slice(&hops[..n]);
+            self.tracer.walk_span(&WalkSpan {
+                start,
+                end,
+                hops: padded,
+                hop_count: n as u8,
+            });
+        }
+    }
+
+    /// A demand data access completed: closes the open replay span for
+    /// `line`, if one is being traced. A re-access served on-chip is a
+    /// reuse; one that had to go back to DRAM means the replayed block
+    /// was evicted before reuse — it died.
+    #[inline]
+    pub(crate) fn on_demand_access(&mut self, line: u64, cycle: u64, served: MemLevel) {
+        if self.open.is_empty() {
+            return;
+        }
+        if let Some(pos) = self.open.iter().position(|s| s.line == line) {
+            let mut span = self.open.swap_remove(pos);
+            span.outcome = if served == MemLevel::Dram {
+                ReplayOutcome::Dead
+            } else {
+                ReplayOutcome::Reused
+            };
+            // An access that merged into the still-outstanding replay
+            // miss reports a completion before the fill; the reuse
+            // really happens at fill time, so clamp.
+            span.outcome_cycle = cycle.max(span.fill_done);
+            self.tracer.replay_span(&span);
+        }
+    }
+
+    /// A replay load's data arrived. Call *after*
+    /// [`on_demand_access`](Self::on_demand_access) for the same access,
+    /// so a replay of an already-traced line closes the old span first.
+    pub(crate) fn on_replay_fill(
+        &mut self,
+        line: u64,
+        walk_done: u64,
+        fill_done: u64,
+        served: MemLevel,
+    ) {
+        self.reg.inc(self.ids.replays);
+        self.reg.inc(self.ids.replay_served[served.index()]);
+        self.reg
+            .observe(self.ids.replay_latency, fill_done.saturating_sub(walk_done));
+        self.replay_seq += 1;
+        if self.replay_seq.is_multiple_of(self.sample_every) {
+            if self.open.len() == OPEN_CAP {
+                let oldest = self.open.remove(0);
+                self.tracer.replay_span(&oldest);
+            }
+            self.open.push(ReplaySpan {
+                line,
+                walk_done,
+                fill_done,
+                served,
+                outcome: ReplayOutcome::Open,
+                outcome_cycle: fill_done,
+            });
+        }
+    }
+
+    /// Zero all telemetry at the warmup boundary.
+    pub(crate) fn reset(&mut self) {
+        self.reg.reset();
+        self.tracer.clear();
+        self.open.clear();
+        self.walk_seq = 0;
+        self.replay_seq = 0;
+    }
+
+    fn set(&mut self, name: &'static str, v: u64) {
+        let id = self.reg.counter(name);
+        self.reg.set(id, v);
+    }
+
+    fn ingest_cache(&mut self, names: &CacheNames, c: &Cache) {
+        let s = c.stats().clone();
+        let leaf = AccessClass::Translation(PtLevel::L1);
+        let upper = AccessClass::Translation(PtLevel::L2);
+        let hits_t = s.hits(leaf) + s.hits(upper);
+        let miss_t = s.misses(leaf) + s.misses(upper);
+        let regular = [
+            AccessClass::NonReplayData,
+            AccessClass::Store,
+            AccessClass::Instruction,
+        ];
+        let hits_reg: u64 = regular.iter().map(|&cl| s.hits(cl)).sum();
+        let miss_reg: u64 = regular.iter().map(|&cl| s.misses(cl)).sum();
+        self.set(names.hits[0], hits_t);
+        self.set(names.hits[1], s.hits(AccessClass::ReplayData));
+        self.set(names.hits[2], hits_reg);
+        self.set(names.misses[0], miss_t);
+        self.set(names.misses[1], s.misses(AccessClass::ReplayData));
+        self.set(names.misses[2], miss_reg);
+
+        let fills = *c.fills_by_class();
+        let reg_idx = [
+            AccessClass::NonReplayData.stat_index(),
+            AccessClass::Store.stat_index(),
+            AccessClass::Instruction.stat_index(),
+        ];
+        self.set(
+            names.fills[0],
+            fills[leaf.stat_index()] + fills[upper.stat_index()],
+        );
+        self.set(names.fills[1], fills[AccessClass::ReplayData.stat_index()]);
+        self.set(names.fills[2], reg_idx.iter().map(|&i| fills[i]).sum());
+        self.set(names.fills[3], c.prefetch_stats().0);
+
+        let (dead, total) = c.eviction_stats();
+        self.set(names.evict_dead, dead);
+        self.set(names.evict_total, total);
+        let (pte_dead, pte_total) = c.pte_eviction_stats();
+        self.set(names.pte_evict_dead, pte_dead);
+        self.set(names.pte_evict_total, pte_total);
+
+        let by = *c.translation_evicted_by();
+        self.set(
+            names.pte_evicted_by[0],
+            by[leaf.stat_index()] + by[upper.stat_index()],
+        );
+        self.set(
+            names.pte_evicted_by[1],
+            by[AccessClass::ReplayData.stat_index()],
+        );
+        self.set(
+            names.pte_evicted_by[2],
+            reg_idx.iter().map(|&i| by[i]).sum(),
+        );
+        self.set(names.pte_evicted_by[3], by[Cache::PREFETCH_EVICTOR]);
+    }
+
+    /// Copy component-accumulated statistics into the registry. Called
+    /// once, from `Machine::collect`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ingest(
+        &mut self,
+        core: &CoreStats,
+        l1d: &Cache,
+        l2c: &Cache,
+        llc: &Cache,
+        dtlb: TlbStats,
+        stlb: TlbStats,
+        psc: (u64, u64),
+        dram: &DramStats,
+    ) {
+        self.set("core.instructions", core.instructions);
+        self.set("core.cycles", core.cycles);
+        self.set("stall.translation_cycles", core.stalls.stlb_walk);
+        self.set("stall.replay_cycles", core.stalls.replay_data);
+        self.set("stall.regular_cycles", core.stalls.non_replay_data);
+        self.set("stall.other_cycles", core.stalls.other);
+        self.ingest_cache(&L1D_NAMES, l1d);
+        self.ingest_cache(&L2C_NAMES, l2c);
+        self.ingest_cache(&LLC_NAMES, llc);
+        self.set("tlb.dtlb.hits", dtlb.hits);
+        self.set("tlb.dtlb.misses", dtlb.misses);
+        self.set("tlb.stlb.hits", stlb.hits);
+        self.set("tlb.stlb.misses", stlb.misses);
+        self.set("psc.hits", psc.0);
+        self.set("psc.misses", psc.1);
+        self.set("dram.requests", dram.requests);
+        self.set("dram.row_hits", dram.row_hits);
+        self.set("dram.row_misses", dram.row_misses);
+    }
+
+    /// Close out open replay samples (`resident` says whether a line is
+    /// still cached anywhere: gone and unreused means it died) and copy
+    /// everything into an owned snapshot.
+    pub(crate) fn snapshot(
+        &mut self,
+        resident: impl Fn(u64) -> bool,
+        now: u64,
+    ) -> TelemetrySnapshot {
+        while let Some(mut span) = self.open.pop() {
+            span.outcome = if resident(span.line) {
+                ReplayOutcome::Open
+            } else {
+                ReplayOutcome::Dead
+            };
+            // `now` is the measured-phase cycle count; span timestamps
+            // are absolute core time, so clamp to keep close ≥ fill.
+            span.outcome_cycle = now.max(span.fill_done);
+            self.tracer.replay_span(&span);
+        }
+        TelemetrySnapshot {
+            counters: self.reg.counters().to_vec(),
+            histograms: self.reg.histograms().to_vec(),
+            span_sample_every: self.sample_every,
+            walk_spans: self.tracer.walk_spans(),
+            replay_spans: self.tracer.replay_spans(),
+            spans_dropped: self.tracer.dropped(),
+        }
+    }
+}
+
+/// Snapshot-time counter names for one cache level (groups follow the
+/// paper's taxonomy: translation = PTE reads at any level, replay =
+/// replay loads, regular = everything else demand, prefetch separate).
+struct CacheNames {
+    hits: [&'static str; 3],
+    misses: [&'static str; 3],
+    fills: [&'static str; 4],
+    evict_dead: &'static str,
+    evict_total: &'static str,
+    pte_evict_dead: &'static str,
+    pte_evict_total: &'static str,
+    pte_evicted_by: [&'static str; 4],
+}
+
+const L1D_NAMES: CacheNames = CacheNames {
+    hits: [
+        "l1d.hits.translation",
+        "l1d.hits.replay",
+        "l1d.hits.regular",
+    ],
+    misses: [
+        "l1d.misses.translation",
+        "l1d.misses.replay",
+        "l1d.misses.regular",
+    ],
+    fills: [
+        "l1d.fills.translation",
+        "l1d.fills.replay",
+        "l1d.fills.regular",
+        "l1d.fills.prefetch",
+    ],
+    evict_dead: "l1d.evict.dead",
+    evict_total: "l1d.evict.total",
+    pte_evict_dead: "l1d.pte_evict.dead",
+    pte_evict_total: "l1d.pte_evict.total",
+    pte_evicted_by: [
+        "l1d.pte_evicted_by.translation",
+        "l1d.pte_evicted_by.replay",
+        "l1d.pte_evicted_by.regular",
+        "l1d.pte_evicted_by.prefetch",
+    ],
+};
+
+const L2C_NAMES: CacheNames = CacheNames {
+    hits: [
+        "l2c.hits.translation",
+        "l2c.hits.replay",
+        "l2c.hits.regular",
+    ],
+    misses: [
+        "l2c.misses.translation",
+        "l2c.misses.replay",
+        "l2c.misses.regular",
+    ],
+    fills: [
+        "l2c.fills.translation",
+        "l2c.fills.replay",
+        "l2c.fills.regular",
+        "l2c.fills.prefetch",
+    ],
+    evict_dead: "l2c.evict.dead",
+    evict_total: "l2c.evict.total",
+    pte_evict_dead: "l2c.pte_evict.dead",
+    pte_evict_total: "l2c.pte_evict.total",
+    pte_evicted_by: [
+        "l2c.pte_evicted_by.translation",
+        "l2c.pte_evicted_by.replay",
+        "l2c.pte_evicted_by.regular",
+        "l2c.pte_evicted_by.prefetch",
+    ],
+};
+
+const LLC_NAMES: CacheNames = CacheNames {
+    hits: [
+        "llc.hits.translation",
+        "llc.hits.replay",
+        "llc.hits.regular",
+    ],
+    misses: [
+        "llc.misses.translation",
+        "llc.misses.replay",
+        "llc.misses.regular",
+    ],
+    fills: [
+        "llc.fills.translation",
+        "llc.fills.replay",
+        "llc.fills.regular",
+        "llc.fills.prefetch",
+    ],
+    evict_dead: "llc.evict.dead",
+    evict_total: "llc.evict.total",
+    pte_evict_dead: "llc.pte_evict.dead",
+    pte_evict_total: "llc.pte_evict.total",
+    pte_evicted_by: [
+        "llc.pte_evicted_by.translation",
+        "llc.pte_evicted_by.replay",
+        "llc.pte_evicted_by.regular",
+        "llc.pte_evicted_by.prefetch",
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telem(sample_every: u64) -> SimTelemetry {
+        SimTelemetry::new(&TelemetryConfig {
+            span_sample_every: sample_every,
+            span_capacity: 16,
+        })
+    }
+
+    fn hop(served: MemLevel) -> WalkHop {
+        WalkHop {
+            level: PtLevel::L1,
+            served,
+            latency: 20,
+        }
+    }
+
+    #[test]
+    fn walks_counted_always_sampled_one_in_n() {
+        let mut t = telem(4);
+        for i in 0..8u64 {
+            t.on_walk_complete(i * 100, i * 100 + 30, &[hop(MemLevel::L2c)]);
+        }
+        assert_eq!(t.reg.counter_value("walk.count"), Some(8));
+        assert_eq!(t.reg.counter_value("walk.leaf_served.l2c"), Some(8));
+        assert_eq!(
+            t.reg
+                .histogram_by_name("walk.latency_cycles")
+                .unwrap()
+                .count(),
+            8
+        );
+        let snap = t.snapshot(|_| true, 1_000);
+        assert_eq!(snap.walk_spans.len(), 2, "every 4th walk is traced");
+    }
+
+    #[test]
+    fn replay_reuse_closes_span_as_reused() {
+        let mut t = telem(1);
+        t.on_replay_fill(0x40, 100, 150, MemLevel::Dram);
+        // A later demand access served on-chip: reuse.
+        t.on_demand_access(0x40, 300, MemLevel::L1d);
+        let snap = t.snapshot(|_| true, 1_000);
+        assert_eq!(snap.replay_spans.len(), 1);
+        let s = snap.replay_spans[0];
+        assert_eq!(s.outcome, ReplayOutcome::Reused);
+        assert_eq!(s.outcome_cycle, 300);
+        assert_eq!(snap.counter("replay.count"), Some(1));
+        assert_eq!(snap.counter("replay.served.dram"), Some(1));
+    }
+
+    #[test]
+    fn replay_refetched_from_dram_is_dead() {
+        let mut t = telem(1);
+        t.on_replay_fill(0x40, 100, 150, MemLevel::Llc);
+        t.on_demand_access(0x40, 900, MemLevel::Dram);
+        let snap = t.snapshot(|_| true, 1_000);
+        assert_eq!(snap.replay_spans[0].outcome, ReplayOutcome::Dead);
+    }
+
+    #[test]
+    fn snapshot_flushes_open_spans_by_residency() {
+        let mut t = telem(1);
+        t.on_replay_fill(0x40, 100, 150, MemLevel::Dram);
+        t.on_replay_fill(0x80, 200, 260, MemLevel::Dram);
+        // 0x40 still resident (open), 0x80 evicted unreused (dead).
+        let snap = t.snapshot(|line| line == 0x40, 5_000);
+        let outcome = |line: u64| {
+            snap.replay_spans
+                .iter()
+                .find(|s| s.line == line)
+                .unwrap()
+                .outcome
+        };
+        assert_eq!(outcome(0x40), ReplayOutcome::Open);
+        assert_eq!(outcome(0x80), ReplayOutcome::Dead);
+    }
+
+    #[test]
+    fn unsampled_replays_still_count_but_do_not_trace() {
+        let mut t = telem(1_000_000);
+        t.on_replay_fill(0x40, 100, 150, MemLevel::Dram);
+        t.on_demand_access(0x40, 300, MemLevel::L1d);
+        let snap = t.snapshot(|_| true, 1_000);
+        assert_eq!(snap.counter("replay.count"), Some(1));
+        assert!(snap.replay_spans.is_empty());
+    }
+
+    #[test]
+    fn open_table_overflow_retires_oldest_as_open() {
+        let mut t = telem(1);
+        for i in 0..(OPEN_CAP as u64 + 3) {
+            t.on_replay_fill(0x1000 + i * 0x40, i, i + 50, MemLevel::Dram);
+        }
+        // Three spans were forced out while still open.
+        let forced: Vec<_> = t.tracer.replay_spans();
+        assert_eq!(forced.len(), 3);
+        assert!(forced.iter().all(|s| s.outcome == ReplayOutcome::Open));
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_spans() {
+        let mut t = telem(1);
+        t.on_walk_complete(0, 40, &[hop(MemLevel::Dram)]);
+        t.on_replay_fill(0x40, 0, 60, MemLevel::Dram);
+        t.reset();
+        let snap = t.snapshot(|_| true, 0);
+        assert_eq!(snap.counter("walk.count"), Some(0));
+        assert!(snap.walk_spans.is_empty() && snap.replay_spans.is_empty());
+    }
+}

@@ -34,7 +34,9 @@ impl Table {
         }
     }
 
-    /// Append a row.
+    /// Append a row. Cells that formatted a NaN (`"NaN"`, `"NaN%"`, …)
+    /// are normalized to `"n/a"`, matching the `pct()` convention for
+    /// undefined fractions.
     ///
     /// # Panics
     ///
@@ -47,8 +49,19 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows
-            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows.push(
+            cells
+                .iter()
+                .map(|c| {
+                    let cell = c.as_ref();
+                    if numeric_part(cell).is_some_and(f64::is_nan) {
+                        "n/a".to_string()
+                    } else {
+                        cell.to_string()
+                    }
+                })
+                .collect(),
+        );
     }
 
     /// Number of data rows.
@@ -62,6 +75,8 @@ impl Table {
     }
 
     /// Render as aligned plain text with a separator under the header.
+    /// Columns whose data cells are all numbers (allowing a trailing `%`
+    /// or `x` suffix, and `n/a` / `-` placeholders) are right-aligned.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -69,13 +84,30 @@ impl Table {
                 *w = (*w).max(cell.len());
             }
         }
+        let numeric: Vec<bool> = (0..self.headers.len())
+            .map(|col| {
+                let mut any = false;
+                for row in &self.rows {
+                    match row[col].as_str() {
+                        "n/a" | "-" | "" => {}
+                        cell if numeric_part(cell).is_some() => any = true,
+                        _ => return false,
+                    }
+                }
+                any
+            })
+            .collect();
         let mut out = String::new();
         let write_row = |out: &mut String, cells: &[String]| {
             for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                let _ = write!(out, "{cell:<w$}");
+                if numeric[i] {
+                    let _ = write!(out, "{cell:>w$}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}");
+                }
             }
             // Trim trailing padding.
             while out.ends_with(' ') {
@@ -106,6 +138,20 @@ impl Table {
     }
 }
 
+/// The numeric value of a cell, allowing one trailing `%` or `x` suffix
+/// (as emitted by percentage / speedup formatters). `None` for
+/// non-numeric text.
+fn numeric_part(cell: &str) -> Option<f64> {
+    let body = cell
+        .strip_suffix('%')
+        .or_else(|| cell.strip_suffix('x'))
+        .unwrap_or(cell);
+    if body.is_empty() {
+        return None;
+    }
+    body.parse::<f64>().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +169,45 @@ mod tests {
         assert!(lines[3].starts_with("long-name"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn numeric_columns_right_align() {
+        let mut t = Table::new(&["benchmark", "speedup", "share"]);
+        t.row(&["pr", "1.062x", "41.3%"]);
+        t.row(&["canneal-long", "0.998x", "7.1%"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        assert!(lines[2].contains("  1.062x"), "{s}");
+        assert!(lines[3].contains("  0.998x"), "{s}");
+        // Right alignment: shorter values pad on the left, so both data
+        // lines end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len(), "{s}");
+        // Text column stays left-aligned.
+        assert!(lines[2].starts_with("pr "), "{s}");
+    }
+
+    #[test]
+    fn mixed_text_column_stays_left_aligned() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["a", "1"]);
+        t.row(&["b", "fast"]); // non-numeric cell: column is text
+        let s = t.render();
+        // Left-aligned: "1" sits directly after the separator (its
+        // trailing padding is trimmed), not pushed to the column edge.
+        assert_eq!(s.lines().nth(2).unwrap(), "a  1", "{s}");
+    }
+
+    #[test]
+    fn nan_cells_become_na() {
+        let mut t = Table::new(&["name", "frac"]);
+        t.row(&["x", format!("{:.1}%", f64::NAN).as_str()]);
+        t.row(&["y", "12.5%"]);
+        let s = t.render();
+        assert!(!s.contains("NaN"), "{s}");
+        assert!(s.contains("n/a"), "{s}");
+        // The column is still recognized as numeric (right-aligned).
+        assert!(s.lines().nth(2).unwrap().ends_with("n/a"), "{s}");
     }
 
     #[test]

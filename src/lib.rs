@@ -19,10 +19,12 @@
 //! # Ok::<(), atc::sim::SimFailure>(())
 //! ```
 
+pub use atc_bench as bench;
 pub use atc_cache as cache;
 pub use atc_core as core_policies;
 pub use atc_cpu as cpu;
 pub use atc_dram as dram;
+pub use atc_obs as obs;
 pub use atc_prefetch as prefetch;
 pub use atc_sim as sim;
 pub use atc_stats as stats;

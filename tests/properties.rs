@@ -575,3 +575,111 @@ fn histogram_count_and_sum_are_exact() {
         assert!((below - expect).abs() < 1e-9, "case {case}: fraction_below");
     }
 }
+
+#[test]
+fn telemetry_counters_reconcile_with_run_stats_exactly() {
+    use atc_sim::{run_one, SimConfig, TelemetryConfig};
+    use atc_workloads::{BenchmarkId, Scale};
+    // Full simulator runs are costly; a handful of randomized
+    // (benchmark, seed, length) cases still exercises every counter.
+    let benches = [
+        BenchmarkId::Mcf,
+        BenchmarkId::Canneal,
+        BenchmarkId::Pr,
+        BenchmarkId::Xalancbmk,
+    ];
+    for case in 0..8 {
+        let mut rng = rng_for(16, case);
+        let bench = benches[rng.next_below(benches.len() as u64) as usize];
+        let seed = rng.next_below(1 << 20);
+        let measure = 20_000 + rng.next_below(20_000);
+        let mut cfg = SimConfig::baseline();
+        cfg.machine.stlb.entries = 256; // force walks at Test scale
+        cfg.probes.telemetry = Some(TelemetryConfig {
+            span_sample_every: 1 + rng.next_below(64),
+            span_capacity: 128,
+        });
+        let s = run_one(&cfg, bench, Scale::Test, seed, 5_000, measure)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let t = s.telemetry.as_ref().expect("telemetry attached");
+        let c = |name: &str| {
+            t.counter(name)
+                .unwrap_or_else(|| panic!("case {case}: counter {name} missing"))
+        };
+
+        // Telemetry and RunStats accumulate independently; they must
+        // agree bit-for-bit.
+        assert_eq!(c("core.instructions"), s.core.instructions, "case {case}");
+        assert_eq!(c("core.cycles"), s.core.cycles, "case {case}");
+        assert_eq!(c("walk.count"), s.walks, "case {case}");
+        assert_eq!(
+            c("replay.count"),
+            s.service_replay.iter().sum::<u64>(),
+            "case {case}"
+        );
+        for (i, lvl) in ["l1d", "l2c", "llc", "dram"].iter().enumerate() {
+            assert_eq!(
+                t.counter(&format!("walk.leaf_served.{lvl}")),
+                Some(s.service_translation[i]),
+                "case {case}: walk.leaf_served.{lvl}"
+            );
+            assert_eq!(
+                t.counter(&format!("replay.served.{lvl}")),
+                Some(s.service_replay[i]),
+                "case {case}: replay.served.{lvl}"
+            );
+        }
+        assert_eq!(
+            c("stall.translation_cycles"),
+            s.core.stalls.stlb_walk,
+            "case {case}"
+        );
+        assert_eq!(
+            c("stall.replay_cycles"),
+            s.core.stalls.replay_data,
+            "case {case}"
+        );
+        assert_eq!(
+            c("stall.regular_cycles"),
+            s.core.stalls.non_replay_data,
+            "case {case}"
+        );
+        assert_eq!(c("tlb.dtlb.hits"), s.dtlb.hits, "case {case}");
+        assert_eq!(c("tlb.stlb.misses"), s.stlb.misses, "case {case}");
+        assert_eq!(c("psc.hits"), s.psc.0, "case {case}");
+        assert_eq!(c("dram.requests"), s.dram.requests, "case {case}");
+        for (lvl, cc) in [("l1d", &s.l1d), ("l2c", &s.l2c), ("llc", &s.llc)] {
+            let hits = c(&format!("{lvl}.hits.translation"))
+                + c(&format!("{lvl}.hits.replay"))
+                + c(&format!("{lvl}.hits.regular"));
+            let misses = c(&format!("{lvl}.misses.translation"))
+                + c(&format!("{lvl}.misses.replay"))
+                + c(&format!("{lvl}.misses.regular"));
+            assert_eq!(misses, cc.total_misses(), "case {case}: {lvl} misses");
+            assert_eq!(
+                hits + misses,
+                cc.total_accesses(),
+                "case {case}: {lvl} accesses"
+            );
+        }
+        assert_eq!(
+            (c("l2c.pte_evict.dead"), c("l2c.pte_evict.total")),
+            s.l2c_pte_evictions,
+            "case {case}: l2c pte evictions"
+        );
+        assert_eq!(
+            (c("llc.pte_evict.dead"), c("llc.pte_evict.total")),
+            s.llc_pte_evictions,
+            "case {case}: llc pte evictions"
+        );
+        // Walk/replay latency histograms observe one sample per event.
+        let wh = t.histogram("walk.latency_cycles").expect("walk hist");
+        assert_eq!(wh.count(), s.walks, "case {case}: walk latency samples");
+        let rh = t.histogram("replay.latency_cycles").expect("replay hist");
+        assert_eq!(
+            rh.count(),
+            s.service_replay.iter().sum::<u64>(),
+            "case {case}: replay latency samples"
+        );
+    }
+}
