@@ -28,6 +28,37 @@ echo "==> bench smoke (sim_throughput --json BENCH_sim.json)"
 cargo bench --offline -p atc-bench --bench sim_throughput -- --samples 2 --json "$PWD/BENCH_sim.json"
 cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
 
+echo "==> harness scaling bench (harness_scaling --append)"
+# Suite wall-time at 1/2/4/8 workers, merged into the same trajectory
+# document (--append replaces same-name results, keeps the rest).
+cargo bench --offline -p atc-harness --bench harness_scaling -- \
+    --samples 1 --append --json "$PWD/BENCH_sim.json"
+cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
+
+echo "==> suite smoke (full sweep catalog, checkpointed)"
+SUITE="cargo run --offline --release -p atc-experiments --bin suite --"
+SUITE_FLAGS="--scale test --warmup 2000 --instructions 20000"
+rm -f target/ci-suite.jsonl
+$SUITE $SUITE_FLAGS --jobs 4 --manifest target/ci-suite.jsonl --check \
+    > target/ci-suite.out
+
+echo "==> suite determinism smoke (--jobs 1 vs --jobs 4 stdout)"
+rm -f target/ci-det1.jsonl target/ci-det4.jsonl
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 1 \
+    --manifest target/ci-det1.jsonl > target/ci-det1.out
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 4 \
+    --manifest target/ci-det4.jsonl > target/ci-det4.out
+diff target/ci-det1.out target/ci-det4.out
+
+echo "==> suite resume smoke (kill-free: run half, resume the rest)"
+# fig16 is 18 jobs (base + tempo x 9 benchmarks): run 5, then resume
+# and require that exactly the 13 missing jobs execute.
+rm -f target/ci-resume.jsonl
+$SUITE $SUITE_FLAGS --figures fig16 --jobs 4 --max-jobs 5 \
+    --manifest target/ci-resume.jsonl > /dev/null
+$SUITE $SUITE_FLAGS --figures fig16 --jobs 4 --resume --check \
+    --assert-executed 13 --manifest target/ci-resume.jsonl > /dev/null
+
 echo "==> telemetry smoke (telemetry_study --json target/telemetry_smoke.json)"
 # Runs a small workload with telemetry attached; the example itself
 # exits nonzero if telemetry counters fail to reconcile with RunStats,

@@ -128,7 +128,11 @@ fn print_result(r: &BenchResult) {
 ///
 /// * `--samples N` overrides each bench's default sample count (CI smoke
 ///   runs pass a small N);
-/// * `--json PATH` writes all results to `PATH` on [`finish`](Self::finish).
+/// * `--json PATH` writes all results to `PATH` on [`finish`](Self::finish);
+/// * `--append` merges into an existing `--json` file instead of
+///   overwriting it: results with the same name are replaced, results
+///   from other benches are kept (so several bench binaries can share
+///   one `BENCH_sim.json`).
 ///
 /// Unknown arguments are ignored — `cargo bench` passes `--bench` (and
 /// filter strings) through to `harness = false` binaries.
@@ -136,6 +140,7 @@ fn print_result(r: &BenchResult) {
 pub struct Reporter {
     samples_override: Option<u32>,
     json_path: Option<String>,
+    append: bool,
     results: Vec<BenchResult>,
 }
 
@@ -156,6 +161,9 @@ impl Reporter {
                 }
                 "--json" => {
                     r.json_path = it.next();
+                }
+                "--append" => {
+                    r.append = true;
                 }
                 _ => {} // cargo's --bench etc.
             }
@@ -211,7 +219,18 @@ impl Reporter {
     /// Call once at the end of each bench main.
     pub fn finish(self) {
         if let Some(path) = &self.json_path {
-            let doc = self.to_json().render();
+            let doc = if self.append {
+                match merge_into_existing(path, &self.results) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        eprintln!("error: could not merge into {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                self.to_json()
+            }
+            .render();
             if let Err(e) = std::fs::write(path, doc + "\n") {
                 eprintln!("error: could not write {path}: {e}");
                 std::process::exit(1);
@@ -219,6 +238,45 @@ impl Reporter {
             println!("wrote {} results to {path}", self.results.len());
         }
     }
+}
+
+/// Merge `fresh` results into the `atc-bench-v1` document at `path`:
+/// same-name results are replaced in place, other results are kept, and
+/// genuinely new names are appended. A missing file merges into an
+/// empty document; a file that is not an `atc-bench-v1` document is an
+/// error (refuse to clobber something else).
+fn merge_into_existing(path: &str, fresh: &[BenchResult]) -> Result<json::Value, String> {
+    let mut results: Vec<json::Value> = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let doc = json::parse(&text).map_err(|e| format!("existing file: {e}"))?;
+            if doc.get("schema").and_then(json::Value::as_str) != Some("atc-bench-v1") {
+                return Err("existing file is not an atc-bench-v1 document".to_string());
+            }
+            doc.get("results")
+                .and_then(json::Value::as_array)
+                .ok_or("existing file has no results array")?
+                .to_vec()
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    for r in fresh {
+        let json = r.to_json();
+        let existing = results
+            .iter_mut()
+            .find(|v| v.get("name").and_then(json::Value::as_str) == Some(r.name.as_str()));
+        match existing {
+            Some(slot) => *slot = json,
+            None => results.push(json),
+        }
+    }
+    Ok(json::Value::Object(vec![
+        (
+            "schema".to_string(),
+            json::Value::String("atc-bench-v1".to_string()),
+        ),
+        ("results".to_string(), json::Value::Array(results)),
+    ]))
 }
 
 /// One-shot [`Reporter::bench`] without result collection (kept for
@@ -248,6 +306,54 @@ mod tests {
         let r = Reporter::from_args(std::iter::empty());
         assert_eq!(r.samples(20), 20);
         assert!(r.json_path.is_none());
+        assert!(!r.append);
+        let r = Reporter::from_args(["--append".to_string()]);
+        assert!(r.append);
+    }
+
+    fn result(name: &str, median_ns: u64) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            samples: 1,
+            min_ns: median_ns,
+            median_ns,
+            mean_ns: median_ns,
+            elems: None,
+        }
+    }
+
+    #[test]
+    fn append_merges_by_name_and_keeps_others() {
+        let path =
+            std::env::temp_dir().join(format!("atc-bench-append-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: merge into an empty document.
+        let doc = merge_into_existing(path_str, &[result("a", 10)]).unwrap();
+        std::fs::write(&path, doc.render()).unwrap();
+
+        // Replace `a`, keep nothing else, add `b`.
+        let doc = merge_into_existing(path_str, &[result("a", 20), result("b", 30)]).unwrap();
+        let results = doc.get("results").and_then(json::Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("name").and_then(json::Value::as_str),
+            Some("a")
+        );
+        assert_eq!(
+            results[0].get("median_ns").and_then(json::Value::as_f64),
+            Some(20.0)
+        );
+        assert_eq!(
+            results[1].get("name").and_then(json::Value::as_str),
+            Some("b")
+        );
+
+        // Refuse to clobber a non-bench document.
+        std::fs::write(&path, "{\"schema\":\"something-else\"}").unwrap();
+        assert!(merge_into_existing(path_str, &[result("a", 1)]).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -158,6 +158,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let by_name = |n: &str| {
         variants
             .iter()

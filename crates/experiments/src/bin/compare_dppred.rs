@@ -61,6 +61,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(
         gours > gcb,
         &format!("enhancements beat CbPred+DpPred on geomean ({gours:.3} > {gcb:.3}; paper +3.1%)"),

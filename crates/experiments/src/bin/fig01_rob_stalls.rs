@@ -73,6 +73,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(
         ra > wa,
         &format!("avg replay stall {ra:.1} > avg walk stall {wa:.1}"),

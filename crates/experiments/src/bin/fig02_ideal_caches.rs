@@ -71,6 +71,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let [t, r, tr, l2t, full] = [means[0], means[1], means[2], means[3], means[4]];
     checks.claim(
         means.iter().all(|&m| m > 0.995),

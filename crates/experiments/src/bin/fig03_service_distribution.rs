@@ -76,6 +76,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let onchip_t = (tt - agg_t[3]) as f64 / tt as f64;
     let dram_r = agg_r[3] as f64 / tr as f64;
     checks.claim(

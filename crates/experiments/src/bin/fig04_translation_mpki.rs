@@ -55,6 +55,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let [lru, srrip, drrip, ship, hawkeye] = [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
     checks.claim(
         ship < lru,

@@ -81,6 +81,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let llc50 = agg_llc.fraction_below(50);
     let l2c50 = agg_l2c.fraction_below(50);
     checks.claim(

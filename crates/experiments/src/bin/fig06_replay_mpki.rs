@@ -83,6 +83,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let min = avgs.iter().cloned().fold(f64::MAX, f64::min);
     let max = avgs.iter().cloned().fold(f64::MIN, f64::max);
     checks.claim(

@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let beyond = 1.0 - agg_llc.fraction_below(50);
     checks.claim(
         beyond > 0.5,

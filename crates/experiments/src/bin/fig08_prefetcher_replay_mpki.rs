@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let [none, ipcp, spp, bingo, isb] = [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
     for (name, v) in [("SPP", spp), ("Bingo", bingo)] {
         checks.claim(

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(
         gp > gz,
         &format!("inserting replays dead beats inserting them precious ({gp:.3} > {gz:.3})"),

@@ -67,6 +67,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let [ship, newsign, tship, hawkeye, thawkeye] = [avgs[0], avgs[1], avgs[2], avgs[3], avgs[4]];
     checks.claim(
         newsign <= ship * 1.02,

@@ -35,7 +35,7 @@ fn main() -> ExitCode {
     let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); ladder.len() - 1];
     let mut full_speedups = Vec::new();
 
-    let results = atc_experiments::par_map(&opts.benchmarks, |bench| {
+    let results = opts.par_bench_map(&opts.benchmarks, |bench| {
         let mut cycles = Vec::new();
         let mut onchip = 0.0;
         let mut atp_pf = 0;
@@ -93,6 +93,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(
         *means.last().expect("stages") > 1.0,
         &format!(

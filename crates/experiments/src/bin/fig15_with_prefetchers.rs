@@ -69,6 +69,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     for (k, m) in kinds.iter().zip(&means) {
         checks.claim(
             *m > 1.0,

@@ -70,6 +70,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(
         wred > 0.0,
         &format!("walk stalls reduced ({}; paper 28.8%)", pct(wred)),

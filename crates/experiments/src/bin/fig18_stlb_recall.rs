@@ -54,6 +54,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     let beyond = 1.0 - agg.fraction_below(50);
     checks.claim(
         beyond > 0.3,

@@ -60,6 +60,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     for (sz, m) in SIZES.iter().zip(&means) {
         checks.claim(
             *m > 1.0,

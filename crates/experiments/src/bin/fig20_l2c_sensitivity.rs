@@ -70,6 +70,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     for ((sz, _, _), m) in POINTS.iter().zip(&means) {
         checks.claim(
             *m > 1.0,

@@ -64,6 +64,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     for ((sz, _), m) in POINTS.iter().zip(&means) {
         checks.claim(
             *m > 1.0,

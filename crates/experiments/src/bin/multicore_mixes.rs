@@ -62,18 +62,26 @@ fn main() -> ExitCode {
 
     let mut table = Table::new(&["mix", "hspeedup"]);
     let mut all = Vec::new();
-    for (name, benches) in mixes() {
-        let pair = run_mix(&SimConfig::baseline(), &benches).and_then(|base| {
-            run_mix(&SimConfig::with_enhancement(Enhancement::Tempo), &benches)
+    let items: Vec<(String, (&'static str, Vec<BenchmarkId>))> = mixes()
+        .into_iter()
+        .map(|(name, benches)| (name.to_string(), (name, benches)))
+        .collect();
+    let results = opts.par_items(items, |key, (_, benches)| {
+        let pair = run_mix(&SimConfig::baseline(), benches).and_then(|base| {
+            run_mix(&SimConfig::with_enhancement(Enhancement::Tempo), benches)
                 .map(|enh| (base, enh))
         });
-        let (base, enh) = match pair {
-            Ok(p) => p,
+        match pair {
+            Ok(p) => Some(p),
             Err(e) => {
-                eprintln!("SKIPPED {name}: {e}");
-                continue;
+                eprintln!("SKIPPED {key}: {e}");
+                opts.note_skip(key, &e.to_string(), None);
+                None
             }
-        };
+        }
+    });
+    for ((name, _), pair) in mixes().into_iter().zip(results) {
+        let Some((base, enh)) = pair else { continue };
         let per_core: Vec<f64> = base
             .iter()
             .zip(&enh)
@@ -94,6 +102,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     checks.claim(g > 1.0, &format!("multi-core geomean speedup {g:.3} > 1"));
     let gaining = all.iter().filter(|(_, h)| *h > 1.0).count();
     checks.claim(

@@ -1,0 +1,268 @@
+//! Run the full experiment suite — every figure and table — as one
+//! checkpointed, work-stealing process.
+//!
+//! Replaces the per-binary regeneration loop: jobs shared between
+//! figures (the baseline feeds almost every one) run exactly once, the
+//! append-only manifest makes interrupted sweeps resumable, and the
+//! rendered tables depend only on recorded metrics, so stdout is
+//! byte-identical for any `--jobs` value and across resumes.
+//!
+//! ```text
+//! suite [common flags] [--jobs N] [--manifest PATH] [--resume]
+//!       [--figures fig14,fig17,...] [--retries N]
+//!       [--max-jobs N] [--assert-executed N]
+//! ```
+//!
+//! * `--manifest PATH`   checkpoint file (default `suite-manifest.jsonl`)
+//! * `--resume`          reuse completed jobs from the manifest
+//! * `--figures a,b`     run a subset of sweeps (default: all)
+//! * `--retries N`       retry budget for transient (deadlock) failures
+//! * `--max-jobs N`      stop after scheduling the first N jobs (CI
+//!   resume smoke: run half, rerun with `--resume`)
+//! * `--assert-executed N` with `--check`: fail unless exactly N jobs
+//!   were executed (not resumed) this run
+//!
+//! Tables go to stdout; progress and timing go to stderr.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use atc_experiments::sweeps::{build_jobs, catalog, render_sweep, sweeps, Budget, SweepDef};
+use atc_experiments::{Checks, Opts};
+use atc_harness::{run_with_manifest, Manifest, Metrics, Progress, Scheduler};
+
+#[derive(Debug)]
+struct SuiteArgs {
+    manifest: String,
+    resume: bool,
+    figures: Option<Vec<String>>,
+    retries: u32,
+    max_jobs: Option<usize>,
+    assert_executed: Option<usize>,
+}
+
+impl Default for SuiteArgs {
+    fn default() -> Self {
+        SuiteArgs {
+            manifest: "suite-manifest.jsonl".to_string(),
+            resume: false,
+            figures: None,
+            retries: 1,
+            max_jobs: None,
+            assert_executed: None,
+        }
+    }
+}
+
+/// Split suite-specific flags out of the argument list; everything else
+/// goes to [`Opts::parse_from`].
+fn split_args(args: impl Iterator<Item = String>) -> Result<(SuiteArgs, Vec<String>), String> {
+    let mut suite = SuiteArgs::default();
+    let mut rest = Vec::new();
+    let mut it = args;
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let numeric = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} needs a number, got {v:?}"))
+        };
+        match a.as_str() {
+            "--manifest" => suite.manifest = value("--manifest")?,
+            "--resume" => suite.resume = true,
+            "--figures" => {
+                suite.figures = Some(
+                    value("--figures")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--retries" => suite.retries = numeric("--retries", value("--retries")?)? as u32,
+            "--max-jobs" => {
+                suite.max_jobs = Some(numeric("--max-jobs", value("--max-jobs")?)? as usize)
+            }
+            "--assert-executed" => {
+                suite.assert_executed =
+                    Some(numeric("--assert-executed", value("--assert-executed")?)? as usize)
+            }
+            _ => rest.push(a),
+        }
+    }
+    Ok((suite, rest))
+}
+
+fn select_figures(figures: Option<&[String]>) -> Result<Vec<SweepDef>, String> {
+    let all = sweeps();
+    let Some(wanted) = figures else {
+        return Ok(all);
+    };
+    let mut out = Vec::new();
+    for name in wanted {
+        match all.iter().find(|d| d.name == name.as_str()) {
+            Some(d) => out.push(d.clone()),
+            None => {
+                let known: Vec<&str> = all.iter().map(|d| d.name).collect();
+                return Err(format!(
+                    "unknown figure {name:?}; available: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let (suite, rest) = match split_args(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = match Opts::parse_from(rest) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: suite [--seed N] [--scale test|small|paper] [--warmup N] \
+                 [--instructions N] [--benchmarks a,b,c] [--jobs N] [--csv] [--check] \
+                 [--manifest PATH] [--resume] [--figures a,b] [--retries N] \
+                 [--max-jobs N] [--assert-executed N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let defs = match select_figures(suite.figures.as_deref()) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let budget = Budget {
+        scale: opts.scale,
+        seed: opts.seed,
+        warmup: opts.warmup,
+        measure: opts.measure,
+    };
+    let mut jobs = match build_jobs(&defs, &catalog(), &opts.benchmarks, budget) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let total = jobs.len();
+    if let Some(cap) = suite.max_jobs {
+        jobs.truncate(cap);
+        if jobs.len() < total {
+            eprintln!("suite: --max-jobs capped {total} jobs to {}", jobs.len());
+        }
+    }
+
+    let mut manifest = match Manifest::open(std::path::Path::new(&suite.manifest), suite.resume) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot open manifest {}: {e}", suite.manifest);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scheduler = Scheduler::new(opts.worker_count()).with_retries(suite.retries);
+    let progress = Progress::new();
+    eprintln!(
+        "suite: {} jobs across {} sweeps on {} workers (manifest: {})",
+        jobs.len(),
+        defs.len(),
+        scheduler.workers(),
+        suite.manifest,
+    );
+    let t0 = Instant::now();
+    let outcome =
+        match run_with_manifest(&scheduler, &progress, &mut manifest, &jobs, |_key, job| {
+            job.run()
+        }) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: manifest write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let failed: Vec<_> = outcome.records.iter().filter(|r| !r.is_ok()).collect();
+    eprintln!(
+        "suite: {} executed, {} resumed, {} failed in {:.1}s",
+        outcome.executed,
+        outcome.resumed,
+        failed.len(),
+        t0.elapsed().as_secs_f64(),
+    );
+    for r in &failed {
+        eprintln!(
+            "suite: {} job {}: {}",
+            r.status,
+            r.key,
+            r.error.as_deref().unwrap_or("unknown error"),
+        );
+    }
+
+    // Render every sweep purely from recorded metrics: deterministic
+    // stdout regardless of worker count, retries, or resume history.
+    let ok_metrics: HashMap<&str, &Metrics> = outcome
+        .records
+        .iter()
+        .filter(|r| r.is_ok())
+        .map(|r| (r.key.as_str(), &r.metrics))
+        .collect();
+    let lookup = |key: &str| ok_metrics.get(key).copied();
+    for def in &defs {
+        let table = render_sweep(def, &opts.benchmarks, budget, &lookup);
+        opts.emit(def.title, &table);
+    }
+
+    if !opts.check {
+        return if failed.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let mut checks = Checks::new();
+    checks.claim(
+        outcome.records.len() == jobs.len(),
+        &format!(
+            "every job has a manifest record ({}/{})",
+            outcome.records.len(),
+            jobs.len()
+        ),
+    );
+    for r in &failed {
+        let partial = r
+            .metrics
+            .get("instructions")
+            .map(|n| format!(" (partial: {n:.0} instructions retired)"))
+            .unwrap_or_default();
+        checks.claim(
+            false,
+            &format!(
+                "job {} {}: {}{partial}",
+                r.key,
+                r.status,
+                r.error.as_deref().unwrap_or("unknown error"),
+            ),
+        );
+    }
+    checks.claim(!ok_metrics.is_empty(), "at least one job produced metrics");
+    if let Some(expected) = suite.assert_executed {
+        checks.claim(
+            outcome.executed == expected,
+            &format!(
+                "expected exactly {expected} freshly executed jobs, got {}",
+                outcome.executed
+            ),
+        );
+    }
+    checks.finish()
+}

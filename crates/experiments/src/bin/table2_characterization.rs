@@ -33,7 +33,7 @@ fn main() -> ExitCode {
         "LLC-nonreplay",
         "LLC-PTL1",
     ]);
-    let results = atc_experiments::par_map(&opts.benchmarks, |bench| {
+    let results = opts.par_bench_map(&opts.benchmarks, |bench| {
         opts.run_or_skip(&cfg, bench).map(|s| (bench, s))
     });
     let results: Vec<_> = results.into_iter().flatten().collect();
@@ -63,6 +63,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut checks = Checks::new();
+    checks.note_skips(&opts.skips());
     for (b, stlb, _) in &rows {
         let band_ok = match b.category() {
             MpkiCategory::Low => *stlb < 12.0,

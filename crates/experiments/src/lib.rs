@@ -11,18 +11,28 @@
 //! --warmup N          warmup instructions per run (default 200000)
 //! --instructions N    measured instructions per run (default 2000000)
 //! --benchmarks a,b,c  subset of benchmarks (default: all nine)
+//! --jobs N            worker threads for parallel sweeps (default: one
+//!                     per available core)
 //! --csv               emit CSV instead of an aligned table
 //! --check             assert the paper's qualitative claims and exit
 //!                     non-zero on violation
 //! ```
+//!
+//! The whole suite can also be regenerated in one checkpointed process
+//! by the `suite` binary, which executes the declarative [`sweeps`]
+//! catalog through `atc-harness`.
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
+use atc_harness::{JobRun, JobStatus, Progress, Scheduler};
 use atc_sim::SimConfig;
 use atc_stats::table::Table;
 use atc_workloads::{BenchmarkId, Scale};
 
 pub use atc_sim::{run_one, RunStats, SimFailure};
+
+pub mod sweeps;
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone)]
@@ -41,6 +51,24 @@ pub struct Opts {
     pub csv: bool,
     /// Run shape checks.
     pub check: bool,
+    /// Worker threads for parallel sweeps (0 = one per available core).
+    pub jobs: usize,
+    /// Runs skipped by [`run_or_skip`](Opts::run_or_skip) /
+    /// [`par_items`](Opts::par_items); shared across clones so parallel
+    /// sweeps report into the same log.
+    skips: Arc<Mutex<Vec<SkipRecord>>>,
+}
+
+/// One run that failed and was skipped instead of aborting the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipRecord {
+    /// What was being run (benchmark name or mix label).
+    pub label: String,
+    /// The failure message.
+    pub error: String,
+    /// Instructions retired before the failure, when the machine had
+    /// started executing (deadlock diagnostics carry partial stats).
+    pub partial_instructions: Option<u64>,
 }
 
 impl Default for Opts {
@@ -53,6 +81,8 @@ impl Default for Opts {
             benchmarks: BenchmarkId::ALL.to_vec(),
             csv: false,
             check: false,
+            jobs: 0,
+            skips: Arc::default(),
         }
     }
 }
@@ -67,7 +97,7 @@ impl Opts {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--seed N] [--scale test|small|paper] [--warmup N] \
-                     [--instructions N] [--benchmarks a,b,c] [--csv] [--check]"
+                     [--instructions N] [--benchmarks a,b,c] [--jobs N] [--csv] [--check]"
                 );
                 std::process::exit(2);
             }
@@ -112,6 +142,7 @@ impl Opts {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "--jobs" => o.jobs = numeric("--jobs", value("--jobs")?)? as usize,
                 "--csv" => o.csv = true,
                 "--check" => o.check = true,
                 other => return Err(format!("unknown flag {other:?}")),
@@ -131,16 +162,91 @@ impl Opts {
 
     /// [`run`](Self::run), reporting a failed configuration on stderr and
     /// returning `None` so sweeps skip it instead of aborting the whole
-    /// figure. A deadlocked run's partial statistics are summarised in
-    /// the report.
+    /// figure. The failure is also recorded in the shared skip log (see
+    /// [`skips`](Opts::skips)) so `--check` binaries can surface it via
+    /// [`Checks::note_skips`] instead of silently passing on a partial
+    /// sweep.
     pub fn run_or_skip(&self, cfg: &SimConfig, bench: BenchmarkId) -> Option<RunStats> {
         match self.run(cfg, bench) {
             Ok(s) => Some(s),
             Err(fail) => {
                 eprintln!("SKIPPED {bench:?}: {fail}");
+                let partial = fail.partial.as_ref().map(|p| p.core.instructions);
+                self.note_skip(bench.name(), &fail.error.to_string(), partial);
                 None
             }
         }
+    }
+
+    /// Record a skipped run in the shared skip log.
+    pub fn note_skip(&self, label: &str, error: &str, partial_instructions: Option<u64>) {
+        let mut log = self.skips.lock().unwrap_or_else(|e| e.into_inner());
+        log.push(SkipRecord {
+            label: label.to_string(),
+            error: error.to_string(),
+            partial_instructions,
+        });
+    }
+
+    /// Snapshot of every run skipped so far (across all clones of this
+    /// option set).
+    pub fn skips(&self) -> Vec<SkipRecord> {
+        self.skips.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Worker-thread count for parallel sweeps: `--jobs` when given,
+    /// otherwise one per available core.
+    pub fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        }
+    }
+
+    /// Run labelled jobs through the work-stealing scheduler and return
+    /// results in item order. A job that panics (or fails) becomes a
+    /// `None` slot plus a skip-log entry instead of tearing down the
+    /// whole sweep.
+    pub fn par_items<T, R, F>(&self, items: Vec<(String, T)>, job: F) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&str, &T) -> Option<R> + Sync,
+    {
+        let scheduler = Scheduler::new(self.worker_count());
+        let progress = Progress::new();
+        let runs = scheduler.run(&items, &progress, |key, item| Ok(job(key, item)));
+        runs.into_iter()
+            .map(|JobRun { key, status, .. }| match status {
+                JobStatus::Ok(r) => r,
+                JobStatus::Failed(e) => {
+                    eprintln!("FAILED {key}: {}", e.message);
+                    self.note_skip(&key, &e.message, None);
+                    None
+                }
+                JobStatus::Panicked(msg) => {
+                    eprintln!("PANICKED {key}: {msg}");
+                    self.note_skip(&key, &msg, None);
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// [`par_items`](Opts::par_items) over one job per benchmark — the
+    /// common shape of the per-figure sweeps (each job builds its own
+    /// `Machine`, so runs are independent and embarrassingly parallel).
+    pub fn par_bench_map<R, F>(&self, benchmarks: &[BenchmarkId], job: F) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(BenchmarkId) -> Option<R> + Sync,
+    {
+        let items: Vec<(String, BenchmarkId)> = benchmarks
+            .iter()
+            .map(|&b| (b.name().to_string(), b))
+            .collect();
+        self.par_items(items, |_key, &b| job(b))
     }
 
     /// Print the table in the selected format.
@@ -152,28 +258,6 @@ impl Opts {
             println!("{}", table.render());
         }
     }
-}
-
-/// Run one job per benchmark on its own thread (each job builds its own
-/// `Machine`, so runs are independent) and return results in benchmark
-/// order. Simulation is single-threaded per machine; a full nine-
-/// benchmark sweep is embarrassingly parallel.
-pub fn par_map<R, F>(benchmarks: &[BenchmarkId], job: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(BenchmarkId) -> R + Sync,
-{
-    std::thread::scope(|s| {
-        let job = &job;
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|&b| s.spawn(move || job(b)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark job panicked"))
-            .collect()
-    })
 }
 
 /// Accumulates `--check` assertion results; prints failures and converts
@@ -196,6 +280,19 @@ impl Checks {
             self.passes += 1;
         } else {
             self.failures.push(description.to_string());
+        }
+    }
+
+    /// Convert skipped runs into recorded failures: a figure whose sweep
+    /// silently lost configurations must not report a clean `--check`.
+    pub fn note_skips(&mut self, skips: &[SkipRecord]) {
+        for s in skips {
+            let partial = match s.partial_instructions {
+                Some(n) => format!(" (partial: {n} instructions retired)"),
+                None => String::new(),
+            };
+            self.failures
+                .push(format!("skipped run {}: {}{partial}", s.label, s.error));
         }
     }
 
@@ -298,6 +395,53 @@ mod tests {
         let mut c = Checks::new();
         c.claim(true, "fine");
         c.claim(false, "broken");
+        assert_eq!(c.failed(), 1);
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let o = Opts::parse_from(["--jobs".to_string(), "3".to_string()]).unwrap();
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.worker_count(), 3);
+        assert!(Opts::default().worker_count() >= 1);
+    }
+
+    #[test]
+    fn par_items_contains_panics_as_skips() {
+        let opts = Opts {
+            jobs: 2,
+            ..Opts::default()
+        };
+        let items: Vec<(String, u64)> = (0..4).map(|i| (format!("job{i}"), i)).collect();
+        let out = opts.par_items(items, |_key, &i| {
+            assert!(i != 2, "job 2 explodes");
+            Some(i * 10)
+        });
+        assert_eq!(out, vec![Some(0), Some(10), None, Some(30)]);
+        let skips = opts.skips();
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].label, "job2");
+        assert!(skips[0].error.contains("job 2 explodes"), "{:?}", skips[0]);
+    }
+
+    #[test]
+    fn skip_log_is_shared_across_clones() {
+        let opts = Opts::default();
+        let clone = opts.clone();
+        clone.note_skip("mcf", "deadlock", Some(123));
+        let skips = opts.skips();
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].partial_instructions, Some(123));
+    }
+
+    #[test]
+    fn note_skips_turns_skips_into_failures() {
+        let mut c = Checks::new();
+        c.note_skips(&[SkipRecord {
+            label: "pr".to_string(),
+            error: "simulation deadlock".to_string(),
+            partial_instructions: Some(42),
+        }]);
         assert_eq!(c.failed(), 1);
     }
 

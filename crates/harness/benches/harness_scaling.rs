@@ -1,0 +1,62 @@
+//! Suite wall-time vs. worker count.
+//!
+//! Runs the same 18-job sweep (9 benchmarks × {baseline, tempo} at test
+//! scale) through the work-stealing scheduler at 1, 2, 4 and 8 workers
+//! and reports each as a throughput bench (elems = jobs). The scaling
+//! curve goes into `BENCH_sim.json` next to the simulator benches (use
+//! `--append` to merge rather than overwrite):
+//!
+//! ```text
+//! cargo bench -p atc-harness --bench harness_scaling -- \
+//!     --samples 2 --append --json BENCH_sim.json
+//! ```
+
+use atc_core::Enhancement;
+use atc_harness::{JobError, JobStatus, Metrics, Progress, Scheduler};
+use atc_sim::{run_one, SimConfig};
+use atc_workloads::{BenchmarkId, Scale};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 20_000;
+
+fn main() {
+    let mut reporter = atc_bench::Reporter::from_env();
+
+    let configs = [
+        ("base", SimConfig::baseline()),
+        ("tempo", SimConfig::with_enhancement(Enhancement::Tempo)),
+    ];
+    let jobs: Vec<(String, (SimConfig, BenchmarkId))> = configs
+        .into_iter()
+        .flat_map(|(label, cfg)| {
+            BenchmarkId::ALL
+                .into_iter()
+                .map(move |bench| (format!("{label}/{}", bench.name()), (cfg.clone(), bench)))
+        })
+        .collect();
+
+    let total_jobs = jobs.len() as u64;
+    for workers in [1usize, 2, 4, 8] {
+        let scheduler = Scheduler::new(workers);
+        reporter.bench_throughput(&format!("harness/suite_w{workers}"), 3, total_jobs, || {
+            let progress = Progress::new();
+            let runs = scheduler.run(&jobs, &progress, |_key, (cfg, bench)| {
+                match run_one(cfg, *bench, Scale::Test, 42, WARMUP, MEASURE) {
+                    Ok(stats) => Ok(Metrics::from([("ipc", stats.core.ipc())])),
+                    Err(failure) => Err(JobError {
+                        message: failure.error.to_string(),
+                        transient: failure.error.is_deadlock(),
+                        partial: None,
+                    }),
+                }
+            });
+            assert!(
+                runs.iter().all(|r| matches!(r.status, JobStatus::Ok(_))),
+                "scaling bench expects every job to succeed"
+            );
+            runs.len()
+        });
+    }
+
+    reporter.finish();
+}

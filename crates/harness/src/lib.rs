@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+//! Checkpointed parallel sweep orchestrator for the ATC experiment
+//! suite.
+//!
+//! The reproduction's experiments are cartesian sweeps — configuration
+//! deltas × benchmarks × seeds under an instruction budget. This crate
+//! turns those sweeps into a declarative, resumable job system:
+//!
+//! 1. [`JobSpec`] / [`Grid`] ([`spec`]) — a job's deterministic identity
+//!    and the builder that expands sweeps into spec-ordered job lists.
+//! 2. [`Scheduler`] ([`scheduler`]) — a bounded work-stealing worker
+//!    pool over [`std::thread::scope`] with per-job panic capture and
+//!    bounded retry of transient failures.
+//! 3. [`Manifest`] / [`run_with_manifest`] ([`manifest`]) — append-only
+//!    `manifest.jsonl` checkpointing: rerunning a half-finished sweep
+//!    re-executes only the jobs without a terminal record, and metric
+//!    values round-trip bit-exactly so resumed aggregation is
+//!    byte-identical to a fresh run.
+//! 4. [`Progress`] ([`progress`]) — queued/running/done/failed/panicked
+//!    counters and a per-job wall-time histogram in an `atc-obs`
+//!    [`Registry`](atc_obs::Registry).
+//!
+//! The crate knows nothing about the simulator: jobs carry an opaque
+//! payload and a runner closure, and config deltas are referenced by
+//! *label* (the experiment layer owns the label → `SimConfig` catalog).
+//! That keeps the dependency arrow pointing the right way — experiments
+//! depend on the harness, never vice versa.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_harness::{Grid, Manifest, Metrics, Progress, Scheduler, run_with_manifest};
+//! use atc_workloads::{BenchmarkId, Scale};
+//!
+//! let specs = Grid::new()
+//!     .configs(["base", "tempo"])
+//!     .benchmarks(&[BenchmarkId::Mcf])
+//!     .scale(Scale::Test)
+//!     .budget(100, 1_000)
+//!     .build();
+//! let jobs: Vec<(String, atc_harness::JobSpec)> =
+//!     specs.into_iter().map(|s| (s.key(), s)).collect();
+//!
+//! let dir = std::env::temp_dir().join(format!("atc-harness-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let mut manifest = Manifest::open(dir.join("manifest.jsonl"), false).unwrap();
+//! let progress = Progress::new();
+//! let out = run_with_manifest(
+//!     &Scheduler::new(2),
+//!     &progress,
+//!     &mut manifest,
+//!     &jobs,
+//!     |_key, spec| Ok(Metrics::from([("seed", spec.seed as f64)])),
+//! )
+//! .unwrap();
+//! assert_eq!(out.executed, 2);
+//! assert!(out.records.iter().all(|r| r.is_ok()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod manifest;
+pub mod progress;
+pub mod scheduler;
+pub mod spec;
+
+pub use manifest::{run_with_manifest, Manifest, Metrics, Record, SweepOutcome};
+pub use progress::Progress;
+pub use scheduler::{JobError, JobRun, JobStatus, Scheduler};
+pub use spec::{key_hash, Grid, JobSpec};

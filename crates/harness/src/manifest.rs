@@ -1,0 +1,612 @@
+//! Checkpoint/resume via an append-only `manifest.jsonl`.
+//!
+//! Every terminal job outcome is one JSON line keyed by the job's
+//! deterministic key (and its FNV-1a hash as a short id):
+//!
+//! ```json
+//! {"v":1,"key":"tempo/mcf/s42/test/w1000/m10000","hash":"8b1f...cd02",
+//!  "status":"ok","attempts":1,"wall_us":5123,
+//!  "metrics":{"ipc":0.612,"llc_mpki":11.3},"error":null}
+//! ```
+//!
+//! Appends are atomic at line granularity in practice (one `write_all`
+//! of `line\n` per record, flushed); a crash can at worst leave a
+//! partial *trailing* line, which [`Manifest::open`] detects, drops, and
+//! truncates away on resume. A corrupt line anywhere else is real damage
+//! and is reported as an error rather than silently skipped.
+//!
+//! Metric values are `f64`s rendered with Rust's shortest round-trip
+//! formatting, so a value read back from the manifest is bit-identical
+//! to the value the job produced — this is what makes resumed and
+//! fresh sweeps aggregate to byte-identical tables. Non-finite values
+//! cannot round-trip through JSON (they would render as `null`), so
+//! [`Metrics::push`] drops them; absent metrics render as `n/a`
+//! downstream, same as a failed job.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use atc_bench::json::{parse, Value};
+
+use crate::progress::Progress;
+use crate::scheduler::{JobError, JobRun, JobStatus, Scheduler};
+use crate::spec::key_hash;
+
+/// Named scalar results of one job, in insertion order.
+///
+/// Only finite values are stored: NaN/inf cannot survive a JSON
+/// round-trip, so they are dropped at insertion and the metric is simply
+/// absent (rendered `n/a` by consumers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics(Vec<(String, f64)>);
+
+impl Metrics {
+    /// An empty metric set.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record `name = value`; non-finite values are dropped, and a
+    /// repeated name overwrites the earlier value in place.
+    pub fn push(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if let Some(slot) = self.0.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.0.push((name.to_string(), value));
+        }
+    }
+
+    /// The value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.0.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// All `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.0
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Number(*v)))
+                .collect(),
+        )
+    }
+
+    fn from_json(v: &Value) -> Result<Metrics, String> {
+        let Value::Object(members) = v else {
+            return Err("metrics is not an object".into());
+        };
+        let mut m = Metrics::new();
+        for (name, value) in members {
+            let x = value
+                .as_f64()
+                .ok_or_else(|| format!("metric {name:?} is not a number"))?;
+            m.push(name, x);
+        }
+        Ok(m)
+    }
+}
+
+impl<const N: usize> From<[(&str, f64); N]> for Metrics {
+    fn from(pairs: [(&str, f64); N]) -> Self {
+        let mut m = Metrics::new();
+        for (n, v) in pairs {
+            m.push(n, v);
+        }
+        m
+    }
+}
+
+/// One manifest line: a job's terminal outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The job's deterministic key.
+    pub key: String,
+    /// `"ok"`, `"failed"`, or `"panicked"`.
+    pub status: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Wall-clock microseconds across all attempts.
+    pub wall_micros: u64,
+    /// Metrics — complete for `ok`, salvaged partials (possibly empty)
+    /// for `failed`, empty for `panicked`.
+    pub metrics: Metrics,
+    /// Error message for `failed`/`panicked`.
+    pub error: Option<String>,
+}
+
+impl Record {
+    /// Whether the job completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// Convert a scheduler [`JobRun`] into a manifest record, salvaging
+    /// partial metrics from failed jobs.
+    pub fn from_run(run: JobRun<Metrics>) -> Record {
+        let (status, metrics, error) = match run.status {
+            JobStatus::Ok(m) => ("ok", m, None),
+            JobStatus::Failed(err) => {
+                ("failed", err.partial.unwrap_or_default(), Some(err.message))
+            }
+            JobStatus::Panicked(msg) => ("panicked", Metrics::new(), Some(msg)),
+        };
+        Record {
+            key: run.key,
+            status: status.to_string(),
+            attempts: run.attempts,
+            wall_micros: run.wall_micros,
+            metrics,
+            error,
+        }
+    }
+
+    /// FNV-1a hash of the key (the short job id persisted next to it).
+    pub fn hash(&self) -> u64 {
+        key_hash(&self.key)
+    }
+
+    fn to_json_line(&self) -> String {
+        let error = match &self.error {
+            Some(msg) => Value::String(msg.clone()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("v".into(), Value::Number(1.0)),
+            ("key".into(), Value::String(self.key.clone())),
+            (
+                "hash".into(),
+                Value::String(format!("{:016x}", self.hash())),
+            ),
+            ("status".into(), Value::String(self.status.clone())),
+            ("attempts".into(), Value::Number(f64::from(self.attempts))),
+            ("wall_us".into(), Value::Number(self.wall_micros as f64)),
+            ("metrics".into(), self.metrics.to_json()),
+            ("error".into(), error),
+        ])
+        .render()
+    }
+
+    fn from_json_line(line: &str) -> Result<Record, String> {
+        let v = parse(line)?;
+        let version = v.get("v").and_then(Value::as_f64).ok_or("missing v")?;
+        if version != 1.0 {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let key = v
+            .get("key")
+            .and_then(Value::as_str)
+            .ok_or("missing key")?
+            .to_string();
+        let hash = v
+            .get("hash")
+            .and_then(Value::as_str)
+            .ok_or("missing hash")?;
+        let hash = u64::from_str_radix(hash, 16).map_err(|_| "hash is not hex")?;
+        if hash != key_hash(&key) {
+            return Err(format!("hash mismatch for key {key:?}"));
+        }
+        let status = v
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or("missing status")?;
+        if !matches!(status, "ok" | "failed" | "panicked") {
+            return Err(format!("unknown status {status:?}"));
+        }
+        let attempts = v
+            .get("attempts")
+            .and_then(Value::as_f64)
+            .ok_or("missing attempts")? as u32;
+        let wall_micros = v
+            .get("wall_us")
+            .and_then(Value::as_f64)
+            .ok_or("missing wall_us")? as u64;
+        let metrics = Metrics::from_json(v.get("metrics").ok_or("missing metrics")?)?;
+        let error = match v.get("error") {
+            None | Some(Value::Null) => None,
+            Some(Value::String(msg)) => Some(msg.clone()),
+            Some(_) => return Err("error is neither null nor a string".into()),
+        };
+        Ok(Record {
+            key,
+            status: status.to_string(),
+            attempts,
+            wall_micros,
+            metrics,
+            error,
+        })
+    }
+}
+
+/// An append-only JSONL checkpoint file.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    file: File,
+    records: Vec<Record>,
+}
+
+impl Manifest {
+    /// Open `path`, creating it if absent.
+    ///
+    /// With `resume = false` the file is truncated — every job will
+    /// execute fresh. With `resume = true` existing records are loaded
+    /// and their jobs will be skipped. A corrupt *trailing* line (a
+    /// crash mid-append) is dropped and truncated away; a corrupt line
+    /// anywhere else is an [`io::ErrorKind::InvalidData`] error.
+    pub fn open(path: impl Into<PathBuf>, resume: bool) -> io::Result<Manifest> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(!resume)
+            .open(&path)?;
+
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let mut records = Vec::new();
+        let mut valid_end = 0u64;
+        let mut offset = 0u64;
+        let mut corrupt: Option<(u64, String)> = None;
+        for segment in text.split_inclusive('\n') {
+            let line_start = offset;
+            offset += segment.len() as u64;
+            let line = segment.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                valid_end = offset;
+                continue;
+            }
+            if let Some((at, why)) = corrupt.take() {
+                // The bad line was not trailing after all.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt manifest line at byte {at}: {why}",
+                        path.display()
+                    ),
+                ));
+            }
+            match Record::from_json_line(line) {
+                Ok(r) => {
+                    records.push(r);
+                    valid_end = offset;
+                }
+                Err(why) => corrupt = Some((line_start, why)),
+            }
+        }
+        if corrupt.is_some() && valid_end < text.len() as u64 {
+            // Drop the partial trailing line so future appends start on
+            // a clean boundary.
+            file.set_len(valid_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        Ok(Manifest {
+            path,
+            file,
+            records,
+        })
+    }
+
+    /// The manifest's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All loaded + appended records, in file order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the manifest holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for `key`, if present (last write wins).
+    pub fn get(&self, key: &str) -> Option<&Record> {
+        self.records.iter().rev().find(|r| r.key == key)
+    }
+
+    /// Whether `key` has a terminal record (any status).
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Append one record: a single flushed `line\n` write.
+    pub fn append(&mut self, record: Record) -> io::Result<()> {
+        let mut line = record.to_json_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+/// Result of [`run_with_manifest`]: one record per job in **spec
+/// order**, plus how many jobs actually executed vs. were resumed from
+/// the manifest.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One terminal record per submitted job, in submission order.
+    pub records: Vec<Record>,
+    /// Jobs that executed in this process.
+    pub executed: usize,
+    /// Jobs satisfied from the manifest without executing.
+    pub resumed: usize,
+}
+
+/// Execute `jobs` through `scheduler`, skipping any whose key already
+/// has a record in `manifest` and appending a record for each fresh
+/// execution.
+///
+/// The returned records are in spec order regardless of worker count or
+/// completion order, and metric values round-trip bit-exactly through
+/// the manifest — so a resumed sweep aggregates byte-identically to a
+/// fresh one.
+///
+/// # Errors
+///
+/// Only manifest I/O fails the sweep; job failures and panics are
+/// recorded per job.
+pub fn run_with_manifest<P, F>(
+    scheduler: &Scheduler,
+    progress: &Progress,
+    manifest: &mut Manifest,
+    jobs: &[(String, P)],
+    runner: F,
+) -> io::Result<SweepOutcome>
+where
+    P: Sync,
+    F: Fn(&str, &P) -> Result<Metrics, JobError> + Sync,
+{
+    let mut slots: Vec<Option<Record>> = jobs
+        .iter()
+        .map(|(key, _)| manifest.get(key).cloned())
+        .collect();
+    let resumed = slots.iter().filter(|s| s.is_some()).count();
+    progress.jobs_resumed(resumed as u64);
+
+    let missing: Vec<(usize, (String, &P))> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .map(|(i, (key, payload))| (i, (key.clone(), payload)))
+        .collect();
+    let missing_jobs: Vec<(String, &P)> = missing.iter().map(|(_, j)| j.clone()).collect();
+
+    let runs = scheduler.run(&missing_jobs, progress, |key, payload: &&P| {
+        runner(key, payload)
+    });
+    let executed = runs.len();
+    for ((idx, _), run) in missing.iter().zip(runs) {
+        let record = Record::from_run(run);
+        manifest.append(record.clone())?;
+        slots[*idx] = Some(record);
+    }
+
+    let records = slots
+        .into_iter()
+        .map(|s| s.expect("every job has a cached or fresh record"))
+        .collect();
+    Ok(SweepOutcome {
+        records,
+        executed,
+        resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempPath(PathBuf);
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn temp_manifest(name: &str) -> TempPath {
+        let mut p = std::env::temp_dir();
+        p.push(format!("atc-harness-{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+
+    fn record(key: &str, status: &str, ipc: Option<f64>) -> Record {
+        let mut metrics = Metrics::new();
+        if let Some(x) = ipc {
+            metrics.push("ipc", x);
+        }
+        Record {
+            key: key.to_string(),
+            status: status.to_string(),
+            attempts: 1,
+            wall_micros: 42,
+            metrics,
+            error: (status != "ok").then(|| "boom".to_string()),
+        }
+    }
+
+    #[test]
+    fn metrics_drop_non_finite_and_overwrite_in_place() {
+        let mut m = Metrics::new();
+        m.push("a", 1.5);
+        m.push("b", f64::NAN);
+        m.push("c", f64::INFINITY);
+        m.push("a", 2.5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(2.5));
+        assert_eq!(m.get("b"), None);
+    }
+
+    #[test]
+    // 11.300000000000001 is deliberately one ulp off 11.3: the whole
+    // point is that serialization preserves the exact bits.
+    #[allow(clippy::excessive_precision)]
+    fn record_round_trips_bit_exactly() {
+        let mut metrics = Metrics::new();
+        // Awkward values: thirds don't have finite binary expansions.
+        metrics.push("ipc", 2.0 / 3.0);
+        metrics.push("mpki", 11.300000000000001);
+        metrics.push("tiny", 1e-300);
+        let r = Record {
+            key: "tempo/mcf/s42/test/w1000/m10000".into(),
+            status: "ok".into(),
+            attempts: 2,
+            wall_micros: 123_456,
+            metrics,
+            error: None,
+        };
+        let line = r.to_json_line();
+        let back = Record::from_json_line(&line).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.metrics.get("ipc"), Some(2.0 / 3.0));
+        assert_eq!(back.metrics.get("mpki"), Some(11.300000000000001));
+    }
+
+    #[test]
+    fn from_json_line_rejects_corruption() {
+        let good = record("a/b/s1/test/w1/m2", "ok", Some(1.0)).to_json_line();
+        assert!(Record::from_json_line(&good).is_ok());
+        // Flip a byte inside the key: the stored hash no longer matches.
+        let tampered = good.replace("a/b/s1", "a/x/s1");
+        assert!(Record::from_json_line(&tampered).is_err());
+        assert!(Record::from_json_line("{\"v\":2}").is_err());
+        assert!(Record::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn manifest_appends_and_resumes() {
+        let tmp = temp_manifest("resume");
+        {
+            let mut m = Manifest::open(&tmp.0, false).unwrap();
+            m.append(record("k1", "ok", Some(1.0))).unwrap();
+            m.append(record("k2", "failed", None)).unwrap();
+        }
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains("k1"));
+        assert!(m.contains("k2"), "failed records are terminal too");
+        assert!(!m.contains("k3"));
+        assert_eq!(m.get("k1").unwrap().metrics.get("ipc"), Some(1.0));
+        // resume = false truncates.
+        let m = Manifest::open(&tmp.0, false).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn corrupt_trailing_line_is_dropped_and_truncated() {
+        let tmp = temp_manifest("tail");
+        {
+            let mut m = Manifest::open(&tmp.0, false).unwrap();
+            m.append(record("k1", "ok", Some(1.0))).unwrap();
+        }
+        // Simulate a crash mid-append: partial JSON, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&tmp.0).unwrap();
+            f.write_all(b"{\"v\":1,\"key\":\"k2").unwrap();
+        }
+        let mut m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 1, "partial line dropped");
+        m.append(record("k2", "ok", Some(2.0))).unwrap();
+        // The file is clean again: both lines parse.
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("k2").unwrap().metrics.get("ipc"), Some(2.0));
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let tmp = temp_manifest("interior");
+        let good = record("k1", "ok", Some(1.0)).to_json_line();
+        std::fs::write(&tmp.0, format!("garbage\n{good}\n")).unwrap();
+        let err = Manifest::open(&tmp.0, true).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn run_with_manifest_executes_only_missing_jobs() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let tmp = temp_manifest("run");
+        let jobs: Vec<(String, u64)> = (0..6).map(|i| (format!("job{i}"), i)).collect();
+        let scheduler = Scheduler::new(2);
+
+        let calls = AtomicU32::new(0);
+        let run = |_k: &str, i: &u64| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if *i == 4 {
+                return Err(JobError::permanent("bad").with_partial(Metrics::from([("x", 0.5)])));
+            }
+            Ok(Metrics::from([("x", *i as f64)]))
+        };
+
+        // First pass: run only the first half.
+        {
+            let mut manifest = Manifest::open(&tmp.0, false).unwrap();
+            let progress = Progress::new();
+            let out =
+                run_with_manifest(&scheduler, &progress, &mut manifest, &jobs[..3], run).unwrap();
+            assert_eq!(out.executed, 3);
+            assert_eq!(out.resumed, 0);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        // Second pass over all six: only the missing three execute.
+        let mut manifest = Manifest::open(&tmp.0, true).unwrap();
+        let progress = Progress::new();
+        let out = run_with_manifest(&scheduler, &progress, &mut manifest, &jobs, run).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        assert_eq!(out.executed, 3);
+        assert_eq!(out.resumed, 3);
+        assert_eq!(out.records.len(), 6);
+        for (i, rec) in out.records.iter().enumerate() {
+            assert_eq!(rec.key, format!("job{i}"));
+            if i == 4 {
+                assert_eq!(rec.status, "failed");
+                assert_eq!(rec.metrics.get("x"), Some(0.5), "partial salvaged");
+                assert_eq!(rec.error.as_deref(), Some("bad"));
+            } else {
+                assert!(rec.is_ok());
+                assert_eq!(rec.metrics.get("x"), Some(i as f64));
+            }
+        }
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_resumed"), Some(3));
+
+        // Third pass: fully resumed, nothing executes, failed job is NOT
+        // retried (its failure is a terminal record).
+        let mut manifest = Manifest::open(&tmp.0, true).unwrap();
+        let progress = Progress::new();
+        let out = run_with_manifest(&scheduler, &progress, &mut manifest, &jobs, run).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.resumed, 6);
+    }
+}

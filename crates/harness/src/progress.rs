@@ -1,0 +1,164 @@
+//! Sweep progress wired into `atc-obs`.
+//!
+//! The scheduler's workers report through a shared [`Progress`], which
+//! owns a mutex-guarded [`Registry`] with pre-registered handles:
+//!
+//! | name                    | kind      | meaning                              |
+//! |-------------------------|-----------|--------------------------------------|
+//! | `harness.jobs_queued`   | counter   | jobs submitted to the scheduler      |
+//! | `harness.jobs_running`  | gauge     | jobs currently executing             |
+//! | `harness.jobs_done`     | counter   | jobs that returned `Ok`              |
+//! | `harness.jobs_failed`   | counter   | jobs that exhausted their attempts   |
+//! | `harness.jobs_panicked` | counter   | jobs whose runner panicked           |
+//! | `harness.jobs_retried`  | counter   | transient-error retry attempts       |
+//! | `harness.jobs_resumed`  | counter   | jobs satisfied from a manifest       |
+//! | `harness.job_wall_us`   | histogram | per-job wall time, microseconds      |
+//!
+//! Updates happen once per job (or per retry), never on the simulator's
+//! hot path, so a plain mutex is the right tool: contention is bounded
+//! by job granularity, and the registry stays the ordinary `&mut`
+//! structure the rest of the telemetry stack uses.
+
+use std::sync::Mutex;
+
+use atc_obs::{CounterId, HistId, Registry};
+
+/// Thread-safe progress accounting for one scheduler run (or several —
+/// counters accumulate across `run` calls on the same `Progress`).
+#[derive(Debug)]
+pub struct Progress {
+    reg: Mutex<Registry>,
+    queued: CounterId,
+    running: CounterId,
+    done: CounterId,
+    failed: CounterId,
+    panicked: CounterId,
+    retried: CounterId,
+    resumed: CounterId,
+    wall_us: HistId,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Progress::new()
+    }
+}
+
+impl Progress {
+    /// A fresh progress registry with all handles registered.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let queued = reg.counter("harness.jobs_queued");
+        let running = reg.counter("harness.jobs_running");
+        let done = reg.counter("harness.jobs_done");
+        let failed = reg.counter("harness.jobs_failed");
+        let panicked = reg.counter("harness.jobs_panicked");
+        let retried = reg.counter("harness.jobs_retried");
+        let resumed = reg.counter("harness.jobs_resumed");
+        let wall_us = reg.histogram("harness.job_wall_us");
+        Progress {
+            reg: Mutex::new(reg),
+            queued,
+            running,
+            done,
+            failed,
+            panicked,
+            retried,
+            resumed,
+            wall_us,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        // The registry holds plain integers; a panic cannot leave it
+        // inconsistent, so poison is safe to ignore.
+        self.reg.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// `n` jobs submitted to the scheduler.
+    pub fn jobs_queued(&self, n: u64) {
+        let mut reg = self.lock();
+        let id = self.queued;
+        reg.add(id, n);
+    }
+
+    /// A job began executing.
+    pub fn job_started(&self) {
+        let mut reg = self.lock();
+        let id = self.running;
+        reg.inc(id);
+    }
+
+    /// A job reached a terminal status (`"ok"`, `"failed"` or
+    /// `"panicked"`) after `wall_micros` of wall time.
+    pub fn job_finished(&self, tag: &str, wall_micros: u64) {
+        let mut reg = self.lock();
+        reg.sub(self.running, 1);
+        let id = match tag {
+            "ok" => self.done,
+            "failed" => self.failed,
+            _ => self.panicked,
+        };
+        reg.inc(id);
+        reg.observe(self.wall_us, wall_micros);
+    }
+
+    /// A transient failure is being retried.
+    pub fn job_retried(&self) {
+        let mut reg = self.lock();
+        let id = self.retried;
+        reg.inc(id);
+    }
+
+    /// `n` jobs were satisfied from the manifest without executing.
+    pub fn jobs_resumed(&self, n: u64) {
+        let mut reg = self.lock();
+        let id = self.resumed;
+        reg.add(id, n);
+    }
+
+    /// An owned snapshot of the registry (counters and the wall-time
+    /// histogram) for printing or export.
+    pub fn snapshot(&self) -> Registry {
+        self.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_track_one_job() {
+        let p = Progress::new();
+        p.jobs_queued(3);
+        p.job_started();
+        let snap = p.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_running"), Some(1));
+        p.job_retried();
+        p.job_finished("ok", 1234);
+        p.jobs_resumed(2);
+        let snap = p.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_queued"), Some(3));
+        assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
+        assert_eq!(snap.counter_value("harness.jobs_done"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_retried"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_resumed"), Some(2));
+        let hist = snap.histogram_by_name("harness.job_wall_us").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 1234);
+    }
+
+    #[test]
+    fn failed_and_panicked_route_to_their_counters() {
+        let p = Progress::new();
+        p.job_started();
+        p.job_finished("failed", 1);
+        p.job_started();
+        p.job_finished("panicked", 1);
+        let snap = p.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_failed"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_panicked"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
+    }
+}

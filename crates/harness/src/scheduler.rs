@@ -1,0 +1,457 @@
+//! Bounded work-stealing scheduler with per-job panic capture and
+//! bounded retry.
+//!
+//! A fixed pool of workers runs over [`std::thread::scope`] — no
+//! detached threads, no unsafe, no external crates. Jobs start in a
+//! shared injector deque; each worker drains its own local deque first,
+//! then pulls a small batch from the injector, then steals from the
+//! *back* of other workers' deques. Results come back in **spec order**
+//! (the order jobs were submitted), regardless of completion order, so
+//! downstream aggregation is deterministic for any worker count.
+//!
+//! Failure containment, per job:
+//! * a panic inside the runner is caught ([`std::panic::catch_unwind`])
+//!   and becomes [`JobStatus::Panicked`] — it never takes down the pool
+//!   and is never retried;
+//! * a [`JobError`] marked `transient` (e.g. the simulator's deadlock
+//!   watchdog) is retried up to the configured bound, then recorded as
+//!   [`JobStatus::Failed`] with any salvaged partial metrics;
+//! * a permanent `JobError` fails immediately.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::manifest::Metrics;
+use crate::progress::Progress;
+
+/// A job failure reported by the runner (as opposed to a panic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Whether retrying the job could plausibly succeed (e.g. a
+    /// watchdog-triggered deadlock heuristic). Permanent errors —
+    /// invalid configs, workload errors — must set this `false`.
+    pub transient: bool,
+    /// Metrics salvaged from a partial run, if the runner could produce
+    /// any before failing.
+    pub partial: Option<Metrics>,
+}
+
+impl JobError {
+    /// A permanent failure with no salvaged metrics.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        JobError {
+            message: message.into(),
+            transient: false,
+            partial: None,
+        }
+    }
+
+    /// A transient failure (eligible for retry).
+    pub fn transient(message: impl Into<String>) -> Self {
+        JobError {
+            message: message.into(),
+            transient: true,
+            partial: None,
+        }
+    }
+
+    /// Attach salvaged partial metrics.
+    pub fn with_partial(mut self, partial: Metrics) -> Self {
+        self.partial = Some(partial);
+        self
+    }
+}
+
+/// Terminal outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<R> {
+    /// The runner returned a result.
+    Ok(R),
+    /// The runner returned an error on every attempt.
+    Failed(JobError),
+    /// The runner panicked (message extracted from the payload when it
+    /// is a string).
+    Panicked(String),
+}
+
+impl<R> JobStatus<R> {
+    /// Short status tag used in manifests and summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Ok(_) => "ok",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Panicked(_) => "panicked",
+        }
+    }
+}
+
+/// One executed job: its key, how many attempts it took, how long it
+/// ran, and how it ended.
+#[derive(Debug, Clone)]
+pub struct JobRun<R> {
+    /// The job's deterministic key.
+    pub key: String,
+    /// Attempts consumed (1 = first try succeeded or failed permanently).
+    pub attempts: u32,
+    /// Wall-clock time across all attempts, in microseconds.
+    pub wall_micros: u64,
+    /// Terminal status.
+    pub status: JobStatus<R>,
+}
+
+/// Fixed-size work-stealing worker pool.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    workers: usize,
+    retries: u32,
+}
+
+/// How many injector jobs a worker grabs per refill: one to run plus a
+/// few for its local deque, so other workers can steal the surplus
+/// without hammering the injector lock.
+const INJECTOR_BATCH: usize = 3;
+
+impl Scheduler {
+    /// A scheduler with `workers` threads (clamped to at least 1) and no
+    /// retries.
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+            retries: 0,
+        }
+    }
+
+    /// Retry jobs whose error is transient up to `retries` extra times.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `jobs` and return one [`JobRun`] per job **in input
+    /// order**.
+    ///
+    /// `runner` is called as `runner(key, payload)` from worker threads;
+    /// it must be `Sync` (shared by reference) and panic-safe in the
+    /// sense that a panic poisons nothing outside the job itself. If a
+    /// worker thread is lost entirely (a panic outside `catch_unwind`,
+    /// which only std itself could produce), its unfinished jobs are
+    /// reported as [`JobStatus::Panicked`] rather than aborting.
+    pub fn run<P, R, F>(
+        &self,
+        jobs: &[(String, P)],
+        progress: &Progress,
+        runner: F,
+    ) -> Vec<JobRun<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&str, &P) -> Result<R, JobError> + Sync,
+    {
+        let total = jobs.len();
+        progress.jobs_queued(total as u64);
+        if total == 0 {
+            return Vec::new();
+        }
+
+        // Shared injector: all job indices, in spec order.
+        let injector: Mutex<VecDeque<usize>> = Mutex::new((0..total).collect());
+        // Per-worker local deques, stealable by everyone.
+        let locals: Vec<Mutex<VecDeque<usize>>> = (0..self.workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        let done = AtomicUsize::new(0);
+
+        let mut slots: Vec<Option<JobRun<R>>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+
+        let worker_outputs: Vec<Vec<(usize, JobRun<R>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|wid| {
+                    let injector = &injector;
+                    let locals = &locals;
+                    let done = &done;
+                    let runner = &runner;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, JobRun<R>)> = Vec::new();
+                        while let Some(idx) = next_job(wid, injector, locals, done, total) {
+                            let (key, payload) = &jobs[idx];
+                            let run = execute_one(key, payload, runner, self.retries, progress);
+                            out.push((idx, run));
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+
+        for outputs in worker_outputs {
+            for (idx, run) in outputs {
+                slots[idx] = Some(run);
+            }
+        }
+
+        // A lost worker thread (join error above) leaves holes; report
+        // them as panics instead of panicking ourselves.
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.unwrap_or_else(|| {
+                    progress.job_finished("panicked", 0);
+                    JobRun {
+                        key: jobs[idx].0.clone(),
+                        attempts: 0,
+                        wall_micros: 0,
+                        status: JobStatus::Panicked("worker thread lost".into()),
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Claim the next job index: local front, then an injector batch, then
+/// steal from the back of another worker's deque. Returns `None` once
+/// all `total` jobs are done.
+fn next_job(
+    wid: usize,
+    injector: &Mutex<VecDeque<usize>>,
+    locals: &[Mutex<VecDeque<usize>>],
+    done: &AtomicUsize,
+    total: usize,
+) -> Option<usize> {
+    loop {
+        if let Some(idx) = lock_queue(&locals[wid]).pop_front() {
+            return Some(idx);
+        }
+        {
+            let mut inj = lock_queue(injector);
+            if let Some(idx) = inj.pop_front() {
+                let mut local = lock_queue(&locals[wid]);
+                for _ in 0..INJECTOR_BATCH {
+                    match inj.pop_front() {
+                        Some(extra) => local.push_back(extra),
+                        None => break,
+                    }
+                }
+                return Some(idx);
+            }
+        }
+        for (other, queue) in locals.iter().enumerate() {
+            if other == wid {
+                continue;
+            }
+            if let Some(idx) = lock_queue(queue).pop_back() {
+                return Some(idx);
+            }
+        }
+        if done.load(Ordering::SeqCst) >= total {
+            return None;
+        }
+        // Everything is claimed but not yet finished: another worker may
+        // still push retries or die and strand work; spin politely.
+        std::thread::yield_now();
+    }
+}
+
+/// Lock a queue, tolerating poison: the queues hold plain `usize`
+/// indices, so a panic mid-operation cannot leave them inconsistent.
+fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one job to its terminal status: catch panics, retry transient
+/// errors up to `retries` extra attempts.
+fn execute_one<P, R, F>(
+    key: &str,
+    payload: &P,
+    runner: &F,
+    retries: u32,
+    progress: &Progress,
+) -> JobRun<R>
+where
+    F: Fn(&str, &P) -> Result<R, JobError>,
+{
+    progress.job_started();
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    let status = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| runner(key, payload))) {
+            Ok(Ok(result)) => break JobStatus::Ok(result),
+            Ok(Err(err)) => {
+                if err.transient && attempts <= retries {
+                    progress.job_retried();
+                    continue;
+                }
+                break JobStatus::Failed(err);
+            }
+            Err(panic) => break JobStatus::Panicked(panic_message(panic.as_ref())),
+        }
+    };
+    let wall_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    progress.job_finished(status.tag(), wall_micros);
+    JobRun {
+        key: key.to_string(),
+        attempts,
+        wall_micros,
+        status,
+    }
+}
+
+/// Extract a printable message from a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn keys(n: usize) -> Vec<(String, u64)> {
+        (0..n).map(|i| (format!("job{i}"), i as u64)).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_spec_order_for_any_worker_count() {
+        let jobs = keys(37);
+        for workers in [1, 2, 4, 8] {
+            let progress = Progress::new();
+            let runs = Scheduler::new(workers).run(&jobs, &progress, |_key, &i| {
+                // Reverse-ish durations so completion order differs from
+                // spec order.
+                if i % 5 == 0 {
+                    std::thread::yield_now();
+                }
+                Ok::<u64, JobError>(i * 2)
+            });
+            assert_eq!(runs.len(), 37);
+            for (i, run) in runs.iter().enumerate() {
+                assert_eq!(run.key, format!("job{i}"));
+                assert_eq!(run.status, JobStatus::Ok(i as u64 * 2));
+                assert_eq!(run.attempts, 1);
+            }
+            let snap = progress.snapshot();
+            assert_eq!(snap.counter_value("harness.jobs_queued"), Some(37));
+            assert_eq!(snap.counter_value("harness.jobs_done"), Some(37));
+            assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
+            assert_eq!(snap.counter_value("harness.jobs_failed"), Some(0));
+            assert_eq!(
+                snap.histogram_by_name("harness.job_wall_us")
+                    .unwrap()
+                    .count(),
+                37
+            );
+        }
+    }
+
+    #[test]
+    fn panics_become_per_job_records_not_pool_aborts() {
+        let jobs = keys(8);
+        let progress = Progress::new();
+        let runs = Scheduler::new(4).run(&jobs, &progress, |_key, &i| {
+            if i == 3 {
+                panic!("job {i} exploded");
+            }
+            Ok::<u64, JobError>(i)
+        });
+        assert_eq!(runs.len(), 8);
+        assert_eq!(runs[3].status, JobStatus::Panicked("job 3 exploded".into()));
+        for (i, run) in runs.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(run.status, JobStatus::Ok(i as u64));
+            }
+        }
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_panicked"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_done"), Some(7));
+    }
+
+    #[test]
+    fn transient_errors_retry_up_to_bound_and_permanent_do_not() {
+        let jobs = vec![("flaky".to_string(), ()), ("broken".to_string(), ())];
+        let flaky_calls = AtomicU32::new(0);
+        let broken_calls = AtomicU32::new(0);
+        let progress = Progress::new();
+        let runs = Scheduler::new(2)
+            .with_retries(2)
+            .run(&jobs, &progress, |key, ()| {
+                if key == "flaky" {
+                    // Succeeds on the third attempt.
+                    if flaky_calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                        return Err(JobError::transient("watchdog"));
+                    }
+                    Ok(1u64)
+                } else {
+                    broken_calls.fetch_add(1, Ordering::SeqCst);
+                    Err(JobError::permanent("bad config"))
+                }
+            });
+        assert_eq!(runs[0].status, JobStatus::Ok(1));
+        assert_eq!(runs[0].attempts, 3);
+        assert_eq!(
+            runs[1].status,
+            JobStatus::Failed(JobError::permanent("bad config"))
+        );
+        assert_eq!(runs[1].attempts, 1);
+        assert_eq!(broken_calls.load(Ordering::SeqCst), 1);
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_retried"), Some(2));
+        assert_eq!(snap.counter_value("harness.jobs_failed"), Some(1));
+    }
+
+    #[test]
+    fn transient_error_exhausts_retries_then_fails_with_partial() {
+        let jobs = vec![("always".to_string(), ())];
+        let calls = AtomicU32::new(0);
+        let progress = Progress::new();
+        let runs = Scheduler::new(1)
+            .with_retries(1)
+            .run(&jobs, &progress, |_key, ()| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err::<u64, _>(
+                    JobError::transient("deadlock").with_partial(Metrics::from([("ipc", 0.5)])),
+                )
+            });
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "1 try + 1 retry");
+        assert_eq!(runs[0].attempts, 2);
+        match &runs[0].status {
+            JobStatus::Failed(err) => {
+                assert!(err.transient);
+                assert_eq!(err.partial.as_ref().unwrap().get("ipc"), Some(0.5));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let progress = Progress::new();
+        let runs = Scheduler::new(4).run(&Vec::<(String, ())>::new(), &progress, |_k, ()| {
+            Ok::<u64, JobError>(0)
+        });
+        assert!(runs.is_empty());
+    }
+}

@@ -99,6 +99,14 @@ impl Registry {
         self.counters[id.0 as usize].1 = v;
     }
 
+    /// Subtract `n` from a counter, saturating at zero. Counters used as
+    /// gauges (e.g. jobs currently running) decrement through this.
+    #[inline]
+    pub fn sub(&mut self, id: CounterId, n: u64) {
+        let v = &mut self.counters[id.0 as usize].1;
+        *v = v.saturating_sub(n);
+    }
+
     /// Record a histogram sample.
     #[inline]
     pub fn observe(&mut self, id: HistId, v: u64) {
@@ -212,6 +220,10 @@ mod tests {
         assert_eq!(r.counter_value("missing"), None);
         r.set(a, 2);
         assert_eq!(r.value(a), 2);
+        r.sub(a, 1);
+        assert_eq!(r.value(a), 1);
+        r.sub(a, 10);
+        assert_eq!(r.value(a), 0, "sub saturates at zero");
     }
 
     #[test]

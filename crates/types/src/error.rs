@@ -85,6 +85,18 @@ impl SimError {
     pub fn is_deadlock(&self) -> bool {
         matches!(self, SimError::Deadlock(_))
     }
+
+    /// Whether retrying the same run could plausibly succeed.
+    ///
+    /// The deadlock watchdog is a forward-progress *heuristic* — a
+    /// machine that is merely slow (pathological replay storms) trips
+    /// it the same way a genuine livelock does, so sweep schedulers
+    /// treat it as transient and retry a bounded number of times.
+    /// Config, walk, and workload errors are deterministic properties
+    /// of the inputs: retrying cannot help.
+    pub fn is_transient(&self) -> bool {
+        self.is_deadlock()
+    }
 }
 
 impl fmt::Display for SimError {
@@ -144,5 +156,13 @@ mod tests {
         let a = SimError::workload("trace truncated");
         assert_eq!(a.clone(), a);
         assert!(!a.is_deadlock());
+    }
+
+    #[test]
+    fn only_deadlocks_are_transient() {
+        assert!(SimError::Deadlock(Box::default()).is_transient());
+        assert!(!SimError::config("x").is_transient());
+        assert!(!SimError::workload("x").is_transient());
+        assert!(!SimError::Walk { vpn: 1, level: 1 }.is_transient());
     }
 }

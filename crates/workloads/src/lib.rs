@@ -123,6 +123,24 @@ pub enum Scale {
     Paper,
 }
 
+impl Scale {
+    /// Lower-case name, as used in CLI flags and harness job keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parse from [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Scale> {
+        [Scale::Test, Scale::Small, Scale::Paper]
+            .into_iter()
+            .find(|sc| sc.name() == s)
+    }
+}
+
 /// The nine benchmarks of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BenchmarkId {

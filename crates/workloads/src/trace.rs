@@ -45,6 +45,13 @@ const FLAG_MEM: u64 = 1 << 63;
 const FLAG_STORE: u64 = 1 << 62;
 const FLAG_DEP: u64 = 1 << 61;
 const ADDR_MASK: u64 = (1 << 57) - 1;
+/// Bits 57–60 are reserved: [`pack`] never sets them, so a record with
+/// any of them set was not produced by this writer.
+const RESERVED_MASK: u64 = !(FLAG_MEM | FLAG_STORE | FLAG_DEP | ADDR_MASK);
+/// Pre-allocation cap for the record vector: a corrupt header count
+/// must not drive `Vec::with_capacity` into an OOM abort before the
+/// truncated body is even read.
+const PREALLOC_CAP: usize = 1 << 20;
 
 /// A captured instruction trace.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -130,10 +137,17 @@ impl Trace {
 
     /// Deserialize from a reader.
     ///
+    /// Every field is validated, so a truncated, bit-flipped, or
+    /// hostile input fails with a diagnostic instead of panicking or
+    /// aborting: the record count only bounds allocation up to a fixed
+    /// cap (a corrupt count cannot trigger OOM), and each record's flag
+    /// bits must be a combination [`pack`] can produce (reserved bits
+    /// 57–60 clear; store/dependence flags only on memory records).
+    ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic or truncated input, and
-    /// propagates I/O errors.
+    /// Returns `InvalidData` on a bad magic, corrupt flag bits, or (via
+    /// `UnexpectedEof`) truncated input, and propagates I/O errors.
     pub fn from_reader<R: Read>(mut r: R) -> io::Result<Trace> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -146,12 +160,26 @@ impl Trace {
         let mut len8 = [0u8; 8];
         r.read_exact(&mut len8)?;
         let n = u64::from_le_bytes(len8) as usize;
-        let mut records = Vec::with_capacity(n);
+        let mut records = Vec::with_capacity(n.min(PREALLOC_CAP));
         let mut rec = [0u8; 16];
-        for _ in 0..n {
+        for idx in 0..n {
             r.read_exact(&mut rec)?;
             let ip = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
             let packed = u64::from_le_bytes(rec[8..].try_into().expect("8 bytes"));
+            let bad = if packed & FLAG_MEM == 0 {
+                // ALU records carry no payload: any set bit means the
+                // flags were corrupted (e.g. a store flag without the
+                // memory flag).
+                packed != 0
+            } else {
+                packed & RESERVED_MASK != 0
+            };
+            if bad {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record {idx}: invalid flag bits {packed:#018x}"),
+                ));
+            }
             records.push((ip, packed));
         }
         Ok(Trace { records })
@@ -263,5 +291,105 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_replay_panics() {
         TraceReplay::new(Trace::new());
+    }
+
+    #[test]
+    fn huge_header_count_does_not_preallocate() {
+        // A 16-byte "trace" claiming u64::MAX records must fail on the
+        // missing body, not abort allocating 256 EiB up front.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Trace::from_reader(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_flag_bits_are_rejected() {
+        let cases: [(u64, &str); 4] = [
+            (FLAG_STORE, "store without mem"),
+            (FLAG_DEP | 0x42, "dep without mem"),
+            (FLAG_MEM | (1 << 57), "reserved bit 57"),
+            (FLAG_MEM | FLAG_STORE | (1 << 60), "reserved bit 60"),
+        ];
+        for (packed, what) in cases {
+            let mut buf = MAGIC.to_vec();
+            buf.extend_from_slice(&1u64.to_le_bytes());
+            buf.extend_from_slice(&0x400u64.to_le_bytes());
+            buf.extend_from_slice(&packed.to_le_bytes());
+            let err = Trace::from_reader(&buf[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{what}");
+        }
+        // A valid record with every legal flag still parses.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0x400u64.to_le_bytes());
+        buf.extend_from_slice(&(FLAG_MEM | FLAG_STORE | FLAG_DEP | 0x1234).to_le_bytes());
+        assert_eq!(Trace::from_reader(&buf[..]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn random_truncations_error_and_never_panic() {
+        let mut rng = atc_types::rng::SimRng::seed_from_u64(0xace);
+        let mut wl = BenchmarkId::Tc.build(Scale::Test, 4);
+        let t = capture(wl.as_mut(), 200);
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        for _ in 0..200 {
+            let cut = rng.next_below(buf.len() as u64) as usize;
+            let short = &buf[..cut];
+            if cut == buf.len() {
+                continue;
+            }
+            // Truncation can only land mid-structure: header, count, or
+            // a record. All must surface as an error.
+            assert!(Trace::from_reader(short).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn random_bit_flips_parse_or_error_but_never_panic() {
+        let mut rng = atc_types::rng::SimRng::seed_from_u64(0xbadc0de);
+        let mut wl = BenchmarkId::Mis.build(Scale::Test, 7);
+        let t = capture(wl.as_mut(), 100);
+        let mut clean = Vec::new();
+        t.to_writer(&mut clean).unwrap();
+        for _ in 0..500 {
+            let mut buf = clean.clone();
+            // Flip 1–4 random bits anywhere in the file.
+            for _ in 0..=rng.next_below(3) {
+                let byte = rng.next_below(buf.len() as u64) as usize;
+                let bit = rng.next_below(8) as u32;
+                buf[byte] ^= 1 << bit;
+            }
+            // Must either parse (flip hit an ip/address payload) or
+            // error (magic, count, or flag corruption) — never panic.
+            let _ = Trace::from_reader(&buf[..]);
+        }
+    }
+
+    #[test]
+    fn flag_corruption_in_reserved_bits_always_errors() {
+        let mut rng = atc_types::rng::SimRng::seed_from_u64(99);
+        let mut wl = BenchmarkId::Bf.build(Scale::Test, 5);
+        let t = capture(wl.as_mut(), 50);
+        let mut clean = Vec::new();
+        t.to_writer(&mut clean).unwrap();
+        for _ in 0..100 {
+            let mut buf = clean.clone();
+            // Set a reserved bit (57–60) in a random record whose
+            // memory flag is set; the packed word is the second u64 of
+            // each 16-byte record, little-endian, so bits 57–60 live in
+            // its last byte.
+            let rec = rng.next_below(50) as usize;
+            let flag_byte = 16 + rec * 16 + 15;
+            if buf[flag_byte] & 0x80 == 0 {
+                continue; // ALU record: any set bit already errors.
+            }
+            // Bits 57–60 of the packed word are bits 1–4 of its top
+            // byte.
+            buf[flag_byte] |= 2 << rng.next_below(4);
+            let err = Trace::from_reader(&buf[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
     }
 }

@@ -24,6 +24,7 @@ pub use atc_cache as cache;
 pub use atc_core as core_policies;
 pub use atc_cpu as cpu;
 pub use atc_dram as dram;
+pub use atc_harness as harness;
 pub use atc_obs as obs;
 pub use atc_prefetch as prefetch;
 pub use atc_sim as sim;
