@@ -60,14 +60,48 @@ fn check(path: &str) -> Result<String, String> {
     Ok(format!("{} results", results.len()))
 }
 
+/// Non-gating worker-scaling report: print suite throughput at 1 vs 4
+/// workers and their ratio when both lines exist in the trajectory.
+/// Purely informational — single-core CI boxes cannot hit a parallel
+/// speedup, so this never affects the exit code.
+fn scaling_report(path: &str) {
+    let rate = |results: &[Value], name: &str| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|r| r.get("elems_per_s"))
+            .and_then(Value::as_f64)
+    };
+    let parsed = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok());
+    let results = parsed
+        .as_ref()
+        .and_then(|doc| doc.get("results"))
+        .and_then(Value::as_array);
+    let rates = results.map(|r| (rate(r, "harness/suite_w1"), rate(r, "harness/suite_w4")));
+    match rates {
+        Some((Some(w1), Some(w4))) if w1 > 0.0 => println!(
+            "scaling report (non-gating): suite_w1 {w1:.0} jobs/s, suite_w4 {w4:.0} jobs/s, w4/w1 {:.2}x",
+            w4 / w1
+        ),
+        _ => println!("scaling report (non-gating): suite_w1/suite_w4 not present in {path}"),
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: check_bench_json <file.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = args.iter().any(|a| a == "--scaling-report");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: check_bench_json [--scaling-report] <file.json>");
         return ExitCode::from(2);
     };
-    match check(&path) {
+    match check(path) {
         Ok(what) => {
             println!("{path}: ok ({what})");
+            if report {
+                scaling_report(path);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

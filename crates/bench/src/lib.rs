@@ -196,6 +196,15 @@ impl Reporter {
         self.results.push(r);
     }
 
+    /// Record a pre-computed result without timing anything — for
+    /// derived lines (e.g. a ratio of two measured benches) that should
+    /// land in the `--json` document alongside timed results. Same-name
+    /// merge semantics under `--append` apply as for timed results.
+    pub fn record(&mut self, r: BenchResult) {
+        print_result(&r);
+        self.results.push(r);
+    }
+
     /// Results recorded so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -386,6 +395,22 @@ mod tests {
             .get("elems_per_s")
             .and_then(json::Value::as_f64)
             .is_some());
+    }
+
+    #[test]
+    fn derived_results_are_recorded_verbatim() {
+        let mut r = Reporter::from_args(std::iter::empty());
+        r.record(BenchResult {
+            name: "derived/ratio".into(),
+            samples: 0,
+            min_ns: 1_000_000_000_000,
+            median_ns: 1_000_000_000_000,
+            mean_ns: 1_000_000_000_000,
+            elems: Some(1_500),
+        });
+        assert_eq!(r.results().len(), 1);
+        // elems_per_s encodes the derived scalar: 1500 / 1000 s = 1.5.
+        assert_eq!(r.results()[0].elems_per_sec(), Some(1.5));
     }
 
     #[test]

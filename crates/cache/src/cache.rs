@@ -53,6 +53,21 @@ impl LineMeta {
     };
 }
 
+/// Outcome of a combined MSHR-merge + tag probe (see [`Cache::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The line hit (or merged with an in-flight fill): data is usable
+    /// at the returned cycle.
+    Ready(u64),
+    /// The line missed. The set index computed during the probe is
+    /// carried along so the eventual [`Cache::insert_miss_at`] neither
+    /// recomputes it nor rescans the set for residency.
+    Miss {
+        /// Set index of the missing line.
+        set: usize,
+    },
+}
+
 /// Information about an evicted line, returned from fills so the caller
 /// can account for write-backs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +200,7 @@ impl Cache {
     }
 
     /// Hit latency in cycles.
+    #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
     }
@@ -273,6 +289,29 @@ impl Cache {
     /// hierarchy and then calls [`insert_miss`](Self::insert_miss)).
     pub fn lookup(&mut self, info: &AccessInfo, cycle: u64) -> Option<u64> {
         let set = self.set_of(info.line);
+        self.lookup_at(set, info, cycle)
+    }
+
+    /// One combined miss-path probe: MSHR merge first (an in-flight fill
+    /// answers before the tags are consulted, exactly like
+    /// [`mshr_merge`](Self::mshr_merge) followed by
+    /// [`lookup`](Self::lookup)), then a tag lookup. On a miss the set
+    /// index is returned for the caller to pass to
+    /// [`insert_miss_at`](Self::insert_miss_at).
+    #[inline]
+    pub fn probe(&mut self, info: &AccessInfo, cycle: u64) -> Probe {
+        if let Some(ready) = self.mshr_merge(info, cycle) {
+            return Probe::Ready(ready);
+        }
+        let set = self.set_of(info.line);
+        match self.lookup_at(set, info, cycle) {
+            Some(ready) => Probe::Ready(ready),
+            None => Probe::Miss { set },
+        }
+    }
+
+    /// [`lookup`](Self::lookup) with the set index already computed.
+    fn lookup_at(&mut self, set: usize, info: &AccessInfo, cycle: u64) -> Option<u64> {
         if !info.is_prefetch && self.recall.is_some() && self.recall_tracks(info.class) {
             // Recall distance is a property of the demand stream.
             if let Some(probe) = &mut self.recall {
@@ -310,6 +349,7 @@ impl Cache {
 
     /// Probe for residency without perturbing statistics, LRU state, or
     /// the recall probe.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.find_way(self.set_of(line), line).is_some()
     }
@@ -330,6 +370,31 @@ impl Cache {
         (ready, evicted)
     }
 
+    /// [`insert_miss`](Self::insert_miss) for a line a just-failed
+    /// [`probe`](Self::probe) reported missing from `set`: the fill
+    /// skips the set-index computation and the residency rescan (nothing
+    /// can have filled the line between the probe and this call on the
+    /// single-threaded access path).
+    pub fn insert_miss_at(
+        &mut self,
+        set: usize,
+        info: &AccessInfo,
+        ready: u64,
+        cycle: u64,
+    ) -> (u64, Option<EvictedLine>) {
+        let ready = self
+            .mshr
+            .allocate(info.line, cycle, ready, info.is_prefetch);
+        debug_assert_eq!(set, self.set_of(info.line), "probe/fill set mismatch");
+        debug_assert!(
+            self.find_way(set, info.line).is_none(),
+            "insert_miss_at on a resident line"
+        );
+        let empty = self.find_empty_way(set);
+        let evicted = self.fill_new(set, empty, info);
+        (ready, evicted)
+    }
+
     /// Fill `info.line` into its set, evicting if necessary. Returns the
     /// eviction, if any. Exposed separately for oracles and tests; the
     /// normal miss path is [`insert_miss`](Self::insert_miss).
@@ -340,11 +405,26 @@ impl Cache {
             "line address collides with the empty-way sentinel"
         );
         let set = self.set_of(info.line);
+        // One scan finds both the resident way (refill) and, failing
+        // that, the first empty way — instead of a residency scan
+        // followed by a separate empty-way scan.
+        let base = set * self.ways;
+        let mut empty = None;
+        let mut resident = None;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == info.line.raw() {
+                resident = Some(w);
+                break;
+            }
+            if empty.is_none() && t == EMPTY_TAG {
+                empty = Some(w);
+            }
+        }
         // Refill of a resident line (e.g. prefetch raced demand): just
         // update class/flags. The class must follow the latest fill so
         // eviction/dead-block accounting attributes the block correctly,
         // and a demand refill consumes any prefetched status.
-        if let Some(w) = self.find_way(set, info.line) {
+        if let Some(w) = resident {
             let slot = self.slot(set, w);
             let m = &mut self.meta[slot];
             m.class = info.class;
@@ -354,7 +434,23 @@ impl Cache {
             }
             return None;
         }
-        let way = match self.find_empty_way(set) {
+        self.fill_new(set, empty, info)
+    }
+
+    /// Insert a non-resident line into `set`, using `empty` if the scan
+    /// found a free way, else evicting the policy's victim.
+    fn fill_new(
+        &mut self,
+        set: usize,
+        empty: Option<usize>,
+        info: &AccessInfo,
+    ) -> Option<EvictedLine> {
+        debug_assert_ne!(
+            info.line.raw(),
+            EMPTY_TAG,
+            "line address collides with the empty-way sentinel"
+        );
+        let way = match empty {
             Some(w) => w,
             None => {
                 let w = self.policy.victim(set, info);

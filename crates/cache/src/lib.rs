@@ -41,5 +41,5 @@ pub mod cache;
 pub mod mshr;
 pub mod policy;
 
-pub use cache::{Cache, EvictedLine};
+pub use cache::{Cache, EvictedLine, Probe};
 pub use mshr::Mshr;

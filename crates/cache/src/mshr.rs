@@ -49,15 +49,25 @@ impl Mshr {
         })
     }
 
-    /// Drop entries whose fills have completed by `cycle`.
+    /// Drop entries whose fills have completed by `cycle`. Empty files
+    /// return immediately — the common case on the per-access probe
+    /// path, where most levels have nothing in flight.
+    #[inline]
     fn expire(&mut self, cycle: u64) {
+        if self.entries.is_empty() {
+            return;
+        }
         self.entries.retain(|_, e| e.ready > cycle);
     }
 
     /// If `line` has an in-flight fill at `cycle`, merge with it and
     /// return its completion cycle. A demand merge on a prefetch-initiated
     /// entry marks the entry as demand (the prefetch was late but useful).
+    #[inline]
     pub fn merge(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
         self.expire(cycle);
         let e = self.entries.get_mut(&line)?;
         self.merges += 1;

@@ -144,11 +144,13 @@ impl RobModel {
 
     /// Completion cycle of the most recently pushed load — the issue
     /// lower bound for address-dependent memory operations.
+    #[inline]
     pub fn last_load_completion(&self) -> u64 {
         self.last_load_done
     }
 
     /// Record a load's completion cycle (drives dependent issue).
+    #[inline]
     pub fn note_load_completion(&mut self, cycle: u64) {
         self.last_load_done = cycle;
     }
@@ -167,6 +169,7 @@ impl RobModel {
 
     /// Current dispatch cycle (the memory system issues requests at this
     /// time).
+    #[inline]
     pub fn now(&self) -> u64 {
         self.clock
     }
@@ -178,6 +181,7 @@ impl RobModel {
     /// # Panics
     ///
     /// Panics if called twice without an intervening `push`.
+    #[inline]
     pub fn dispatch(&mut self) -> u64 {
         assert!(
             !self.pending_dispatch,
@@ -209,6 +213,7 @@ impl RobModel {
     ///
     /// Panics if no dispatch is pending, or if a load's `data_done`
     /// precedes its `trans_done`.
+    #[inline]
     pub fn push(&mut self, kind: CompletionKind) {
         assert!(self.pending_dispatch, "push() without dispatch()");
         if let CompletionKind::Load {

@@ -31,6 +31,7 @@ use std::time::Instant;
 use atc_experiments::sweeps::{build_jobs, catalog, render_sweep, sweeps, Budget, SweepDef};
 use atc_experiments::{Checks, Opts};
 use atc_harness::{run_with_manifest, Manifest, Metrics, Progress, Scheduler};
+use atc_workloads::trace::TraceCache;
 
 #[derive(Debug)]
 struct SuiteArgs {
@@ -181,9 +182,13 @@ fn main() -> ExitCode {
         suite.manifest,
     );
     let t0 = Instant::now();
+    // Captured instruction streams are shared by every job that
+    // consumes the same (bench, scale, seed, length); capture happens
+    // lazily inside the workers, once per distinct stream.
+    let traces = TraceCache::new();
     let outcome =
         match run_with_manifest(&scheduler, &progress, &mut manifest, &jobs, |_key, job| {
-            job.run()
+            job.run(&traces)
         }) {
             Ok(o) => o,
             Err(e) => {
@@ -198,6 +203,11 @@ fn main() -> ExitCode {
         outcome.resumed,
         failed.len(),
         t0.elapsed().as_secs_f64(),
+    );
+    eprintln!(
+        "suite: {} instruction streams captured ({:.1} MiB shared)",
+        traces.streams(),
+        traces.footprint_bytes() as f64 / (1024.0 * 1024.0),
     );
     for r in &failed {
         eprintln!(

@@ -180,12 +180,23 @@ impl Opts {
 
     /// Record a skipped run in the shared skip log.
     pub fn note_skip(&self, label: &str, error: &str, partial_instructions: Option<u64>) {
-        let mut log = self.skips.lock().unwrap_or_else(|e| e.into_inner());
-        log.push(SkipRecord {
+        self.note_skip_batch(vec![SkipRecord {
             label: label.to_string(),
             error: error.to_string(),
             partial_instructions,
-        });
+        }]);
+    }
+
+    /// Merge a batch of locally-accumulated skip records into the shared
+    /// log under a single lock acquisition. Parallel sweeps collect
+    /// their skips per pass and merge here at the barrier, so workers
+    /// never contend on the log mutex mid-sweep.
+    pub fn note_skip_batch(&self, records: Vec<SkipRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut log = self.skips.lock().unwrap_or_else(|e| e.into_inner());
+        log.extend(records);
     }
 
     /// Snapshot of every run skipped so far (across all clones of this
@@ -217,21 +228,35 @@ impl Opts {
         let scheduler = Scheduler::new(self.worker_count());
         let progress = Progress::new();
         let runs = scheduler.run(&items, &progress, |key, item| Ok(job(key, item)));
-        runs.into_iter()
+        // Accumulate skips locally and merge into the shared log in one
+        // lock acquisition at the barrier.
+        let mut skipped = Vec::new();
+        let out = runs
+            .into_iter()
             .map(|JobRun { key, status, .. }| match status {
                 JobStatus::Ok(r) => r,
                 JobStatus::Failed(e) => {
                     eprintln!("FAILED {key}: {}", e.message);
-                    self.note_skip(&key, &e.message, None);
+                    skipped.push(SkipRecord {
+                        label: key,
+                        error: e.message,
+                        partial_instructions: None,
+                    });
                     None
                 }
                 JobStatus::Panicked(msg) => {
                     eprintln!("PANICKED {key}: {msg}");
-                    self.note_skip(&key, &msg, None);
+                    skipped.push(SkipRecord {
+                        label: key,
+                        error: msg,
+                        partial_instructions: None,
+                    });
                     None
                 }
             })
-            .collect()
+            .collect();
+        self.note_skip_batch(skipped);
+        out
     }
 
     /// [`par_items`](Opts::par_items) over one job per benchmark — the

@@ -22,10 +22,11 @@ use std::collections::BTreeMap;
 use atc_core::{Enhancement, IdealConfig, PolicyChoice};
 use atc_harness::{JobError, JobSpec, Metrics};
 use atc_prefetch::PrefetcherKind;
-use atc_sim::{run_multicore, run_one, run_smt, Probes, SimConfig};
+use atc_sim::{run_multicore, run_one_replay, run_smt, Probes, SimConfig};
 use atc_stats::table::Table;
 use atc_stats::{geomean, harmonic_speedup};
 use atc_types::{AccessClass, MemLevel, PtLevel};
+use atc_workloads::trace::{StreamKey, TraceCache};
 use atc_workloads::{BenchmarkId, Scale, Workload};
 
 use crate::RunStats;
@@ -315,24 +316,50 @@ impl Budget {
 }
 
 impl SweepJob {
+    /// The instruction streams this job consumes, as trace-cache keys.
+    ///
+    /// Every stream is the full warmup + measure budget of one
+    /// core/thread; SMT thread 1 runs `seed + 1` and multicore core `i`
+    /// runs `seed + i`, matching the simulators' conventions.
+    pub fn streams(&self) -> Vec<StreamKey> {
+        let key = |bench: BenchmarkId, budget: &Budget, lane: u64| StreamKey {
+            bench,
+            scale: budget.scale,
+            seed: budget.seed + lane,
+            len: budget.warmup + budget.measure,
+        };
+        match self {
+            SweepJob::Single { bench, budget, .. } => vec![key(*bench, budget, 0)],
+            SweepJob::Smt { pair, budget, .. } => {
+                vec![key(pair.0, budget, 0), key(pair.1, budget, 1)]
+            }
+            SweepJob::Multicore {
+                benches, budget, ..
+            } => benches
+                .iter()
+                .enumerate()
+                .map(|(i, b)| key(*b, budget, i as u64))
+                .collect(),
+        }
+    }
+
     /// Execute the job and project its statistics into [`Metrics`].
+    ///
+    /// The instruction streams are pulled from `traces`, so every config
+    /// of a sweep replays the same shared capture instead of re-running
+    /// the synthetic generator (see [`TraceCache`]); capture happens
+    /// lazily on the first job that needs a stream.
     ///
     /// # Errors
     ///
     /// Simulation failures become [`JobError`]s — deadlocks transient
     /// (retryable), everything else permanent — with partial statistics
     /// salvaged when the machine had started executing.
-    pub fn run(&self) -> Result<Metrics, JobError> {
+    pub fn run(&self, traces: &TraceCache) -> Result<Metrics, JobError> {
+        let streams = self.streams();
         match self {
-            SweepJob::Single { cfg, bench, budget } => {
-                match run_one(
-                    cfg,
-                    *bench,
-                    budget.scale,
-                    budget.seed,
-                    budget.warmup,
-                    budget.measure,
-                ) {
+            SweepJob::Single { cfg, budget, .. } => {
+                match run_one_replay(cfg, traces.get(streams[0]), budget.warmup, budget.measure) {
                     Ok(stats) => Ok(metrics_of(&stats)),
                     Err(failure) => {
                         let mut err = JobError {
@@ -347,10 +374,10 @@ impl SweepJob {
                     }
                 }
             }
-            SweepJob::Smt { cfg, pair, budget } => {
-                let mut w0 = pair.0.build(budget.scale, budget.seed);
-                let mut w1 = pair.1.build(budget.scale, budget.seed + 1);
-                let stats = run_smt(cfg, w0.as_mut(), w1.as_mut(), budget.warmup, budget.measure)
+            SweepJob::Smt { cfg, budget, .. } => {
+                let mut w0 = traces.replay(streams[0]);
+                let mut w1 = traces.replay(streams[1]);
+                let stats = run_smt(cfg, &mut w0, &mut w1, budget.warmup, budget.measure)
                     .map_err(sim_job_error)?;
                 let mut m = Metrics::new();
                 for (i, thread) in stats.threads.iter().enumerate() {
@@ -359,15 +386,10 @@ impl SweepJob {
                 }
                 Ok(m)
             }
-            SweepJob::Multicore {
-                cfg,
-                benches,
-                budget,
-            } => {
-                let mut wls: Vec<Box<dyn Workload>> = benches
+            SweepJob::Multicore { cfg, budget, .. } => {
+                let mut wls: Vec<Box<dyn Workload>> = streams
                     .iter()
-                    .enumerate()
-                    .map(|(i, b)| b.build(budget.scale, budget.seed + i as u64))
+                    .map(|&k| Box::new(traces.replay(k)) as Box<dyn Workload>)
                     .collect();
                 let cores = run_multicore(cfg, &mut wls, budget.warmup, budget.measure)
                     .map_err(sim_job_error)?;
@@ -1072,6 +1094,65 @@ mod tests {
         // appears exactly once per benchmark.
         let base_jobs = all.iter().filter(|(k, _)| k.starts_with("base/")).count();
         assert_eq!(base_jobs, benches.len());
+    }
+
+    /// Seeded property test: across the full sweep catalog, no two
+    /// distinct (bench, scale, seed) stream specs share a cached trace,
+    /// and equal specs always share one. Random budgets drive the key's
+    /// length component through different values per round.
+    #[test]
+    fn trace_cache_keys_are_collision_free_across_the_catalog() {
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        let cat = catalog();
+        let defs = sweeps();
+        let benches = [BenchmarkId::Mcf, BenchmarkId::Pr, BenchmarkId::Canneal];
+        let mut rng = atc_types::rng::SimRng::seed_from_u64(0x5eed_cafe);
+        for _round in 0..3 {
+            let budget = Budget {
+                scale: Scale::Test,
+                seed: 40 + rng.next_below(8),
+                warmup: 10 + rng.next_below(50),
+                measure: 100 + rng.next_below(400),
+            };
+            let jobs = build_jobs(&defs, &cat, &benches, budget).unwrap();
+            let cache = TraceCache::new();
+            // Spec → the Arc the cache hands out for it.
+            let mut by_spec: HashMap<StreamKey, Arc<atc_workloads::trace::Trace>> = HashMap::new();
+            for (_key, job) in &jobs {
+                for stream in job.streams() {
+                    let t = cache.get(stream);
+                    match by_spec.get(&stream) {
+                        // Same spec: must be the same shared capture.
+                        Some(prev) => assert!(
+                            Arc::ptr_eq(prev, &t),
+                            "{stream:?}: same spec returned distinct captures"
+                        ),
+                        None => {
+                            // Distinct spec: must not alias any other
+                            // spec's capture.
+                            for (other, prev) in &by_spec {
+                                assert!(
+                                    !Arc::ptr_eq(prev, &t),
+                                    "{stream:?} and {other:?} share a cached stream"
+                                );
+                            }
+                            by_spec.insert(stream, t);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                cache.streams(),
+                by_spec.len(),
+                "cache captured exactly one stream per distinct spec"
+            );
+            assert!(
+                by_spec.len() > benches.len(),
+                "catalog exercises SMT/multicore seed lanes too"
+            );
+        }
     }
 
     #[test]

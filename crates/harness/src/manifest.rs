@@ -9,11 +9,15 @@
 //!  "metrics":{"ipc":0.612,"llc_mpki":11.3},"error":null}
 //! ```
 //!
-//! Appends are atomic at line granularity in practice (one `write_all`
-//! of `line\n` per record, flushed); a crash can at worst leave a
-//! partial *trailing* line, which [`Manifest::open`] detects, drops, and
-//! truncates away on resume. A corrupt line anywhere else is real damage
-//! and is reported as an error rather than silently skipped.
+//! Appends are buffered: records accumulate in memory and reach the
+//! file in batches (every [`Manifest::DEFAULT_FLUSH_EVERY`] records, on
+//! an explicit [`Manifest::flush`] at checkpoint boundaries, and on
+//! drop), so a sweep pays one syscall pair per batch instead of per
+//! job. Each flush writes whole `line\n` records; a crash can at worst
+//! lose the *unflushed tail* — whose jobs simply re-execute on resume —
+//! plus a partial trailing line, which [`Manifest::open`] detects,
+//! drops, and truncates away. A corrupt line anywhere else is real
+//! damage and is reported as an error rather than silently skipped.
 //!
 //! Metric values are `f64`s rendered with Rust's shortest round-trip
 //! formatting, so a value read back from the manifest is bit-identical
@@ -235,15 +239,24 @@ impl Record {
     }
 }
 
-/// An append-only JSONL checkpoint file.
+/// An append-only JSONL checkpoint file with buffered writes.
 #[derive(Debug)]
 pub struct Manifest {
     path: PathBuf,
     file: File,
     records: Vec<Record>,
+    /// Serialized records not yet written to the file.
+    buf: Vec<u8>,
+    /// Records currently sitting in `buf`.
+    pending: usize,
+    /// Auto-flush threshold: `append` flushes once this many records
+    /// are buffered.
+    flush_every: usize,
 }
 
 impl Manifest {
+    /// Records buffered between automatic flushes.
+    pub const DEFAULT_FLUSH_EVERY: usize = 32;
     /// Open `path`, creating it if absent.
     ///
     /// With `resume = false` the file is truncated — every job will
@@ -304,7 +317,17 @@ impl Manifest {
             path,
             file,
             records,
+            buf: Vec::new(),
+            pending: 0,
+            flush_every: Self::DEFAULT_FLUSH_EVERY,
         })
+    }
+
+    /// Override the auto-flush threshold (floored at 1). Mostly for
+    /// tests; the default batches [`Self::DEFAULT_FLUSH_EVERY`] records.
+    pub fn with_flush_every(mut self, records: usize) -> Manifest {
+        self.flush_every = records.max(1);
+        self
     }
 
     /// The manifest's path.
@@ -337,14 +360,47 @@ impl Manifest {
         self.get(key).is_some()
     }
 
-    /// Append one record: a single flushed `line\n` write.
+    /// Append one record to the write buffer. The record is immediately
+    /// visible to [`get`](Self::get)/[`records`](Self::records); it
+    /// reaches the file on the next automatic or explicit
+    /// [`flush`](Self::flush) (at worst on drop).
     pub fn append(&mut self, record: Record) -> io::Result<()> {
-        let mut line = record.to_json_line();
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        self.buf.extend_from_slice(record.to_json_line().as_bytes());
+        self.buf.push(b'\n');
+        self.pending += 1;
         self.records.push(record);
+        if self.pending >= self.flush_every {
+            self.flush()?;
+        }
         Ok(())
+    }
+
+    /// Write all buffered records to the file. Call at checkpoint
+    /// boundaries (end of a scheduling pass, before handing the path to
+    /// another process); records not yet flushed when the process dies
+    /// are lost and their jobs re-execute on `--resume`.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.file.flush()?;
+        self.buf.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Records appended but not yet flushed to the file.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+impl Drop for Manifest {
+    /// Best-effort final flush: a cleanly dropped manifest loses
+    /// nothing even if the caller never flushed explicitly.
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -409,6 +465,9 @@ where
         manifest.append(record.clone())?;
         slots[*idx] = Some(record);
     }
+    // Checkpoint boundary: everything recorded this pass must be
+    // durable before the caller can rely on `--resume`.
+    manifest.flush()?;
 
     let records = slots
         .into_iter()
@@ -536,10 +595,51 @@ mod tests {
         let mut m = Manifest::open(&tmp.0, true).unwrap();
         assert_eq!(m.len(), 1, "partial line dropped");
         m.append(record("k2", "ok", Some(2.0))).unwrap();
+        m.flush().unwrap();
         // The file is clean again: both lines parse.
         let m = Manifest::open(&tmp.0, true).unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.get("k2").unwrap().metrics.get("ipc"), Some(2.0));
+    }
+
+    #[test]
+    fn appends_are_buffered_until_flush_or_drop() {
+        let tmp = temp_manifest("buffered");
+        let mut m = Manifest::open(&tmp.0, false).unwrap().with_flush_every(3);
+        m.append(record("k1", "ok", Some(1.0))).unwrap();
+        m.append(record("k2", "ok", Some(2.0))).unwrap();
+        // Visible in memory, not yet on disk.
+        assert_eq!(m.pending(), 2);
+        assert!(m.contains("k2"));
+        assert!(Manifest::open(&tmp.0, true).unwrap().is_empty());
+        // Third append crosses the threshold and auto-flushes.
+        m.append(record("k3", "ok", Some(3.0))).unwrap();
+        assert_eq!(m.pending(), 0);
+        assert_eq!(Manifest::open(&tmp.0, true).unwrap().len(), 3);
+        // A buffered tail reaches the file on drop.
+        m.append(record("k4", "ok", Some(4.0))).unwrap();
+        assert_eq!(m.pending(), 1);
+        drop(m);
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get("k4").unwrap().metrics.get("ipc"), Some(4.0));
+    }
+
+    #[test]
+    fn unflushed_tail_is_lost_on_crash_and_reexecutes_on_resume() {
+        let tmp = temp_manifest("crash");
+        let mut m = Manifest::open(&tmp.0, false).unwrap().with_flush_every(100);
+        m.append(record("k1", "ok", Some(1.0))).unwrap();
+        m.flush().unwrap();
+        m.append(record("k2", "ok", Some(2.0))).unwrap();
+        // Simulate a crash: the process dies without flush or drop.
+        std::mem::forget(m);
+        // Only the flushed prefix survives; k2's job is simply missing
+        // and will re-execute under --resume.
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.contains("k1"));
+        assert!(!m.contains("k2"));
     }
 
     #[test]

@@ -174,6 +174,12 @@ impl Scheduler {
         let mut slots: Vec<Option<JobRun<R>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
 
+        // Workers accumulate results locally and merge at the join
+        // barrier below: nothing is shared mid-run except the job
+        // queues, so result aggregation never contends. Each local
+        // vector is sized for an even share up front (steals can push
+        // it past that, at the usual amortized growth cost).
+        let share = total / self.workers + INJECTOR_BATCH + 1;
         let worker_outputs: Vec<Vec<(usize, JobRun<R>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|wid| {
@@ -182,7 +188,7 @@ impl Scheduler {
                     let done = &done;
                     let runner = &runner;
                     scope.spawn(move || {
-                        let mut out: Vec<(usize, JobRun<R>)> = Vec::new();
+                        let mut out: Vec<(usize, JobRun<R>)> = Vec::with_capacity(share);
                         while let Some(idx) = next_job(wid, injector, locals, done, total) {
                             let (key, payload) = &jobs[idx];
                             let run = execute_one(key, payload, runner, self.retries, progress);
@@ -235,6 +241,7 @@ fn next_job(
     done: &AtomicUsize,
     total: usize,
 ) -> Option<usize> {
+    let mut backoff_us = 20u64;
     loop {
         if let Some(idx) = lock_queue(&locals[wid]).pop_front() {
             return Some(idx);
@@ -263,9 +270,13 @@ fn next_job(
         if done.load(Ordering::SeqCst) >= total {
             return None;
         }
-        // Everything is claimed but not yet finished: another worker may
-        // still push retries or die and strand work; spin politely.
-        std::thread::yield_now();
+        // Everything is claimed but not yet finished: a worker could
+        // still die and strand its local deque, so stay around — but
+        // park with growing backoff instead of yield-spinning. Spinning
+        // idlers steal the CPU the busy workers need, which is ruinous
+        // when workers outnumber cores.
+        std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+        backoff_us = (backoff_us * 2).min(500);
     }
 }
 

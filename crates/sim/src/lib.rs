@@ -46,6 +46,9 @@ pub use multicore::run_multicore;
 pub use smt::run_smt;
 pub use telemetry::TelemetryConfig;
 
+use std::sync::Arc;
+
+use atc_workloads::trace::{Trace, TraceReplay};
 use atc_workloads::{BenchmarkId, Scale};
 
 /// Build a machine, run `bench` for `warmup` + `measure` instructions,
@@ -66,4 +69,29 @@ pub fn run_one(
     let mut wl = bench.build(scale, seed);
     let mut machine = Machine::new(cfg)?;
     machine.run(wl.as_mut(), warmup, measure)
+}
+
+/// [`run_one`], but replaying a shared captured trace instead of
+/// re-running the synthetic generator.
+///
+/// The generators are deterministic per (benchmark, scale, seed), so a
+/// trace of `warmup + measure` instructions captured once (see
+/// [`atc_workloads::trace::TraceCache`]) yields statistics byte-identical
+/// to driving the generator directly — while every config of a sweep
+/// skips the generator's setup (graph build, footprint mapping) and its
+/// per-instruction cost.
+///
+/// # Errors
+///
+/// Returns a [`SimFailure`] for an invalid configuration (no partial
+/// statistics) or a deadlocked run (partial statistics attached).
+pub fn run_one_replay(
+    cfg: &SimConfig,
+    trace: Arc<Trace>,
+    warmup: u64,
+    measure: u64,
+) -> Result<RunStats, SimFailure> {
+    let mut wl = TraceReplay::shared(trace);
+    let mut machine = Machine::new(cfg)?;
+    machine.run(&mut wl, warmup, measure)
 }

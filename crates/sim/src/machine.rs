@@ -2,7 +2,7 @@
 //! the SMT and multi-core drivers.
 
 use crate::telemetry::{SimTelemetry, TelemetryConfig};
-use atc_cache::Cache;
+use atc_cache::{Cache, Probe};
 use atc_core::{Atp, DpPred, IdealConfig, PolicyChoice, Tempo};
 use atc_cpu::{CompletionKind, CoreStats, RobModel};
 use atc_dram::{Dram, DramStats};
@@ -211,12 +211,17 @@ pub(crate) fn access_path(
     start: MemLevel,
 ) -> (u64, MemLevel) {
     let mut t = cycle;
-    // At most three levels can miss; a fixed inline buffer keeps this
-    // per-access path allocation-free.
-    let mut missed = [MemLevel::L1d; 3];
+    // At most three levels can miss; fixed inline buffers (level plus
+    // the set index its probe computed) keep this per-access path
+    // allocation-free and let the fill below skip the set recomputation
+    // and residency rescan.
+    let mut missed = [(MemLevel::L1d, 0usize); 3];
     let mut n_missed = 0usize;
     let mut oracle_ready: Option<u64> = None;
     let mut outcome: Option<(u64, MemLevel)> = None;
+    // Hoisted once per access: with no oracle configured (the common
+    // case), the per-level `applies` test is skipped entirely.
+    let ideal_active = ideal.any();
 
     for level in [MemLevel::L1d, MemLevel::L2c, MemLevel::Llc] {
         if level < start {
@@ -228,31 +233,31 @@ pub(crate) fn access_path(
             MemLevel::Llc => &mut *llc,
             MemLevel::Dram => unreachable!(),
         };
-        if let Some(r) = cache.mshr_merge(info, t) {
-            outcome = Some((r, level));
-            break;
+        match cache.probe(info, t) {
+            Probe::Ready(r) => {
+                outcome = Some((r, level));
+                break;
+            }
+            Probe::Miss { set } => {
+                if ideal_active && oracle_ready.is_none() && ideal.applies(level, info.class) {
+                    oracle_ready = Some(t + cache.latency());
+                }
+                missed[n_missed] = (level, set);
+                n_missed += 1;
+                t += cache.latency();
+            }
         }
-        if let Some(r) = cache.lookup(info, t) {
-            outcome = Some((r, level));
-            break;
-        }
-        if oracle_ready.is_none() && ideal.applies(level, info.class) {
-            oracle_ready = Some(t + cache.latency());
-        }
-        missed[n_missed] = level;
-        n_missed += 1;
-        t += cache.latency();
     }
 
     let (ready, served) = outcome.unwrap_or_else(|| (dram.access(info.line, t), MemLevel::Dram));
-    for &level in &missed[..n_missed] {
+    for &(level, set) in &missed[..n_missed] {
         let cache: &mut Cache = match level {
             MemLevel::L1d => &mut *l1d,
             MemLevel::L2c => &mut *l2c,
             MemLevel::Llc => &mut *llc,
             MemLevel::Dram => unreachable!(),
         };
-        let _ = cache.insert_miss(info, ready, cycle);
+        let _ = cache.insert_miss_at(set, info, ready, cycle);
     }
     match oracle_ready {
         Some(o) => (o.min(ready), served),
@@ -521,8 +526,11 @@ pub(crate) fn exec_instr_opts(
     let info = AccessInfo::demand(ip, line, class);
 
     // L1D prefetcher observes the demand stream (virtual addresses).
-    let l1_hit_before = core.l1d.contains(line);
-    if let Some(pf) = &mut core.l1_pf {
+    // The residency pre-probe (a full set scan) only runs when a
+    // prefetcher is attached — without one, nothing consumes it.
+    if core.l1_pf.is_some() {
+        let l1_hit_before = core.l1d.contains(line);
+        let pf = core.l1_pf.as_mut().expect("checked above");
         let ctx = PrefetchContext {
             ip,
             line,

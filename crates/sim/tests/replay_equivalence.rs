@@ -1,0 +1,57 @@
+//! Trace replay must be a perfect stand-in for the generator it
+//! captured: the sweep suite's shared trace cache relies on replayed
+//! runs producing *byte-identical* statistics, or resumed/cached sweeps
+//! would diverge from fresh ones.
+
+use std::sync::Arc;
+
+use atc_sim::{run_one, run_one_replay, SimConfig};
+use atc_workloads::{trace, BenchmarkId, Scale};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 10_000;
+const SEED: u64 = 42;
+
+/// Capturing a workload into a `Trace` and replaying it through
+/// `Machine::run` yields byte-identical `RunStats` to running the
+/// generator directly, for every benchmark at `Scale::Test`.
+#[test]
+fn replay_stats_are_byte_identical_to_generator_runs() {
+    let cfg = SimConfig::baseline();
+    for bench in BenchmarkId::ALL {
+        let context = format!("{}: run failed", bench.name());
+        let direct = run_one(&cfg, bench, Scale::Test, SEED, WARMUP, MEASURE).expect(&context);
+
+        let mut wl = bench.build(Scale::Test, SEED);
+        let captured = trace::capture(wl.as_mut(), (WARMUP + MEASURE) as usize);
+        let replayed = run_one_replay(&cfg, Arc::new(captured), WARMUP, MEASURE).expect(&context);
+
+        // RunStats carries histograms and nested counters without
+        // PartialEq; the Debug rendering covers every field, so equal
+        // strings means equal statistics bit for bit.
+        assert_eq!(
+            format!("{direct:?}"),
+            format!("{replayed:?}"),
+            "{}: replayed stats diverge from the generator-driven run",
+            bench.name()
+        );
+    }
+}
+
+/// The `TraceCache` path (lazy shared capture) goes through the same
+/// equivalence: a cached stream replayed twice gives the same stats.
+#[test]
+fn cached_replays_are_deterministic() {
+    let cfg = SimConfig::baseline();
+    let cache = trace::TraceCache::new();
+    let key = trace::StreamKey {
+        bench: BenchmarkId::Mcf,
+        scale: Scale::Test,
+        seed: SEED,
+        len: WARMUP + MEASURE,
+    };
+    let a = run_one_replay(&cfg, cache.get(key), WARMUP, MEASURE).expect("first replay");
+    let b = run_one_replay(&cfg, cache.get(key), WARMUP, MEASURE).expect("second replay");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(cache.streams(), 1, "both replays shared one capture");
+}

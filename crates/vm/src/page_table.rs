@@ -136,6 +136,40 @@ impl PageTable {
         Ok(table_frame.addr_with_offset(idx * PTE_SIZE))
     }
 
+    /// Visit the PTE address read at `start` and every level below it,
+    /// in walk order, using a single radix descent — the per-level
+    /// [`pte_addr`](Self::pte_addr) restarts from the root on each
+    /// call, which makes building a full walk plan quadratic in depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Walk`] if the path to the leaf has not been
+    /// populated.
+    pub fn pte_addrs_from(
+        &self,
+        vpn: Vpn,
+        start: PtLevel,
+        mut visit: impl FnMut(PtLevel, PhysAddr),
+    ) -> Result<(), SimError> {
+        let mut node = &self.root;
+        let mut cur = PtLevel::L5;
+        loop {
+            if cur.number() <= start.number() {
+                let idx = vpn.pt_index(cur);
+                visit(cur, node.frame.addr_with_offset(idx * PTE_SIZE));
+            }
+            let Some(next) = cur.next_towards_leaf() else {
+                return Ok(()); // the leaf PTE was just visited
+            };
+            let idx = vpn.pt_index(cur) as usize;
+            node = node.children[idx].as_deref().ok_or(SimError::Walk {
+                vpn: vpn.raw(),
+                level: cur.number(),
+            })?;
+            cur = next;
+        }
+    }
+
     /// Frame of the table read at `level` for `vpn` (L5 = CR3 frame).
     fn table_frame(&self, vpn: Vpn, level: PtLevel) -> Result<Pfn, SimError> {
         let mut node = &self.root;
@@ -215,6 +249,34 @@ mod tests {
             }
         }
         assert_eq!(pt.pte_addr(vpn, PtLevel::L3).unwrap(), addrs[2]);
+    }
+
+    #[test]
+    fn pte_addrs_from_matches_per_level_pte_addr() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(0x3_1415_9265);
+        pt.ensure_mapped(vpn);
+        for start in PtLevel::WALK_ORDER {
+            let mut got = Vec::new();
+            pt.pte_addrs_from(vpn, start, |lvl, addr| got.push((lvl, addr)))
+                .expect("mapped path exists");
+            let mut want = Vec::new();
+            let mut lvl = Some(start);
+            while let Some(l) = lvl {
+                want.push((l, pt.pte_addr(vpn, l).unwrap()));
+                lvl = l.next_towards_leaf();
+            }
+            assert_eq!(got, want, "walk from {start:?} diverged");
+        }
+    }
+
+    #[test]
+    fn pte_addrs_from_unmapped_is_a_walk_error() {
+        let pt = PageTable::new();
+        let err = pt
+            .pte_addrs_from(Vpn::new(1 << 29), PtLevel::L1, |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::Walk { level: 5, .. }), "{err}");
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct Tlb {
     clock: u64,
     stats: TlbStats,
     recall: Option<RecallProbe>,
+    /// `sets - 1` when the set count is a power of two (the validated
+    /// configurations always are), letting the per-instruction set
+    /// index be a mask instead of a 64-bit division.
+    set_mask: Option<u64>,
 }
 
 impl Tlb {
@@ -90,6 +94,7 @@ impl Tlb {
             clock: 0,
             stats: TlbStats::default(),
             recall: None,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
         }
     }
 
@@ -100,6 +105,7 @@ impl Tlb {
     }
 
     /// Access latency in cycles.
+    #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
     }
@@ -109,11 +115,16 @@ impl Tlb {
         self.sets.len()
     }
 
+    #[inline]
     fn set_of(&self, vpn: Vpn) -> usize {
-        (vpn.raw() % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (vpn.raw() & mask) as usize,
+            None => (vpn.raw() % self.sets.len() as u64) as usize,
+        }
     }
 
     /// Look up a translation, updating LRU and hit/miss statistics.
+    #[inline]
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
         self.clock += 1;
         let set = self.set_of(vpn);
@@ -137,6 +148,7 @@ impl Tlb {
 
     /// Probe without updating LRU or statistics (used by prefetchers that
     /// must not pollute training).
+    #[inline]
     pub fn peek(&self, vpn: Vpn) -> Option<Pfn> {
         let set = self.set_of(vpn);
         self.sets[set].iter().find(|e| e.vpn == vpn).map(|e| e.pfn)

@@ -111,7 +111,10 @@ impl TranslationEngine {
     /// but a corrupted PSC resume level would surface here instead of
     /// panicking.
     pub fn query(&mut self, vpn: Vpn) -> Result<TranslationQuery, SimError> {
-        let pfn = self.page_table.ensure_mapped(vpn);
+        // TLB hits short-circuit the radix descent: an entry can only
+        // have been filled by a completed walk, whose plan came from
+        // `ensure_mapped` — so the page is mapped and the cached PFN is
+        // the page table's answer.
         if let Some(p) = self.dtlb.lookup(vpn) {
             return Ok(TranslationQuery::DtlbHit(p));
         }
@@ -119,6 +122,7 @@ impl TranslationEngine {
             self.dtlb.fill(vpn, p);
             return Ok(TranslationQuery::StlbHit(p));
         }
+        let pfn = self.page_table.ensure_mapped(vpn);
         self.walks += 1;
         let start_level = match self.pscs.lookup(vpn) {
             // PSCL-k hit supplies the level-(k-1) table frame: resume
@@ -130,14 +134,10 @@ impl TranslationEngine {
             None => PtLevel::L5,
         };
         let mut steps = Vec::with_capacity(start_level.number() as usize);
-        let mut lvl = Some(start_level);
-        while let Some(l) = lvl {
-            steps.push(WalkStep {
-                level: l,
-                pte_addr: self.page_table.pte_addr(vpn, l)?,
-            });
-            lvl = l.next_towards_leaf();
-        }
+        self.page_table
+            .pte_addrs_from(vpn, start_level, |level, pte_addr| {
+                steps.push(WalkStep { level, pte_addr });
+            })?;
         Ok(TranslationQuery::Walk(WalkPlan {
             vpn,
             start_level,
@@ -174,16 +174,19 @@ impl TranslationEngine {
     }
 
     /// DTLB access latency (cycles).
+    #[inline]
     pub fn dtlb_latency(&self) -> u64 {
         self.dtlb.latency()
     }
 
     /// STLB access latency (cycles).
+    #[inline]
     pub fn stlb_latency(&self) -> u64 {
         self.stlb.latency()
     }
 
     /// PSC probe latency (cycles).
+    #[inline]
     pub fn psc_latency(&self) -> u64 {
         self.psc_latency
     }

@@ -112,7 +112,7 @@ pub trait Workload: Send {
 
 /// Footprint scaling so tests stay fast while experiments use
 /// paper-band footprints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {
     /// Tiny graphs/arrays for unit/integration tests (≈2–8 MiB).
     Test,

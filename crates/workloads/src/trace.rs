@@ -8,7 +8,10 @@
 //! * [`Trace::to_writer`] / [`Trace::from_reader`] serialize to a
 //!   compact binary format (16 bytes/record);
 //! * [`TraceReplay`] plays a trace back as a `Workload`, looping at the
-//!   end.
+//!   end;
+//! * [`TraceCache`] captures each distinct (benchmark, scale, seed,
+//!   length) stream exactly once and shares the immutable [`Trace`]
+//!   across any number of replays via [`Arc`].
 //!
 //! # Format
 //!
@@ -32,11 +35,13 @@
 //! assert_eq!(replay.next_instr(), t.get(0));
 //! ```
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use atc_types::VirtAddr;
 
-use crate::{Instr, MemOp, Workload};
+use crate::{BenchmarkId, Instr, MemOp, Scale, Workload};
 
 /// File magic: "ATCTRACE" truncated to 8 bytes.
 const MAGIC: [u8; 8] = *b"ATCTRC01";
@@ -107,6 +112,12 @@ impl Trace {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Approximate heap footprint of the recorded stream (16 bytes per
+    /// record), used to size the suite-wide trace cache.
+    pub fn size_bytes(&self) -> usize {
+        self.records.len() * 16
     }
 
     /// The `idx`-th instruction.
@@ -197,9 +208,13 @@ pub fn capture(wl: &mut dyn Workload, n: usize) -> Trace {
 
 /// Replays a [`Trace`] as an infinite [`Workload`] (wrapping around at
 /// the end).
+///
+/// The trace is held behind an [`Arc`], so any number of concurrent
+/// replays (one per sweep job) share a single captured stream without
+/// copying it.
 #[derive(Debug, Clone)]
 pub struct TraceReplay {
-    trace: Trace,
+    trace: Arc<Trace>,
     pos: usize,
 }
 
@@ -210,6 +225,15 @@ impl TraceReplay {
     ///
     /// Panics if the trace is empty.
     pub fn new(trace: Trace) -> Self {
+        Self::shared(Arc::new(trace))
+    }
+
+    /// Replay an already-shared trace without copying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn shared(trace: Arc<Trace>) -> Self {
         assert!(!trace.is_empty(), "cannot replay an empty trace");
         TraceReplay { trace, pos: 0 }
     }
@@ -224,6 +248,78 @@ impl Workload for TraceReplay {
         let i = self.trace.get(self.pos);
         self.pos = (self.pos + 1) % self.trace.len();
         i
+    }
+}
+
+/// Identifies one deterministic instruction stream: which generator,
+/// at which scale and seed, truncated to how many instructions.
+///
+/// The synthetic generators are pure functions of (benchmark, scale,
+/// seed), so two jobs with equal keys consume byte-identical streams
+/// and can share one capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamKey {
+    /// The workload generator.
+    pub bench: BenchmarkId,
+    /// Problem-size scale the generator was built at.
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+    /// Instructions captured (warmup + measure of the consuming run).
+    pub len: u64,
+}
+
+/// Suite-wide cache of captured instruction streams.
+///
+/// Each distinct [`StreamKey`] is captured exactly once — lazily, the
+/// first time a job asks for it — and every subsequent request gets a
+/// clone of the same `Arc<Trace>`. Initialization is keyed per stream:
+/// two workers racing on the *same* key block on one capture, while
+/// captures of *different* keys proceed concurrently (the map mutex is
+/// only held to look up the per-key [`OnceLock`], never during capture).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    slots: Mutex<HashMap<StreamKey, Arc<OnceLock<Arc<Trace>>>>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The shared trace for `key`, capturing it on first use.
+    pub fn get(&self, key: StreamKey) -> Arc<Trace> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            let mut wl = key.bench.build(key.scale, key.seed);
+            Arc::new(capture(wl.as_mut(), key.len as usize))
+        })
+        .clone()
+    }
+
+    /// A replay workload over the shared trace for `key`.
+    pub fn replay(&self, key: StreamKey) -> TraceReplay {
+        TraceReplay::shared(self.get(key))
+    }
+
+    /// Number of captured streams.
+    pub fn streams(&self) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.values().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Total heap footprint of all captured streams, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .values()
+            .filter_map(|s| s.get())
+            .map(|t| t.size_bytes())
+            .sum()
     }
 }
 
@@ -291,6 +387,63 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_replay_panics() {
         TraceReplay::new(Trace::new());
+    }
+
+    #[test]
+    fn cache_captures_each_key_once_and_shares_it() {
+        let cache = TraceCache::new();
+        let key = StreamKey {
+            bench: BenchmarkId::Pr,
+            scale: Scale::Test,
+            seed: 42,
+            len: 300,
+        };
+        let a = cache.get(key);
+        let b = cache.get(key);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one capture");
+        assert_eq!(cache.streams(), 1);
+        assert_eq!(cache.footprint_bytes(), 300 * 16);
+
+        // A different seed is a different stream.
+        let c = cache.get(StreamKey { seed: 43, ..key });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.streams(), 2);
+
+        // The cached stream is exactly what a fresh generator yields.
+        let mut wl = BenchmarkId::Pr.build(Scale::Test, 42);
+        let direct = capture(wl.as_mut(), 300);
+        assert_eq!(*a, direct);
+
+        // Replays over the shared trace start at position 0 each.
+        let mut r0 = cache.replay(key);
+        let mut r1 = cache.replay(key);
+        assert_eq!(r0.next_instr(), direct.get(0));
+        assert_eq!(r0.next_instr(), direct.get(1));
+        assert_eq!(r1.next_instr(), direct.get(0));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(TraceCache::new());
+        let key = StreamKey {
+            bench: BenchmarkId::Canneal,
+            scale: Scale::Test,
+            seed: 7,
+            len: 200,
+        };
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.get(key))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.streams(), 1, "racing threads must capture once");
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
     }
 
     #[test]
