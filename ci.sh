@@ -63,6 +63,48 @@ $SUITE $SUITE_FLAGS --figures fig16 --jobs 4 --max-jobs 5 \
 $SUITE $SUITE_FLAGS --figures fig16 --jobs 4 --resume --check \
     --assert-executed 13 --manifest target/ci-resume.jsonl > /dev/null
 
+echo "==> fault-plan smoke (seeded panic+transient+stall+torn, then heal)"
+# A faulted pass may legitimately leave failed/panicked records (the
+# point is that the process survives and records them); the healing
+# pass resumes with faults off, re-executes every non-ok record, and
+# must render stdout byte-identical to a clean run.
+rm -f target/ci-fault.jsonl target/ci-clean.jsonl
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 4 \
+    --manifest target/ci-clean.jsonl > target/ci-clean.out
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 4 --flush-every 1 \
+    --retries 2 --backoff-ms 1 --deadline-ms 60000 \
+    --fault-plan "7:panic@0.4,transient@0.4,stall5@0.4,torn@0.5" \
+    --manifest target/ci-fault.jsonl > /dev/null || true
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 4 --resume --retry-failed \
+    --check --manifest target/ci-fault.jsonl > target/ci-healed.out
+diff target/ci-clean.out target/ci-healed.out
+
+echo "==> SIGKILL resume smoke (kill -9 mid-sweep, resume byte-identical)"
+# The crash point is fault-plan-chosen: fig16 schedules tempo/* jobs
+# ahead of base/*, so stalling key=base/ parks the tail of the sweep
+# while the tempo records flush (--flush-every 1); we kill -9 once the
+# manifest shows progress, then --resume must complete the sweep with
+# stdout byte-identical to the clean run above. The same scenario runs
+# as a cargo test (crates/experiments/tests/crash_resume.rs); this
+# smoke exercises it against the release binary with a real kill -9.
+rm -f target/ci-sigkill.jsonl
+cargo build --offline --release -q -p atc-experiments --bin suite
+target/release/suite $SUITE_FLAGS --figures fig14,fig16 --jobs 2 \
+    --flush-every 1 --fault-plan "42:stall30000@key=base/" \
+    --manifest target/ci-sigkill.jsonl > /dev/null 2>&1 &
+SUITE_PID=$!
+tries=0
+until [ -s target/ci-sigkill.jsonl ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 1200 ] || { echo "manifest never progressed"; exit 1; }
+    sleep 0.1
+done
+kill -9 "$SUITE_PID"
+wait "$SUITE_PID" 2>/dev/null || true
+$SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 2 --resume --check \
+    --manifest target/ci-sigkill.jsonl > target/ci-sigkill.out
+diff target/ci-clean.out target/ci-sigkill.out
+
 echo "==> telemetry smoke (telemetry_study --json target/telemetry_smoke.json)"
 # Runs a small workload with telemetry attached; the example itself
 # exits nonzero if telemetry counters fail to reconcile with RunStats,

@@ -57,7 +57,46 @@ fn check(path: &str) -> Result<String, String> {
             return Err(format!("result {i} ({name}): elems without elems_per_s"));
         }
     }
+    check_fault_counters(results)?;
     Ok(format!("{} results", results.len()))
+}
+
+/// Gate the deterministic fault-exercise counters emitted by the
+/// `harness_scaling` bench. The exercise is fully deterministic (fixed
+/// job sets, attempt-keyed failures, hand-built file damage), so each
+/// counter — encoded with `elems_per_s` holding the count itself — must
+/// match its exact expected value when present; drift means a scheduler
+/// retry, deadline-watchdog, or manifest-recovery path regressed.
+fn check_fault_counters(results: &[Value]) -> Result<(), String> {
+    const EXPECTED: [(&str, f64); 3] = [
+        ("harness/retries", 6.0),
+        ("harness/timeouts", 1.0),
+        ("harness/corrupt_records", 2.0),
+    ];
+    let lookup = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some(name))
+    };
+    let present = EXPECTED.iter().filter(|(n, _)| lookup(n).is_some()).count();
+    if present == 0 {
+        return Ok(()); // trajectory predates the fault exercise
+    }
+    for (name, expected) in EXPECTED {
+        let r = lookup(name).ok_or(format!(
+            "fault counters are incomplete: {name} missing while others are present"
+        ))?;
+        let got = r
+            .get("elems_per_s")
+            .and_then(Value::as_f64)
+            .ok_or(format!("{name}: missing elems_per_s"))?;
+        if got != expected {
+            return Err(format!(
+                "{name}: expected exactly {expected}, got {got} — a fault path regressed"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Non-gating worker-scaling report: print suite throughput at 1 vs 4

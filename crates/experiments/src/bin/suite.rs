@@ -11,6 +11,8 @@
 //! suite [common flags] [--jobs N] [--manifest PATH] [--resume]
 //!       [--figures fig14,fig17,...] [--retries N]
 //!       [--max-jobs N] [--assert-executed N]
+//!       [--fault-plan SEED:SPEC] [--deadline-ms N] [--backoff-ms N]
+//!       [--flush-every N] [--fsync] [--retry-failed]
 //! ```
 //!
 //! * `--manifest PATH`   checkpoint file (default `suite-manifest.jsonl`)
@@ -21,16 +23,33 @@
 //!   resume smoke: run half, rerun with `--resume`)
 //! * `--assert-executed N` with `--check`: fail unless exactly N jobs
 //!   were executed (not resumed) this run
+//! * `--fault-plan S:F`  seeded fault injection, e.g.
+//!   `42:panic@0.1,transient@0.2,stall50@key=mcf,torn@0.5` (robustness
+//!   smokes; see `atc_harness::fault`)
+//! * `--deadline-ms N`   per-job deadline; a watchdog cancels attempts
+//!   that exceed it, salvaging partial metrics
+//! * `--backoff-ms N`    base delay for seeded exponential backoff
+//!   between transient retries (default 0 = immediate)
+//! * `--flush-every N`   manifest records buffered per write batch
+//!   (default 32; 1 = persist every record immediately)
+//! * `--fsync`           `sync_data` the manifest at checkpoints
+//! * `--retry-failed`    with `--resume`: re-execute failed/panicked
+//!   records instead of treating them as terminal
 //!
-//! Tables go to stdout; progress and timing go to stderr.
+//! Tables go to stdout; progress, timing, and the end-of-run fault
+//! tally go to stderr — stdout stays byte-identical across resumes,
+//! worker counts, and fault plans (as long as every job eventually
+//! succeeds).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use atc_experiments::sweeps::{build_jobs, catalog, render_sweep, sweeps, Budget, SweepDef};
 use atc_experiments::{Checks, Opts};
-use atc_harness::{run_with_manifest, Manifest, Metrics, Progress, Scheduler};
+use atc_harness::{
+    run_with_manifest_opts, FaultPlan, Manifest, Metrics, Progress, Scheduler, SweepOptions,
+};
 use atc_workloads::trace::TraceCache;
 
 #[derive(Debug)]
@@ -41,6 +60,12 @@ struct SuiteArgs {
     retries: u32,
     max_jobs: Option<usize>,
     assert_executed: Option<usize>,
+    fault_plan: Option<String>,
+    deadline_ms: Option<u64>,
+    backoff_ms: u64,
+    flush_every: Option<usize>,
+    fsync: bool,
+    retry_failed: bool,
 }
 
 impl Default for SuiteArgs {
@@ -52,6 +77,12 @@ impl Default for SuiteArgs {
             retries: 1,
             max_jobs: None,
             assert_executed: None,
+            fault_plan: None,
+            deadline_ms: None,
+            backoff_ms: 0,
+            flush_every: None,
+            fsync: false,
+            retry_failed: false,
         }
     }
 }
@@ -87,6 +118,17 @@ fn split_args(args: impl Iterator<Item = String>) -> Result<(SuiteArgs, Vec<Stri
                 suite.assert_executed =
                     Some(numeric("--assert-executed", value("--assert-executed")?)? as usize)
             }
+            "--fault-plan" => suite.fault_plan = Some(value("--fault-plan")?),
+            "--deadline-ms" => {
+                suite.deadline_ms = Some(numeric("--deadline-ms", value("--deadline-ms")?)?)
+            }
+            "--backoff-ms" => suite.backoff_ms = numeric("--backoff-ms", value("--backoff-ms")?)?,
+            "--flush-every" => {
+                suite.flush_every =
+                    Some(numeric("--flush-every", value("--flush-every")?)? as usize)
+            }
+            "--fsync" => suite.fsync = true,
+            "--retry-failed" => suite.retry_failed = true,
             _ => rest.push(a),
         }
     }
@@ -130,7 +172,9 @@ fn main() -> ExitCode {
                 "usage: suite [--seed N] [--scale test|small|paper] [--warmup N] \
                  [--instructions N] [--benchmarks a,b,c] [--jobs N] [--csv] [--check] \
                  [--manifest PATH] [--resume] [--figures a,b] [--retries N] \
-                 [--max-jobs N] [--assert-executed N]"
+                 [--max-jobs N] [--assert-executed N] [--fault-plan SEED:SPEC] \
+                 [--deadline-ms N] [--backoff-ms N] [--flush-every N] [--fsync] \
+                 [--retry-failed]"
             );
             return ExitCode::from(2);
         }
@@ -164,6 +208,15 @@ fn main() -> ExitCode {
         }
     }
 
+    let fault = match suite.fault_plan.as_deref().map(FaultPlan::parse) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(msg)) => {
+            eprintln!("error: bad --fault-plan: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
     let mut manifest = match Manifest::open(std::path::Path::new(&suite.manifest), suite.resume) {
         Ok(m) => m,
         Err(e) => {
@@ -171,8 +224,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = suite.flush_every {
+        manifest = manifest.with_flush_every(n);
+    }
+    manifest = manifest.with_fsync(suite.fsync);
+    if let Some(plan) = &fault {
+        manifest = manifest.with_faults(plan.clone());
+    }
 
-    let scheduler = Scheduler::new(opts.worker_count()).with_retries(suite.retries);
+    let mut scheduler = Scheduler::new(opts.worker_count())
+        .with_retries(suite.retries)
+        .with_backoff(Duration::from_millis(suite.backoff_ms), opts.seed);
+    if let Some(ms) = suite.deadline_ms {
+        scheduler = scheduler.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(plan) = &fault {
+        scheduler = scheduler.with_faults(plan.clone());
+        eprintln!("suite: fault plan active (seed {})", plan.seed());
+    }
     let progress = Progress::new();
     eprintln!(
         "suite: {} jobs across {} sweeps on {} workers (manifest: {})",
@@ -186,16 +255,29 @@ fn main() -> ExitCode {
     // consumes the same (bench, scale, seed, length); capture happens
     // lazily inside the workers, once per distinct stream.
     let traces = TraceCache::new();
-    let outcome =
-        match run_with_manifest(&scheduler, &progress, &mut manifest, &jobs, |_key, job| {
-            job.run(&traces)
-        }) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("error: manifest write failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let outcome = match run_with_manifest_opts(
+        &scheduler,
+        &progress,
+        &mut manifest,
+        &jobs,
+        |_key, job, ctx| job.run(&traces, &ctx.cancel),
+        SweepOptions {
+            retry_failed: suite.retry_failed,
+        },
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: manifest write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Fold what recovery repaired (plus run-time supersedes) into the
+    // progress counters, then print the end-of-run fault tally.
+    let recovery = manifest.recovery().clone();
+    progress.corrupt_records(recovery.corrupt as u64);
+    progress.duplicate_records(recovery.duplicates as u64);
+    let snap = progress.snapshot();
+    let counter = |name: &str| snap.counter_value(name).unwrap_or(0);
     let failed: Vec<_> = outcome.records.iter().filter(|r| !r.is_ok()).collect();
     eprintln!(
         "suite: {} executed, {} resumed, {} failed in {:.1}s",
@@ -203,6 +285,25 @@ fn main() -> ExitCode {
         outcome.resumed,
         failed.len(),
         t0.elapsed().as_secs_f64(),
+    );
+    eprintln!(
+        "suite: fault tally: {} retried, {} timed out, {} panicked, {} corrupt record(s) \
+         skipped, {} duplicate record(s) superseded{}{}",
+        counter("harness.jobs_retried"),
+        counter("harness.jobs_timeout"),
+        counter("harness.jobs_panicked"),
+        recovery.corrupt,
+        recovery.duplicates,
+        if recovery.torn_tail {
+            ", torn manifest tail truncated"
+        } else {
+            ""
+        },
+        if manifest.pending() > 0 {
+            " (unflushed records pending!)"
+        } else {
+            ""
+        },
     );
     eprintln!(
         "suite: {} instruction streams captured ({:.1} MiB shared)",

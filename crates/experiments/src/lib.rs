@@ -227,7 +227,7 @@ impl Opts {
     {
         let scheduler = Scheduler::new(self.worker_count());
         let progress = Progress::new();
-        let runs = scheduler.run(&items, &progress, |key, item| Ok(job(key, item)));
+        let runs = scheduler.run(&items, &progress, |key, item, _ctx| Ok(job(key, item)));
         // Accumulate skips locally and merge into the shared log in one
         // lock acquisition at the barrier.
         let mut skipped = Vec::new();

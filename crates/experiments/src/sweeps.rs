@@ -22,10 +22,12 @@ use std::collections::BTreeMap;
 use atc_core::{Enhancement, IdealConfig, PolicyChoice};
 use atc_harness::{JobError, JobSpec, Metrics};
 use atc_prefetch::PrefetcherKind;
-use atc_sim::{run_multicore, run_one_replay, run_smt, Probes, SimConfig};
+use atc_sim::{
+    run_multicore_cancellable, run_one_replay_cancel, run_smt_cancellable, Probes, SimConfig,
+};
 use atc_stats::table::Table;
 use atc_stats::{geomean, harmonic_speedup};
-use atc_types::{AccessClass, MemLevel, PtLevel};
+use atc_types::{AccessClass, CancelToken, MemLevel, PtLevel};
 use atc_workloads::trace::{StreamKey, TraceCache};
 use atc_workloads::{BenchmarkId, Scale, Workload};
 
@@ -350,16 +352,28 @@ impl SweepJob {
     /// the synthetic generator (see [`TraceCache`]); capture happens
     /// lazily on the first job that needs a stream.
     ///
+    /// `cancel` is polled cooperatively inside the access loops: the
+    /// scheduler's deadline watchdog cancels it to reclaim a runaway
+    /// job, which then fails *permanently* (a retry would hit the same
+    /// deadline) with whatever partial statistics the run had produced.
+    ///
     /// # Errors
     ///
     /// Simulation failures become [`JobError`]s — deadlocks transient
-    /// (retryable), everything else permanent — with partial statistics
-    /// salvaged when the machine had started executing.
-    pub fn run(&self, traces: &TraceCache) -> Result<Metrics, JobError> {
+    /// (retryable), cancellations and everything else permanent — with
+    /// partial statistics salvaged when the machine had started
+    /// executing.
+    pub fn run(&self, traces: &TraceCache, cancel: &CancelToken) -> Result<Metrics, JobError> {
         let streams = self.streams();
         match self {
             SweepJob::Single { cfg, budget, .. } => {
-                match run_one_replay(cfg, traces.get(streams[0]), budget.warmup, budget.measure) {
+                match run_one_replay_cancel(
+                    cfg,
+                    traces.get(streams[0]),
+                    budget.warmup,
+                    budget.measure,
+                    cancel,
+                ) {
                     Ok(stats) => Ok(metrics_of(&stats)),
                     Err(failure) => {
                         let mut err = JobError {
@@ -377,8 +391,15 @@ impl SweepJob {
             SweepJob::Smt { cfg, budget, .. } => {
                 let mut w0 = traces.replay(streams[0]);
                 let mut w1 = traces.replay(streams[1]);
-                let stats = run_smt(cfg, &mut w0, &mut w1, budget.warmup, budget.measure)
-                    .map_err(sim_job_error)?;
+                let stats = run_smt_cancellable(
+                    cfg,
+                    &mut w0,
+                    &mut w1,
+                    budget.warmup,
+                    budget.measure,
+                    Some(cancel),
+                )
+                .map_err(sim_job_error)?;
                 let mut m = Metrics::new();
                 for (i, thread) in stats.threads.iter().enumerate() {
                     m.push(&format!("cycles{i}"), thread.cycles as f64);
@@ -391,8 +412,14 @@ impl SweepJob {
                     .iter()
                     .map(|&k| Box::new(traces.replay(k)) as Box<dyn Workload>)
                     .collect();
-                let cores = run_multicore(cfg, &mut wls, budget.warmup, budget.measure)
-                    .map_err(sim_job_error)?;
+                let cores = run_multicore_cancellable(
+                    cfg,
+                    &mut wls,
+                    budget.warmup,
+                    budget.measure,
+                    Some(cancel),
+                )
+                .map_err(sim_job_error)?;
                 let mut m = Metrics::new();
                 for (i, core) in cores.iter().enumerate() {
                     m.push(&format!("cycles{i}"), core.cycles as f64);

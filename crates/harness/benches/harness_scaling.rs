@@ -18,9 +18,20 @@
 //! cargo bench -p atc-harness --bench harness_scaling -- \
 //!     --samples 3 --append --json BENCH_sim.json
 //! ```
+//!
+//! After the timed curve, an untimed **fault exercise** drives the
+//! scheduler's retry path, the deadline watchdog, and manifest
+//! recovery once each, and records the resulting counters as derived
+//! `harness/retries`, `harness/timeouts` and `harness/corrupt_records`
+//! lines (same encoding as `speedup_w4`: `elems_per_s` *is* the count).
+//! The exercise is fully deterministic, so `check_bench_json` gates on
+//! the exact expected values — a silent regression in any of those
+//! failure paths turns the trajectory check red.
+
+use std::time::{Duration, Instant};
 
 use atc_core::Enhancement;
-use atc_harness::{JobError, JobStatus, Metrics, Progress, Scheduler};
+use atc_harness::{JobError, JobStatus, Manifest, Metrics, Progress, Scheduler};
 use atc_sim::{run_one_replay, SimConfig};
 use atc_workloads::trace::{StreamKey, TraceCache};
 use atc_workloads::{BenchmarkId, Scale};
@@ -56,19 +67,24 @@ fn main() {
         let scheduler = Scheduler::new(workers);
         reporter.bench_throughput(&format!("harness/suite_w{workers}"), 3, total_jobs, || {
             let progress = Progress::new();
-            let runs = scheduler.run(&jobs, &progress, |_key, (cfg, bench)| match run_one_replay(
-                cfg,
-                traces.get(stream_of(*bench)),
-                WARMUP,
-                MEASURE,
-            ) {
-                Ok(stats) => Ok(Metrics::from([("ipc", stats.core.ipc())])),
-                Err(failure) => Err(JobError {
-                    message: failure.error.to_string(),
-                    transient: failure.error.is_deadlock(),
-                    partial: None,
-                }),
-            });
+            let runs =
+                scheduler.run(
+                    &jobs,
+                    &progress,
+                    |_key, (cfg, bench), _ctx| match run_one_replay(
+                        cfg,
+                        traces.get(stream_of(*bench)),
+                        WARMUP,
+                        MEASURE,
+                    ) {
+                        Ok(stats) => Ok(Metrics::from([("ipc", stats.core.ipc())])),
+                        Err(failure) => Err(JobError {
+                            message: failure.error.to_string(),
+                            transient: failure.error.is_deadlock(),
+                            partial: None,
+                        }),
+                    },
+                );
             assert!(
                 runs.iter().all(|r| matches!(r.status, JobStatus::Ok(_))),
                 "scaling bench expects every job to succeed"
@@ -101,7 +117,110 @@ fn main() {
         });
     }
 
+    for (name, count) in fault_exercise() {
+        println!("{name}: {count}");
+        const SECOND_NS: u64 = 1_000_000_000;
+        reporter.record(atc_bench::BenchResult {
+            name: name.to_string(),
+            samples: 0, // derived, not timed
+            min_ns: 1000 * SECOND_NS,
+            median_ns: 1000 * SECOND_NS,
+            mean_ns: 1000 * SECOND_NS,
+            elems: Some(count * 1000),
+        });
+    }
+
     reporter.finish();
+}
+
+/// Drive the scheduler's retry path, the deadline watchdog, and
+/// manifest recovery once each and return the observed counters.
+/// Everything here is deterministic — fixed job sets, attempt-keyed
+/// failures, a guaranteed-runaway job, hand-built file damage — so the
+/// counts are exact constants that `check_bench_json` can gate on.
+fn fault_exercise() -> [(&'static str, u64); 3] {
+    // Retry path: six jobs each fail transiently on their first attempt
+    // and succeed on the second — exactly six retries.
+    let jobs: Vec<(String, u64)> = (0..6).map(|i| (format!("retry/j{i}"), i)).collect();
+    let progress = Progress::new();
+    let runs = Scheduler::new(2)
+        .with_retries(2)
+        .run(&jobs, &progress, |_key, &i, ctx| {
+            if ctx.attempt == 1 {
+                return Err(JobError::transient("first attempt always fails"));
+            }
+            Ok(Metrics::from([("i", i as f64)]))
+        });
+    assert!(
+        runs.iter().all(|r| matches!(r.status, JobStatus::Ok(_))),
+        "every retried job must succeed on its second attempt"
+    );
+    let retries = counter(&progress, "harness.jobs_retried");
+
+    // Deadline path: one cooperative runaway job loops until the
+    // watchdog cancels its token — exactly one timeout.
+    let jobs = vec![("runaway".to_string(), ())];
+    let progress = Progress::new();
+    let runs = Scheduler::new(1)
+        .with_deadline(Duration::from_millis(20))
+        .run(&jobs, &progress, |_key, (), ctx| {
+            let start = Instant::now();
+            while !ctx.cancel.is_cancelled() {
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "watchdog never fired"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err::<Metrics, _>(JobError::permanent("cancelled by deadline"))
+        });
+    assert!(matches!(runs[0].status, JobStatus::Failed(_)));
+    let timeouts = counter(&progress, "harness.jobs_timeout");
+
+    // Recovery path: a manifest with two intact records, one garbage
+    // line, and one checksum-damaged line — exactly two corrupt lines
+    // skipped on open.
+    let path = std::env::temp_dir().join(format!(
+        "atc-harness-bench-faults-{}.jsonl",
+        std::process::id()
+    ));
+    let damaged = {
+        let mut m = Manifest::open(&path, false).expect("open scratch manifest");
+        for key in ["good/a", "good/b", "doomed/c"] {
+            m.append(sample_record(key)).expect("append");
+        }
+        m.checkpoint().expect("checkpoint");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        // Damage the last record's checksum and plant a garbage line.
+        format!("garbage line\n{}", text.replace("doomed/c", "doomed/X"))
+    };
+    std::fs::write(&path, damaged).expect("write damage");
+    let m = Manifest::open(&path, true).expect("recovery never errors");
+    assert_eq!(m.len(), 2, "the intact records load");
+    let corrupt = m.recovery().corrupt as u64;
+    drop(m);
+    let _ = std::fs::remove_file(&path);
+
+    [
+        ("harness/retries", retries),
+        ("harness/timeouts", timeouts),
+        ("harness/corrupt_records", corrupt),
+    ]
+}
+
+fn counter(progress: &Progress, name: &str) -> u64 {
+    progress.snapshot().counter_value(name).unwrap_or(0)
+}
+
+fn sample_record(key: &str) -> atc_harness::Record {
+    atc_harness::Record {
+        key: key.to_string(),
+        status: "ok".to_string(),
+        attempts: 1,
+        wall_micros: 1,
+        metrics: Metrics::from([("ipc", 1.0)]),
+        error: None,
+    }
 }
 
 fn stream_of(bench: BenchmarkId) -> StreamKey {

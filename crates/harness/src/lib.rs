@@ -11,16 +11,23 @@
 //! 1. [`JobSpec`] / [`Grid`] ([`spec`]) — a job's deterministic identity
 //!    and the builder that expands sweeps into spec-ordered job lists.
 //! 2. [`Scheduler`] ([`scheduler`]) — a bounded work-stealing worker
-//!    pool over [`std::thread::scope`] with per-job panic capture and
-//!    bounded retry of transient failures.
+//!    pool over [`std::thread::scope`] with per-job panic capture,
+//!    bounded retry of transient failures (with seeded exponential
+//!    backoff), and a per-job deadline watchdog that cancels runaway
+//!    attempts through each attempt's [`JobCtx`] cancellation token.
 //! 3. [`Manifest`] / [`run_with_manifest`] ([`manifest`]) — append-only
-//!    `manifest.jsonl` checkpointing: rerunning a half-finished sweep
-//!    re-executes only the jobs without a terminal record, and metric
-//!    values round-trip bit-exactly so resumed aggregation is
-//!    byte-identical to a fresh run.
+//!    `manifest.jsonl` checkpointing with checksummed records and
+//!    skip-and-log recovery: rerunning a half-finished (or crashed)
+//!    sweep re-executes only the jobs without a usable terminal record,
+//!    and metric values round-trip bit-exactly so resumed aggregation
+//!    is byte-identical to a fresh run. Records stream to disk as jobs
+//!    complete, so even SIGKILL loses at most the unflushed tail.
 //! 4. [`Progress`] ([`progress`]) — queued/running/done/failed/panicked
-//!    counters and a per-job wall-time histogram in an `atc-obs`
-//!    [`Registry`](atc_obs::Registry).
+//!    /timeout counters and a per-job wall-time histogram in an
+//!    `atc-obs` [`Registry`](atc_obs::Registry).
+//! 5. [`FaultPlan`] ([`fault`]) — seeded, deterministic fault injection
+//!    (panics, transient errors, stalls, torn manifest writes) for
+//!    exercising every failure path above from tests and CI smokes.
 //!
 //! The crate knows nothing about the simulator: jobs carry an opaque
 //! payload and a runner closure, and config deltas are referenced by
@@ -52,7 +59,7 @@
 //!     &progress,
 //!     &mut manifest,
 //!     &jobs,
-//!     |_key, spec| Ok(Metrics::from([("seed", spec.seed as f64)])),
+//!     |_key, spec, _ctx| Ok(Metrics::from([("seed", spec.seed as f64)])),
 //! )
 //! .unwrap();
 //! assert_eq!(out.executed, 2);
@@ -60,12 +67,17 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod fault;
 pub mod manifest;
 pub mod progress;
 pub mod scheduler;
 pub mod spec;
 
-pub use manifest::{run_with_manifest, Manifest, Metrics, Record, SweepOutcome};
+pub use fault::FaultPlan;
+pub use manifest::{
+    run_with_manifest, run_with_manifest_opts, Manifest, Metrics, Record, Recovery, SweepOptions,
+    SweepOutcome,
+};
 pub use progress::Progress;
-pub use scheduler::{JobError, JobRun, JobStatus, Scheduler};
+pub use scheduler::{JobCtx, JobError, JobRun, JobStatus, Scheduler};
 pub use spec::{key_hash, Grid, JobSpec};

@@ -1,23 +1,37 @@
-//! Checkpoint/resume via an append-only `manifest.jsonl`.
+//! Crash-tolerant checkpoint/resume via an append-only `manifest.jsonl`
+//! job store.
 //!
 //! Every terminal job outcome is one JSON line keyed by the job's
-//! deterministic key (and its FNV-1a hash as a short id):
+//! deterministic key (and its FNV-1a hash as a short id), sealed by a
+//! per-record FNV-1a checksum over the rendered line:
 //!
 //! ```json
-//! {"v":1,"key":"tempo/mcf/s42/test/w1000/m10000","hash":"8b1f...cd02",
+//! {"v":2,"key":"tempo/mcf/s42/test/w1000/m10000","hash":"8b1f...cd02",
 //!  "status":"ok","attempts":1,"wall_us":5123,
-//!  "metrics":{"ipc":0.612,"llc_mpki":11.3},"error":null}
+//!  "metrics":{"ipc":0.612,"llc_mpki":11.3},"error":null,"ck":"9a41...77c0"}
 //! ```
 //!
 //! Appends are buffered: records accumulate in memory and reach the
 //! file in batches (every [`Manifest::DEFAULT_FLUSH_EVERY`] records, on
-//! an explicit [`Manifest::flush`] at checkpoint boundaries, and on
+//! an explicit [`Manifest::flush`]/[`Manifest::checkpoint`], and on
 //! drop), so a sweep pays one syscall pair per batch instead of per
-//! job. Each flush writes whole `line\n` records; a crash can at worst
-//! lose the *unflushed tail* — whose jobs simply re-execute on resume —
-//! plus a partial trailing line, which [`Manifest::open`] detects,
-//! drops, and truncates away. A corrupt line anywhere else is real
-//! damage and is reported as an error rather than silently skipped.
+//! job. Each flush writes whole `line\n` records; a crash — including a
+//! SIGKILL mid-`write(2)` — can at worst lose the *unflushed tail*,
+//! whose jobs simply re-execute on resume, plus leave damage that
+//! [`Manifest::open`] recovers from rather than erroring on:
+//!
+//! * a **torn trailing line** (no newline) is dropped and truncated
+//!   away so future appends start on a clean boundary;
+//! * a **corrupt interior line** (checksum mismatch, bad JSON, an old
+//!   `v:1` record) is *skipped and logged* — its job re-executes and a
+//!   fresh record is appended;
+//! * a **duplicate key** (a retry that re-ran a job whose record did
+//!   reach the file, e.g. after a torn flush lost the tail *after* the
+//!   record's bytes landed) resolves **last-writer-wins**, making
+//!   record replay idempotent.
+//!
+//! Anything recovery had to repair is summarized in one stderr line and
+//! exposed via [`Manifest::recovery`] for the suite's end-of-run tally.
 //!
 //! Metric values are `f64`s rendered with Rust's shortest round-trip
 //! formatting, so a value read back from the manifest is bit-identical
@@ -27,14 +41,17 @@
 //! [`Metrics::push`] drops them; absent metrics render as `n/a`
 //! downstream, same as a failed job.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use atc_bench::json::{parse, Value};
 
+use crate::fault::FaultPlan;
 use crate::progress::Progress;
-use crate::scheduler::{JobError, JobRun, JobStatus, Scheduler};
+use crate::scheduler::{JobCtx, JobError, JobRun, JobStatus, Scheduler};
 use crate::spec::key_hash;
 
 /// Named scalar results of one job, in insertion order.
@@ -118,6 +135,9 @@ impl<const N: usize> From<[(&str, f64); N]> for Metrics {
     }
 }
 
+/// Manifest line format version written by this crate.
+const MANIFEST_VERSION: f64 = 2.0;
+
 /// One manifest line: a job's terminal outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -144,16 +164,18 @@ impl Record {
 
     /// Convert a scheduler [`JobRun`] into a manifest record, salvaging
     /// partial metrics from failed jobs.
-    pub fn from_run(run: JobRun<Metrics>) -> Record {
-        let (status, metrics, error) = match run.status {
-            JobStatus::Ok(m) => ("ok", m, None),
-            JobStatus::Failed(err) => {
-                ("failed", err.partial.unwrap_or_default(), Some(err.message))
-            }
-            JobStatus::Panicked(msg) => ("panicked", Metrics::new(), Some(msg)),
+    pub fn from_run(run: &JobRun<Metrics>) -> Record {
+        let (status, metrics, error) = match &run.status {
+            JobStatus::Ok(m) => ("ok", m.clone(), None),
+            JobStatus::Failed(err) => (
+                "failed",
+                err.partial.clone().unwrap_or_default(),
+                Some(err.message.clone()),
+            ),
+            JobStatus::Panicked(msg) => ("panicked", Metrics::new(), Some(msg.clone())),
         };
         Record {
-            key: run.key,
+            key: run.key.clone(),
             status: status.to_string(),
             attempts: run.attempts,
             wall_micros: run.wall_micros,
@@ -167,13 +189,17 @@ impl Record {
         key_hash(&self.key)
     }
 
-    fn to_json_line(&self) -> String {
+    /// Render this record as one checksummed manifest line (no trailing
+    /// newline). The `ck` field is the FNV-1a hash of every byte of the
+    /// line before it, so any single-byte damage — torn writes, bit
+    /// rot, hand edits — fails verification on read.
+    pub fn to_json_line(&self) -> String {
         let error = match &self.error {
             Some(msg) => Value::String(msg.clone()),
             None => Value::Null,
         };
-        Value::Object(vec![
-            ("v".into(), Value::Number(1.0)),
+        let body = Value::Object(vec![
+            ("v".into(), Value::Number(MANIFEST_VERSION)),
             ("key".into(), Value::String(self.key.clone())),
             (
                 "hash".into(),
@@ -185,13 +211,33 @@ impl Record {
             ("metrics".into(), self.metrics.to_json()),
             ("error".into(), error),
         ])
-        .render()
+        .render();
+        // Splice the checksum in as the final member: everything up to
+        // (and excluding) the closing brace is the checksummed trunk.
+        let trunk = &body[..body.len() - 1];
+        format!("{trunk},\"ck\":\"{:016x}\"}}", key_hash(trunk))
     }
 
-    fn from_json_line(line: &str) -> Result<Record, String> {
-        let v = parse(line)?;
+    /// Parse one checksummed manifest line.
+    ///
+    /// # Errors
+    ///
+    /// A description of the damage: missing/mismatched checksum, bad
+    /// JSON, an unsupported version (including pre-checksum `v:1`
+    /// lines), a key/hash mismatch, or missing fields.
+    pub fn from_json_line(line: &str) -> Result<Record, String> {
+        let ck_at = line.rfind(",\"ck\":\"").ok_or("missing checksum")?;
+        let trunk = &line[..ck_at];
+        let ck_hex = line[ck_at + 7..]
+            .strip_suffix("\"}")
+            .ok_or("malformed checksum suffix")?;
+        let ck = u64::from_str_radix(ck_hex, 16).map_err(|_| "checksum is not hex")?;
+        if ck != key_hash(trunk) {
+            return Err("checksum mismatch (record damaged)".into());
+        }
+        let v = parse(&format!("{trunk}}}"))?;
         let version = v.get("v").and_then(Value::as_f64).ok_or("missing v")?;
-        if version != 1.0 {
+        if version != MANIFEST_VERSION {
             return Err(format!("unsupported manifest version {version}"));
         }
         let key = v
@@ -239,12 +285,42 @@ impl Record {
     }
 }
 
-/// An append-only JSONL checkpoint file with buffered writes.
+/// What [`Manifest::open`] had to repair while loading an existing
+/// manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Recovery {
+    /// Distinct records loaded (after last-writer-wins deduplication).
+    pub recovered: usize,
+    /// Complete lines that failed checksum/parse and were skipped
+    /// (their jobs will re-execute; the lines stay in the file and are
+    /// superseded by the fresh appends).
+    pub corrupt: usize,
+    /// Whether a torn trailing line (no newline — a crash mid-write)
+    /// was dropped and truncated away.
+    pub torn_tail: bool,
+    /// Records superseded by a later record for the same key
+    /// (idempotent replay: last writer wins). Grows if appends
+    /// supersede further records after open.
+    pub duplicates: usize,
+}
+
+impl Recovery {
+    /// Whether recovery repaired anything worth reporting.
+    pub fn is_noteworthy(&self) -> bool {
+        self.corrupt > 0 || self.torn_tail || self.duplicates > 0
+    }
+}
+
+/// An append-only JSONL checkpoint file with buffered writes,
+/// checksummed records, and skip-and-log recovery.
 #[derive(Debug)]
 pub struct Manifest {
     path: PathBuf,
     file: File,
+    /// Distinct records, one per key (last writer wins).
     records: Vec<Record>,
+    /// key → index into `records`.
+    index: HashMap<String, usize>,
     /// Serialized records not yet written to the file.
     buf: Vec<u8>,
     /// Records currently sitting in `buf`.
@@ -252,18 +328,33 @@ pub struct Manifest {
     /// Auto-flush threshold: `append` flushes once this many records
     /// are buffered.
     flush_every: usize,
+    /// `sync_data` at checkpoint boundaries.
+    fsync: bool,
+    /// Fault injection for flush tearing (tests and robustness smokes).
+    fault: Option<FaultPlan>,
+    /// Flushes performed so far (the torn-fault roll key).
+    flushes: u64,
+    /// What `open` repaired, plus append-time supersedes.
+    recovery: Recovery,
 }
 
 impl Manifest {
     /// Records buffered between automatic flushes.
     pub const DEFAULT_FLUSH_EVERY: usize = 32;
+
     /// Open `path`, creating it if absent.
     ///
     /// With `resume = false` the file is truncated — every job will
     /// execute fresh. With `resume = true` existing records are loaded
-    /// and their jobs will be skipped. A corrupt *trailing* line (a
-    /// crash mid-append) is dropped and truncated away; a corrupt line
-    /// anywhere else is an [`io::ErrorKind::InvalidData`] error.
+    /// and their jobs will be skipped. Recovery never errors on damage
+    /// (see the module docs): torn tails are truncated, corrupt lines
+    /// are skipped and logged, duplicate keys resolve last-writer-wins.
+    /// Anything repaired is summarized on stderr and available via
+    /// [`recovery`](Self::recovery).
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures (open, read, truncate).
     pub fn open(path: impl Into<PathBuf>, resume: bool) -> io::Result<Manifest> {
         let path = path.into();
         let mut file = OpenOptions::new()
@@ -276,57 +367,97 @@ impl Manifest {
         let mut text = String::new();
         file.read_to_string(&mut text)?;
 
-        let mut records = Vec::new();
-        let mut valid_end = 0u64;
+        let mut records: Vec<Record> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut recovery = Recovery::default();
+        let mut complete_end = 0u64;
         let mut offset = 0u64;
-        let mut corrupt: Option<(u64, String)> = None;
         for segment in text.split_inclusive('\n') {
-            let line_start = offset;
             offset += segment.len() as u64;
+            if !segment.ends_with('\n') {
+                // Torn trailing line: the process died mid-write. Drop
+                // it; its job re-executes.
+                recovery.torn_tail = true;
+                break;
+            }
+            complete_end = offset;
             let line = segment.trim_end_matches(['\n', '\r']);
             if line.is_empty() {
-                valid_end = offset;
                 continue;
             }
-            if let Some((at, why)) = corrupt.take() {
-                // The bad line was not trailing after all.
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "{}: corrupt manifest line at byte {at}: {why}",
-                        path.display()
-                    ),
-                ));
-            }
             match Record::from_json_line(line) {
-                Ok(r) => {
-                    records.push(r);
-                    valid_end = offset;
-                }
-                Err(why) => corrupt = Some((line_start, why)),
+                Ok(r) => match index.get(&r.key) {
+                    Some(&i) => {
+                        records[i] = r;
+                        recovery.duplicates += 1;
+                    }
+                    None => {
+                        index.insert(r.key.clone(), records.len());
+                        records.push(r);
+                    }
+                },
+                Err(_) => recovery.corrupt += 1,
             }
         }
-        if corrupt.is_some() && valid_end < text.len() as u64 {
-            // Drop the partial trailing line so future appends start on
-            // a clean boundary.
-            file.set_len(valid_end)?;
+        if recovery.torn_tail {
+            // Truncate the torn bytes so future appends start on a
+            // clean line boundary. (Corrupt *complete* lines stay in
+            // place — they are skipped on every load and their keys are
+            // superseded by fresh appends.)
+            file.set_len(complete_end)?;
         }
         file.seek(SeekFrom::End(0))?;
+        recovery.recovered = records.len();
+        if recovery.is_noteworthy() {
+            eprintln!(
+                "manifest recovery ({}): {} record(s) loaded, {} corrupt line(s) skipped, \
+                 {} duplicate record(s) superseded{}",
+                path.display(),
+                recovery.recovered,
+                recovery.corrupt,
+                recovery.duplicates,
+                if recovery.torn_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+            );
+        }
 
         Ok(Manifest {
             path,
             file,
             records,
+            index,
             buf: Vec::new(),
             pending: 0,
             flush_every: Self::DEFAULT_FLUSH_EVERY,
+            fsync: false,
+            fault: None,
+            flushes: 0,
+            recovery,
         })
     }
 
-    /// Override the auto-flush threshold (floored at 1). Mostly for
-    /// tests; the default batches [`Self::DEFAULT_FLUSH_EVERY`] records.
+    /// Override the auto-flush threshold (floored at 1). The default
+    /// batches [`Self::DEFAULT_FLUSH_EVERY`] records; crash-sensitive
+    /// runs set 1 to persist every record immediately.
     pub fn with_flush_every(mut self, records: usize) -> Manifest {
         self.flush_every = records.max(1);
+        self
+    }
+
+    /// `sync_data` the file at every [`checkpoint`](Self::checkpoint)
+    /// boundary, making checkpoints durable against power loss, not
+    /// just process death.
+    pub fn with_fsync(mut self, fsync: bool) -> Manifest {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Inject the given [`FaultPlan`]'s torn-write faults into flushes.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Manifest {
+        self.fault = Some(plan);
         self
     }
 
@@ -335,12 +466,19 @@ impl Manifest {
         &self.path
     }
 
-    /// All loaded + appended records, in file order.
+    /// What [`open`](Self::open) repaired, plus any append-time
+    /// supersedes since.
+    pub fn recovery(&self) -> &Recovery {
+        &self.recovery
+    }
+
+    /// All distinct records (one per key, last writer wins), in
+    /// first-write order.
     pub fn records(&self) -> &[Record] {
         &self.records
     }
 
-    /// Number of records.
+    /// Number of distinct records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -352,23 +490,33 @@ impl Manifest {
 
     /// The record for `key`, if present (last write wins).
     pub fn get(&self, key: &str) -> Option<&Record> {
-        self.records.iter().rev().find(|r| r.key == key)
+        self.index.get(key).map(|&i| &self.records[i])
     }
 
     /// Whether `key` has a terminal record (any status).
     pub fn contains(&self, key: &str) -> bool {
-        self.get(key).is_some()
+        self.index.contains_key(key)
     }
 
     /// Append one record to the write buffer. The record is immediately
-    /// visible to [`get`](Self::get)/[`records`](Self::records); it
-    /// reaches the file on the next automatic or explicit
+    /// visible to [`get`](Self::get)/[`records`](Self::records) —
+    /// superseding any earlier record for the same key — and reaches
+    /// the file on the next automatic or explicit
     /// [`flush`](Self::flush) (at worst on drop).
     pub fn append(&mut self, record: Record) -> io::Result<()> {
         self.buf.extend_from_slice(record.to_json_line().as_bytes());
         self.buf.push(b'\n');
         self.pending += 1;
-        self.records.push(record);
+        match self.index.get(&record.key) {
+            Some(&i) => {
+                self.records[i] = record;
+                self.recovery.duplicates += 1;
+            }
+            None => {
+                self.index.insert(record.key.clone(), self.records.len());
+                self.records.push(record);
+            }
+        }
         if self.pending >= self.flush_every {
             self.flush()?;
         }
@@ -383,10 +531,39 @@ impl Manifest {
         if self.buf.is_empty() {
             return Ok(());
         }
-        self.file.write_all(&self.buf)?;
+        let flush_index = self.flushes;
+        self.flushes += 1;
+        let torn = self
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.torn_flush(flush_index));
+        if torn {
+            // Injected torn write: the last buffered record reaches the
+            // file cut mid-line with no newline — exactly the shape a
+            // crash mid-`write(2)` leaves behind. The in-memory state
+            // moves on as if the flush succeeded, so the damage is only
+            // discovered by the next recovery, as in a real crash.
+            let cut = torn_cut(&self.buf);
+            self.file.write_all(&self.buf[..cut])?;
+        } else {
+            self.file.write_all(&self.buf)?;
+        }
         self.file.flush()?;
         self.buf.clear();
         self.pending = 0;
+        Ok(())
+    }
+
+    /// A durability barrier: [`flush`](Self::flush), then `sync_data`
+    /// when [`with_fsync`](Self::with_fsync) is on. Resume correctness
+    /// only needs the flush (the kernel keeps the page cache coherent
+    /// across process death); the sync hardens checkpoints against
+    /// machine-level loss.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.flush()?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
         Ok(())
     }
 
@@ -396,11 +573,29 @@ impl Manifest {
     }
 }
 
+/// Where an injected torn write cuts the flush buffer: mid-way through
+/// the final record's line, dropping its newline.
+fn torn_cut(buf: &[u8]) -> usize {
+    debug_assert!(buf.ends_with(b"\n"));
+    let body = &buf[..buf.len() - 1];
+    let last_start = body.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    last_start + (body.len() - last_start) / 2
+}
+
 impl Drop for Manifest {
     /// Best-effort final flush: a cleanly dropped manifest loses
-    /// nothing even if the caller never flushed explicitly.
+    /// nothing even if the caller never flushed explicitly. If the
+    /// flush *fails*, the loss is reported — `pending()` records that
+    /// never reached the file — instead of being swallowed.
     fn drop(&mut self) {
-        let _ = self.flush();
+        let pending = self.pending;
+        if self.flush().is_err() && pending > 0 {
+            eprintln!(
+                "warning: manifest {}: final flush failed, {pending} unflushed record(s) \
+                 lost (their jobs will re-execute on --resume)",
+                self.path.display(),
+            );
+        }
     }
 }
 
@@ -417,14 +612,17 @@ pub struct SweepOutcome {
     pub resumed: usize,
 }
 
-/// Execute `jobs` through `scheduler`, skipping any whose key already
-/// has a record in `manifest` and appending a record for each fresh
-/// execution.
-///
-/// The returned records are in spec order regardless of worker count or
-/// completion order, and metric values round-trip bit-exactly through
-/// the manifest — so a resumed sweep aggregates byte-identically to a
-/// fresh one.
+/// Policy knobs for [`run_with_manifest_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Treat non-`ok` manifest records (failed, panicked, timed out) as
+    /// absent: their jobs re-execute and the fresh record supersedes
+    /// the old one (last writer wins). Off by default — a failure is a
+    /// terminal record.
+    pub retry_failed: bool,
+}
+
+/// [`run_with_manifest_opts`] with default [`SweepOptions`].
 ///
 /// # Errors
 ///
@@ -439,11 +637,49 @@ pub fn run_with_manifest<P, F>(
 ) -> io::Result<SweepOutcome>
 where
     P: Sync,
-    F: Fn(&str, &P) -> Result<Metrics, JobError> + Sync,
+    F: Fn(&str, &P, &JobCtx) -> Result<Metrics, JobError> + Sync,
 {
+    run_with_manifest_opts(
+        scheduler,
+        progress,
+        manifest,
+        jobs,
+        runner,
+        SweepOptions::default(),
+    )
+}
+
+/// Execute `jobs` through `scheduler`, skipping any whose key already
+/// has a usable record in `manifest` and **streaming** a record for
+/// each fresh execution: records are appended (and batch-flushed) from
+/// the worker threads the moment jobs complete, so a crash mid-sweep
+/// loses at most the unflushed tail — never the whole pass.
+///
+/// The returned records are in spec order regardless of worker count or
+/// completion order, and metric values round-trip bit-exactly through
+/// the manifest — so a resumed sweep aggregates byte-identically to a
+/// fresh one.
+///
+/// # Errors
+///
+/// Only manifest I/O fails the sweep; job failures and panics are
+/// recorded per job.
+pub fn run_with_manifest_opts<P, F>(
+    scheduler: &Scheduler,
+    progress: &Progress,
+    manifest: &mut Manifest,
+    jobs: &[(String, P)],
+    runner: F,
+    opts: SweepOptions,
+) -> io::Result<SweepOutcome>
+where
+    P: Sync,
+    F: Fn(&str, &P, &JobCtx) -> Result<Metrics, JobError> + Sync,
+{
+    let usable = |r: &&Record| !opts.retry_failed || r.is_ok();
     let mut slots: Vec<Option<Record>> = jobs
         .iter()
-        .map(|(key, _)| manifest.get(key).cloned())
+        .map(|(key, _)| manifest.get(key).filter(usable).cloned())
         .collect();
     let resumed = slots.iter().filter(|s| s.is_some()).count();
     progress.jobs_resumed(resumed as u64);
@@ -456,18 +692,39 @@ where
         .collect();
     let missing_jobs: Vec<(String, &P)> = missing.iter().map(|(_, j)| j.clone()).collect();
 
-    let runs = scheduler.run(&missing_jobs, progress, |key, payload: &&P| {
-        runner(key, payload)
-    });
+    // Stream completions into the manifest from the worker threads. The
+    // mutex serializes appends only — job execution never waits on it
+    // beyond the append itself. The first append error is remembered
+    // and re-raised after the pass (workers keep running; their results
+    // still come back in-memory).
+    let runs = {
+        let shared = Mutex::new(&mut *manifest);
+        let append_err: Mutex<Option<io::Error>> = Mutex::new(None);
+        let runs = scheduler.run_hooked(
+            &missing_jobs,
+            progress,
+            |key, payload: &&P, ctx| runner(key, payload, ctx),
+            |run| {
+                let record = Record::from_run(run);
+                let mut mf = shared.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = mf.append(record) {
+                    let mut slot = append_err.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(e);
+                }
+            },
+        );
+        if let Some(e) = append_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
+        runs
+    };
     let executed = runs.len();
-    for ((idx, _), run) in missing.iter().zip(runs) {
-        let record = Record::from_run(run);
-        manifest.append(record.clone())?;
-        slots[*idx] = Some(record);
+    for ((idx, _), run) in missing.iter().zip(&runs) {
+        slots[*idx] = Some(Record::from_run(run));
     }
     // Checkpoint boundary: everything recorded this pass must be
     // durable before the caller can rely on `--resume`.
-    manifest.flush()?;
+    manifest.checkpoint()?;
 
     let records = slots
         .into_iter()
@@ -551,14 +808,26 @@ mod tests {
     }
 
     #[test]
-    fn from_json_line_rejects_corruption() {
+    fn checksum_rejects_any_single_byte_damage() {
         let good = record("a/b/s1/test/w1/m2", "ok", Some(1.0)).to_json_line();
         assert!(Record::from_json_line(&good).is_ok());
-        // Flip a byte inside the key: the stored hash no longer matches.
-        let tampered = good.replace("a/b/s1", "a/x/s1");
-        assert!(Record::from_json_line(&tampered).is_err());
-        assert!(Record::from_json_line("{\"v\":2}").is_err());
+        // Damage anywhere — key, metrics digits, status — must fail the
+        // checksum, not just key-vs-hash consistency.
+        for (from, to) in [("a/x", "a/y"), ("1", "2"), ("ok", "ko")] {
+            let tampered = good.replacen(from, to, 1);
+            if tampered != good {
+                assert!(
+                    Record::from_json_line(&tampered).is_err(),
+                    "damage {from}->{to} must be caught"
+                );
+            }
+        }
+        assert!(Record::from_json_line("{\"v\":2}").is_err(), "no checksum");
         assert!(Record::from_json_line("not json").is_err());
+        // A v1 line (pre-checksum format) is unsupported damage too.
+        let v1 = "{\"v\":1,\"key\":\"k\",\"hash\":\"0\",\"status\":\"ok\",\
+                  \"attempts\":1,\"wall_us\":1,\"metrics\":{},\"error\":null}";
+        assert!(Record::from_json_line(v1).is_err());
     }
 
     #[test]
@@ -575,13 +844,14 @@ mod tests {
         assert!(m.contains("k2"), "failed records are terminal too");
         assert!(!m.contains("k3"));
         assert_eq!(m.get("k1").unwrap().metrics.get("ipc"), Some(1.0));
+        assert!(!m.recovery().is_noteworthy(), "clean file, clean recovery");
         // resume = false truncates.
         let m = Manifest::open(&tmp.0, false).unwrap();
         assert!(m.is_empty());
     }
 
     #[test]
-    fn corrupt_trailing_line_is_dropped_and_truncated() {
+    fn torn_trailing_line_is_dropped_and_truncated() {
         let tmp = temp_manifest("tail");
         {
             let mut m = Manifest::open(&tmp.0, false).unwrap();
@@ -590,16 +860,19 @@ mod tests {
         // Simulate a crash mid-append: partial JSON, no newline.
         {
             let mut f = OpenOptions::new().append(true).open(&tmp.0).unwrap();
-            f.write_all(b"{\"v\":1,\"key\":\"k2").unwrap();
+            f.write_all(b"{\"v\":2,\"key\":\"k2").unwrap();
         }
         let mut m = Manifest::open(&tmp.0, true).unwrap();
         assert_eq!(m.len(), 1, "partial line dropped");
+        assert!(m.recovery().torn_tail);
+        assert_eq!(m.recovery().corrupt, 0);
         m.append(record("k2", "ok", Some(2.0))).unwrap();
         m.flush().unwrap();
-        // The file is clean again: both lines parse.
+        // The file is clean again: both lines parse, nothing to repair.
         let m = Manifest::open(&tmp.0, true).unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.get("k2").unwrap().metrics.get("ipc"), Some(2.0));
+        assert!(!m.recovery().is_noteworthy());
     }
 
     #[test]
@@ -643,12 +916,90 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_interior_line_is_an_error() {
+    fn corrupt_interior_line_is_skipped_and_logged_not_fatal() {
         let tmp = temp_manifest("interior");
         let good = record("k1", "ok", Some(1.0)).to_json_line();
-        std::fs::write(&tmp.0, format!("garbage\n{good}\n")).unwrap();
-        let err = Manifest::open(&tmp.0, true).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let flipped = record("k2", "ok", Some(2.0))
+            .to_json_line()
+            .replace("k2", "kX");
+        std::fs::write(&tmp.0, format!("garbage\n{flipped}\n{good}\n")).unwrap();
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 1, "only the intact record loads");
+        assert!(m.contains("k1"));
+        assert_eq!(m.recovery().corrupt, 2);
+        assert!(!m.recovery().torn_tail);
+        // The corrupt lines stay in place; a rewrite would risk the
+        // good suffix. They are skipped again on every load.
+        let text = std::fs::read_to_string(&tmp.0).unwrap();
+        assert!(text.starts_with("garbage\n"));
+    }
+
+    #[test]
+    fn duplicate_records_resolve_last_writer_wins() {
+        // Satellite regression: a transient retry after a partial
+        // append can legally write the same key twice. Replay must be
+        // idempotent — the later record supersedes the earlier one
+        // instead of erroring or double-counting.
+        let tmp = temp_manifest("dupes");
+        {
+            let mut m = Manifest::open(&tmp.0, false).unwrap();
+            m.append(record("k1", "failed", None)).unwrap();
+            m.append(record("k2", "ok", Some(9.0))).unwrap();
+            m.append(record("k1", "ok", Some(7.0))).unwrap();
+        }
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 2, "k1 deduplicated");
+        assert_eq!(m.recovery().duplicates, 1);
+        let k1 = m.get("k1").unwrap();
+        assert!(k1.is_ok(), "the later (successful) record wins");
+        assert_eq!(k1.metrics.get("ipc"), Some(7.0));
+        // In-memory appends supersede the same way.
+        let mut m = Manifest::open(&tmp.0, true).unwrap();
+        m.append(record("k2", "ok", Some(10.0))).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("k2").unwrap().metrics.get("ipc"), Some(10.0));
+    }
+
+    #[test]
+    fn injected_torn_flush_tears_like_a_real_crash() {
+        let tmp = temp_manifest("torn-fault");
+        {
+            // Tear only the second flush (flush index 1).
+            let plan = FaultPlan::parse("1:torn@key=flush1").unwrap();
+            let mut m = Manifest::open(&tmp.0, false)
+                .unwrap()
+                .with_flush_every(1)
+                .with_faults(plan);
+            m.append(record("k1", "ok", Some(1.0))).unwrap(); // flush 0: clean
+            m.append(record("k2", "ok", Some(2.0))).unwrap(); // flush 1: torn
+            std::mem::forget(m); // crash before anything else lands
+        }
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 1, "torn record lost, clean record kept");
+        assert!(m.contains("k1"));
+        assert!(m.recovery().torn_tail, "tear truncated on recovery");
+        // After recovery the file is clean: re-append and reload.
+        drop(m);
+        let mut m = Manifest::open(&tmp.0, true).unwrap();
+        m.append(record("k2", "ok", Some(2.0))).unwrap();
+        m.checkpoint().unwrap();
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.recovery().is_noteworthy());
+    }
+
+    #[test]
+    fn checkpoint_with_fsync_persists() {
+        let tmp = temp_manifest("fsync");
+        let mut m = Manifest::open(&tmp.0, false)
+            .unwrap()
+            .with_fsync(true)
+            .with_flush_every(100);
+        m.append(record("k1", "ok", Some(1.0))).unwrap();
+        assert_eq!(m.pending(), 1);
+        m.checkpoint().unwrap();
+        assert_eq!(m.pending(), 0);
+        assert_eq!(Manifest::open(&tmp.0, true).unwrap().len(), 1);
     }
 
     #[test]
@@ -659,7 +1010,7 @@ mod tests {
         let scheduler = Scheduler::new(2);
 
         let calls = AtomicU32::new(0);
-        let run = |_k: &str, i: &u64| {
+        let run = |_k: &str, i: &u64, _ctx: &JobCtx| {
             calls.fetch_add(1, Ordering::SeqCst);
             if *i == 4 {
                 return Err(JobError::permanent("bad").with_partial(Metrics::from([("x", 0.5)])));
@@ -708,5 +1059,52 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 6);
         assert_eq!(out.executed, 0);
         assert_eq!(out.resumed, 6);
+
+        // Fourth pass with retry_failed: exactly the failed job re-runs
+        // and its fresh record supersedes the old one.
+        let mut manifest = Manifest::open(&tmp.0, true).unwrap();
+        let progress = Progress::new();
+        let out = run_with_manifest_opts(
+            &scheduler,
+            &progress,
+            &mut manifest,
+            &jobs,
+            run,
+            SweepOptions { retry_failed: true },
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 7);
+        assert_eq!(out.executed, 1);
+        assert_eq!(out.resumed, 5);
+    }
+
+    #[test]
+    fn records_stream_to_disk_before_the_end_of_run_barrier() {
+        // The crash-tolerance linchpin: records must reach the file as
+        // jobs complete (batched by flush_every), not after the whole
+        // pass — otherwise SIGKILL mid-run loses everything.
+        let tmp = temp_manifest("stream");
+        let jobs: Vec<(String, u64)> = (0..4).map(|i| (format!("job{i}"), i)).collect();
+        let mut manifest = Manifest::open(&tmp.0, false).unwrap().with_flush_every(1);
+        let progress = Progress::new();
+        let path = tmp.0.clone();
+        let out = run_with_manifest(
+            &Scheduler::new(1),
+            &progress,
+            &mut manifest,
+            &jobs,
+            move |key: &str, i: &u64, _ctx: &JobCtx| {
+                if key == "job3" {
+                    // By the time the last job runs, the first three
+                    // records are already durable on disk.
+                    let text = std::fs::read_to_string(&path).unwrap();
+                    let on_disk = text.lines().count();
+                    assert!(on_disk >= 3, "only {on_disk} records on disk before job3");
+                }
+                Ok(Metrics::from([("x", *i as f64)]))
+            },
+        )
+        .unwrap();
+        assert_eq!(out.executed, 4);
     }
 }

@@ -12,6 +12,10 @@
 //! | `harness.jobs_panicked` | counter   | jobs whose runner panicked           |
 //! | `harness.jobs_retried`  | counter   | transient-error retry attempts       |
 //! | `harness.jobs_resumed`  | counter   | jobs satisfied from a manifest       |
+//! | `harness.jobs_timeout`  | counter   | attempts cancelled by the deadline   |
+//! | `harness.corrupt_records`   | counter | manifest lines skipped by recovery |
+//! | `harness.duplicate_records` | counter | manifest records superseded by a   |
+//! |                             |         | later write for the same key       |
 //! | `harness.job_wall_us`   | histogram | per-job wall time, microseconds      |
 //!
 //! Updates happen once per job (or per retry), never on the simulator's
@@ -35,6 +39,9 @@ pub struct Progress {
     panicked: CounterId,
     retried: CounterId,
     resumed: CounterId,
+    timeout: CounterId,
+    corrupt: CounterId,
+    duplicate: CounterId,
     wall_us: HistId,
 }
 
@@ -55,6 +62,9 @@ impl Progress {
         let panicked = reg.counter("harness.jobs_panicked");
         let retried = reg.counter("harness.jobs_retried");
         let resumed = reg.counter("harness.jobs_resumed");
+        let timeout = reg.counter("harness.jobs_timeout");
+        let corrupt = reg.counter("harness.corrupt_records");
+        let duplicate = reg.counter("harness.duplicate_records");
         let wall_us = reg.histogram("harness.job_wall_us");
         Progress {
             reg: Mutex::new(reg),
@@ -65,6 +75,9 @@ impl Progress {
             panicked,
             retried,
             resumed,
+            timeout,
+            corrupt,
+            duplicate,
             wall_us,
         }
     }
@@ -117,6 +130,28 @@ impl Progress {
         reg.add(id, n);
     }
 
+    /// The deadline watchdog cancelled a running attempt.
+    pub fn job_timeout(&self) {
+        let mut reg = self.lock();
+        let id = self.timeout;
+        reg.inc(id);
+    }
+
+    /// Manifest recovery skipped `n` corrupt records.
+    pub fn corrupt_records(&self, n: u64) {
+        let mut reg = self.lock();
+        let id = self.corrupt;
+        reg.add(id, n);
+    }
+
+    /// Manifest recovery superseded `n` duplicate records (last writer
+    /// wins).
+    pub fn duplicate_records(&self, n: u64) {
+        let mut reg = self.lock();
+        let id = self.duplicate;
+        reg.add(id, n);
+    }
+
     /// An owned snapshot of the registry (counters and the wall-time
     /// histogram) for printing or export.
     pub fn snapshot(&self) -> Registry {
@@ -138,12 +173,18 @@ mod tests {
         p.job_retried();
         p.job_finished("ok", 1234);
         p.jobs_resumed(2);
+        p.job_timeout();
+        p.corrupt_records(3);
+        p.duplicate_records(1);
         let snap = p.snapshot();
         assert_eq!(snap.counter_value("harness.jobs_queued"), Some(3));
         assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
         assert_eq!(snap.counter_value("harness.jobs_done"), Some(1));
         assert_eq!(snap.counter_value("harness.jobs_retried"), Some(1));
         assert_eq!(snap.counter_value("harness.jobs_resumed"), Some(2));
+        assert_eq!(snap.counter_value("harness.jobs_timeout"), Some(1));
+        assert_eq!(snap.counter_value("harness.corrupt_records"), Some(3));
+        assert_eq!(snap.counter_value("harness.duplicate_records"), Some(1));
         let hist = snap.histogram_by_name("harness.job_wall_us").unwrap();
         assert_eq!(hist.count(), 1);
         assert_eq!(hist.sum(), 1234);

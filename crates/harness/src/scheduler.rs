@@ -1,5 +1,5 @@
-//! Bounded work-stealing scheduler with per-job panic capture and
-//! bounded retry.
+//! Bounded work-stealing scheduler with per-job panic capture, bounded
+//! retry, deadlines, and deterministic fault injection.
 //!
 //! A fixed pool of workers runs over [`std::thread::scope`] — no
 //! detached threads, no unsafe, no external crates. Jobs start in a
@@ -14,16 +14,30 @@
 //!   and becomes [`JobStatus::Panicked`] — it never takes down the pool
 //!   and is never retried;
 //! * a [`JobError`] marked `transient` (e.g. the simulator's deadlock
-//!   watchdog) is retried up to the configured bound, then recorded as
+//!   watchdog) is retried up to the configured bound — after a seeded
+//!   exponential backoff when one is configured — then recorded as
 //!   [`JobStatus::Failed`] with any salvaged partial metrics;
-//! * a permanent `JobError` fails immediately.
+//! * a permanent `JobError` fails immediately;
+//! * with a per-job deadline configured, a watchdog thread cancels the
+//!   over-budget attempt's [`CancelToken`]; a cooperative runner winds
+//!   down with partial metrics and the job fails permanently (the same
+//!   deadline would cancel a retry too).
+//!
+//! Every attempt receives a [`JobCtx`] carrying its cancellation token
+//! and attempt number; runners that ignore it keep working unchanged
+//! (cancellation is cooperative). An optional [`FaultPlan`] injects
+//! panics, transient errors, and stalls *around* the runner for
+//! robustness smokes — `None` costs one branch per attempt.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use atc_types::CancelToken;
+
+use crate::fault::{backoff_delay, FaultPlan};
 use crate::manifest::Metrics;
 use crate::progress::Progress;
 
@@ -34,7 +48,8 @@ pub struct JobError {
     pub message: String,
     /// Whether retrying the job could plausibly succeed (e.g. a
     /// watchdog-triggered deadlock heuristic). Permanent errors —
-    /// invalid configs, workload errors — must set this `false`.
+    /// invalid configs, workload errors, cancelled deadlines — must set
+    /// this `false`.
     pub transient: bool,
     /// Metrics salvaged from a partial run, if the runner could produce
     /// any before failing.
@@ -104,11 +119,29 @@ pub struct JobRun<R> {
     pub status: JobStatus<R>,
 }
 
-/// Fixed-size work-stealing worker pool.
+/// Per-attempt context handed to the runner.
+///
+/// `cancel` is a fresh token per attempt; the deadline watchdog (when
+/// configured) cancels it once the attempt overruns its budget, and a
+/// cooperative runner — e.g. one calling the simulator's
+/// `run_cancellable` entry points — winds down with partial metrics.
 #[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Cooperative cancellation flag for this attempt.
+    pub cancel: CancelToken,
+    /// Attempt number, starting at 1.
+    pub attempt: u32,
+}
+
+/// Fixed-size work-stealing worker pool.
+#[derive(Debug, Clone, Default)]
 pub struct Scheduler {
     workers: usize,
     retries: u32,
+    deadline: Option<Duration>,
+    backoff_base: Duration,
+    backoff_seed: u64,
+    fault: Option<FaultPlan>,
 }
 
 /// How many injector jobs a worker grabs per refill: one to run plus a
@@ -117,18 +150,40 @@ pub struct Scheduler {
 const INJECTOR_BATCH: usize = 3;
 
 impl Scheduler {
-    /// A scheduler with `workers` threads (clamped to at least 1) and no
-    /// retries.
+    /// A scheduler with `workers` threads (clamped to at least 1), no
+    /// retries, no deadline, no backoff, no fault injection.
     pub fn new(workers: usize) -> Self {
         Scheduler {
             workers: workers.max(1),
-            retries: 0,
+            ..Scheduler::default()
         }
     }
 
     /// Retry jobs whose error is transient up to `retries` extra times.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Cancel any single attempt that runs longer than `deadline`
+    /// (cooperative: the runner must poll its [`JobCtx::cancel`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sleep a seeded exponential backoff before each transient retry:
+    /// `base * 2^(attempt-2)` plus up to one `base` of deterministic
+    /// jitter. A zero base (the default) retries immediately.
+    pub fn with_backoff(mut self, base: Duration, seed: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// Inject the given [`FaultPlan`] around every attempt.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -140,12 +195,13 @@ impl Scheduler {
     /// Execute `jobs` and return one [`JobRun`] per job **in input
     /// order**.
     ///
-    /// `runner` is called as `runner(key, payload)` from worker threads;
-    /// it must be `Sync` (shared by reference) and panic-safe in the
-    /// sense that a panic poisons nothing outside the job itself. If a
-    /// worker thread is lost entirely (a panic outside `catch_unwind`,
-    /// which only std itself could produce), its unfinished jobs are
-    /// reported as [`JobStatus::Panicked`] rather than aborting.
+    /// `runner` is called as `runner(key, payload, ctx)` from worker
+    /// threads; it must be `Sync` (shared by reference) and panic-safe
+    /// in the sense that a panic poisons nothing outside the job itself.
+    /// If a worker thread is lost entirely (a panic outside
+    /// `catch_unwind`, which only std itself could produce), its
+    /// unfinished jobs are reported as [`JobStatus::Panicked`] rather
+    /// than aborting.
     pub fn run<P, R, F>(
         &self,
         jobs: &[(String, P)],
@@ -155,7 +211,29 @@ impl Scheduler {
     where
         P: Sync,
         R: Send,
-        F: Fn(&str, &P) -> Result<R, JobError> + Sync,
+        F: Fn(&str, &P, &JobCtx) -> Result<R, JobError> + Sync,
+    {
+        self.run_hooked(jobs, progress, runner, |_run| {})
+    }
+
+    /// [`run`](Self::run), additionally calling `on_complete` from the
+    /// worker thread the moment each job reaches its terminal status —
+    /// in *completion* order, before the end-of-run barrier. This is the
+    /// streaming hook checkpointing uses to persist records as they
+    /// land, so a crash mid-sweep loses at most the unflushed tail
+    /// rather than the whole pass.
+    pub fn run_hooked<P, R, F, H>(
+        &self,
+        jobs: &[(String, P)],
+        progress: &Progress,
+        runner: F,
+        on_complete: H,
+    ) -> Vec<JobRun<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&str, &P, &JobCtx) -> Result<R, JobError> + Sync,
+        H: Fn(&JobRun<R>) + Sync,
     {
         let total = jobs.len();
         progress.jobs_queued(total as u64);
@@ -170,6 +248,10 @@ impl Scheduler {
             .map(|_| Mutex::new(VecDeque::new()))
             .collect();
         let done = AtomicUsize::new(0);
+        // One published attempt per worker for the deadline watchdog:
+        // (start instant, that attempt's cancel token).
+        let running: Vec<Mutex<Option<(Instant, CancelToken)>>> =
+            (0..self.workers).map(|_| Mutex::new(None)).collect();
 
         let mut slots: Vec<Option<JobRun<R>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
@@ -187,11 +269,15 @@ impl Scheduler {
                     let locals = &locals;
                     let done = &done;
                     let runner = &runner;
+                    let on_complete = &on_complete;
+                    let running = &running;
                     scope.spawn(move || {
                         let mut out: Vec<(usize, JobRun<R>)> = Vec::with_capacity(share);
                         while let Some(idx) = next_job(wid, injector, locals, done, total) {
                             let (key, payload) = &jobs[idx];
-                            let run = execute_one(key, payload, runner, self.retries, progress);
+                            let run =
+                                self.execute_one(key, payload, runner, progress, &running[wid]);
+                            on_complete(&run);
                             out.push((idx, run));
                             done.fetch_add(1, Ordering::SeqCst);
                         }
@@ -199,6 +285,16 @@ impl Scheduler {
                     })
                 })
                 .collect();
+            if let Some(deadline) = self.deadline {
+                // The watchdog lives inside the same scope: it exits as
+                // soon as every job is done, so the scope still joins
+                // promptly.
+                let done = &done;
+                let running = &running;
+                scope.spawn(move || {
+                    deadline_watchdog(deadline, running, done, total, progress);
+                });
+            }
             handles
                 .into_iter()
                 .map(|h| h.join().unwrap_or_default())
@@ -219,15 +315,103 @@ impl Scheduler {
             .map(|(idx, slot)| {
                 slot.unwrap_or_else(|| {
                     progress.job_finished("panicked", 0);
-                    JobRun {
+                    let run = JobRun {
                         key: jobs[idx].0.clone(),
                         attempts: 0,
                         wall_micros: 0,
                         status: JobStatus::Panicked("worker thread lost".into()),
-                    }
+                    };
+                    on_complete(&run);
+                    run
                 })
             })
             .collect()
+    }
+
+    /// Run one job to its terminal status: catch panics, retry transient
+    /// errors (after any configured backoff) up to the retry bound,
+    /// publish each attempt to the deadline watchdog, and inject any
+    /// configured faults around the runner.
+    fn execute_one<P, R, F>(
+        &self,
+        key: &str,
+        payload: &P,
+        runner: &F,
+        progress: &Progress,
+        slot: &Mutex<Option<(Instant, CancelToken)>>,
+    ) -> JobRun<R>
+    where
+        F: Fn(&str, &P, &JobCtx) -> Result<R, JobError>,
+    {
+        progress.job_started();
+        let start = Instant::now();
+        let mut attempts = 0u32;
+        let status = loop {
+            attempts += 1;
+            let ctx = JobCtx {
+                cancel: CancelToken::new(),
+                attempt: attempts,
+            };
+            *lock_slot(slot) = Some((Instant::now(), ctx.cancel.clone()));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &self.fault {
+                    // Injected stalls sleep here; injected panics and
+                    // transient errors surface exactly like runner ones.
+                    plan.before_attempt(key, attempts)?;
+                }
+                runner(key, payload, &ctx)
+            }));
+            *lock_slot(slot) = None;
+            match outcome {
+                Ok(Ok(result)) => break JobStatus::Ok(result),
+                Ok(Err(err)) => {
+                    if err.transient && attempts <= self.retries {
+                        progress.job_retried();
+                        let delay =
+                            backoff_delay(self.backoff_base, self.backoff_seed, key, attempts + 1);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    break JobStatus::Failed(err);
+                }
+                Err(panic) => break JobStatus::Panicked(panic_message(panic.as_ref())),
+            }
+        };
+        let wall_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        progress.job_finished(status.tag(), wall_micros);
+        JobRun {
+            key: key.to_string(),
+            attempts,
+            wall_micros,
+            status,
+        }
+    }
+}
+
+/// Scan the published attempts every few milliseconds and cancel any
+/// that overran `deadline`. Counts each cancellation once (the token
+/// latches, so a cancelled attempt is skipped on later scans).
+fn deadline_watchdog(
+    deadline: Duration,
+    running: &[Mutex<Option<(Instant, CancelToken)>>],
+    done: &AtomicUsize,
+    total: usize,
+    progress: &Progress,
+) {
+    let tick = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    while done.load(Ordering::SeqCst) < total {
+        for slot in running {
+            let guard = lock_slot(slot);
+            if let Some((started, token)) = guard.as_ref() {
+                if started.elapsed() > deadline && !token.is_cancelled() {
+                    token.cancel();
+                    progress.job_timeout();
+                }
+            }
+        }
+        std::thread::sleep(tick);
     }
 }
 
@@ -286,43 +470,12 @@ fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Run one job to its terminal status: catch panics, retry transient
-/// errors up to `retries` extra attempts.
-fn execute_one<P, R, F>(
-    key: &str,
-    payload: &P,
-    runner: &F,
-    retries: u32,
-    progress: &Progress,
-) -> JobRun<R>
-where
-    F: Fn(&str, &P) -> Result<R, JobError>,
-{
-    progress.job_started();
-    let start = Instant::now();
-    let mut attempts = 0u32;
-    let status = loop {
-        attempts += 1;
-        match catch_unwind(AssertUnwindSafe(|| runner(key, payload))) {
-            Ok(Ok(result)) => break JobStatus::Ok(result),
-            Ok(Err(err)) => {
-                if err.transient && attempts <= retries {
-                    progress.job_retried();
-                    continue;
-                }
-                break JobStatus::Failed(err);
-            }
-            Err(panic) => break JobStatus::Panicked(panic_message(panic.as_ref())),
-        }
-    };
-    let wall_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    progress.job_finished(status.tag(), wall_micros);
-    JobRun {
-        key: key.to_string(),
-        attempts,
-        wall_micros,
-        status,
-    }
+/// Lock a watchdog slot, tolerating poison (it holds an instant and a
+/// token — both panic-proof plain data).
+fn lock_slot(
+    s: &Mutex<Option<(Instant, CancelToken)>>,
+) -> std::sync::MutexGuard<'_, Option<(Instant, CancelToken)>> {
+    s.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Extract a printable message from a panic payload.
@@ -350,7 +503,9 @@ mod tests {
         let jobs = keys(37);
         for workers in [1, 2, 4, 8] {
             let progress = Progress::new();
-            let runs = Scheduler::new(workers).run(&jobs, &progress, |_key, &i| {
+            let runs = Scheduler::new(workers).run(&jobs, &progress, |_key, &i, ctx| {
+                assert_eq!(ctx.attempt, 1);
+                assert!(!ctx.cancel.is_cancelled());
                 // Reverse-ish durations so completion order differs from
                 // spec order.
                 if i % 5 == 0 {
@@ -382,7 +537,7 @@ mod tests {
     fn panics_become_per_job_records_not_pool_aborts() {
         let jobs = keys(8);
         let progress = Progress::new();
-        let runs = Scheduler::new(4).run(&jobs, &progress, |_key, &i| {
+        let runs = Scheduler::new(4).run(&jobs, &progress, |_key, &i, _ctx| {
             if i == 3 {
                 panic!("job {i} exploded");
             }
@@ -408,10 +563,12 @@ mod tests {
         let progress = Progress::new();
         let runs = Scheduler::new(2)
             .with_retries(2)
-            .run(&jobs, &progress, |key, ()| {
+            .run(&jobs, &progress, |key, (), ctx| {
                 if key == "flaky" {
                     // Succeeds on the third attempt.
-                    if flaky_calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    let call = flaky_calls.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(ctx.attempt, call + 1, "ctx reports the attempt number");
+                    if call < 2 {
                         return Err(JobError::transient("watchdog"));
                     }
                     Ok(1u64)
@@ -440,7 +597,7 @@ mod tests {
         let progress = Progress::new();
         let runs = Scheduler::new(1)
             .with_retries(1)
-            .run(&jobs, &progress, |_key, ()| {
+            .run(&jobs, &progress, |_key, (), _ctx| {
                 calls.fetch_add(1, Ordering::SeqCst);
                 Err::<u64, _>(
                     JobError::transient("deadlock").with_partial(Metrics::from([("ipc", 0.5)])),
@@ -460,9 +617,133 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         let progress = Progress::new();
-        let runs = Scheduler::new(4).run(&Vec::<(String, ())>::new(), &progress, |_k, ()| {
+        let runs = Scheduler::new(4).run(&Vec::<(String, ())>::new(), &progress, |_k, (), _c| {
             Ok::<u64, JobError>(0)
         });
         assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn deadline_watchdog_cancels_runaway_jobs() {
+        let jobs = vec![("slow".to_string(), ()), ("fast".to_string(), ())];
+        let progress = Progress::new();
+        let runs = Scheduler::new(2)
+            .with_deadline(Duration::from_millis(30))
+            .run(&jobs, &progress, |key, (), ctx| {
+                if key == "slow" {
+                    // Cooperative runaway: loop until cancelled.
+                    let start = Instant::now();
+                    while !ctx.cancel.is_cancelled() {
+                        assert!(
+                            start.elapsed() < Duration::from_secs(10),
+                            "watchdog never fired"
+                        );
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return Err(JobError::permanent("cancelled by deadline")
+                        .with_partial(Metrics::from([("progress", 0.5)])));
+                }
+                Ok(Metrics::from([("progress", 1.0)]))
+            });
+        match &runs[0].status {
+            JobStatus::Failed(err) => {
+                assert!(err.message.contains("deadline"));
+                assert_eq!(err.partial.as_ref().unwrap().get("progress"), Some(0.5));
+            }
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        assert!(matches!(runs[1].status, JobStatus::Ok(_)));
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_timeout"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_failed"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_done"), Some(1));
+    }
+
+    #[test]
+    fn fast_jobs_never_see_the_watchdog() {
+        let jobs = keys(16);
+        let progress = Progress::new();
+        let runs = Scheduler::new(4)
+            .with_deadline(Duration::from_secs(30))
+            .run(&jobs, &progress, |_key, &i, _ctx| Ok::<u64, JobError>(i));
+        assert!(runs.iter().all(|r| matches!(r.status, JobStatus::Ok(_))));
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_timeout"), Some(0));
+    }
+
+    #[test]
+    fn injected_faults_panic_stall_and_retry_deterministically() {
+        let plan = FaultPlan::parse("11:panic@key=explode,transient@key=flaky").unwrap();
+        let jobs = vec![
+            ("calm".to_string(), ()),
+            ("explode".to_string(), ()),
+            ("flaky-forever".to_string(), ()),
+        ];
+        let progress = Progress::new();
+        let runs = Scheduler::new(2).with_retries(2).with_faults(plan).run(
+            &jobs,
+            &progress,
+            |_key, (), _ctx| Ok(Metrics::from([("x", 1.0)])),
+        );
+        assert!(matches!(runs[0].status, JobStatus::Ok(_)));
+        match &runs[1].status {
+            JobStatus::Panicked(msg) => assert!(msg.contains("fault-injected"), "{msg}"),
+            other => panic!("expected injected panic, got {other:?}"),
+        }
+        // key= fires every attempt: the transient fault exhausts all
+        // retries — deterministically attempts = 1 + retries.
+        assert_eq!(runs[2].attempts, 3);
+        match &runs[2].status {
+            JobStatus::Failed(err) => assert!(err.transient),
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter_value("harness.jobs_retried"), Some(2));
+    }
+
+    #[test]
+    fn backoff_delays_transient_retries() {
+        let jobs = vec![("flaky".to_string(), ())];
+        let calls = AtomicU32::new(0);
+        let progress = Progress::new();
+        let start = Instant::now();
+        let runs = Scheduler::new(1)
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(10), 42)
+            .run(&jobs, &progress, |_key, (), _ctx| {
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(JobError::transient("flaky"));
+                }
+                Ok(1u64)
+            });
+        assert_eq!(runs[0].status, JobStatus::Ok(1));
+        // Two retries: >= 10ms + 20ms of backoff must have elapsed.
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn run_hooked_streams_completions_before_the_barrier() {
+        let jobs = keys(9);
+        let progress = Progress::new();
+        let seen = Mutex::new(Vec::new());
+        let runs = Scheduler::new(3).run_hooked(
+            &jobs,
+            &progress,
+            |_key, &i, _ctx| Ok::<u64, JobError>(i),
+            |run| seen.lock().unwrap().push(run.key.clone()),
+        );
+        assert_eq!(runs.len(), 9);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let mut expect: Vec<String> = jobs.iter().map(|(k, _)| k.clone()).collect();
+        expect.sort();
+        assert_eq!(
+            seen, expect,
+            "every completion reached the hook exactly once"
+        );
     }
 }

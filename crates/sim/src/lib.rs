@@ -42,12 +42,13 @@ pub mod telemetry;
 
 pub use atc_obs::TelemetrySnapshot;
 pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure};
-pub use multicore::run_multicore;
-pub use smt::run_smt;
+pub use multicore::{run_multicore, run_multicore_cancellable};
+pub use smt::{run_smt, run_smt_cancellable};
 pub use telemetry::TelemetryConfig;
 
 use std::sync::Arc;
 
+use atc_types::CancelToken;
 use atc_workloads::trace::{Trace, TraceReplay};
 use atc_workloads::{BenchmarkId, Scale};
 
@@ -94,4 +95,28 @@ pub fn run_one_replay(
     let mut wl = TraceReplay::shared(trace);
     let mut machine = Machine::new(cfg)?;
     machine.run(&mut wl, warmup, measure)
+}
+
+/// [`run_one_replay`] under a cooperative [`CancelToken`].
+///
+/// The access loop polls the token every
+/// [`CANCEL_POLL_INSTRS`](machine::CANCEL_POLL_INSTRS) instructions; a
+/// cancelled run fails with
+/// [`SimError::Cancelled`](atc_types::SimError::Cancelled) and partial
+/// statistics attached, exactly like a deadlock.
+///
+/// # Errors
+///
+/// As [`run_one_replay`], plus a cancellation failure once the token is
+/// observed cancelled.
+pub fn run_one_replay_cancel(
+    cfg: &SimConfig,
+    trace: Arc<Trace>,
+    warmup: u64,
+    measure: u64,
+    cancel: &CancelToken,
+) -> Result<RunStats, SimFailure> {
+    let mut wl = TraceReplay::shared(trace);
+    let mut machine = Machine::new(cfg)?;
+    machine.run_cancellable(&mut wl, warmup, measure, cancel)
 }

@@ -10,8 +10,8 @@ use atc_obs::{TelemetrySnapshot, WalkHop, MAX_WALK_HOPS};
 use atc_prefetch::{PrefetchContext, PrefetchRequest, Prefetcher, PrefetcherKind};
 use atc_stats::{ClassCounters, Histogram};
 use atc_types::{
-    config::MachineConfig, AccessClass, AccessInfo, DeadlockDiag, LineAddr, MemLevel, SimError,
-    VirtAddr,
+    config::MachineConfig, AccessClass, AccessInfo, CancelToken, DeadlockDiag, LineAddr, MemLevel,
+    SimError, VirtAddr,
 };
 use atc_vm::tlb::TlbStats;
 use atc_vm::{TranslationEngine, TranslationQuery, WalkPlan};
@@ -23,6 +23,12 @@ use atc_workloads::{Instr, MemOp, Workload};
 const PREFETCH_STLB_MISS_DELAY: u64 = 120;
 /// Cap on prefetch candidates issued per demand access.
 const MAX_PREFETCH_PER_ACCESS: usize = 4;
+
+/// Instructions between [`CancelToken`] polls in the cancellable run
+/// loops. Coarse enough to amortize the atomic load to nothing, fine
+/// enough that a deadline overshoots by at most a few microseconds of
+/// simulated work.
+pub const CANCEL_POLL_INSTRS: u64 = 4096;
 
 /// Optional measurement probes (recall distances, telemetry).
 #[derive(Debug, Clone, Default)]
@@ -825,12 +831,58 @@ impl Machine {
         warmup: u64,
         measure: u64,
     ) -> Result<RunStats, SimFailure> {
+        self.run_inner(wl, warmup, measure, None)
+    }
+
+    /// [`run`](Self::run) under a cooperative [`CancelToken`]: the access
+    /// loop polls the token every [`CANCEL_POLL_INSTRS`] instructions and
+    /// aborts with [`SimError::Cancelled`], salvaging the statistics
+    /// gathered so far exactly like the deadlock watchdog does. Sweep
+    /// schedulers use this to enforce per-job deadlines without killing
+    /// the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`SimError::Cancelled`] (with partial
+    /// statistics) once the token is observed cancelled.
+    pub fn run_cancellable(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
+        cancel: &CancelToken,
+    ) -> Result<RunStats, SimFailure> {
+        self.run_inner(wl, warmup, measure, Some(cancel))
+    }
+
+    fn run_inner(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunStats, SimFailure> {
         let mut rob = RobModel::new(&self.cfg.machine.core);
         let deps = self.cfg.ignore_deps;
         let watchdog = self.cfg.watchdog_cycles.max(1);
         let mut last_now = rob.now();
+        let mut retired: u64 = 0;
         for (phase, budget) in [warmup, measure].into_iter().enumerate() {
             for _ in 0..budget {
+                if let Some(token) = cancel {
+                    // Poll at a coarse stride: one relaxed load per
+                    // CANCEL_POLL_INSTRS instructions is invisible next
+                    // to the per-access cache/TLB work.
+                    if retired.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
+                        return Err(SimFailure {
+                            error: SimError::Cancelled {
+                                instructions: retired,
+                            },
+                            partial: Some(Box::new(self.collect(rob.finish()))),
+                        });
+                    }
+                }
+                retired += 1;
                 let i = wl.next_instr();
                 if let Err(error) = exec_instr_opts(
                     &mut self.core,

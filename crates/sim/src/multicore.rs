@@ -5,10 +5,10 @@
 use atc_cache::Cache;
 use atc_cpu::{CoreStats, RobModel};
 use atc_dram::Dram;
-use atc_types::SimError;
+use atc_types::{CancelToken, SimError};
 use atc_workloads::Workload;
 
-use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig};
+use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig, CANCEL_POLL_INSTRS};
 
 /// Per-core virtual-address-space offset.
 const CORE_VA_STRIDE: u64 = 1 << 47;
@@ -28,6 +28,24 @@ pub fn run_multicore(
     workloads: &mut [Box<dyn Workload>],
     warmup: u64,
     measure: u64,
+) -> Result<Vec<CoreStats>, SimError> {
+    run_multicore_cancellable(cfg, workloads, warmup, measure, None)
+}
+
+/// [`run_multicore`] under an optional cooperative [`CancelToken`],
+/// polled every [`CANCEL_POLL_INSTRS`] interleaved instructions (see
+/// [`Machine::run_cancellable`](crate::Machine::run_cancellable)).
+///
+/// # Errors
+///
+/// As [`run_multicore`], plus [`SimError::Cancelled`] once the token is
+/// observed cancelled.
+pub fn run_multicore_cancellable(
+    cfg: &SimConfig,
+    workloads: &mut [Box<dyn Workload>],
+    warmup: u64,
+    measure: u64,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<CoreStats>, SimError> {
     if workloads.is_empty() {
         return Err(SimError::config("multicore: need at least one workload"));
@@ -63,7 +81,16 @@ pub fn run_multicore(
                  budget: u64|
      -> Result<(), SimError> {
         let mut done = vec![0u64; n];
+        let mut steps: u64 = 0;
         loop {
+            if let Some(token) = cancel {
+                if steps.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        instructions: done.iter().sum(),
+                    });
+                }
+            }
+            steps += 1;
             // Pick the unfinished core whose clock lags most.
             let mut pick: Option<(usize, u64)> = None;
             for (i, d) in done.iter().enumerate() {

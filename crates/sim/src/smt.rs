@@ -9,10 +9,10 @@
 //! without a cycle-accurate scheduler.
 
 use atc_cpu::{CoreStats, RobModel};
-use atc_types::SimError;
+use atc_types::{CancelToken, SimError};
 use atc_workloads::Workload;
 
-use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig};
+use crate::machine::{deadlock_diag, exec_instr, CoreCtx, SimConfig, CANCEL_POLL_INSTRS};
 use atc_cache::Cache;
 use atc_dram::Dram;
 
@@ -44,6 +44,25 @@ pub fn run_smt(
     warmup: u64,
     measure: u64,
 ) -> Result<SmtStats, SimError> {
+    run_smt_cancellable(cfg, wl0, wl1, warmup, measure, None)
+}
+
+/// [`run_smt`] under an optional cooperative [`CancelToken`], polled
+/// every [`CANCEL_POLL_INSTRS`] interleaved instructions (see
+/// [`Machine::run_cancellable`](crate::Machine::run_cancellable)).
+///
+/// # Errors
+///
+/// As [`run_smt`], plus [`SimError::Cancelled`] once the token is
+/// observed cancelled.
+pub fn run_smt_cancellable(
+    cfg: &SimConfig,
+    wl0: &mut dyn Workload,
+    wl1: &mut dyn Workload,
+    warmup: u64,
+    measure: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<SmtStats, SimError> {
     cfg.machine.validate()?;
     let m = &cfg.machine;
     let watchdog = cfg.watchdog_cycles.max(1);
@@ -70,7 +89,16 @@ pub fn run_smt(
                  budget: u64|
      -> Result<(), SimError> {
         *done = [0, 0];
+        let mut steps: u64 = 0;
         while done[0] < budget || done[1] < budget {
+            if let Some(token) = cancel {
+                if steps.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        instructions: done[0] + done[1],
+                    });
+                }
+            }
+            steps += 1;
             // Pick the laggard among unfinished threads.
             let tid = match (done[0] < budget, done[1] < budget) {
                 (true, true) => usize::from(robs[1].now() < robs[0].now()),

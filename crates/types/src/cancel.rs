@@ -1,0 +1,74 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between a controller (a
+//! sweep scheduler's deadline watchdog, a signal handler, a test) and a
+//! running simulation. The simulator's access loops poll the token every
+//! few thousand instructions and abort with
+//! [`SimError::Cancelled`](crate::SimError::Cancelled) — salvaging the
+//! partial statistics the same way the deadlock watchdog does — so a
+//! runaway job can be reclaimed without killing the process or losing
+//! the work of its siblings.
+//!
+//! Cancellation is *cooperative*: setting the flag never interrupts
+//! anything by force, it only asks loops that check it to wind down at
+//! the next poll point. Checks are a single relaxed atomic load, cheap
+//! enough to sit near hot loops when amortized over a poll interval.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag (set-once, never cleared).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. A relaxed load — poll
+    /// this at loop granularity, not per memory access.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+        t.cancel();
+        assert!(t.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn is_visible_across_threads() {
+        let t = CancelToken::new();
+        let seen = {
+            let t2 = t.clone();
+            std::thread::spawn(move || {
+                while !t2.is_cancelled() {
+                    std::thread::yield_now();
+                }
+                true
+            })
+        };
+        t.cancel();
+        assert!(seen.join().unwrap());
+    }
+}

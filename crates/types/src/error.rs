@@ -68,6 +68,15 @@ pub enum SimError {
     Deadlock(Box<DeadlockDiag>),
     /// A workload could not be built or replayed.
     Workload(String),
+    /// The run was cancelled through a
+    /// [`CancelToken`](crate::cancel::CancelToken) — typically a sweep
+    /// scheduler's per-job deadline. Carries the instructions retired
+    /// before the loop wound down; partial statistics ride in the
+    /// surrounding failure the same way deadlock diagnostics do.
+    Cancelled {
+        /// Instructions retired before the cancellation was observed.
+        instructions: u64,
+    },
 }
 
 impl SimError {
@@ -93,9 +102,15 @@ impl SimError {
     /// it the same way a genuine livelock does, so sweep schedulers
     /// treat it as transient and retry a bounded number of times.
     /// Config, walk, and workload errors are deterministic properties
-    /// of the inputs: retrying cannot help.
+    /// of the inputs: retrying cannot help. A cancelled run is not
+    /// transient either — the same deadline would cancel the retry too.
     pub fn is_transient(&self) -> bool {
         self.is_deadlock()
+    }
+
+    /// True if this run was cancelled through a `CancelToken`.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SimError::Cancelled { .. })
     }
 }
 
@@ -110,6 +125,10 @@ impl fmt::Display for SimError {
             ),
             SimError::Deadlock(diag) => write!(f, "simulation deadlock: {diag}"),
             SimError::Workload(msg) => write!(f, "workload error: {msg}"),
+            SimError::Cancelled { instructions } => write!(
+                f,
+                "run cancelled after {instructions} instructions (deadline or shutdown)"
+            ),
         }
     }
 }
@@ -164,5 +183,14 @@ mod tests {
         assert!(!SimError::config("x").is_transient());
         assert!(!SimError::workload("x").is_transient());
         assert!(!SimError::Walk { vpn: 1, level: 1 }.is_transient());
+        assert!(!SimError::Cancelled { instructions: 7 }.is_transient());
+    }
+
+    #[test]
+    fn cancelled_reports_progress_and_is_not_a_deadlock() {
+        let e = SimError::Cancelled { instructions: 123 };
+        assert!(e.is_cancelled());
+        assert!(!e.is_deadlock());
+        assert!(e.to_string().contains("123 instructions"), "{e}");
     }
 }

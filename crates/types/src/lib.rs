@@ -16,6 +16,9 @@
 //! * [`config`] — the full machine configuration with defaults matching
 //!   Table I of the paper (ROB, TLBs, PSCs, caches, DRAM), with
 //!   [`config::MachineConfig::validate`] for fail-fast sweeps.
+//! * [`cancel`] — the cooperative [`cancel::CancelToken`] the run loops
+//!   poll so sweep schedulers can reclaim runaway jobs with partial
+//!   statistics instead of hanging on them.
 //! * [`error`] — the typed [`error::SimError`] every fallible layer of the
 //!   simulator reports instead of panicking.
 //! * [`rng`] — the in-tree deterministic [`rng::SimRng`]
@@ -33,12 +36,14 @@
 
 pub mod access;
 pub mod addr;
+pub mod cancel;
 pub mod config;
 pub mod error;
 pub mod rng;
 
 pub use access::{AccessClass, AccessInfo, MemLevel, SignatureMode};
 pub use addr::{LineAddr, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use cancel::CancelToken;
 pub use config::{CacheLevelConfig, CoreConfig, DramConfig, MachineConfig, PscConfig, TlbConfig};
 pub use error::{DeadlockDiag, SimError};
 pub use rng::SimRng;
