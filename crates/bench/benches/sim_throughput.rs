@@ -3,10 +3,18 @@
 //! the telemetry layer attached (its overhead is the delta against the
 //! plain baseline). This is the bench behind `BENCH_sim.json` (see
 //! `ci.sh` and DESIGN.md).
+//!
+//! The baseline is measured twice: once through the default batched run
+//! loop (`machine/baseline`, batch = [`DEFAULT_BATCH`]) and once at
+//! batch size 1 (`machine/baseline@b1`), which drives every instruction
+//! through the same loop without any pre-pass amortization. The pair is
+//! the A/B evidence for the batched core: `check_bench_json` fails the
+//! trajectory if the default batch ever drops well below the batch-1
+//! reference.
 
 use atc_bench::Reporter;
 use atc_core::Enhancement;
-use atc_sim::{Machine, SimConfig, TelemetryConfig};
+use atc_sim::{Machine, SimConfig, TelemetryConfig, DEFAULT_BATCH};
 use atc_workloads::{BenchmarkId, Scale};
 
 const N: u64 = 50_000;
@@ -14,10 +22,16 @@ const N: u64 = 50_000;
 fn main() {
     let mut reporter = Reporter::from_env();
     println!("sim_throughput: {N} measured instructions per iteration");
-    for (label, e, telemetry) in [
-        ("baseline", Enhancement::Baseline, false),
-        ("full", Enhancement::Tempo, false),
-        ("baseline+telemetry", Enhancement::Baseline, true),
+    for (label, e, telemetry, batch) in [
+        ("baseline", Enhancement::Baseline, false, DEFAULT_BATCH),
+        ("baseline@b1", Enhancement::Baseline, false, 1),
+        ("full", Enhancement::Tempo, false, DEFAULT_BATCH),
+        (
+            "baseline+telemetry",
+            Enhancement::Baseline,
+            true,
+            DEFAULT_BATCH,
+        ),
     ] {
         reporter.bench_throughput(&format!("machine/{label}"), 10, N, || {
             let mut cfg = SimConfig::with_enhancement(e);
@@ -27,7 +41,8 @@ fn main() {
             }
             let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
             let mut m = Machine::new(&cfg).expect("valid config");
-            m.run(wl.as_mut(), 5_000, N).expect("healthy run")
+            m.run_batched(wl.as_mut(), 5_000, N, batch)
+                .expect("healthy run")
         });
     }
     let rate = |name: &str| {
@@ -43,6 +58,12 @@ fn main() {
         println!(
             "telemetry overhead: {:+.1}% instructions/s vs detached baseline",
             (plain / telem - 1.0) * 100.0
+        );
+    }
+    if let (Some(batched), Some(b1)) = (rate("machine/baseline"), rate("machine/baseline@b1")) {
+        println!(
+            "batched core: {:+.1}% instructions/s vs batch-1 reference",
+            (batched / b1 - 1.0) * 100.0
         );
     }
     reporter.finish();

@@ -52,13 +52,54 @@ fn check(path: &str) -> Result<String, String> {
                 return Err(format!("result {i} ({name}): {key} = {x} is invalid"));
             }
         }
-        // Throughput entries carry both elems and the derived rate.
-        if r.get("elems").is_some() && r.get("elems_per_s").and_then(Value::as_f64).is_none() {
-            return Err(format!("result {i} ({name}): elems without elems_per_s"));
+        // Throughput entries carry both elems and the derived rate, and
+        // the rate must be a usable number: a missing key (degenerate
+        // 0 ns median), a non-finite value, or a negative one all mean
+        // the measurement cannot be trusted.
+        if r.get("elems").is_some() {
+            let rate = r
+                .get("elems_per_s")
+                .and_then(Value::as_f64)
+                .ok_or(format!("result {i} ({name}): elems without elems_per_s"))?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(format!(
+                    "result {i} ({name}): elems_per_s = {rate} is not a finite non-negative rate"
+                ));
+            }
         }
     }
     check_fault_counters(results)?;
+    check_batched_core(results)?;
     Ok(format!("{} results", results.len()))
+}
+
+/// Gate the batched run loop against its batch-1 reference. The
+/// `sim_throughput` bench records `machine/baseline` (default batch)
+/// and `machine/baseline@b1` (same loop, batch size 1, no pre-pass
+/// amortization); a healthy batched core is at least as fast, so the
+/// default batch falling well below the reference means the batching
+/// machinery itself regressed. The threshold is deliberately loose
+/// (0.7x) — CI boxes are noisy and this must only catch real
+/// regressions, not scheduler jitter. Trajectories without the pair
+/// (older files, other benches) pass untouched.
+fn check_batched_core(results: &[Value]) -> Result<(), String> {
+    let rate = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|r| r.get("elems_per_s"))
+            .and_then(Value::as_f64)
+    };
+    let (Some(batched), Some(b1)) = (rate("machine/baseline"), rate("machine/baseline@b1")) else {
+        return Ok(());
+    };
+    if b1 > 0.0 && batched < 0.7 * b1 {
+        return Err(format!(
+            "machine/baseline ({batched:.0} elem/s) is below 0.7x its batch-1 reference \
+             ({b1:.0} elem/s) — the batched run loop regressed"
+        ));
+    }
+    Ok(())
 }
 
 /// Gate the deterministic fault-exercise counters emitted by the

@@ -38,13 +38,17 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    /// Median throughput in elements per second, when `elems` is known.
+    /// Median throughput in elements per second, when `elems` is known
+    /// and a finite rate exists. A sub-nanosecond iteration whose median
+    /// rounds to 0 ns has no meaningful rate (the division would produce
+    /// `inf`), so it reports `None` rather than a non-finite number.
     pub fn elems_per_sec(&self) -> Option<f64> {
         let elems = self.elems?;
         if self.median_ns == 0 {
             return None;
         }
-        Some(elems as f64 * 1e9 / self.median_ns as f64)
+        let rate = elems as f64 * 1e9 / self.median_ns as f64;
+        rate.is_finite().then_some(rate)
     }
 
     /// The result as one JSON object (the per-bench stdout line and the
@@ -68,8 +72,13 @@ impl BenchResult {
         ];
         if let Some(e) = self.elems {
             obj.push(("elems".to_string(), json::Value::from(e as f64)));
-            let rate = self.elems_per_sec().unwrap_or(f64::NAN);
-            obj.push(("elems_per_s".to_string(), json::Value::from(rate)));
+            // Only a finite rate is emitted: a degenerate measurement
+            // (median 0 ns) must surface as a missing key that
+            // `check_bench_json` rejects, not as NaN smuggled into the
+            // trajectory file.
+            if let Some(rate) = self.elems_per_sec() {
+                obj.push(("elems_per_s".to_string(), json::Value::from(rate)));
+            }
         }
         json::Value::Object(obj)
     }
@@ -411,6 +420,30 @@ mod tests {
         assert_eq!(r.results().len(), 1);
         // elems_per_s encodes the derived scalar: 1500 / 1000 s = 1.5.
         assert_eq!(r.results()[0].elems_per_sec(), Some(1.5));
+    }
+
+    #[test]
+    fn zero_duration_rate_is_none_and_omitted_from_json() {
+        // A closure so fast its median rounds to 0 ns must not emit a
+        // non-finite rate: `elems_per_sec` is None and the JSON line
+        // omits `elems_per_s` entirely (check_bench_json then rejects
+        // the degenerate measurement instead of passing NaN through).
+        let r = BenchResult {
+            name: "degenerate".into(),
+            samples: 1,
+            min_ns: 0,
+            median_ns: 0,
+            mean_ns: 0,
+            elems: Some(1_000),
+        };
+        assert_eq!(r.elems_per_sec(), None);
+        let obj = r.to_json();
+        assert!(obj.get("elems").is_some());
+        assert!(
+            obj.get("elems_per_s").is_none(),
+            "degenerate rate must be omitted, got {}",
+            obj.render()
+        );
     }
 
     #[test]

@@ -59,12 +59,16 @@ pub enum Probe {
     /// The line hit (or merged with an in-flight fill): data is usable
     /// at the returned cycle.
     Ready(u64),
-    /// The line missed. The set index computed during the probe is
-    /// carried along so the eventual [`Cache::insert_miss_at`] neither
-    /// recomputes it nor rescans the set for residency.
+    /// The line missed. The set index and the first empty way observed
+    /// during the probe's tag scan are carried along so the eventual
+    /// [`Cache::insert_miss_at`] neither recomputes the set, rescans it
+    /// for residency, nor rescans it for a free way.
     Miss {
         /// Set index of the missing line.
         set: usize,
+        /// First empty way in the set, if any (a miss scans every way,
+        /// so this is exactly what `find_empty_way` would report).
+        empty: Option<usize>,
     },
 }
 
@@ -157,6 +161,12 @@ impl Cache {
         if !sets.is_power_of_two() {
             return Err(SimError::config(format!(
                 "{name}: set count {sets} is not a power of two (set index is a mask)"
+            )));
+        }
+        if ways > usize::BITS as usize {
+            return Err(SimError::config(format!(
+                "{name}: associativity {ways} exceeds {} (way scans use a word-wide mask)",
+                usize::BITS
             )));
         }
         let mshr = Mshr::new(mshr_entries).map_err(|e| SimError::config(format!("{name}: {e}")))?;
@@ -272,6 +282,26 @@ impl Cache {
             .position(|&t| t == EMPTY_TAG)
     }
 
+    /// One scan over `set`: `Ok(way)` if `line` is resident, else
+    /// `Err(first_empty_way)`. A miss visits every way, so the empty way
+    /// falls out of the same pass and matches [`find_empty_way`]
+    /// (`Self::find_empty_way`) exactly.
+    #[inline]
+    fn find_way_or_empty(&self, set: usize, line: LineAddr) -> Result<usize, Option<usize>> {
+        let base = set * self.ways;
+        // Branchless empty tracking: a bitmask of empty ways accumulates
+        // alongside the match scan (associativity never exceeds the word
+        // width), and the first empty way is its lowest set bit.
+        let mut empty_mask = 0usize;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == line.raw() {
+                return Ok(w);
+            }
+            empty_mask |= usize::from(t == EMPTY_TAG) << w;
+        }
+        Err((empty_mask != 0).then(|| empty_mask.trailing_zeros() as usize))
+    }
+
     /// If `info.line` has an in-flight MSHR fill at `cycle`, merge and
     /// return its completion cycle. Counts as a miss for statistics (the
     /// block is not yet usable).
@@ -304,22 +334,66 @@ impl Cache {
             return Probe::Ready(ready);
         }
         let set = self.set_of(info.line);
-        match self.lookup_at(set, info, cycle) {
-            Some(ready) => Probe::Ready(ready),
-            None => Probe::Miss { set },
+        self.feed_recall(set, info);
+        match self.probe_set(set, info, cycle) {
+            Ok(ready) => Probe::Ready(ready),
+            Err(empty) => Probe::Miss { set, empty },
+        }
+    }
+
+    /// [`probe`](Self::probe) for a cache known to carry no recall
+    /// probe — the batched run loop's L1D entry point (the machine only
+    /// ever attaches recall probes at the L2C/LLC/STLB). Statistics,
+    /// promotion and MSHR behaviour are identical to `probe`; the only
+    /// thing skipped is the per-access recall branch.
+    #[inline]
+    pub fn probe_fast(&mut self, info: &AccessInfo, cycle: u64) -> Probe {
+        debug_assert!(
+            self.recall.is_none(),
+            "probe_fast on a cache with a recall probe attached"
+        );
+        if let Some(ready) = self.mshr_merge(info, cycle) {
+            return Probe::Ready(ready);
+        }
+        let set = self.set_of(info.line);
+        match self.probe_set(set, info, cycle) {
+            Ok(ready) => Probe::Ready(ready),
+            Err(empty) => Probe::Miss { set, empty },
+        }
+    }
+
+    /// Feed a demand access to the recall probe, if one is attached and
+    /// tracks this class. Recall distance is a property of the demand
+    /// stream, so prefetches are never fed.
+    #[inline]
+    fn feed_recall(&mut self, set: usize, info: &AccessInfo) {
+        if !info.is_prefetch && self.recall.is_some() && self.recall_tracks(info.class) {
+            if let Some(probe) = &mut self.recall {
+                probe.on_access(set, info.line);
+            }
         }
     }
 
     /// [`lookup`](Self::lookup) with the set index already computed.
     fn lookup_at(&mut self, set: usize, info: &AccessInfo, cycle: u64) -> Option<u64> {
-        if !info.is_prefetch && self.recall.is_some() && self.recall_tracks(info.class) {
-            // Recall distance is a property of the demand stream.
-            if let Some(probe) = &mut self.recall {
-                probe.on_access(set, info.line);
-            }
-        }
-        match self.find_way(set, info.line) {
-            Some(w) => {
+        self.feed_recall(set, info);
+        self.probe_set(set, info, cycle).ok()
+    }
+
+    /// Single-scan lookup core: `Ok(ready)` on a hit (statistics and
+    /// promotion updated), `Err(first_empty_way)` on a miss (miss
+    /// recorded). The empty way rides along from the same tag scan so
+    /// the eventual [`insert_miss_at`](Self::insert_miss_at) does not
+    /// rescan the set for a free way.
+    #[inline]
+    fn probe_set(
+        &mut self,
+        set: usize,
+        info: &AccessInfo,
+        cycle: u64,
+    ) -> Result<u64, Option<usize>> {
+        match self.find_way_or_empty(set, info.line) {
+            Ok(w) => {
                 if !info.is_prefetch {
                     self.stats.record(info.class, true);
                 }
@@ -336,13 +410,13 @@ impl Cache {
                     m.dirty = true;
                 }
                 self.policy.on_hit(set, w, info);
-                Some(cycle + self.latency)
+                Ok(cycle + self.latency)
             }
-            None => {
+            Err(empty) => {
                 if !info.is_prefetch {
                     self.stats.record(info.class, false);
                 }
-                None
+                Err(empty)
             }
         }
     }
@@ -357,6 +431,11 @@ impl Cache {
     /// Handle a miss: allocate an MSHR entry completing at `ready`
     /// (possibly delayed if the file is full), fill the line, and return
     /// `(completion_cycle, evicted_line)`.
+    ///
+    /// The caller must have ruled out an in-flight fill for the line
+    /// first — via [`probe`](Self::probe) (which merges before the tag
+    /// lookup) or an explicit [`mshr_merge`](Self::mshr_merge) — exactly
+    /// as every hierarchy access path does.
     pub fn insert_miss(
         &mut self,
         info: &AccessInfo,
@@ -371,13 +450,16 @@ impl Cache {
     }
 
     /// [`insert_miss`](Self::insert_miss) for a line a just-failed
-    /// [`probe`](Self::probe) reported missing from `set`: the fill
-    /// skips the set-index computation and the residency rescan (nothing
-    /// can have filled the line between the probe and this call on the
-    /// single-threaded access path).
+    /// [`probe`](Self::probe) reported missing from `set` with `empty`
+    /// as the first free way: the fill skips the set-index computation,
+    /// the residency rescan, and the empty-way rescan (nothing can have
+    /// filled into the set between the probe and this call on the
+    /// single-threaded access path — each level is probed once and
+    /// filled once per access).
     pub fn insert_miss_at(
         &mut self,
         set: usize,
+        empty: Option<usize>,
         info: &AccessInfo,
         ready: u64,
         cycle: u64,
@@ -390,7 +472,11 @@ impl Cache {
             self.find_way(set, info.line).is_none(),
             "insert_miss_at on a resident line"
         );
-        let empty = self.find_empty_way(set);
+        debug_assert_eq!(
+            empty,
+            self.find_empty_way(set),
+            "probe/fill empty-way mismatch"
+        );
         let evicted = self.fill_new(set, empty, info);
         (ready, evicted)
     }
@@ -650,6 +736,37 @@ mod tests {
         assert_eq!(c.lookup(&a, 400), Some(410));
         assert_eq!(c.stats().hits(AccessClass::NonReplayData), 1);
         assert_eq!(c.stats().misses(AccessClass::NonReplayData), 1);
+    }
+
+    #[test]
+    fn probe_fast_matches_probe_without_a_recall_probe() {
+        // Two identical caches driven by the same stream, one through
+        // `probe`, one through `probe_fast`: outcomes and statistics
+        // must stay in lockstep (hits, misses, MSHR merges, fills).
+        let mut a = mk(4, 2);
+        let mut b = mk(4, 2);
+        let stream: &[(u64, u64)] = &[
+            (64, 0),
+            (64, 5),    // merge while in flight
+            (64, 400),  // hit after fill
+            (128, 410), // same set, miss
+            (320, 420), // evicts
+            (64, 430),
+        ];
+        for &(line, cycle) in stream {
+            let info = load(line);
+            let pa = a.probe(&info, cycle);
+            let pb = b.probe_fast(&info, cycle);
+            assert_eq!(pa, pb, "line {line} at {cycle}");
+            if let Probe::Miss { set, empty } = pa {
+                let fa = a.insert_miss_at(set, empty, &info, cycle + 200, cycle);
+                let fb = b.insert_miss_at(set, empty, &info, cycle + 200, cycle);
+                assert_eq!(fa, fb);
+            }
+        }
+        assert_eq!(format!("{:?}", a.stats()), format!("{:?}", b.stats()));
+        assert_eq!(a.mshr().merges(), b.mshr().merges());
+        assert_eq!(a.mshr().allocations(), b.mshr().allocations());
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! model — the paper relies on MSHR pressure to bound its "ideal cache"
 //! study the same way).
 
-use std::collections::HashMap;
-
 use atc_types::{LineAddr, SimError};
 
 #[derive(Debug, Clone, Copy)]
@@ -19,10 +17,21 @@ struct Entry {
 }
 
 /// An MSHR file with a fixed number of registers.
+///
+/// The register file is two parallel vectors (line addresses and entry
+/// state) scanned linearly: an MSHR holds at most a few dozen entries,
+/// so a contiguous scan over raw `u64` line words beats a hash map on
+/// the per-access probe path — no hashing, no bucket walk, and the
+/// common all-expired case stays one bounds check.
 #[derive(Debug)]
 pub struct Mshr {
-    entries: HashMap<LineAddr, Entry>,
+    lines: Vec<u64>,
+    entries: Vec<Entry>,
     capacity: usize,
+    /// Earliest `ready` among resident entries (`u64::MAX` when empty).
+    /// A probe at `cycle < min_ready` can expire nothing, so the common
+    /// merge path is a pure read-only tag scan.
+    min_ready: u64,
     merges: u64,
     allocations: u64,
     full_stalls: u64,
@@ -40,8 +49,10 @@ impl Mshr {
             return Err(SimError::config("MSHR capacity must be positive"));
         }
         Ok(Mshr {
-            entries: HashMap::new(),
+            lines: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             capacity,
+            min_ready: u64::MAX,
             merges: 0,
             allocations: 0,
             full_stalls: 0,
@@ -49,27 +60,61 @@ impl Mshr {
         })
     }
 
-    /// Drop entries whose fills have completed by `cycle`. Empty files
-    /// return immediately — the common case on the per-access probe
-    /// path, where most levels have nothing in flight.
+    /// Drop entries whose fills have completed by `cycle`, maintaining
+    /// the `min_ready` watermark over the survivors. Probes below the
+    /// watermark skip this entirely — nothing can have expired.
     #[inline]
     fn expire(&mut self, cycle: u64) {
-        if self.entries.is_empty() {
+        if cycle < self.min_ready {
             return;
         }
-        self.entries.retain(|_, e| e.ready > cycle);
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let ready = self.entries[i].ready;
+            if ready <= cycle {
+                self.lines.swap_remove(i);
+                self.entries.swap_remove(i);
+            } else {
+                min = min.min(ready);
+                i += 1;
+            }
+        }
+        self.min_ready = min;
     }
 
     /// If `line` has an in-flight fill at `cycle`, merge with it and
     /// return its completion cycle. A demand merge on a prefetch-initiated
     /// entry marks the entry as demand (the prefetch was late but useful).
+    ///
+    /// A probe below the `min_ready` watermark cannot expire anything,
+    /// so the common path is a pure read-only tag scan; past the
+    /// watermark, expiry and the search share one pass.
     #[inline]
     pub fn merge(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> Option<u64> {
-        if self.entries.is_empty() {
-            return None;
-        }
-        self.expire(cycle);
-        let e = self.entries.get_mut(&line)?;
+        let found = if cycle < self.min_ready {
+            self.lines.iter().position(|&l| l == line.raw())
+        } else {
+            let mut found = None;
+            let mut min = u64::MAX;
+            let mut i = 0;
+            while i < self.entries.len() {
+                let ready = self.entries[i].ready;
+                if ready <= cycle {
+                    self.lines.swap_remove(i);
+                    self.entries.swap_remove(i);
+                } else {
+                    if self.lines[i] == line.raw() {
+                        found = Some(i);
+                    }
+                    min = min.min(ready);
+                    i += 1;
+                }
+            }
+            self.min_ready = min;
+            found
+        };
+        let e = &mut self.entries[found?];
         self.merges += 1;
         if !is_prefetch && e.is_prefetch {
             // A demand request caught an in-flight prefetch: the prefetch
@@ -84,24 +129,31 @@ impl Mshr {
     /// `ready`. If the file is full, the miss is delayed until the
     /// earliest in-flight fill completes; the possibly-postponed
     /// completion cycle is returned.
+    ///
+    /// The caller must have checked [`merge`](Self::merge) first and
+    /// seen `None` — every access path merges before allocating, so a
+    /// line is never in flight twice (debug-asserted below).
     pub fn allocate(&mut self, line: LineAddr, cycle: u64, ready: u64, is_prefetch: bool) -> u64 {
         self.expire(cycle);
         let mut ready = ready;
         if self.entries.len() >= self.capacity {
-            let earliest = self
-                .entries
-                .values()
-                .map(|e| e.ready)
-                .min()
-                .expect("full MSHR is non-empty");
+            // All resident entries are unexpired here, so the watermark
+            // IS the earliest in-flight completion.
+            let earliest = self.min_ready;
             let delay = earliest.saturating_sub(cycle);
             ready += delay;
             self.full_stalls += 1;
             // Make room: the earliest entry has completed by `earliest`.
-            self.entries.retain(|_, e| e.ready > earliest);
+            self.expire(earliest);
         }
+        debug_assert!(
+            !self.lines.contains(&line.raw()),
+            "allocate on a line already in flight (probe/merge skipped?)"
+        );
         self.allocations += 1;
-        self.entries.insert(line, Entry { ready, is_prefetch });
+        self.lines.push(line.raw());
+        self.entries.push(Entry { ready, is_prefetch });
+        self.min_ready = self.min_ready.min(ready);
         ready
     }
 
@@ -117,7 +169,7 @@ impl Mshr {
     /// diagnostics (e.g. the deadlock watchdog snapshotting machine
     /// state).
     pub fn outstanding_at(&self, cycle: u64) -> usize {
-        self.entries.values().filter(|e| e.ready > cycle).count()
+        self.entries.iter().filter(|e| e.ready > cycle).count()
     }
 
     /// Total merges recorded.

@@ -50,6 +50,10 @@ pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>, // channels × banks
     stats: DramStats,
+    /// `(bank mask, row shift)` when the bank count and row size are
+    /// powers of two (the shipped configurations always are), replacing
+    /// the per-access 64-bit mod/div pair with a mask and a shift.
+    pow2_route: Option<(u64, u32)>,
 }
 
 impl Dram {
@@ -60,16 +64,25 @@ impl Dram {
     /// Panics if the configuration has zero channels or banks.
     pub fn new(cfg: &DramConfig) -> Self {
         assert!(cfg.channels > 0 && cfg.banks_per_channel > 0);
+        let n = (cfg.channels * cfg.banks_per_channel) as u64;
+        let lines_per_row = cfg.row_bytes / 64;
+        let pow2_route = (n.is_power_of_two() && lines_per_row.is_power_of_two())
+            .then(|| (n - 1, (n * lines_per_row).trailing_zeros()));
         Dram {
             cfg: *cfg,
             banks: vec![Bank::default(); cfg.channels * cfg.banks_per_channel],
             stats: DramStats::default(),
+            pow2_route,
         }
     }
 
+    #[inline]
     fn route(&self, line: LineAddr) -> (usize, u64) {
-        let n = self.banks.len() as u64;
         // Interleave lines across all banks; row = higher-order bits.
+        if let Some((mask, shift)) = self.pow2_route {
+            return ((line.raw() & mask) as usize, line.raw() >> shift);
+        }
+        let n = self.banks.len() as u64;
         let bank = (line.raw() % n) as usize;
         let lines_per_row = self.cfg.row_bytes / 64;
         let row = line.raw() / (n * lines_per_row);

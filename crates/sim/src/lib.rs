@@ -41,7 +41,7 @@ pub mod smt;
 pub mod telemetry;
 
 pub use atc_obs::TelemetrySnapshot;
-pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure};
+pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure, DEFAULT_BATCH};
 pub use multicore::{run_multicore, run_multicore_cancellable};
 pub use smt::{run_smt, run_smt_cancellable};
 pub use telemetry::TelemetryConfig;

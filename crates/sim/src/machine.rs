@@ -28,7 +28,17 @@ const MAX_PREFETCH_PER_ACCESS: usize = 4;
 /// loops. Coarse enough to amortize the atomic load to nothing, fine
 /// enough that a deadline overshoots by at most a few microseconds of
 /// simulated work.
+///
+/// The loops compare against a *next-poll threshold* (`retired >=
+/// next_poll`) rather than a divisibility test, so a counter that
+/// advances in batches cannot step over the poll point; with batching
+/// the poll lands on the first batch boundary at or past the threshold.
 pub const CANCEL_POLL_INSTRS: u64 = 4096;
+
+/// Default batch size of the batched run loop (see
+/// [`Machine::run_batched`]): big enough to amortize the per-batch
+/// decode dispatch, small enough that a batch of `Instr` stays in L1.
+pub const DEFAULT_BATCH: usize = 64;
 
 /// Optional measurement probes (recall distances, telemetry).
 #[derive(Debug, Clone, Default)]
@@ -218,10 +228,10 @@ pub(crate) fn access_path(
 ) -> (u64, MemLevel) {
     let mut t = cycle;
     // At most three levels can miss; fixed inline buffers (level plus
-    // the set index its probe computed) keep this per-access path
-    // allocation-free and let the fill below skip the set recomputation
-    // and residency rescan.
-    let mut missed = [(MemLevel::L1d, 0usize); 3];
+    // the set index and first empty way its probe computed) keep this
+    // per-access path allocation-free and let the fill below skip the
+    // set recomputation and the residency/empty-way rescans.
+    let mut missed = [(MemLevel::L1d, 0usize, None); 3];
     let mut n_missed = 0usize;
     let mut oracle_ready: Option<u64> = None;
     let mut outcome: Option<(u64, MemLevel)> = None;
@@ -244,11 +254,11 @@ pub(crate) fn access_path(
                 outcome = Some((r, level));
                 break;
             }
-            Probe::Miss { set } => {
+            Probe::Miss { set, empty } => {
                 if ideal_active && oracle_ready.is_none() && ideal.applies(level, info.class) {
                     oracle_ready = Some(t + cache.latency());
                 }
-                missed[n_missed] = (level, set);
+                missed[n_missed] = (level, set, empty);
                 n_missed += 1;
                 t += cache.latency();
             }
@@ -256,19 +266,59 @@ pub(crate) fn access_path(
     }
 
     let (ready, served) = outcome.unwrap_or_else(|| (dram.access(info.line, t), MemLevel::Dram));
-    for &(level, set) in &missed[..n_missed] {
+    for &(level, set, empty) in &missed[..n_missed] {
         let cache: &mut Cache = match level {
             MemLevel::L1d => &mut *l1d,
             MemLevel::L2c => &mut *l2c,
             MemLevel::Llc => &mut *llc,
             MemLevel::Dram => unreachable!(),
         };
-        let _ = cache.insert_miss_at(set, info, ready, cycle);
+        let _ = cache.insert_miss_at(set, empty, info, ready, cycle);
     }
     match oracle_ready {
         Some(o) => (o.min(ready), served),
         None => (ready, served),
     }
+}
+
+/// [`access_path`] continuation for the batched fast pass once the L1D
+/// probe (already taken inline) has missed at `l1_set`: descend from
+/// the L2C charging the L1D latency, then fill the missed levels in the
+/// same L1D → L2C → LLC order at the original access `cycle`. No
+/// ideal-oracle handling — the fast pass only runs with oracles off.
+#[allow(clippy::too_many_arguments)]
+fn access_path_after_l1_miss(
+    l1d: &mut Cache,
+    l2c: &mut Cache,
+    llc: &mut Cache,
+    dram: &mut Dram,
+    info: &AccessInfo,
+    l1_set: usize,
+    l1_empty: Option<usize>,
+    cycle: u64,
+) -> (u64, MemLevel) {
+    let t = cycle + l1d.latency();
+    let (ready, served, l2_miss, llc_miss) = match l2c.probe(info, t) {
+        Probe::Ready(r) => (r, MemLevel::L2c, None, None),
+        Probe::Miss { set: s2, empty: e2 } => {
+            let t2 = t + l2c.latency();
+            match llc.probe(info, t2) {
+                Probe::Ready(r) => (r, MemLevel::Llc, Some((s2, e2)), None),
+                Probe::Miss { set: s3, empty: e3 } => {
+                    let r = dram.access(info.line, t2 + llc.latency());
+                    (r, MemLevel::Dram, Some((s2, e2)), Some((s3, e3)))
+                }
+            }
+        }
+    };
+    let _ = l1d.insert_miss_at(l1_set, l1_empty, info, ready, cycle);
+    if let Some((s, e)) = l2_miss {
+        let _ = l2c.insert_miss_at(s, e, info, ready, cycle);
+    }
+    if let Some((s, e)) = llc_miss {
+        let _ = llc.insert_miss_at(s, e, info, ready, cycle);
+    }
+    (ready, served)
 }
 
 /// Execute a page walk: play each PTE read through the caches, trigger
@@ -815,7 +865,10 @@ impl Machine {
     }
 
     /// Run `warmup` instructions (state only), then `measure` instructions
-    /// with statistics, and return the measured statistics.
+    /// with statistics, and return the measured statistics. Uses the
+    /// batched core at [`DEFAULT_BATCH`]; statistics are byte-identical
+    /// to the scalar reference loop ([`run_scalar`](Self::run_scalar))
+    /// at every batch size.
     ///
     /// # Errors
     ///
@@ -831,15 +884,16 @@ impl Machine {
         warmup: u64,
         measure: u64,
     ) -> Result<RunStats, SimFailure> {
-        self.run_inner(wl, warmup, measure, None)
+        self.run_inner(wl, warmup, measure, None, DEFAULT_BATCH)
     }
 
-    /// [`run`](Self::run) under a cooperative [`CancelToken`]: the access
-    /// loop polls the token every [`CANCEL_POLL_INSTRS`] instructions and
-    /// aborts with [`SimError::Cancelled`], salvaging the statistics
-    /// gathered so far exactly like the deadlock watchdog does. Sweep
-    /// schedulers use this to enforce per-job deadlines without killing
-    /// the worker thread.
+    /// [`run`](Self::run) under a cooperative [`CancelToken`]: the run
+    /// loop polls the token at the first batch boundary at or past every
+    /// [`CANCEL_POLL_INSTRS`]-instruction threshold and aborts with
+    /// [`SimError::Cancelled`], salvaging the statistics gathered so far
+    /// exactly like the deadlock watchdog does. Sweep schedulers use
+    /// this to enforce per-job deadlines without killing the worker
+    /// thread.
     ///
     /// # Errors
     ///
@@ -852,37 +906,66 @@ impl Machine {
         measure: u64,
         cancel: &CancelToken,
     ) -> Result<RunStats, SimFailure> {
-        self.run_inner(wl, warmup, measure, Some(cancel))
+        self.run_inner(wl, warmup, measure, Some(cancel), DEFAULT_BATCH)
     }
 
-    fn run_inner(
+    /// [`run`](Self::run) at an explicit batch size (decode granularity
+    /// of the batched core). Any `batch >= 1` produces byte-identical
+    /// `RunStats`; the knob exists for the A/B throughput benches and
+    /// the batch-equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`SimError::Config`] for `batch == 0`.
+    pub fn run_batched(
         &mut self,
         wl: &mut dyn Workload,
         warmup: u64,
         measure: u64,
-        cancel: Option<&CancelToken>,
+        batch: usize,
+    ) -> Result<RunStats, SimFailure> {
+        self.run_inner(wl, warmup, measure, None, batch)
+    }
+
+    /// [`run_batched`](Self::run_batched) under a cooperative
+    /// [`CancelToken`] (see [`run_cancellable`](Self::run_cancellable)).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_batched`](Self::run_batched), plus
+    /// [`SimError::Cancelled`] once the token is observed cancelled.
+    pub fn run_batched_cancellable(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
+        batch: usize,
+        cancel: &CancelToken,
+    ) -> Result<RunStats, SimFailure> {
+        self.run_inner(wl, warmup, measure, Some(cancel), batch)
+    }
+
+    /// The scalar reference loop: one instruction decoded and executed
+    /// at a time through the general path, exactly as the pre-batching
+    /// core ran. Kept as the behavioural reference — the equivalence
+    /// suite proves [`run_batched`](Self::run_batched) matches it
+    /// byte-for-byte at every batch size.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_scalar(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
     ) -> Result<RunStats, SimFailure> {
         let mut rob = RobModel::new(&self.cfg.machine.core);
         let deps = self.cfg.ignore_deps;
         let watchdog = self.cfg.watchdog_cycles.max(1);
         let mut last_now = rob.now();
-        let mut retired: u64 = 0;
         for (phase, budget) in [warmup, measure].into_iter().enumerate() {
             for _ in 0..budget {
-                if let Some(token) = cancel {
-                    // Poll at a coarse stride: one relaxed load per
-                    // CANCEL_POLL_INSTRS instructions is invisible next
-                    // to the per-access cache/TLB work.
-                    if retired.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
-                        return Err(SimFailure {
-                            error: SimError::Cancelled {
-                                instructions: retired,
-                            },
-                            partial: Some(Box::new(self.collect(rob.finish()))),
-                        });
-                    }
-                }
-                retired += 1;
                 let i = wl.next_instr();
                 if let Err(error) = exec_instr_opts(
                     &mut self.core,
@@ -915,6 +998,212 @@ impl Machine {
             }
         }
         Ok(self.collect(rob.finish()))
+    }
+
+    /// The batched core. Decodes `batch` records at a time through
+    /// [`Workload::next_batch`], then executes them in strict program
+    /// order: a tight per-instruction pre-pass resolves the common
+    /// DTLB-hit / L1D-behaviour case against one tag array per level and
+    /// bails into the existing walk/DRAM machinery at the exact point of
+    /// divergence, so every TLB/cache/MSHR state transition happens in
+    /// the same order as the scalar loop. The cancel token is polled at
+    /// batch boundaries against a next-poll threshold; the deadlock
+    /// watchdog stays per-instruction (a ROB-full dispatch can jump the
+    /// clock on any instruction, batched or not).
+    fn run_inner(
+        &mut self,
+        wl: &mut dyn Workload,
+        warmup: u64,
+        measure: u64,
+        cancel: Option<&CancelToken>,
+        batch: usize,
+    ) -> Result<RunStats, SimFailure> {
+        if batch == 0 {
+            return Err(SimError::config("batch size must be positive").into());
+        }
+        let mut rob = RobModel::new(&self.cfg.machine.core);
+        let deps = self.cfg.ignore_deps;
+        let watchdog = self.cfg.watchdog_cycles.max(1);
+        let dtlb_lat = self.core.mmu.dtlb_latency();
+        // Fast-pass eligibility, hoisted once per run: with an oracle,
+        // prefetcher or telemetry attached, per-instruction observer
+        // hooks fire on paths the pre-pass skips, so those runs take the
+        // general path for every instruction (still batch-decoded).
+        let fast = !self.cfg.ideal.any()
+            && self.core.l1_pf.is_none()
+            && self.core.l2_pf.is_none()
+            && self.core.telem.is_none();
+        let mut last_now = rob.now();
+        let mut retired: u64 = 0;
+        let mut next_poll: u64 = 0;
+        let mut buf: Vec<Instr> = Vec::with_capacity(batch);
+        for (phase, budget) in [warmup, measure].into_iter().enumerate() {
+            let mut remaining = budget;
+            while remaining > 0 {
+                if let Some(token) = cancel {
+                    // One relaxed load per CANCEL_POLL_INSTRS retired
+                    // instructions, checked only at batch boundaries.
+                    if retired >= next_poll {
+                        if token.is_cancelled() {
+                            return Err(SimFailure {
+                                error: SimError::Cancelled {
+                                    instructions: retired,
+                                },
+                                partial: Some(Box::new(self.collect(rob.finish()))),
+                            });
+                        }
+                        next_poll = retired + CANCEL_POLL_INSTRS;
+                    }
+                }
+                let n = remaining.min(batch as u64) as usize;
+                wl.next_batch(&mut buf, n);
+                // One macro expansion per eligibility arm hoists the
+                // fast/general branch out of the per-instruction loop, so
+                // each arm's body stays small instead of carrying both
+                // execution paths through the hottest loop in the
+                // simulator. The error plumbing (partial-stats salvage,
+                // per-instruction deadlock watchdog) is shared.
+                macro_rules! drain_batch {
+                    ($exec:expr) => {
+                        for idx in 0..n {
+                            let instr = buf[idx];
+                            #[allow(clippy::redundant_closure_call)]
+                            let step = $exec(instr);
+                            if let Err(error) = step {
+                                return Err(SimFailure {
+                                    error,
+                                    partial: Some(Box::new(self.collect(rob.finish()))),
+                                });
+                            }
+                            retired += 1;
+                            let now = rob.now();
+                            if now.saturating_sub(last_now) > watchdog {
+                                let diag = deadlock_diag(&rob, &self.core, &self.llc, last_now);
+                                return Err(SimFailure {
+                                    error: SimError::Deadlock(Box::new(diag)),
+                                    partial: Some(Box::new(self.collect(rob.finish()))),
+                                });
+                            }
+                            last_now = now;
+                        }
+                    };
+                }
+                if fast {
+                    drain_batch!(|instr| self.exec_fast(&mut rob, instr, dtlb_lat, deps));
+                } else {
+                    drain_batch!(|instr| exec_instr_opts(
+                        &mut self.core,
+                        &mut self.llc,
+                        &mut self.dram,
+                        &self.cfg.ideal,
+                        &mut rob,
+                        instr,
+                        0,
+                        deps,
+                    ));
+                }
+                remaining -= n as u64;
+            }
+            if phase == 0 {
+                self.reset_stats();
+                rob.reset_measurement();
+            }
+        }
+        Ok(self.collect(rob.finish()))
+    }
+
+    /// The batched loop's per-instruction fast pass: observably
+    /// identical to [`exec_instr_opts`] for configurations with no
+    /// ideal oracle, no prefetchers and no telemetry (checked once per
+    /// run), but with the DTLB and L1D probes inlined so the all-hit
+    /// case touches exactly one tag array per level before the ROB
+    /// push. DTLB misses and L1D misses divert into the same
+    /// walk/hierarchy machinery the general path uses, at the exact
+    /// divergence point, preserving state-transition order.
+    #[inline]
+    fn exec_fast(
+        &mut self,
+        rob: &mut RobModel,
+        instr: Instr,
+        dtlb_lat: u64,
+        ignore_deps: bool,
+    ) -> Result<(), SimError> {
+        let at = rob.dispatch();
+        let Some(op) = instr.op else {
+            rob.push(CompletionKind::NonMemory);
+            return Ok(());
+        };
+        let (va_raw, is_store) = match op {
+            MemOp::Load(a) => (a.raw(), false),
+            MemOp::Store(a) => (a.raw(), true),
+        };
+        let va = VirtAddr::new(va_raw);
+        let ip = instr.ip;
+        let at = if instr.dep && !ignore_deps {
+            at.max(rob.last_load_completion())
+        } else {
+            at
+        };
+        let (trans_done, pfn, walked) = match self.core.mmu.dtlb_lookup(va.vpn()) {
+            Some(pfn) => (at + dtlb_lat, pfn, false),
+            None => match self.core.mmu.query_after_dtlb_miss(va.vpn())? {
+                TranslationQuery::DtlbHit(_) => unreachable!("DTLB probe already missed"),
+                TranslationQuery::StlbHit(pfn) => {
+                    (at + dtlb_lat + self.core.mmu.stlb_latency(), pfn, false)
+                }
+                TranslationQuery::Walk(plan) => {
+                    let walk_start =
+                        at + dtlb_lat + self.core.mmu.stlb_latency() + self.core.mmu.psc_latency();
+                    let done = do_walk(
+                        &mut self.core,
+                        &mut self.llc,
+                        &mut self.dram,
+                        &self.cfg.ideal,
+                        ip,
+                        &plan,
+                        va.block_in_page(),
+                        walk_start,
+                    );
+                    (done, plan.data_pfn, true)
+                }
+            },
+        };
+        let line = LineAddr::new((pfn.raw() << 6) | va.block_in_page());
+        let class = if is_store {
+            AccessClass::Store
+        } else if walked {
+            AccessClass::ReplayData
+        } else {
+            AccessClass::NonReplayData
+        };
+        let info = AccessInfo::demand(ip, line, class);
+        let (data_done, served) = match self.core.l1d.probe_fast(&info, trans_done) {
+            Probe::Ready(r) => (r, MemLevel::L1d),
+            Probe::Miss { set, empty } => access_path_after_l1_miss(
+                &mut self.core.l1d,
+                &mut self.core.l2c,
+                &mut self.llc,
+                &mut self.dram,
+                &info,
+                set,
+                empty,
+                trans_done,
+            ),
+        };
+        if class == AccessClass::ReplayData {
+            self.core.service_replay[served.index()] += 1;
+        }
+        if is_store {
+            rob.push(CompletionKind::Store);
+        } else {
+            rob.note_load_completion(data_done);
+            rob.push(CompletionKind::Load {
+                trans_done,
+                data_done,
+                walked,
+            });
+        }
+        Ok(())
     }
 
     fn reset_stats(&mut self) {

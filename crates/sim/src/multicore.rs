@@ -82,12 +82,18 @@ pub fn run_multicore_cancellable(
      -> Result<(), SimError> {
         let mut done = vec![0u64; n];
         let mut steps: u64 = 0;
+        // Next-poll threshold, not a divisibility test: robust even if
+        // the step counter ever advances by more than one at a time.
+        let mut next_poll: u64 = 0;
         loop {
             if let Some(token) = cancel {
-                if steps.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
-                    return Err(SimError::Cancelled {
-                        instructions: done.iter().sum(),
-                    });
+                if steps >= next_poll {
+                    if token.is_cancelled() {
+                        return Err(SimError::Cancelled {
+                            instructions: done.iter().sum(),
+                        });
+                    }
+                    next_poll = steps + CANCEL_POLL_INSTRS;
                 }
             }
             steps += 1;

@@ -90,12 +90,18 @@ pub fn run_smt_cancellable(
      -> Result<(), SimError> {
         *done = [0, 0];
         let mut steps: u64 = 0;
+        // Next-poll threshold, not a divisibility test: robust even if
+        // the step counter ever advances by more than one at a time.
+        let mut next_poll: u64 = 0;
         while done[0] < budget || done[1] < budget {
             if let Some(token) = cancel {
-                if steps.is_multiple_of(CANCEL_POLL_INSTRS) && token.is_cancelled() {
-                    return Err(SimError::Cancelled {
-                        instructions: done[0] + done[1],
-                    });
+                if steps >= next_poll {
+                    if token.is_cancelled() {
+                        return Err(SimError::Cancelled {
+                            instructions: done[0] + done[1],
+                        });
+                    }
+                    next_poll = steps + CANCEL_POLL_INSTRS;
                 }
             }
             steps += 1;

@@ -1,0 +1,239 @@
+//! Seeded property suite for the batched run loop: `Machine::run_batched`
+//! must be *observably identical* to the scalar reference loop
+//! (`Machine::run_scalar`) — byte-identical `RunStats` (compared through
+//! their exhaustive `Debug` rendering, which covers every counter,
+//! histogram and telemetry snapshot) at batch sizes {1, 7, 64, 4096}
+//! across randomized configurations, including the partial statistics of
+//! a deadlocked run and cancellation mid-batch.
+
+use atc_core::{IdealConfig, PolicyChoice};
+use atc_prefetch::PrefetcherKind;
+use atc_sim::machine::CANCEL_POLL_INSTRS;
+use atc_sim::{Machine, RunStats, SimConfig, TelemetryConfig};
+use atc_types::rng::SimRng;
+use atc_types::{CancelToken, SimError};
+use atc_workloads::{BenchmarkId, Instr, Scale, Workload};
+
+/// 7 and 4096 bracket the interesting cases: 7 never divides the cancel
+/// stride, 4096 exceeds any phase remainder the tests use.
+const BATCHES: [usize; 4] = [1, 7, 64, 4096];
+
+fn digest(s: &RunStats) -> String {
+    format!("{s:?}")
+}
+
+fn run_scalar(cfg: &SimConfig, bench: BenchmarkId, seed: u64, warmup: u64, measure: u64) -> String {
+    let mut wl = bench.build(Scale::Test, seed);
+    let mut m = Machine::new(cfg).expect("valid config");
+    digest(
+        &m.run_scalar(wl.as_mut(), warmup, measure)
+            .expect("scalar run"),
+    )
+}
+
+fn run_batched(
+    cfg: &SimConfig,
+    bench: BenchmarkId,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+    batch: usize,
+) -> String {
+    let mut wl = bench.build(Scale::Test, seed);
+    let mut m = Machine::new(cfg).expect("valid config");
+    digest(
+        &m.run_batched(wl.as_mut(), warmup, measure, batch)
+            .expect("batched run"),
+    )
+}
+
+/// The fast pre-pass configuration (no oracle, no prefetcher, no
+/// telemetry) is where the batched loop actually diverges in code path;
+/// check it explicitly across a miss-heavy and a walk-heavy benchmark.
+#[test]
+fn fast_path_configs_match_scalar_at_every_batch_size() {
+    let mut cfg = SimConfig::baseline();
+    cfg.machine.stlb.entries = 256; // force walks and replay loads
+    for bench in [BenchmarkId::Mcf, BenchmarkId::Canneal] {
+        let reference = run_scalar(&cfg, bench, 3, 2_000, 8_000);
+        for batch in BATCHES {
+            let got = run_batched(&cfg, bench, 3, 2_000, 8_000, batch);
+            assert_eq!(
+                got,
+                reference,
+                "{}: batch={batch} diverges from scalar",
+                bench.name()
+            );
+        }
+    }
+}
+
+fn random_config(rng: &mut SimRng) -> SimConfig {
+    let mut cfg = SimConfig::baseline();
+    cfg.l2c_policy = match rng.next_below(4) {
+        0 => PolicyChoice::Lru,
+        1 => PolicyChoice::Srrip,
+        2 => PolicyChoice::Drrip,
+        _ => PolicyChoice::TDrrip,
+    };
+    cfg.llc_policy = match rng.next_below(3) {
+        0 => PolicyChoice::Ship,
+        1 => PolicyChoice::TShip,
+        _ => PolicyChoice::Drrip,
+    };
+    cfg.atp = rng.next_below(2) == 0;
+    cfg.tempo = rng.next_below(2) == 0;
+    cfg.dppred = rng.next_below(4) == 0;
+    cfg.ignore_deps = rng.next_below(4) == 0;
+    cfg.prefetcher = match rng.next_below(5) {
+        0 | 1 => PrefetcherKind::None,
+        2 => PrefetcherKind::NextLine,
+        3 => PrefetcherKind::Ipcp,
+        _ => PrefetcherKind::Spp,
+    };
+    cfg.ideal = match rng.next_below(4) {
+        0 | 1 => IdealConfig::none(),
+        2 => IdealConfig::llc_both(),
+        _ => IdealConfig::both_levels_both_classes(),
+    };
+    if rng.next_below(2) == 0 {
+        cfg.machine.stlb.entries = 256;
+    }
+    if rng.next_below(3) == 0 {
+        cfg.probes.telemetry = Some(TelemetryConfig {
+            span_sample_every: 8,
+            span_capacity: 32,
+        });
+    }
+    if rng.next_below(4) == 0 {
+        cfg.probes.stlb_recall = true;
+    }
+    cfg
+}
+
+/// Randomized configurations (policies, enhancements, prefetchers,
+/// oracles, telemetry, recall probes): every batch size reproduces the
+/// scalar loop's statistics byte for byte, telemetry counters included.
+#[test]
+fn randomized_configs_match_scalar_at_every_batch_size() {
+    let mut rng = SimRng::seed_from_u64(0xba7c4);
+    let benches = [
+        BenchmarkId::Mcf,
+        BenchmarkId::Canneal,
+        BenchmarkId::Pr,
+        BenchmarkId::Xalancbmk,
+    ];
+    for trial in 0..6u64 {
+        let cfg = random_config(&mut rng);
+        let bench = benches[rng.next_below(benches.len() as u64) as usize];
+        let seed = 1 + rng.next_below(1000);
+        let reference = run_scalar(&cfg, bench, seed, 1_000, 5_000);
+        for batch in BATCHES {
+            let got = run_batched(&cfg, bench, seed, 1_000, 5_000, batch);
+            assert_eq!(
+                got,
+                reference,
+                "trial {trial} ({}, seed {seed}, batch {batch}): batched stats diverge\ncfg: {cfg:?}",
+                bench.name()
+            );
+        }
+    }
+}
+
+/// A `SimFailure` must be batch-invariant too: the deadlock watchdog
+/// fires per instruction in both loops, so the error diagnostic and the
+/// salvaged partial statistics are identical at every batch size.
+#[test]
+fn deadlock_partial_stats_match_scalar_at_every_batch_size() {
+    const NEVER: u64 = 1_000_000_000_000;
+    let mut cfg = SimConfig::baseline();
+    cfg.machine.stlb.entries = 256;
+    cfg.machine.dram.row_hit_cycles = NEVER;
+    cfg.machine.dram.row_miss_cycles = NEVER;
+    cfg.watchdog_cycles = 1_000_000;
+
+    let fail_digest = |fail: atc_sim::SimFailure| {
+        let partial = fail.partial.as_ref().expect("partial stats present");
+        format!("{:?} || {}", fail.error, digest(partial))
+    };
+
+    let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+    let mut m = Machine::new(&cfg).expect("valid config");
+    let reference = fail_digest(m.run_scalar(wl.as_mut(), 2_000, 20_000).unwrap_err());
+    for batch in BATCHES {
+        let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+        let mut m = Machine::new(&cfg).expect("valid config");
+        let got = fail_digest(
+            m.run_batched(wl.as_mut(), 2_000, 20_000, batch)
+                .unwrap_err(),
+        );
+        assert_eq!(got, reference, "batch={batch}: failure digest diverges");
+    }
+}
+
+/// A zero batch size is a configuration error, not a hang or a panic.
+#[test]
+fn zero_batch_size_is_a_config_error() {
+    let mut wl = BenchmarkId::Mcf.build(Scale::Test, 3);
+    let mut m = Machine::new(&SimConfig::baseline()).unwrap();
+    let fail = m.run_batched(wl.as_mut(), 100, 100, 0).unwrap_err();
+    assert!(matches!(fail.error, SimError::Config(_)), "{}", fail.error);
+}
+
+/// Cancels its token after issuing `after` instructions, mid-batch from
+/// the run loop's point of view (decode happens a batch at a time).
+struct CancelAfter {
+    inner: Box<dyn Workload>,
+    token: CancelToken,
+    after: u64,
+    issued: u64,
+}
+
+impl Workload for CancelAfter {
+    fn name(&self) -> &'static str {
+        "cancel-after"
+    }
+
+    fn next_instr(&mut self) -> Instr {
+        self.issued += 1;
+        if self.issued == self.after {
+            self.token.cancel();
+        }
+        self.inner.next_instr()
+    }
+}
+
+/// Regression for the divisibility poll: with a batch size that does not
+/// divide `CANCEL_POLL_INSTRS`, the retired counter steps over every
+/// multiple of 4096, so an `is_multiple_of` poll would never fire and
+/// the run would ignore cancellation entirely. The threshold comparison
+/// must observe the token within one poll stride plus one batch.
+#[test]
+fn cancellation_observed_mid_batch_with_non_dividing_batch_size() {
+    const AFTER: u64 = 5_000;
+    const MEASURE: u64 = 40_000;
+    const BATCH: usize = 7; // 4096 % 7 != 0, and 7 ∤ 4096
+    assert!(!CANCEL_POLL_INSTRS.is_multiple_of(BATCH as u64));
+
+    let token = CancelToken::new();
+    let mut wl = CancelAfter {
+        inner: BenchmarkId::Mcf.build(Scale::Test, 3),
+        token: token.clone(),
+        after: AFTER,
+        issued: 0,
+    };
+    let mut m = Machine::new(&SimConfig::baseline()).unwrap();
+    let fail = m
+        .run_batched_cancellable(&mut wl, 0, MEASURE, BATCH, &token)
+        .expect_err("run must abort once the token is cancelled");
+    let SimError::Cancelled { instructions } = fail.error else {
+        panic!("expected cancellation, got: {}", fail.error);
+    };
+    assert!(
+        (AFTER..AFTER + 2 * CANCEL_POLL_INSTRS).contains(&instructions),
+        "cancel observed at {instructions}, expected within one poll stride of {AFTER}"
+    );
+    assert!(instructions < MEASURE, "run must not complete");
+    let partial = fail.partial.expect("cancellation salvages partial stats");
+    assert_eq!(partial.core.instructions, instructions);
+}

@@ -148,11 +148,19 @@ impl Histogram {
     /// Record a sample.
     #[inline]
     pub fn record(&mut self, sample: u64) {
-        let idx = (sample / self.bucket_width) as usize;
-        if idx < self.buckets.len() {
-            self.buckets[idx] += 1;
-        } else {
+        // `idx < len` ⟺ `sample < width × len`, so overflow samples skip
+        // the division entirely, and in-range samples of a small-limit
+        // histogram (the common stall/recall geometries) divide in 32
+        // bits — the divider is a runtime field, so the compiler cannot
+        // strength-reduce it for us.
+        let width = self.bucket_width;
+        let limit = width.saturating_mul(self.buckets.len() as u64);
+        if sample >= limit {
             self.overflow += 1;
+        } else if limit <= u32::MAX as u64 {
+            self.buckets[(sample as u32 / width as u32) as usize] += 1;
+        } else {
+            self.buckets[(sample / width) as usize] += 1;
         }
         self.count += 1;
         self.sum += sample;

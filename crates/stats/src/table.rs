@@ -138,16 +138,26 @@ impl Table {
     }
 }
 
-/// The numeric value of a cell, allowing one trailing `%` or `x` suffix
-/// (as emitted by percentage / speedup formatters). `None` for
-/// non-numeric text.
+/// The numeric value of a cell, allowing one trailing `%`, `x` or `/s`
+/// suffix (as emitted by percentage / speedup / rate formatters).
+/// `None` for non-numeric text.
+///
+/// NaN detection is done on the sign-stripped body case-insensitively
+/// rather than trusting the float parser alone, so platform formatting
+/// variants like `"-nan"` or `"NaN/s"` normalize the same way plain
+/// `"NaN"` does.
 fn numeric_part(cell: &str) -> Option<f64> {
     let body = cell
-        .strip_suffix('%')
+        .strip_suffix("/s")
+        .or_else(|| cell.strip_suffix('%'))
         .or_else(|| cell.strip_suffix('x'))
         .unwrap_or(cell);
     if body.is_empty() {
         return None;
+    }
+    let magnitude = body.strip_prefix(['-', '+']).unwrap_or(body);
+    if magnitude.eq_ignore_ascii_case("nan") {
+        return Some(f64::NAN);
     }
     body.parse::<f64>().ok()
 }
@@ -208,6 +218,25 @@ mod tests {
         assert!(s.contains("n/a"), "{s}");
         // The column is still recognized as numeric (right-aligned).
         assert!(s.lines().nth(2).unwrap().ends_with("n/a"), "{s}");
+    }
+
+    #[test]
+    fn derived_rate_cells_normalize_and_right_align() {
+        // Rate formatters emit a `/s` suffix; an undefined rate must
+        // normalize to n/a like a bare NaN, and the column must still be
+        // recognized as numeric (right-aligned) from its valid cells.
+        let mut t = Table::new(&["name", "rate"]);
+        t.row(&["x", "NaN/s"]);
+        t.row(&["y", "-nan"]);
+        t.row(&["z", "12.5/s"]);
+        let s = t.render();
+        assert!(!s.to_ascii_lowercase().contains("nan"), "{s}");
+        let lines: Vec<_> = s.lines().collect();
+        assert!(lines[2].ends_with("n/a"), "{s}");
+        assert!(lines[3].ends_with("n/a"), "{s}");
+        assert!(lines[4].ends_with("12.5/s"), "{s}");
+        // Right alignment: every data line ends at the same column.
+        assert_eq!(lines[2].len(), lines[4].len(), "{s}");
     }
 
     #[test]

@@ -56,7 +56,16 @@ pub struct EvictedTlbEntry {
     pub reused: bool,
 }
 
+/// Sentinel VPN marking an empty way. Virtual addresses are bounded by
+/// the 57-bit VA space, so no real VPN (≤ 45 bits) can collide with it.
+const EMPTY_VPN: u64 = u64::MAX;
+
 /// A set-associative, true-LRU TLB.
+///
+/// Entries live in one flat parallel-array pool indexed
+/// `set * ways + way` (a set's ways are contiguous, so the
+/// per-instruction lookup scans `ways` consecutive VPN words with no
+/// per-set heap indirection); `EMPTY_VPN` marks an invalid way.
 ///
 /// # Example
 ///
@@ -71,7 +80,11 @@ pub struct EvictedTlbEntry {
 /// ```
 #[derive(Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<Entry>>,
+    /// Per-way VPN tags, `EMPTY_VPN` = invalid. Indexed `set * ways + way`.
+    vpns: Vec<u64>,
+    /// Per-way entry state, parallel to `vpns` (touched only on hit/fill).
+    entries: Vec<Entry>,
+    num_sets: usize,
     ways: usize,
     latency: u64,
     clock: u64,
@@ -88,7 +101,18 @@ impl Tlb {
     pub fn new(cfg: &TlbConfig) -> Self {
         let sets = cfg.sets();
         Tlb {
-            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            vpns: vec![EMPTY_VPN; sets * cfg.ways],
+            entries: vec![
+                Entry {
+                    vpn: Vpn::new(0),
+                    pfn: Pfn::new(0),
+                    lru: 0,
+                    fill_ip: 0,
+                    reused: false,
+                };
+                sets * cfg.ways
+            ],
+            num_sets: sets,
             ways: cfg.ways,
             latency: cfg.latency,
             clock: 0,
@@ -101,7 +125,7 @@ impl Tlb {
     /// Attach a recall-distance probe (Fig 18). Distances above `cap`
     /// are bucketed as overflow.
     pub fn enable_recall_probe(&mut self, cap: usize) {
-        self.recall = Some(RecallProbe::new(self.sets.len(), cap));
+        self.recall = Some(RecallProbe::new(self.num_sets, cap));
     }
 
     /// Access latency in cycles.
@@ -112,15 +136,25 @@ impl Tlb {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     #[inline]
     fn set_of(&self, vpn: Vpn) -> usize {
         match self.set_mask {
             Some(mask) => (vpn.raw() & mask) as usize,
-            None => (vpn.raw() % self.sets.len() as u64) as usize,
+            None => (vpn.raw() % self.num_sets as u64) as usize,
         }
+    }
+
+    /// Way holding `vpn` in `set`, if present — a contiguous scan over
+    /// the set's VPN words (`EMPTY_VPN` cannot match a real VPN).
+    #[inline]
+    fn find_way(&self, set: usize, vpn: Vpn) -> Option<usize> {
+        let base = set * self.ways;
+        self.vpns[base..base + self.ways]
+            .iter()
+            .position(|&v| v == vpn.raw())
     }
 
     /// Look up a translation, updating LRU and hit/miss statistics.
@@ -131,10 +165,10 @@ impl Tlb {
         if let Some(probe) = &mut self.recall {
             probe.on_access(set, LineAddr::new(vpn.raw()));
         }
-        let clock = self.clock;
-        match self.sets[set].iter_mut().find(|e| e.vpn == vpn) {
-            Some(e) => {
-                e.lru = clock;
+        match self.find_way(set, vpn) {
+            Some(w) => {
+                let e = &mut self.entries[set * self.ways + w];
+                e.lru = self.clock;
                 e.reused = true;
                 self.stats.hits += 1;
                 Some(e.pfn)
@@ -151,7 +185,8 @@ impl Tlb {
     #[inline]
     pub fn peek(&self, vpn: Vpn) -> Option<Pfn> {
         let set = self.set_of(vpn);
-        self.sets[set].iter().find(|e| e.vpn == vpn).map(|e| e.pfn)
+        self.find_way(set, vpn)
+            .map(|w| self.entries[set * self.ways + w].pfn)
     }
 
     /// Install a translation, evicting the set's LRU entry if full.
@@ -166,37 +201,51 @@ impl Tlb {
     pub fn fill_tracked(&mut self, vpn: Vpn, pfn: Pfn, fill_ip: u64) -> Option<EvictedTlbEntry> {
         self.clock += 1;
         let set = self.set_of(vpn);
-        let clock = self.clock;
-        let entries = &mut self.sets[set];
-        if let Some(e) = entries.iter_mut().find(|e| e.vpn == vpn) {
-            e.pfn = pfn;
-            e.lru = clock;
-            return None;
+        let base = set * self.ways;
+        // One scan finds the resident way (refill), or failing that the
+        // first empty way.
+        let mut empty = None;
+        for (w, &v) in self.vpns[base..base + self.ways].iter().enumerate() {
+            if v == vpn.raw() {
+                let e = &mut self.entries[base + w];
+                e.pfn = pfn;
+                e.lru = self.clock;
+                return None;
+            }
+            if empty.is_none() && v == EMPTY_VPN {
+                empty = Some(w);
+            }
         }
         let mut evicted = None;
-        if entries.len() == self.ways {
-            let (victim_idx, _) = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("full set is non-empty");
-            let victim = entries.swap_remove(victim_idx);
-            if let Some(probe) = &mut self.recall {
-                probe.on_evict(set, LineAddr::new(victim.vpn.raw()));
+        let way = match empty {
+            Some(w) => w,
+            None => {
+                // Clock stamps are unique (every lookup hit and fill
+                // assigns a fresh increment), so the LRU minimum is
+                // unambiguous and scan order cannot change the victim.
+                let w = (0..self.ways)
+                    .min_by_key(|&w| self.entries[base + w].lru)
+                    .expect("TLB sets have at least one way");
+                let victim = self.entries[base + w];
+                if let Some(probe) = &mut self.recall {
+                    probe.on_evict(set, LineAddr::new(victim.vpn.raw()));
+                }
+                evicted = Some(EvictedTlbEntry {
+                    vpn: victim.vpn,
+                    fill_ip: victim.fill_ip,
+                    reused: victim.reused,
+                });
+                w
             }
-            evicted = Some(EvictedTlbEntry {
-                vpn: victim.vpn,
-                fill_ip: victim.fill_ip,
-                reused: victim.reused,
-            });
-        }
-        self.sets[set].push(Entry {
+        };
+        self.vpns[base + way] = vpn.raw();
+        self.entries[base + way] = Entry {
             vpn,
             pfn,
-            lru: clock,
+            lru: self.clock,
             fill_ip,
             reused: false,
-        });
+        };
         evicted
     }
 

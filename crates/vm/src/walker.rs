@@ -33,6 +33,78 @@ pub struct WalkStep {
     pub pte_addr: PhysAddr,
 }
 
+/// A walk's PTE reads, stored inline: a radix walk has at most five
+/// steps, so a fixed array avoids a heap allocation per page walk on
+/// the hot translation path. Derefs to `[WalkStep]` for iteration,
+/// indexing and `len()`.
+#[derive(Clone, Copy)]
+pub struct WalkSteps {
+    steps: [WalkStep; 5],
+    len: u8,
+}
+
+impl WalkSteps {
+    const EMPTY_STEP: WalkStep = WalkStep {
+        level: PtLevel::L1,
+        pte_addr: PhysAddr::new(0),
+    };
+
+    /// An empty step list.
+    pub const fn new() -> Self {
+        WalkSteps {
+            steps: [Self::EMPTY_STEP; 5],
+            len: 0,
+        }
+    }
+
+    /// Append a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if five steps are already stored (a radix walk cannot
+    /// read more than five levels).
+    pub fn push(&mut self, step: WalkStep) {
+        self.steps[self.len as usize] = step;
+        self.len += 1;
+    }
+}
+
+impl Default for WalkSteps {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for WalkSteps {
+    type Target = [WalkStep];
+    #[inline]
+    fn deref(&self) -> &[WalkStep] {
+        &self.steps[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a WalkSteps {
+    type Item = &'a WalkStep;
+    type IntoIter = std::slice::Iter<'a, WalkStep>;
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
+impl std::fmt::Debug for WalkSteps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for WalkSteps {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for WalkSteps {}
+
 /// The ordered reads a page walk must perform after the PSC probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkPlan {
@@ -41,7 +113,7 @@ pub struct WalkPlan {
     /// Level the walk starts at (L5 when no PSC hit).
     pub start_level: PtLevel,
     /// Reads in walk order; the last is always the leaf (L1) PTE.
-    pub steps: Vec<WalkStep>,
+    pub steps: WalkSteps,
     /// The translation the walk will produce.
     pub data_pfn: Pfn,
 }
@@ -115,9 +187,33 @@ impl TranslationEngine {
         // have been filled by a completed walk, whose plan came from
         // `ensure_mapped` — so the page is mapped and the cached PFN is
         // the page table's answer.
-        if let Some(p) = self.dtlb.lookup(vpn) {
+        if let Some(p) = self.dtlb_lookup(vpn) {
             return Ok(TranslationQuery::DtlbHit(p));
         }
+        self.query_after_dtlb_miss(vpn)
+    }
+
+    /// First-level DTLB probe alone (advancing its LRU/statistics). The
+    /// batched run loop inlines this on its fast path and only falls
+    /// into [`query_after_dtlb_miss`](Self::query_after_dtlb_miss) on a
+    /// miss; `dtlb_lookup` followed by `query_after_dtlb_miss` is
+    /// exactly [`query`](Self::query).
+    #[inline]
+    pub fn dtlb_lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.dtlb.lookup(vpn)
+    }
+
+    /// Continue a translation whose DTLB probe already missed: STLB
+    /// lookup (refilling the DTLB on a hit), else build the walk plan.
+    ///
+    /// Must only be called after [`dtlb_lookup`](Self::dtlb_lookup)
+    /// returned `None` for the same `vpn` — it does not repeat the DTLB
+    /// probe, so calling it cold would skip that level's statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query).
+    pub fn query_after_dtlb_miss(&mut self, vpn: Vpn) -> Result<TranslationQuery, SimError> {
         if let Some(p) = self.stlb.lookup(vpn) {
             self.dtlb.fill(vpn, p);
             return Ok(TranslationQuery::StlbHit(p));
@@ -133,7 +229,7 @@ impl TranslationEngine {
             })?,
             None => PtLevel::L5,
         };
-        let mut steps = Vec::with_capacity(start_level.number() as usize);
+        let mut steps = WalkSteps::new();
         self.page_table
             .pte_addrs_from(vpn, start_level, |level, pte_addr| {
                 steps.push(WalkStep { level, pte_addr });
@@ -298,6 +394,33 @@ mod tests {
         let pfn = e.complete_walk(&plan);
         assert_eq!(e.page_table().translate(vpn), Some(pfn));
         assert_eq!(plan.data_pfn, pfn);
+    }
+
+    #[test]
+    fn split_query_composes_to_query() {
+        // Two engines fed the same probe sequence, one through `query`,
+        // one through `dtlb_lookup` + `query_after_dtlb_miss`, must end
+        // in identical TLB/PSC/walk state.
+        let mut whole = engine();
+        let mut split = engine();
+        let vpns: Vec<Vpn> = (0..64u64)
+            .map(|i| Vpn::new((i * 37) % 24)) // revisits force hits at both levels
+            .collect();
+        for &vpn in &vpns {
+            let a = whole.query(vpn).unwrap();
+            let b = match split.dtlb_lookup(vpn) {
+                Some(p) => TranslationQuery::DtlbHit(p),
+                None => split.query_after_dtlb_miss(vpn).unwrap(),
+            };
+            assert_eq!(a, b);
+            if let TranslationQuery::Walk(plan) = &a {
+                whole.complete_walk(plan);
+                split.complete_walk(plan);
+            }
+        }
+        assert_eq!(whole.walk_count(), split.walk_count());
+        assert_eq!(whole.dtlb().stats(), split.dtlb().stats());
+        assert_eq!(whole.stlb().stats(), split.stlb().stats());
     }
 
     #[test]

@@ -95,6 +95,20 @@ macro_rules! graph_kernel {
                 }
                 self.ch.buf.pop_front().expect("refill pushes instructions")
             }
+
+            // Bulk decode: same refill cadence and stream as the scalar
+            // path, minus the per-instruction `pop_front`.
+            fn next_batch(&mut self, out: &mut Vec<Instr>, n: usize) {
+                out.clear();
+                out.reserve(n);
+                while out.len() < n {
+                    if self.ch.buf.is_empty() {
+                        self.refill();
+                    }
+                    let take = (n - out.len()).min(self.ch.buf.len());
+                    crate::drain_front(out, &mut self.ch.buf, take);
+                }
+            }
         }
     };
 }

@@ -108,6 +108,39 @@ pub trait Workload: Send {
 
     /// Produce the next instruction.
     fn next_instr(&mut self) -> Instr;
+
+    /// Decode the next `n` instructions into `out` (clearing it first).
+    ///
+    /// Semantically identical to calling [`next_instr`](Self::next_instr)
+    /// `n` times; the bulk form exists so the simulator's batched run
+    /// loop pays one dynamic dispatch per batch instead of one per
+    /// instruction (the default body is monomorphized per implementor,
+    /// so its internal `next_instr` calls are static). Overrides with a
+    /// cheaper chunked decode (e.g. trace replay) must yield exactly the
+    /// same stream.
+    fn next_batch(&mut self, out: &mut Vec<Instr>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_instr());
+        }
+    }
+}
+
+/// Move the first `take` buffered instructions into `out` as (at most)
+/// two slice copies — the `VecDeque`'s contiguous halves — instead of an
+/// element-at-a-time drain. Order is preserved exactly.
+#[inline]
+pub(crate) fn drain_front(
+    out: &mut Vec<Instr>,
+    buf: &mut std::collections::VecDeque<Instr>,
+    take: usize,
+) {
+    let (a, b) = buf.as_slices();
+    let from_a = take.min(a.len());
+    out.extend_from_slice(&a[..from_a]);
+    out.extend_from_slice(&b[..take - from_a]);
+    buf.drain(..take);
 }
 
 /// Footprint scaling so tests stay fast while experiments use

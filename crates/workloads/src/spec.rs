@@ -98,6 +98,26 @@ impl Mcf {
     }
 }
 
+/// Bulk-drain `next_batch` for the buffered generators: refill rounds
+/// land in the `VecDeque` exactly as in the scalar path, but whole runs
+/// move to `out` per iteration instead of one `pop_front` per
+/// instruction. The emitted stream is identical by construction.
+macro_rules! buffered_next_batch {
+    () => {
+        fn next_batch(&mut self, out: &mut Vec<Instr>, n: usize) {
+            out.clear();
+            out.reserve(n);
+            while out.len() < n {
+                if self.buf.is_empty() {
+                    self.refill();
+                }
+                let take = (n - out.len()).min(self.buf.len());
+                crate::drain_front(out, &mut self.buf, take);
+            }
+        }
+    };
+}
+
 impl Workload for Mcf {
     fn name(&self) -> &'static str {
         "mcf"
@@ -109,6 +129,8 @@ impl Workload for Mcf {
         }
         self.buf.pop_front().expect("refill pushes")
     }
+
+    buffered_next_batch!();
 }
 
 /// `xalancbmk`-like XML transformation: dominated by a hot working set
@@ -190,6 +212,8 @@ impl Workload for Xalancbmk {
         }
         self.buf.pop_front().expect("refill pushes")
     }
+
+    buffered_next_batch!();
 }
 
 /// `canneal`-like simulated annealing: pick two random netlist elements,
@@ -266,6 +290,8 @@ impl Workload for Canneal {
         }
         self.buf.pop_front().expect("refill pushes")
     }
+
+    buffered_next_batch!();
 }
 
 #[cfg(test)]

@@ -130,11 +130,15 @@ fn cache_never_exceeds_associativity() {
         let n = rand_len(&mut rng, 1, 500);
         let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)))
             .expect("valid test geometry");
-        for _ in 0..n {
+        // The cycle advances per access and each fill is ready
+        // immediately, so no MSHR entry outlives the access that
+        // allocated it (`insert_miss` requires the caller to have ruled
+        // out an in-flight fill, as the hierarchy access paths do).
+        for t in 0..n as u64 {
             let l = rng.next_below(512);
             let info = AccessInfo::demand(1, LineAddr::new(l), AccessClass::NonReplayData);
-            if c.lookup(&info, 0).is_none() {
-                c.insert_miss(&info, 10, 0);
+            if c.lookup(&info, t).is_none() {
+                c.insert_miss(&info, t, t);
             }
         }
         for set in 0..sets as u64 {
@@ -218,18 +222,21 @@ fn tag_array_cache_matches_reference_scan_model() {
             .expect("valid test geometry");
         let mut reference = RefCache::new(sets, ways);
         let (mut hits, mut evictions) = (0u64, 0u64);
+        // The cycle advances per access with immediately-ready fills so
+        // the MSHR stays empty (the reference model has no MSHR; see
+        // `insert_miss`'s merge-first contract).
         for i in 0..10_000u64 {
             let line = rng.next_below(4096);
             let info = AccessInfo::demand(1, LineAddr::new(line), AccessClass::NonReplayData);
             let (ref_hit, ref_evicted) = reference.access(line);
-            match c.lookup(&info, 0) {
+            match c.lookup(&info, i) {
                 Some(_) => {
                     assert!(ref_hit, "case {case} access {i}: spurious hit on {line}");
                     hits += 1;
                 }
                 None => {
                     assert!(!ref_hit, "case {case} access {i}: spurious miss on {line}");
-                    let (_, ev) = c.insert_miss(&info, 10, 0);
+                    let (_, ev) = c.insert_miss(&info, i, i);
                     assert_eq!(
                         ev.map(|e| e.addr.raw()),
                         ref_evicted,
@@ -369,9 +376,12 @@ fn mshr_merge_returns_allocated_ready() {
 
 #[test]
 fn mshr_never_leaks_entries_over_random_fill_drain_cycles() {
-    // Robustness property: after arbitrary interleavings of allocates,
-    // merges, and time advances, the file never exceeds its capacity and
-    // fully drains once the clock passes every outstanding fill.
+    // Robustness property: after arbitrary protocol-honoring
+    // interleavings of allocates, merges, and time advances, the file
+    // never exceeds its capacity and fully drains once the clock passes
+    // every outstanding fill. "Protocol-honoring" means merge-first:
+    // a miss allocates only after `merge` found nothing in flight,
+    // exactly like every hierarchy access path.
     for case in 0..CASES {
         let mut rng = rng_for(9, case);
         let capacity = 1 + rand_len(&mut rng, 1, 16);
@@ -385,7 +395,10 @@ fn mshr_never_leaks_entries_over_random_fill_drain_cycles() {
                     let line = LineAddr::new(rng.next_below(32));
                     let latency = 1 + rng.next_below(200);
                     let pf = rng.chance(0.3);
-                    let ready = m.allocate(line, cycle, cycle + latency, pf);
+                    let ready = match m.merge(line, cycle, pf) {
+                        Some(ready) => ready, // already in flight: merged
+                        None => m.allocate(line, cycle, cycle + latency, pf),
+                    };
                     max_ready = max_ready.max(ready);
                 }
                 1 => {
