@@ -28,8 +28,10 @@ echo "==> bench smoke (sim_throughput --json BENCH_sim.json)"
 # sim_throughput records machine/baseline at the default batch AND at
 # batch size 1 (machine/baseline@b1); check_bench_json fails the
 # trajectory if the default batch drops below 0.7x the batch-1
-# reference (the batched-core throughput gate) or if any throughput
-# entry carries a missing/non-finite/negative elems_per_s.
+# reference (the batched-core throughput gate), if attached streaming
+# (machine/baseline+streaming) drops below 0.8x the detached baseline,
+# or if any throughput entry carries a missing/non-finite/negative
+# elems_per_s.
 cargo bench --offline -p atc-bench --bench sim_throughput -- --samples 2 --json "$PWD/BENCH_sim.json"
 cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
 
@@ -50,6 +52,23 @@ SUITE_FLAGS="--scale test --warmup 2000 --instructions 20000"
 rm -f target/ci-suite.jsonl
 $SUITE $SUITE_FLAGS --jobs 4 --manifest target/ci-suite.jsonl --check \
     > target/ci-suite.out
+
+echo "==> streaming smoke (--progress, telemetry.jsonl, trace.json)"
+# The same sweep with the sampler attached: live progress on stderr at
+# a 50 ms cadence, a checksummed atc-telemetry-stream-v1 file with at
+# least 4 epochs whose delta sums must reconcile with the final
+# cumulative snapshot (check_bench_json --stream), and a lifecycle
+# trace-event timeline. Streaming must not perturb stdout: the tables
+# stay byte-identical to the detached run above.
+rm -f target/ci-stream.jsonl target/ci-telemetry.jsonl target/ci-trace.json
+$SUITE $SUITE_FLAGS --jobs 4 --manifest target/ci-stream.jsonl --check \
+    --progress=50ms --telemetry-out target/ci-telemetry.jsonl \
+    --stream-epochs 4 --trace-out target/ci-trace.json \
+    > target/ci-stream.out 2> /dev/null
+diff target/ci-suite.out target/ci-stream.out
+cargo run --offline --release -p atc-bench --bin check_bench_json -- \
+    --stream --min-epochs 4 target/ci-telemetry.jsonl
+test -s target/ci-trace.json
 
 echo "==> batched-core determinism smoke (--jobs 1 vs --jobs 4 stdout)"
 # Every suite job runs through the batched simulation core

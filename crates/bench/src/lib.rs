@@ -15,7 +15,9 @@
 //! ```
 
 pub mod json;
+pub mod stream;
 pub mod telemetry;
+pub mod trace_event;
 
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,8 @@
 //!       [--max-jobs N] [--assert-executed N]
 //!       [--fault-plan SEED:SPEC] [--deadline-ms N] [--backoff-ms N]
 //!       [--flush-every N] [--fsync] [--retry-failed]
+//!       [--progress[=INTERVAL]] [--telemetry-out PATH]
+//!       [--stream-epochs N] [--trace-out PATH]
 //! ```
 //!
 //! * `--manifest PATH`   checkpoint file (default `suite-manifest.jsonl`)
@@ -35,20 +37,36 @@
 //! * `--fsync`           `sync_data` the manifest at checkpoints
 //! * `--retry-failed`    with `--resume`: re-execute failed/panicked
 //!   records instead of treating them as terminal
+//! * `--progress[=INTERVAL]` live stderr progress line each sampling
+//!   tick (`50ms`, `2s`, or a plain millisecond count; default 250ms):
+//!   jobs done/inflight/retried, aggregate instructions/s, an ETA from
+//!   the sweep catalog, and stream-cache residency
+//! * `--telemetry-out PATH` stream delta-encoded progress snapshots to
+//!   a checksummed `atc-telemetry-stream-v1` JSONL file (validated by
+//!   `check_bench_json --stream`)
+//! * `--stream-epochs N` pad the stream to at least N epochs at stop
+//!   (default 4, the CI smoke's expectation)
+//! * `--trace-out PATH`  export the job lifecycle timeline (claim /
+//!   start / retry / timeout / cancel / finish / fault / flush, one
+//!   track per worker) as Chrome/Perfetto trace-event JSON
 //!
 //! Tables go to stdout; progress, timing, and the end-of-run fault
 //! tally go to stderr — stdout stays byte-identical across resumes,
-//! worker counts, and fault plans (as long as every job eventually
-//! succeeds).
+//! worker counts, fault plans, and streaming flags (as long as every
+//! job eventually succeeds).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use atc_bench::json::Value;
+use atc_bench::trace_event::TraceEvents;
 use atc_experiments::sweeps::{build_jobs, catalog, render_sweep, sweeps, Budget, SweepDef};
 use atc_experiments::{Checks, Opts};
 use atc_harness::{
-    run_with_manifest_opts, FaultPlan, Manifest, Metrics, Progress, Scheduler, SweepOptions,
+    run_with_manifest_opts, EventLog, FaultPlan, JobEvent, JobEventKind, Manifest, Metrics,
+    Progress, Sampler, Scheduler, StreamOptions, SweepOptions, MANIFEST_WORKER,
 };
 use atc_workloads::trace::TraceCache;
 
@@ -66,6 +84,10 @@ struct SuiteArgs {
     flush_every: Option<usize>,
     fsync: bool,
     retry_failed: bool,
+    progress: Option<Duration>,
+    telemetry_out: Option<String>,
+    stream_epochs: u64,
+    trace_out: Option<String>,
 }
 
 impl Default for SuiteArgs {
@@ -83,7 +105,27 @@ impl Default for SuiteArgs {
             flush_every: None,
             fsync: false,
             retry_failed: false,
+            progress: None,
+            telemetry_out: None,
+            stream_epochs: 4,
+            trace_out: None,
         }
+    }
+}
+
+/// Parse a `--progress` interval: `50ms`, `2s`, or a bare millisecond
+/// count.
+fn parse_interval(v: &str) -> Result<Duration, String> {
+    let (digits, scale_ms) = if let Some(d) = v.strip_suffix("ms") {
+        (d, 1)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1_000)
+    } else {
+        (v, 1)
+    };
+    match digits.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(Duration::from_millis(n * scale_ms)),
+        _ => Err(format!("bad interval {v:?} (want e.g. 50ms, 2s, or 250)")),
     }
 }
 
@@ -129,10 +171,104 @@ fn split_args(args: impl Iterator<Item = String>) -> Result<(SuiteArgs, Vec<Stri
             }
             "--fsync" => suite.fsync = true,
             "--retry-failed" => suite.retry_failed = true,
+            "--progress" => suite.progress = Some(Duration::from_millis(250)),
+            s if s.starts_with("--progress=") => {
+                suite.progress = Some(parse_interval(&s["--progress=".len()..])?)
+            }
+            "--telemetry-out" => suite.telemetry_out = Some(value("--telemetry-out")?),
+            "--stream-epochs" => {
+                suite.stream_epochs = numeric("--stream-epochs", value("--stream-epochs")?)?
+            }
+            "--trace-out" => suite.trace_out = Some(value("--trace-out")?),
             _ => rest.push(a),
         }
     }
     Ok((suite, rest))
+}
+
+/// Drain the lifecycle event log into a Perfetto-loadable trace file:
+/// one track per worker (plus a manifest track), each
+/// `start → retry/cancel/finish` attempt rendered as a complete span
+/// and everything else (claims, timeouts, faults, flushes) as instants.
+/// Returns the number of trace events written.
+fn write_trace(path: &str, log: &EventLog) -> std::io::Result<usize> {
+    let events = log.drain();
+    if log.dropped() > 0 {
+        eprintln!(
+            "suite: trace: {} event(s) dropped at capacity",
+            log.dropped()
+        );
+    }
+    let mut trace = TraceEvents::new();
+    trace.process_name(1, "atc suite");
+    let mut tracks: Vec<u32> = Vec::new();
+    let mut open: HashMap<u32, JobEvent> = HashMap::new();
+    for ev in &events {
+        if !tracks.contains(&ev.worker) {
+            tracks.push(ev.worker);
+        }
+        let closes_span = matches!(
+            ev.kind,
+            JobEventKind::Retry | JobEventKind::Cancel | JobEventKind::Finish
+        );
+        if ev.kind == JobEventKind::Start {
+            open.insert(ev.worker, ev.clone());
+            continue;
+        }
+        if closes_span {
+            if let Some(start) = open.remove(&ev.worker) {
+                trace.complete(
+                    &start.key,
+                    "attempt",
+                    1,
+                    start.worker,
+                    start.t_us,
+                    ev.t_us.saturating_sub(start.t_us),
+                    vec![
+                        ("attempt".into(), Value::Number(f64::from(start.attempt))),
+                        ("end".into(), Value::String(ev.kind.label().into())),
+                        ("detail".into(), Value::String(ev.detail.clone())),
+                    ],
+                );
+            }
+        }
+        if ev.kind != JobEventKind::Finish {
+            let mut args = Vec::new();
+            if !ev.key.is_empty() {
+                args.push(("key".into(), Value::String(ev.key.clone())));
+            }
+            if ev.attempt > 0 {
+                args.push(("attempt".into(), Value::Number(f64::from(ev.attempt))));
+            }
+            if !ev.detail.is_empty() {
+                args.push(("detail".into(), Value::String(ev.detail.clone())));
+            }
+            trace.instant(ev.kind.label(), "lifecycle", 1, ev.worker, ev.t_us, args);
+        }
+    }
+    // A start without a terminal event (e.g. the log filled up) still
+    // deserves a mark on its track.
+    for (_, start) in open {
+        trace.instant(
+            "start (unterminated)",
+            "lifecycle",
+            1,
+            start.worker,
+            start.t_us,
+            vec![("key".into(), Value::String(start.key))],
+        );
+    }
+    tracks.sort_unstable();
+    for wid in tracks {
+        let name = match wid {
+            MANIFEST_WORKER => "manifest".to_string(),
+            _ => format!("worker {wid}"),
+        };
+        trace.thread_name(1, wid, &name);
+    }
+    let n = trace.len();
+    std::fs::write(path, trace.render())?;
+    Ok(n)
 }
 
 fn select_figures(figures: Option<&[String]>) -> Result<Vec<SweepDef>, String> {
@@ -174,7 +310,8 @@ fn main() -> ExitCode {
                  [--manifest PATH] [--resume] [--figures a,b] [--retries N] \
                  [--max-jobs N] [--assert-executed N] [--fault-plan SEED:SPEC] \
                  [--deadline-ms N] [--backoff-ms N] [--flush-every N] [--fsync] \
-                 [--retry-failed]"
+                 [--retry-failed] [--progress[=INTERVAL]] [--telemetry-out PATH] \
+                 [--stream-epochs N] [--trace-out PATH]"
             );
             return ExitCode::from(2);
         }
@@ -242,7 +379,17 @@ fn main() -> ExitCode {
         scheduler = scheduler.with_faults(plan.clone());
         eprintln!("suite: fault plan active (seed {})", plan.seed());
     }
-    let progress = Progress::new();
+    // Lifecycle event capture only costs anything when a trace export
+    // was requested.
+    let events = if suite.trace_out.is_some() {
+        let log = Arc::new(EventLog::new(atc_harness::events::DEFAULT_EVENT_CAPACITY));
+        scheduler = scheduler.with_events(Arc::clone(&log));
+        manifest = manifest.with_events(Arc::clone(&log));
+        Some(log)
+    } else {
+        None
+    };
+    let progress = Arc::new(Progress::new());
     eprintln!(
         "suite: {} jobs across {} sweeps on {} workers (manifest: {})",
         jobs.len(),
@@ -254,13 +401,39 @@ fn main() -> ExitCode {
     // Captured instruction streams are shared by every job that
     // consumes the same (bench, scale, seed, length); capture happens
     // lazily inside the workers, once per distinct stream.
-    let traces = TraceCache::new();
+    let traces = Arc::new(TraceCache::new());
+    let sampler = if suite.progress.is_some() || suite.telemetry_out.is_some() {
+        let cache = Arc::clone(&traces);
+        let opts = StreamOptions {
+            cadence: suite.progress.unwrap_or(Duration::from_millis(250)),
+            telemetry_path: suite.telemetry_out.as_ref().map(Into::into),
+            min_epochs: suite.stream_epochs,
+            live: suite.progress.is_some(),
+            total_jobs: jobs.len() as u64,
+            cache_stats: Some(Box::new(move || (cache.streams(), cache.footprint_bytes()))),
+        };
+        match Sampler::start(Arc::clone(&progress), opts) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: cannot start telemetry sampler: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let outcome = match run_with_manifest_opts(
         &scheduler,
         &progress,
         &mut manifest,
         &jobs,
-        |_key, job, ctx| job.run(&traces, &ctx.cancel),
+        |_key, job, ctx| {
+            let out = job.run(&traces, &ctx.cancel);
+            if out.is_ok() {
+                progress.add_instructions(job.instructions());
+            }
+            out
+        },
         SweepOptions {
             retry_failed: suite.retry_failed,
         },
@@ -272,10 +445,37 @@ fn main() -> ExitCode {
         }
     };
     // Fold what recovery repaired (plus run-time supersedes) into the
-    // progress counters, then print the end-of-run fault tally.
+    // progress counters before the sampler takes its final snapshot,
+    // then print the end-of-run fault tally.
     let recovery = manifest.recovery().clone();
     progress.corrupt_records(recovery.corrupt as u64);
     progress.duplicate_records(recovery.duplicates as u64);
+    if let Some(sampler) = sampler {
+        match sampler.stop() {
+            Ok(summary) => {
+                if let Some(path) = &summary.path {
+                    eprintln!(
+                        "suite: telemetry stream: {} epoch(s) -> {}",
+                        summary.epochs,
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: telemetry sampler failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let (Some(path), Some(log)) = (&suite.trace_out, &events) {
+        match write_trace(path, log) {
+            Ok(n) => eprintln!("suite: trace timeline: {n} event(s) -> {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let snap = progress.snapshot();
     let counter = |name: &str| snap.counter_value(name).unwrap_or(0);
     let failed: Vec<_> = outcome.records.iter().filter(|r| !r.is_ok()).collect();

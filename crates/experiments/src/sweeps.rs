@@ -345,6 +345,19 @@ impl SweepJob {
         }
     }
 
+    /// Measured instructions this job simulates across all its
+    /// cores/threads — what a finished job contributes to the live
+    /// reporter's aggregate instructions-per-second rate.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            SweepJob::Single { budget, .. } => budget.measure,
+            SweepJob::Smt { budget, .. } => budget.measure * 2,
+            SweepJob::Multicore {
+                benches, budget, ..
+            } => budget.measure * benches.len() as u64,
+        }
+    }
+
     /// Execute the job and project its statistics into [`Metrics`].
     ///
     /// The instruction streams are pulled from `traces`, so every config

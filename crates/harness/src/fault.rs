@@ -26,6 +26,7 @@
 
 use std::time::Duration;
 
+use crate::events::{EventLog, JobEventKind};
 use crate::scheduler::JobError;
 
 /// FNV-1a 64 offset basis (shared with [`key_hash`]).
@@ -149,20 +150,46 @@ impl FaultPlan {
     ///
     /// An injected panic — deliberately, to exercise panic containment.
     pub fn before_attempt(&self, key: &str, attempt: u32) -> Result<(), JobError> {
+        self.before_attempt_traced(key, attempt, None, 0)
+    }
+
+    /// [`before_attempt`](Self::before_attempt), additionally recording
+    /// every fired fault into `events` (when attached) on worker `wid`'s
+    /// track — including the panic, recorded *before* unwinding so the
+    /// timeline shows the injection, not just the resulting panic.
+    ///
+    /// # Errors / Panics
+    ///
+    /// As [`before_attempt`](Self::before_attempt).
+    pub fn before_attempt_traced(
+        &self,
+        key: &str,
+        attempt: u32,
+        events: Option<&EventLog>,
+        wid: u32,
+    ) -> Result<(), JobError> {
+        let emit = |detail: &str| {
+            if let Some(log) = events {
+                log.record(wid, JobEventKind::Fault, key, attempt, detail);
+            }
+        };
         for fault in &self.faults {
             match fault.kind {
                 FaultKind::Stall(dur) => {
                     if self.fires(fault, key, attempt) {
+                        emit(&format!("stall {}ms", dur.as_millis()));
                         std::thread::sleep(dur);
                     }
                 }
                 FaultKind::Panic => {
                     if self.fires(fault, key, attempt) {
+                        emit("panic");
                         panic!("fault-injected panic (key {key}, attempt {attempt})");
                     }
                 }
                 FaultKind::Transient => {
                     if self.fires(fault, key, attempt) {
+                        emit("transient");
                         return Err(JobError::transient(format!(
                             "fault-injected transient error (key {key}, attempt {attempt})"
                         )));

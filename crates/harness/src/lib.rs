@@ -28,6 +28,13 @@
 //! 5. [`FaultPlan`] ([`fault`]) — seeded, deterministic fault injection
 //!    (panics, transient errors, stalls, torn manifest writes) for
 //!    exercising every failure path above from tests and CI smokes.
+//! 6. [`EventLog`] ([`events`]) + [`Sampler`] ([`stream`]) — streaming
+//!    observability: timestamped job lifecycle events (claim / start /
+//!    retry / timeout / cancel / finish / flush) for trace-event
+//!    timelines, and a sampler thread draining delta-encoded
+//!    [`Progress`] snapshots into a checksummed `telemetry.jsonl`
+//!    (`atc-telemetry-stream-v1`) with an optional live stderr
+//!    progress line.
 //!
 //! The crate knows nothing about the simulator: jobs carry an opaque
 //! payload and a runner closure, and config deltas are referenced by
@@ -67,12 +74,15 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod events;
 pub mod fault;
 pub mod manifest;
 pub mod progress;
 pub mod scheduler;
 pub mod spec;
+pub mod stream;
 
+pub use events::{EventLog, JobEvent, JobEventKind, MANIFEST_WORKER, WATCHDOG_WORKER};
 pub use fault::FaultPlan;
 pub use manifest::{
     run_with_manifest, run_with_manifest_opts, Manifest, Metrics, Record, Recovery, SweepOptions,
@@ -81,3 +91,4 @@ pub use manifest::{
 pub use progress::Progress;
 pub use scheduler::{JobCtx, JobError, JobRun, JobStatus, Scheduler};
 pub use spec::{key_hash, Grid, JobSpec};
+pub use stream::{Sampler, StreamOptions, StreamSummary};

@@ -45,10 +45,11 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use atc_bench::json::{parse, Value};
 
+use crate::events::{EventLog, JobEventKind, MANIFEST_WORKER};
 use crate::fault::FaultPlan;
 use crate::progress::Progress;
 use crate::scheduler::{JobCtx, JobError, JobRun, JobStatus, Scheduler};
@@ -336,6 +337,8 @@ pub struct Manifest {
     flushes: u64,
     /// What `open` repaired, plus append-time supersedes.
     recovery: Recovery,
+    /// Lifecycle event log; flushes are recorded on the manifest track.
+    events: Option<Arc<EventLog>>,
 }
 
 impl Manifest {
@@ -436,6 +439,7 @@ impl Manifest {
             fault: None,
             flushes: 0,
             recovery,
+            events: None,
         })
     }
 
@@ -458,6 +462,14 @@ impl Manifest {
     /// Inject the given [`FaultPlan`]'s torn-write faults into flushes.
     pub fn with_faults(mut self, plan: FaultPlan) -> Manifest {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Record every flush into `log` on the manifest's own track
+    /// ([`MANIFEST_WORKER`](crate::events::MANIFEST_WORKER)), with the
+    /// record count and whether fault injection tore it.
+    pub fn with_events(mut self, log: Arc<EventLog>) -> Manifest {
+        self.events = Some(log);
         self
     }
 
@@ -549,6 +561,14 @@ impl Manifest {
             self.file.write_all(&self.buf)?;
         }
         self.file.flush()?;
+        if let Some(log) = &self.events {
+            let detail = format!(
+                "{} record(s){}",
+                self.pending,
+                if torn { ", torn" } else { "" }
+            );
+            log.record(MANIFEST_WORKER, JobEventKind::Flush, "", 0, &detail);
+        }
         self.buf.clear();
         self.pending = 0;
         Ok(())

@@ -1,7 +1,9 @@
 //! Sweep progress wired into `atc-obs`.
 //!
-//! The scheduler's workers report through a shared [`Progress`], which
-//! owns a mutex-guarded [`Registry`] with pre-registered handles:
+//! The scheduler's workers report through a shared [`Progress`], whose
+//! counters are plain `AtomicU64`s so a sampler thread (see
+//! [`stream`](crate::stream)) can read a consistent-enough snapshot at
+//! any cadence without ever contending with the workers:
 //!
 //! | name                    | kind      | meaning                              |
 //! |-------------------------|-----------|--------------------------------------|
@@ -16,146 +18,135 @@
 //! | `harness.corrupt_records`   | counter | manifest lines skipped by recovery |
 //! | `harness.duplicate_records` | counter | manifest records superseded by a   |
 //! |                             |         | later write for the same key       |
+//! | `harness.instrs_done`   | counter   | instructions simulated by finished jobs |
 //! | `harness.job_wall_us`   | histogram | per-job wall time, microseconds      |
 //!
-//! Updates happen once per job (or per retry), never on the simulator's
-//! hot path, so a plain mutex is the right tool: contention is bounded
-//! by job granularity, and the registry stays the ordinary `&mut`
-//! structure the rest of the telemetry stack uses.
+//! Worker-side updates are lock-free `Relaxed` RMWs — each counter is
+//! independent, and the delta stream only needs per-counter (not
+//! cross-counter) consistency to telescope. The one non-atomic piece,
+//! the wall-time histogram, stays behind a mutex taken once per job
+//! terminal status; [`snapshot`](Progress::snapshot) rebuilds the
+//! ordinary [`Registry`] the rest of the telemetry stack consumes.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
 
-use atc_obs::{CounterId, HistId, Registry};
+use atc_obs::{Log2Histogram, Registry};
 
 /// Thread-safe progress accounting for one scheduler run (or several —
 /// counters accumulate across `run` calls on the same `Progress`).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Progress {
-    reg: Mutex<Registry>,
-    queued: CounterId,
-    running: CounterId,
-    done: CounterId,
-    failed: CounterId,
-    panicked: CounterId,
-    retried: CounterId,
-    resumed: CounterId,
-    timeout: CounterId,
-    corrupt: CounterId,
-    duplicate: CounterId,
-    wall_us: HistId,
-}
-
-impl Default for Progress {
-    fn default() -> Self {
-        Progress::new()
-    }
+    queued: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+    retried: AtomicU64,
+    resumed: AtomicU64,
+    timeout: AtomicU64,
+    corrupt: AtomicU64,
+    duplicate: AtomicU64,
+    instrs: AtomicU64,
+    wall_us: Mutex<Log2Histogram>,
 }
 
 impl Progress {
-    /// A fresh progress registry with all handles registered.
+    /// A fresh progress registry with every counter at zero.
     pub fn new() -> Self {
-        let mut reg = Registry::new();
-        let queued = reg.counter("harness.jobs_queued");
-        let running = reg.counter("harness.jobs_running");
-        let done = reg.counter("harness.jobs_done");
-        let failed = reg.counter("harness.jobs_failed");
-        let panicked = reg.counter("harness.jobs_panicked");
-        let retried = reg.counter("harness.jobs_retried");
-        let resumed = reg.counter("harness.jobs_resumed");
-        let timeout = reg.counter("harness.jobs_timeout");
-        let corrupt = reg.counter("harness.corrupt_records");
-        let duplicate = reg.counter("harness.duplicate_records");
-        let wall_us = reg.histogram("harness.job_wall_us");
-        Progress {
-            reg: Mutex::new(reg),
-            queued,
-            running,
-            done,
-            failed,
-            panicked,
-            retried,
-            resumed,
-            timeout,
-            corrupt,
-            duplicate,
-            wall_us,
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
-        // The registry holds plain integers; a panic cannot leave it
-        // inconsistent, so poison is safe to ignore.
-        self.reg.lock().unwrap_or_else(|e| e.into_inner())
+        Progress::default()
     }
 
     /// `n` jobs submitted to the scheduler.
     pub fn jobs_queued(&self, n: u64) {
-        let mut reg = self.lock();
-        let id = self.queued;
-        reg.add(id, n);
+        self.queued.fetch_add(n, Relaxed);
     }
 
     /// A job began executing.
     pub fn job_started(&self) {
-        let mut reg = self.lock();
-        let id = self.running;
-        reg.inc(id);
+        self.running.fetch_add(1, Relaxed);
     }
 
     /// A job reached a terminal status (`"ok"`, `"failed"` or
     /// `"panicked"`) after `wall_micros` of wall time.
     pub fn job_finished(&self, tag: &str, wall_micros: u64) {
-        let mut reg = self.lock();
-        reg.sub(self.running, 1);
+        // Saturating decrement: a lost-worker hole is finished without
+        // having observably started, and the gauge must not wrap.
+        let _ = self
+            .running
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
         let id = match tag {
-            "ok" => self.done,
-            "failed" => self.failed,
-            _ => self.panicked,
+            "ok" => &self.done,
+            "failed" => &self.failed,
+            _ => &self.panicked,
         };
-        reg.inc(id);
-        reg.observe(self.wall_us, wall_micros);
+        id.fetch_add(1, Relaxed);
+        self.lock_hist().record(wall_micros);
     }
 
     /// A transient failure is being retried.
     pub fn job_retried(&self) {
-        let mut reg = self.lock();
-        let id = self.retried;
-        reg.inc(id);
+        self.retried.fetch_add(1, Relaxed);
     }
 
     /// `n` jobs were satisfied from the manifest without executing.
     pub fn jobs_resumed(&self, n: u64) {
-        let mut reg = self.lock();
-        let id = self.resumed;
-        reg.add(id, n);
+        self.resumed.fetch_add(n, Relaxed);
     }
 
     /// The deadline watchdog cancelled a running attempt.
     pub fn job_timeout(&self) {
-        let mut reg = self.lock();
-        let id = self.timeout;
-        reg.inc(id);
+        self.timeout.fetch_add(1, Relaxed);
     }
 
     /// Manifest recovery skipped `n` corrupt records.
     pub fn corrupt_records(&self, n: u64) {
-        let mut reg = self.lock();
-        let id = self.corrupt;
-        reg.add(id, n);
+        self.corrupt.fetch_add(n, Relaxed);
     }
 
     /// Manifest recovery superseded `n` duplicate records (last writer
     /// wins).
     pub fn duplicate_records(&self, n: u64) {
-        let mut reg = self.lock();
-        let id = self.duplicate;
-        reg.add(id, n);
+        self.duplicate.fetch_add(n, Relaxed);
+    }
+
+    /// A finished job simulated `n` instructions (feeds the live
+    /// reporter's aggregate instructions/s).
+    pub fn add_instructions(&self, n: u64) {
+        self.instrs.fetch_add(n, Relaxed);
+    }
+
+    fn lock_hist(&self) -> std::sync::MutexGuard<'_, Log2Histogram> {
+        // The histogram holds plain integers; a panic cannot leave it
+        // inconsistent, so poison is safe to ignore.
+        self.wall_us.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// An owned snapshot of the registry (counters and the wall-time
-    /// histogram) for printing or export.
+    /// histogram) for printing, export, or delta streaming. Counter
+    /// reads are relaxed atomic loads — a sampler calling this
+    /// mid-sweep costs the workers nothing.
     pub fn snapshot(&self) -> Registry {
-        self.lock().clone()
+        let mut reg = Registry::new();
+        for (name, v) in [
+            ("harness.jobs_queued", &self.queued),
+            ("harness.jobs_running", &self.running),
+            ("harness.jobs_done", &self.done),
+            ("harness.jobs_failed", &self.failed),
+            ("harness.jobs_panicked", &self.panicked),
+            ("harness.jobs_retried", &self.retried),
+            ("harness.jobs_resumed", &self.resumed),
+            ("harness.jobs_timeout", &self.timeout),
+            ("harness.corrupt_records", &self.corrupt),
+            ("harness.duplicate_records", &self.duplicate),
+            ("harness.instrs_done", &self.instrs),
+        ] {
+            let id = reg.counter(name);
+            reg.set(id, v.load(Relaxed));
+        }
+        let id = reg.histogram("harness.job_wall_us");
+        reg.merge_histogram(id, &self.lock_hist());
+        reg
     }
 }
 
@@ -176,6 +167,7 @@ mod tests {
         p.job_timeout();
         p.corrupt_records(3);
         p.duplicate_records(1);
+        p.add_instructions(20_000);
         let snap = p.snapshot();
         assert_eq!(snap.counter_value("harness.jobs_queued"), Some(3));
         assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
@@ -185,6 +177,7 @@ mod tests {
         assert_eq!(snap.counter_value("harness.jobs_timeout"), Some(1));
         assert_eq!(snap.counter_value("harness.corrupt_records"), Some(3));
         assert_eq!(snap.counter_value("harness.duplicate_records"), Some(1));
+        assert_eq!(snap.counter_value("harness.instrs_done"), Some(20_000));
         let hist = snap.histogram_by_name("harness.job_wall_us").unwrap();
         assert_eq!(hist.count(), 1);
         assert_eq!(hist.sum(), 1234);
@@ -200,6 +193,14 @@ mod tests {
         let snap = p.snapshot();
         assert_eq!(snap.counter_value("harness.jobs_failed"), Some(1));
         assert_eq!(snap.counter_value("harness.jobs_panicked"), Some(1));
+        assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
+    }
+
+    #[test]
+    fn running_gauge_saturates_at_zero() {
+        let p = Progress::new();
+        p.job_finished("ok", 1);
+        let snap = p.snapshot();
         assert_eq!(snap.counter_value("harness.jobs_running"), Some(0));
     }
 }

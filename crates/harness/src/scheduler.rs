@@ -32,11 +32,12 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use atc_types::CancelToken;
 
+use crate::events::{EventLog, JobEventKind};
 use crate::fault::{backoff_delay, FaultPlan};
 use crate::manifest::Metrics;
 use crate::progress::Progress;
@@ -142,6 +143,7 @@ pub struct Scheduler {
     backoff_base: Duration,
     backoff_seed: u64,
     fault: Option<FaultPlan>,
+    events: Option<Arc<EventLog>>,
 }
 
 /// How many injector jobs a worker grabs per refill: one to run plus a
@@ -184,6 +186,15 @@ impl Scheduler {
     /// Inject the given [`FaultPlan`] around every attempt.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Record every job lifecycle transition (claim, attempt start,
+    /// retry, timeout, cancellation, terminal status, injected faults)
+    /// into `log`, timestamped on the log's timeline. The suite drains
+    /// the log into a Chrome/Perfetto trace (`--trace-out`).
+    pub fn with_events(mut self, log: Arc<EventLog>) -> Self {
+        self.events = Some(log);
         self
     }
 
@@ -275,8 +286,17 @@ impl Scheduler {
                         let mut out: Vec<(usize, JobRun<R>)> = Vec::with_capacity(share);
                         while let Some(idx) = next_job(wid, injector, locals, done, total) {
                             let (key, payload) = &jobs[idx];
-                            let run =
-                                self.execute_one(key, payload, runner, progress, &running[wid]);
+                            if let Some(log) = &self.events {
+                                log.record(wid as u32, JobEventKind::Claim, key, 0, "");
+                            }
+                            let run = self.execute_one(
+                                wid as u32,
+                                key,
+                                payload,
+                                runner,
+                                progress,
+                                &running[wid],
+                            );
                             on_complete(&run);
                             out.push((idx, run));
                             done.fetch_add(1, Ordering::SeqCst);
@@ -291,8 +311,9 @@ impl Scheduler {
                 // promptly.
                 let done = &done;
                 let running = &running;
+                let events = self.events.as_deref();
                 scope.spawn(move || {
-                    deadline_watchdog(deadline, running, done, total, progress);
+                    deadline_watchdog(deadline, running, done, total, progress, events);
                 });
             }
             handles
@@ -334,6 +355,7 @@ impl Scheduler {
     /// configured faults around the runner.
     fn execute_one<P, R, F>(
         &self,
+        wid: u32,
         key: &str,
         payload: &P,
         runner: &F,
@@ -344,6 +366,12 @@ impl Scheduler {
         F: Fn(&str, &P, &JobCtx) -> Result<R, JobError>,
     {
         progress.job_started();
+        let events = self.events.as_deref();
+        let emit = |kind: JobEventKind, attempt: u32, detail: &str| {
+            if let Some(log) = events {
+                log.record(wid, kind, key, attempt, detail);
+            }
+        };
         let start = Instant::now();
         let mut attempts = 0u32;
         let status = loop {
@@ -352,21 +380,26 @@ impl Scheduler {
                 cancel: CancelToken::new(),
                 attempt: attempts,
             };
+            emit(JobEventKind::Start, attempts, "");
             *lock_slot(slot) = Some((Instant::now(), ctx.cancel.clone()));
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(plan) = &self.fault {
                     // Injected stalls sleep here; injected panics and
                     // transient errors surface exactly like runner ones.
-                    plan.before_attempt(key, attempts)?;
+                    plan.before_attempt_traced(key, attempts, events, wid)?;
                 }
                 runner(key, payload, &ctx)
             }));
             *lock_slot(slot) = None;
+            if ctx.cancel.is_cancelled() {
+                emit(JobEventKind::Cancel, attempts, "attempt token cancelled");
+            }
             match outcome {
                 Ok(Ok(result)) => break JobStatus::Ok(result),
                 Ok(Err(err)) => {
                     if err.transient && attempts <= self.retries {
                         progress.job_retried();
+                        emit(JobEventKind::Retry, attempts, &err.message);
                         let delay =
                             backoff_delay(self.backoff_base, self.backoff_seed, key, attempts + 1);
                         if !delay.is_zero() {
@@ -381,6 +414,7 @@ impl Scheduler {
         };
         let wall_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         progress.job_finished(status.tag(), wall_micros);
+        emit(JobEventKind::Finish, attempts, status.tag());
         JobRun {
             key: key.to_string(),
             attempts,
@@ -399,15 +433,28 @@ fn deadline_watchdog(
     done: &AtomicUsize,
     total: usize,
     progress: &Progress,
+    events: Option<&EventLog>,
 ) {
     let tick = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
     while done.load(Ordering::SeqCst) < total {
-        for slot in running {
+        for (wid, slot) in running.iter().enumerate() {
             let guard = lock_slot(slot);
             if let Some((started, token)) = guard.as_ref() {
                 if started.elapsed() > deadline && !token.is_cancelled() {
                     token.cancel();
                     progress.job_timeout();
+                    if let Some(log) = events {
+                        // Attributed to the worker's track: the key is
+                        // not published in the slot, but the concurrent
+                        // Start/Cancel events on the same track name it.
+                        log.record(
+                            wid as u32,
+                            JobEventKind::Timeout,
+                            "",
+                            0,
+                            "deadline exceeded",
+                        );
+                    }
                 }
             }
         }

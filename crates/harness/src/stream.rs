@@ -1,0 +1,318 @@
+//! Harness-side telemetry streaming: a sampler thread that drains
+//! delta-encoded [`Progress`] snapshots at a fixed cadence.
+//!
+//! The [`Sampler`] owns the only non-worker thread in a streaming run.
+//! Every tick it calls [`Progress::snapshot`] (relaxed atomic loads —
+//! the workers never contend with it), feeds the snapshot through an
+//! [`atc_obs::SnapshotStream`] and appends one sealed epoch line to the
+//! `atc-telemetry-stream-v1` JSONL file (see `atc_bench::stream`).
+//! Optionally it also prints a live progress line to stderr: jobs
+//! done / inflight / retried, aggregate instructions per second, an ETA
+//! extrapolated from the completion rate, and stream-cache residency.
+//!
+//! On [`stop`](Sampler::stop) the sampler takes one last epoch from the
+//! final snapshot, pads zero-delta epochs up to
+//! [`StreamOptions::min_epochs`] (so CI can demand a fixed epoch count
+//! deterministically), and closes the file with the cumulative final
+//! line — taken from the *same* snapshot as the last epoch, so the
+//! per-counter delta sums reconcile exactly.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use atc_bench::stream::{epoch_line, final_line, header_line};
+use atc_obs::{Registry, SnapshotStream};
+
+use crate::progress::Progress;
+
+/// What the sampler does each tick and where the stream lands.
+pub struct StreamOptions {
+    /// Sampling period (floored at 1 ms).
+    pub cadence: Duration,
+    /// Write the `atc-telemetry-stream-v1` JSONL here (truncating).
+    pub telemetry_path: Option<PathBuf>,
+    /// Pad zero-delta epochs at stop until at least this many were
+    /// emitted.
+    pub min_epochs: u64,
+    /// Print a live progress line to stderr each tick.
+    pub live: bool,
+    /// Total jobs in the sweep (drives the ETA; 0 disables it).
+    pub total_jobs: u64,
+    /// Stream-cache residency probe: `(streams, footprint_bytes)`.
+    #[allow(clippy::type_complexity)]
+    pub cache_stats: Option<Box<dyn Fn() -> (usize, usize) + Send>>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            cadence: Duration::from_millis(250),
+            telemetry_path: None,
+            min_epochs: 0,
+            live: false,
+            total_jobs: 0,
+            cache_stats: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamOptions")
+            .field("cadence", &self.cadence)
+            .field("telemetry_path", &self.telemetry_path)
+            .field("min_epochs", &self.min_epochs)
+            .field("live", &self.live)
+            .field("total_jobs", &self.total_jobs)
+            .field("cache_stats", &self.cache_stats.is_some())
+            .finish()
+    }
+}
+
+/// What a finished sampler reports.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Epochs written (including stop-time padding).
+    pub epochs: u64,
+    /// Where the stream landed, if a path was configured.
+    pub path: Option<PathBuf>,
+}
+
+/// Handle to the running sampler thread.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<io::Result<StreamSummary>>,
+}
+
+impl Sampler {
+    /// Start sampling `progress` per `opts`. The thread runs until
+    /// [`stop`](Self::stop).
+    ///
+    /// # Errors
+    ///
+    /// Opening the telemetry file or spawning the thread.
+    pub fn start(progress: Arc<Progress>, opts: StreamOptions) -> io::Result<Sampler> {
+        let file = match &opts.telemetry_path {
+            Some(path) => Some(std::fs::File::create(path)?),
+            None => None,
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("atc-sampler".into())
+            .spawn(move || sample_loop(&progress, opts, file, &stop2))?;
+        Ok(Sampler { stop, handle })
+    }
+
+    /// Signal the thread, join it, and return the stream summary.
+    ///
+    /// # Errors
+    ///
+    /// Any write error the sampler hit, or a generic error if the
+    /// thread panicked.
+    pub fn stop(self) -> io::Result<StreamSummary> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .map_err(|_| io::Error::other("sampler thread panicked"))?
+    }
+}
+
+fn sample_loop(
+    progress: &Progress,
+    opts: StreamOptions,
+    mut file: Option<std::fs::File>,
+    stop: &AtomicBool,
+) -> io::Result<StreamSummary> {
+    let cadence = opts.cadence.max(Duration::from_millis(1));
+    let start = Instant::now();
+    let mut stream = SnapshotStream::new();
+    if let Some(f) = &mut file {
+        writeln!(
+            f,
+            "{}",
+            header_line(u64::try_from(cadence.as_micros()).unwrap_or(u64::MAX))
+        )?;
+    }
+    let t_us = |start: &Instant| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    while !stop.load(Ordering::SeqCst) {
+        // Sleep in short slices so stop() never waits a full cadence.
+        let tick_end = Instant::now() + cadence;
+        while Instant::now() < tick_end && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(cadence.min(Duration::from_millis(5)));
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let snap = progress.snapshot();
+        let delta = stream.next_delta(&snap);
+        if let Some(f) = &mut file {
+            writeln!(
+                f,
+                "{}",
+                epoch_line(delta.epoch, t_us(&start), &delta.counters)
+            )?;
+        }
+        if opts.live {
+            eprintln!("{}", live_line(&snap, &opts, start.elapsed()));
+        }
+    }
+    // Closing sequence: one real epoch from the final snapshot, padding
+    // up to min_epochs, then the cumulative final line from the *same*
+    // snapshot — that ordering is what makes the delta sums reconcile
+    // exactly, whatever instant stop() landed on.
+    let snap = progress.snapshot();
+    loop {
+        let delta = stream.next_delta(&snap);
+        if let Some(f) = &mut file {
+            writeln!(
+                f,
+                "{}",
+                epoch_line(delta.epoch, t_us(&start), &delta.counters)
+            )?;
+        }
+        if stream.epochs() >= opts.min_epochs.max(1) {
+            break;
+        }
+    }
+    if let Some(f) = &mut file {
+        let counters: Vec<(&str, u64)> = snap.counters().iter().map(|&(n, v)| (n, v)).collect();
+        writeln!(
+            f,
+            "{}",
+            final_line(stream.epochs(), t_us(&start), &counters)
+        )?;
+        f.flush()?;
+    }
+    if opts.live {
+        eprintln!("{}", live_line(&snap, &opts, start.elapsed()));
+    }
+    Ok(StreamSummary {
+        epochs: stream.epochs(),
+        path: opts.telemetry_path,
+    })
+}
+
+/// Render the live stderr progress line from a snapshot.
+fn live_line(snap: &Registry, opts: &StreamOptions, elapsed: Duration) -> String {
+    let c = |name: &str| snap.counter_value(name).unwrap_or(0);
+    let done = c("harness.jobs_done");
+    let terminal = done + c("harness.jobs_failed") + c("harness.jobs_panicked");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let mut line = format!(
+        "progress: {terminal}/{} done, {} inflight, {} retried",
+        if opts.total_jobs > 0 {
+            opts.total_jobs.to_string()
+        } else {
+            c("harness.jobs_queued").to_string()
+        },
+        c("harness.jobs_running"),
+        c("harness.jobs_retried"),
+    );
+    let instrs = c("harness.instrs_done");
+    if instrs > 0 {
+        line.push_str(&format!(", {:.2}M instr/s", instrs as f64 / secs / 1e6));
+    }
+    if opts.total_jobs > 0 && terminal > 0 && terminal < opts.total_jobs {
+        let eta = secs / terminal as f64 * (opts.total_jobs - terminal) as f64;
+        line.push_str(&format!(", ETA {eta:.0}s"));
+    }
+    if let Some(probe) = &opts.cache_stats {
+        let (streams, bytes) = probe();
+        line.push_str(&format!(
+            ", cache {streams} streams / {:.1} MiB",
+            bytes as f64 / (1024.0 * 1024.0)
+        ));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atc_bench::stream::check_stream;
+
+    #[test]
+    fn sampler_writes_a_reconciling_stream() {
+        let dir = std::env::temp_dir().join(format!("atc-stream-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+
+        let progress = Arc::new(Progress::new());
+        progress.jobs_queued(10);
+        let sampler = Sampler::start(
+            Arc::clone(&progress),
+            StreamOptions {
+                cadence: Duration::from_millis(2),
+                telemetry_path: Some(path.clone()),
+                min_epochs: 4,
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            progress.job_started();
+            progress.add_instructions(1_000);
+            progress.job_finished(if i % 4 == 3 { "failed" } else { "ok" }, 50);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let summary = sampler.stop().unwrap();
+        assert!(
+            summary.epochs >= 4,
+            "min_epochs honored: {}",
+            summary.epochs
+        );
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = check_stream(&text, 4).expect("stream validates and reconciles");
+        assert!(report.contains("reconciled"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampler_without_file_still_counts_epochs() {
+        let progress = Arc::new(Progress::new());
+        let sampler = Sampler::start(
+            Arc::clone(&progress),
+            StreamOptions {
+                cadence: Duration::from_millis(1),
+                min_epochs: 2,
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap();
+        progress.jobs_queued(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let summary = sampler.stop().unwrap();
+        assert!(summary.epochs >= 2);
+        assert!(summary.path.is_none());
+    }
+
+    #[test]
+    fn live_line_renders_rates_and_eta() {
+        let progress = Progress::new();
+        progress.jobs_queued(8);
+        for _ in 0..4 {
+            progress.job_started();
+            progress.add_instructions(500_000);
+            progress.job_finished("ok", 100);
+        }
+        progress.job_started();
+        let opts = StreamOptions {
+            total_jobs: 8,
+            cache_stats: Some(Box::new(|| (12, 4 * 1024 * 1024))),
+            ..StreamOptions::default()
+        };
+        let line = live_line(&progress.snapshot(), &opts, Duration::from_secs(2));
+        assert!(line.contains("4/8 done"), "{line}");
+        assert!(line.contains("1 inflight"), "{line}");
+        assert!(line.contains("1.00M instr/s"), "{line}");
+        assert!(line.contains("ETA 2s"), "{line}");
+        assert!(line.contains("cache 12 streams / 4.0 MiB"), "{line}");
+    }
+}

@@ -30,11 +30,13 @@
 
 pub mod hist;
 pub mod span;
+pub mod stream;
 
 pub use hist::{Log2Histogram, LOG2_BUCKETS};
 pub use span::{
     NullSink, ReplayOutcome, ReplaySpan, Sink, SpanTracer, WalkHop, WalkSpan, MAX_WALK_HOPS,
 };
+pub use stream::{EpochDelta, SnapshotStream};
 
 /// Handle to a named counter in a [`Registry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +154,43 @@ impl Registry {
             let id = self.histogram(name);
             self.hists[id.0 as usize].1.merge(h);
         }
+    }
+
+    /// Merge an externally accumulated histogram into the one behind
+    /// `id` (snapshot-time ingestion, the histogram analogue of
+    /// [`set`](Self::set)).
+    pub fn merge_histogram(&mut self, id: HistId, h: &Log2Histogram) {
+        self.hists[id.0 as usize].1.merge(h);
+    }
+
+    /// Per-counter change since `epoch`, an earlier snapshot of this
+    /// registry (or an empty one). Returns sparse `(name, delta)` pairs
+    /// — counters whose value did not move are omitted — in this
+    /// registry's registration order, with counters new since `epoch`
+    /// reported at their full value. Deltas are signed because gauges
+    /// (e.g. jobs currently running) legitimately decrease.
+    ///
+    /// The deltas telescope: for any sequence of snapshots
+    /// `e0, e1, .., en`, summing `e1.delta_since(&e0)` through
+    /// `en.delta_since(&e_{n-1})` per counter reproduces `en` exactly.
+    /// [`SnapshotStream`] packages that invariant for samplers.
+    pub fn delta_since(&self, epoch: &Registry) -> Vec<(&'static str, i64)> {
+        let mut out = Vec::new();
+        for &(name, now) in &self.counters {
+            let base = epoch.counter_value(name).unwrap_or(0);
+            let delta = now as i64 - base as i64;
+            if delta != 0 {
+                out.push((name, delta));
+            }
+        }
+        // A counter can only vanish if the registry was rebuilt from
+        // scratch between epochs; close it out so sums still telescope.
+        for &(name, base) in &epoch.counters {
+            if base != 0 && self.counter_value(name).is_none() {
+                out.push((name, -(base as i64)));
+            }
+        }
+        out
     }
 
     /// Zero every counter and histogram, keeping registrations (and

@@ -1,0 +1,182 @@
+//! Delta-encoded snapshot streaming.
+//!
+//! A [`SnapshotStream`] turns a sequence of [`Registry`] snapshots into
+//! epoch deltas: each call to [`next_delta`](SnapshotStream::next_delta)
+//! reports only the counters that moved since the previous call. The
+//! deltas telescope — summing every epoch's deltas per counter
+//! reproduces the latest snapshot exactly — which is what lets a
+//! consumer of the `atc-telemetry-stream-v1` JSONL file reconcile the
+//! stream against the final cumulative snapshot with no slack.
+//!
+//! The stream itself is pure data plumbing: it owns the previous epoch's
+//! snapshot and does no I/O, no timing and no locking. The harness-side
+//! sampler thread decides the cadence, takes the snapshots (atomic
+//! loads) and writes the lines.
+//!
+//! # Example
+//!
+//! ```
+//! use atc_obs::{Registry, SnapshotStream};
+//!
+//! let mut reg = Registry::new();
+//! let jobs = reg.counter("jobs.done");
+//! let mut stream = SnapshotStream::new();
+//!
+//! reg.add(jobs, 3);
+//! let e0 = stream.next_delta(&reg);
+//! assert_eq!(e0.counters, vec![("jobs.done", 3)]);
+//!
+//! reg.add(jobs, 2);
+//! let e1 = stream.next_delta(&reg);
+//! assert_eq!(e1.epoch, 1);
+//! assert_eq!(e1.counters, vec![("jobs.done", 2)]);
+//! ```
+
+use crate::Registry;
+
+/// One epoch of counter deltas produced by [`SnapshotStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochDelta {
+    /// Epoch index, starting at 0 and contiguous per stream.
+    pub epoch: u64,
+    /// Sparse `(name, delta)` pairs — only counters that moved. Signed
+    /// because gauges decrease.
+    pub counters: Vec<(&'static str, i64)>,
+}
+
+impl EpochDelta {
+    /// True if no counter moved this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// Stateful delta encoder over successive [`Registry`] snapshots.
+///
+/// Owns the previous epoch's snapshot; every
+/// [`next_delta`](Self::next_delta) diffs against it and replaces it, so
+/// per-counter sums over all emitted epochs equal the last snapshot
+/// handed in (the reconciliation invariant `check_bench_json --stream`
+/// gates on).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotStream {
+    baseline: Registry,
+    epoch: u64,
+}
+
+impl SnapshotStream {
+    /// A fresh stream whose first delta is taken against the empty
+    /// registry (i.e. it reports full values).
+    pub fn new() -> Self {
+        SnapshotStream::default()
+    }
+
+    /// Diff `current` against the previous snapshot, advance the
+    /// baseline, and return the epoch's sparse deltas. Epoch indices
+    /// count up from 0.
+    pub fn next_delta(&mut self, current: &Registry) -> EpochDelta {
+        let counters = current.delta_since(&self.baseline);
+        self.baseline = current.clone();
+        let epoch = self.epoch;
+        self.epoch += 1;
+        EpochDelta { epoch, counters }
+    }
+
+    /// Number of epochs emitted so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The cumulative snapshot behind the last emitted epoch (what the
+    /// per-counter delta sums reconstruct).
+    pub fn baseline(&self) -> &Registry {
+        &self.baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deltas_are_sparse_and_signed() {
+        let mut reg = Registry::new();
+        let up = reg.counter("up");
+        let gauge = reg.counter("gauge");
+        let idle = reg.counter("idle");
+        let _ = idle;
+
+        let mut s = SnapshotStream::new();
+        reg.add(up, 5);
+        reg.add(gauge, 2);
+        let e0 = s.next_delta(&reg);
+        assert_eq!(e0.epoch, 0);
+        assert_eq!(e0.counters, vec![("up", 5), ("gauge", 2)]);
+
+        reg.add(up, 1);
+        reg.sub(gauge, 2);
+        let e1 = s.next_delta(&reg);
+        assert_eq!(e1.counters, vec![("up", 1), ("gauge", -2)]);
+
+        let e2 = s.next_delta(&reg);
+        assert!(e2.is_empty(), "nothing moved: {:?}", e2.counters);
+        assert_eq!(s.epochs(), 3);
+    }
+
+    #[test]
+    fn vanished_counters_are_closed_out() {
+        let mut old = Registry::new();
+        let c = old.counter("gone");
+        old.add(c, 7);
+        let fresh = Registry::new();
+        assert_eq!(fresh.delta_since(&old), vec![("gone", -7)]);
+    }
+
+    /// The telescoping invariant under a seeded random increment
+    /// schedule: for every counter, the sum of all epoch deltas equals
+    /// the final snapshot value, whatever the interleaving of
+    /// increments, decrements and sampling points.
+    #[test]
+    fn delta_sums_telescope_to_final_snapshot() {
+        const NAMES: [&str; 4] = ["a", "b", "gauge", "late"];
+        for seed in 0..8u64 {
+            let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (seed.wrapping_mul(0xd134_2543_de82_ef95));
+            let mut next = move || {
+                // xorshift64*: deterministic, no external deps.
+                rng ^= rng >> 12;
+                rng ^= rng << 25;
+                rng ^= rng >> 27;
+                rng.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let mut reg = Registry::new();
+            let mut stream = SnapshotStream::new();
+            let mut sums: HashMap<&'static str, i64> = HashMap::new();
+            for step in 0..200 {
+                let roll = next();
+                let name = NAMES[(roll % 3) as usize + usize::from(step > 100 && roll % 7 == 0)];
+                let id = reg.counter(name);
+                if name == "gauge" && roll % 5 == 0 {
+                    reg.sub(id, next() % 4);
+                } else {
+                    reg.add(id, next() % 9);
+                }
+                if next() % 11 == 0 {
+                    for (n, d) in stream.next_delta(&reg).counters {
+                        *sums.entry(n).or_default() += d;
+                    }
+                }
+            }
+            for (n, d) in stream.next_delta(&reg).counters {
+                *sums.entry(n).or_default() += d;
+            }
+            for &(name, v) in reg.counters() {
+                assert_eq!(
+                    sums.get(name).copied().unwrap_or(0),
+                    v as i64,
+                    "seed {seed}: counter {name} does not telescope"
+                );
+            }
+        }
+    }
+}

@@ -89,7 +89,11 @@ impl Table {
                 let mut any = false;
                 for row in &self.rows {
                     match row[col].as_str() {
-                        "n/a" | "-" | "" => {}
+                        // n/a is a numeric placeholder (NaN normalization
+                        // above): a column of nothing but n/a still
+                        // right-aligns like its numeric siblings.
+                        "n/a" => any = true,
+                        "-" | "" => {}
                         cell if numeric_part(cell).is_some() => any = true,
                         _ => return false,
                     }
@@ -237,6 +241,31 @@ mod tests {
         assert!(lines[4].ends_with("12.5/s"), "{s}");
         // Right alignment: every data line ends at the same column.
         assert_eq!(lines[2].len(), lines[4].len(), "{s}");
+    }
+
+    #[test]
+    fn all_na_column_right_aligns_under_its_header() {
+        // A sweep where a fraction is undefined for every row used to
+        // leave the column left-aligned (no numeric cell voted for it),
+        // misaligning the data against the wider header. All-n/a now
+        // right-aligns like any numeric column.
+        let mut t = Table::new(&["benchmark", "coverage"]);
+        t.row(&["pr", "n/a"]);
+        t.row(&["mcf", "n/a"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        // Right alignment: n/a hugs the column's right edge, so every
+        // data line is exactly as long as the header line.
+        assert_eq!(lines[2].len(), lines[0].len(), "{s}");
+        assert_eq!(lines[3].len(), lines[0].len(), "{s}");
+        assert!(lines[2].ends_with("     n/a"), "{s}");
+        // A genuine text column is still left-aligned even when some
+        // cells are n/a.
+        let mut t = Table::new(&["k", "status-column"]);
+        t.row(&["a", "n/a"]);
+        t.row(&["b", "fast"]);
+        let s = t.render();
+        assert_eq!(s.lines().nth(2).unwrap(), "a  n/a", "{s}");
     }
 
     #[test]

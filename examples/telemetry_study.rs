@@ -10,13 +10,17 @@
 //!     [--scale test|small] [--warmup N] [--measure N] [--json PATH]
 //! ```
 //!
-//! Exits nonzero if any telemetry counter disagrees with `RunStats`:
-//! the two are accumulated independently, so agreement is a real
-//! end-to-end check, not a tautology.
+//! Exits nonzero if any telemetry counter disagrees with `RunStats`,
+//! or if the streaming delta epochs (prefix runs of the same workload
+//! fed through `SnapshotStream`) fail to sum back to the final
+//! cumulative snapshot: both sides are accumulated independently, so
+//! agreement is a real end-to-end check, not a tautology.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 use atc_bench::telemetry::telemetry_to_json;
+use atc_obs::{Registry, SnapshotStream, TelemetrySnapshot};
 use atc_sim::{run_one, SimConfig, TelemetryConfig};
 use atc_stats::table::Table;
 use atc_workloads::{BenchmarkId, Scale};
@@ -229,6 +233,68 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("telemetry reconciles exactly with RunStats ({checked} counters checked).");
+
+    // --- Streaming deltas: replay the run as four cumulative epochs ---
+    // Prefix runs (¼, ½, ¾ of the budget, same seed) give real
+    // intermediate snapshots; the full run above is the last epoch.
+    // Fed through `SnapshotStream`, the per-counter delta sums must
+    // telescope back to the final cumulative snapshot exactly, or the
+    // delta encoder lost or invented events.
+    let registry_of = |snap: &TelemetrySnapshot| {
+        let mut reg = Registry::new();
+        for &(name, v) in &snap.counters {
+            let id = reg.counter(name);
+            reg.set(id, v);
+        }
+        reg
+    };
+    let mut stream = SnapshotStream::new();
+    let mut sums: HashMap<&'static str, i64> = HashMap::new();
+    for k in 1..4u64 {
+        let prefix = (measure * k / 4).max(1);
+        let snap = match run_one(&cfg, bench, scale, 42, warmup, prefix) {
+            Ok(ps) => ps.telemetry.expect("telemetry was attached"),
+            Err(e) => {
+                eprintln!("telemetry_study: prefix run ({prefix} instructions) failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (name, d) in stream.next_delta(&registry_of(&snap)).counters {
+            *sums.entry(name).or_default() += d;
+        }
+    }
+    for (name, d) in stream.next_delta(&registry_of(t)).counters {
+        *sums.entry(name).or_default() += d;
+    }
+    println!(
+        "telemetry stream: {} epoch(s) over {measure} instructions",
+        stream.epochs()
+    );
+    let mut stream_errors: Vec<String> = Vec::new();
+    for &(name, v) in &t.counters {
+        let sum = sums.remove(name).unwrap_or(0);
+        if sum != v as i64 {
+            stream_errors.push(format!("{name}: delta sum {sum} != final {v}"));
+        }
+    }
+    for (name, sum) in sums {
+        if sum != 0 {
+            stream_errors.push(format!(
+                "{name}: deltas sum to {sum} but the counter is absent from the final snapshot"
+            ));
+        }
+    }
+    if !stream_errors.is_empty() {
+        eprintln!("stream deltas do NOT sum back to the final snapshot:");
+        for e in &stream_errors {
+            eprintln!("  {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "stream deltas sum back to the final snapshot ({} counters).",
+        t.counters.len()
+    );
 
     if let Some(path) = json_path {
         let doc = telemetry_to_json(t);
