@@ -1,0 +1,152 @@
+//! Serve-path latency: what does routing a sweep through the resident
+//! daemon cost, and what does cache residency buy?
+//!
+//! Three lines for `BENCH_sim.json` (use `--append` to merge with the
+//! simulator trajectory):
+//!
+//! * `serve/roundtrip`   — submit→complete latency for a one-job sweep
+//!   against a resident server with a warm trace cache: protocol
+//!   encode/seal, TCP hop, admission, durable queued record, scheduler
+//!   dispatch, job execution, terminal record, result fetch.
+//! * `serve/suite_cold`  — a four-job suite catalog submitted to a
+//!   freshly bound server with an empty trace cache (capture included).
+//! * `serve/suite_warm`  — the same catalog against servers sharing one
+//!   resident cache: the steady-state multi-tenant path, where the
+//!   warm/cold gap is exactly the capture cost the resident daemon
+//!   amortizes across sweeps.
+//!
+//! ```text
+//! cargo bench -p atc-experiments --bench serve_roundtrip -- \
+//!     --samples 3 --append --json BENCH_sim.json
+//! ```
+
+use std::sync::Arc;
+
+use atc_experiments::sweeps::{build_jobs, catalog, sweeps, Budget, SweepJob};
+use atc_serve::{Client, Reply, ServeConfig, Server, ServerSpec};
+use atc_workloads::trace::TraceCache;
+use atc_workloads::{BenchmarkId, Scale};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 20_000;
+/// Key aliases pre-registered for `serve/roundtrip`: resubmitting a key
+/// is idempotent (no second execution), so every timed sample consumes
+/// a fresh alias of the same payload.
+const ROUNDTRIP_KEYS: usize = 4_096;
+
+fn suite_jobs() -> Vec<(String, SweepJob)> {
+    let defs: Vec<_> = sweeps().into_iter().filter(|d| d.name == "fig16").collect();
+    assert_eq!(defs.len(), 1, "fig16 must exist");
+    let benchmarks = vec![BenchmarkId::Mcf, BenchmarkId::Xalancbmk];
+    let budget = Budget {
+        scale: Scale::Test,
+        seed: 42,
+        warmup: WARMUP,
+        measure: MEASURE,
+    };
+    build_jobs(&defs, &catalog(), &benchmarks, budget).expect("build jobs")
+}
+
+fn spec(jobs: Vec<(String, SweepJob)>, cache: Arc<TraceCache>) -> ServerSpec<SweepJob> {
+    let runner_cache = Arc::clone(&cache);
+    ServerSpec {
+        catalog: jobs,
+        runner: Arc::new(move |tenant: &str, _key: &str, job: &SweepJob, ctx| {
+            job.run_as(tenant, &runner_cache, &ctx.cancel)
+        }),
+        streams_of: Arc::new(SweepJob::streams),
+        instructions_of: Some(Arc::new(SweepJob::instructions)),
+        cache,
+    }
+}
+
+fn bind(
+    store: std::path::PathBuf,
+    cache: Arc<TraceCache>,
+    jobs: Vec<(String, SweepJob)>,
+) -> Server<SweepJob> {
+    let cfg = ServeConfig {
+        workers: 2,
+        store_dir: store,
+        ..ServeConfig::default()
+    };
+    Server::bind("127.0.0.1:0", cfg, spec(jobs, cache)).expect("bind server")
+}
+
+/// Submit every key and block until all are terminal.
+fn drive(addr: std::net::SocketAddr, tenant: &str, keys: &[String]) {
+    let mut client = Client::connect(addr).expect("connect");
+    for key in keys {
+        match client.submit_with_retry(tenant, key, 100).expect("submit") {
+            Reply::Submit { accepted: true, .. } => {}
+            other => panic!("rejected {key}: {other:?}"),
+        }
+    }
+    let (records, missing) = client.results(tenant, keys, true).expect("results");
+    assert!(missing.is_empty(), "missing {missing:?}");
+    assert_eq!(records.len(), keys.len());
+}
+
+fn main() {
+    let mut reporter = atc_bench::Reporter::from_env();
+    let base = std::env::temp_dir().join(format!("atc-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut store_id = 0usize;
+    let mut fresh_store = || {
+        store_id += 1;
+        base.join(format!("store-{store_id}"))
+    };
+
+    let jobs = suite_jobs();
+    let suite_keys: Vec<String> = jobs.iter().map(|(k, _)| k.clone()).collect();
+
+    // --- serve/roundtrip: one resident server, warm cache, one fresh
+    // key alias per sample.
+    let payload = jobs[0].1.clone();
+    let aliases: Vec<(String, SweepJob)> = (0..ROUNDTRIP_KEYS)
+        .map(|i| (format!("rt/{i}"), payload.clone()))
+        .collect();
+    let warm = Arc::new(TraceCache::new());
+    let server = bind(fresh_store(), Arc::clone(&warm), aliases);
+    let addr = server.local_addr();
+    // Untimed warm-up executes one alias: captures the stream and
+    // faults in the worker pool.
+    drive(addr, "bench", &["rt/0".to_string()]);
+    let mut next_alias = 1usize;
+    reporter.bench("serve/roundtrip", 3, || {
+        assert!(next_alias < ROUNDTRIP_KEYS, "raise ROUNDTRIP_KEYS");
+        let key = format!("rt/{next_alias}");
+        next_alias += 1;
+        drive(addr, "bench", std::slice::from_ref(&key));
+    });
+    server.shutdown();
+    server.wait();
+
+    // --- serve/suite_cold: fresh server, fresh store, empty cache —
+    // every sample pays stream capture.
+    reporter.bench("serve/suite_cold", 3, || {
+        let server = bind(fresh_store(), Arc::new(TraceCache::new()), suite_jobs());
+        drive(server.local_addr(), "bench", &suite_keys);
+        server.shutdown();
+        server.wait();
+    });
+
+    // --- serve/suite_warm: fresh servers sharing one resident cache.
+    let resident = Arc::new(TraceCache::new());
+    {
+        // Untimed warm-up fills the shared cache.
+        let server = bind(fresh_store(), Arc::clone(&resident), suite_jobs());
+        drive(server.local_addr(), "bench", &suite_keys);
+        server.shutdown();
+        server.wait();
+    }
+    reporter.bench("serve/suite_warm", 3, || {
+        let server = bind(fresh_store(), Arc::clone(&resident), suite_jobs());
+        drive(server.local_addr(), "bench", &suite_keys);
+        server.shutdown();
+        server.wait();
+    });
+
+    reporter.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}

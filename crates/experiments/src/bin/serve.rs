@@ -1,0 +1,329 @@
+//! The resident sweep daemon: `atc-serve` over the experiment catalog.
+//!
+//! Builds the same deterministic job catalog the `suite` binary builds
+//! (so FNV job keys agree between client and server), keeps the trace
+//! cache and scheduler pool warm across sweeps, and serves the
+//! `atc-serve-v1` protocol until a client sends `shutdown`.
+//!
+//! ```text
+//! serve [common flags] [--figures a,b] [--port N] [--store DIR]
+//!       [--serve-log PATH] [--queue-bound N] [--tenant-queue-bound N]
+//!       [--cache-budget-mb N] [--tenant-quota-mb N] [--retries N]
+//!       [--deadline-ms N] [--backoff-ms N] [--fault-plan SEED:SPEC]
+//!       [--cadence-ms N]
+//! serve --connect ADDR (--status | --shutdown)
+//! ```
+//!
+//! * `--port N`          TCP port on 127.0.0.1; `0` (the default) binds
+//!   an ephemeral port. Either way the daemon reports the bound address
+//!   on stderr as exactly one line: `atc-serve listening on ADDR`.
+//! * `--store DIR`       durable per-tenant job stores (default
+//!   `serve-store/`). A killed daemon restarted on the same store
+//!   recovers its queue and resumes incomplete jobs.
+//! * `--serve-log PATH`  append every protocol message as a sealed
+//!   `atc-serve-v1` envelope (validated by `check_bench_json
+//!   --serve-log`); the monotone sequence resumes across restarts
+//! * `--queue-bound N` / `--tenant-queue-bound N` admission bounds;
+//!   over-bound submits are rejected with a retry-after hint
+//! * `--cache-budget-mb N` global trace-cache residency budget
+//!   (evicts least-recently-used unreferenced streams over budget)
+//! * `--tenant-quota-mb N` per-tenant residency quota; submits that
+//!   would exceed it are rejected with backpressure
+//! * `--retries` / `--deadline-ms` / `--backoff-ms` / `--fault-plan`
+//!   the scheduler's fault machinery, exactly as in `suite`
+//! * `--cadence-ms N`    `subscribe` telemetry epoch cadence
+//! * `--connect ADDR`    control mode: `--status` prints the server's
+//!   counters, `--shutdown` asks it to drain and exit
+//!
+//! The common flags (`--scale`, `--seed`, `--warmup`, `--instructions`,
+//! `--benchmarks`, `--jobs`, `--figures`) fix the catalog; clients must
+//! run `suite --server` with the same values or their keys are
+//! rejected as unknown.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use atc_experiments::sweeps::{build_jobs, catalog, sweeps, Budget, SweepDef, SweepJob};
+use atc_experiments::Opts;
+use atc_harness::{FaultPlan, JobEventKind};
+use atc_serve::{Client, ServeConfig, Server, ServerSpec};
+use atc_workloads::trace::TraceCache;
+
+#[derive(Debug, Default)]
+struct ServeArgs {
+    port: u16,
+    store: String,
+    serve_log: Option<String>,
+    queue_bound: Option<usize>,
+    tenant_queue_bound: Option<usize>,
+    cache_budget_mb: Option<usize>,
+    tenant_quota_mb: Option<usize>,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    backoff_ms: u64,
+    fault_plan: Option<String>,
+    cadence_ms: u64,
+    figures: Option<Vec<String>>,
+    connect: Option<String>,
+    shutdown: bool,
+    status: bool,
+}
+
+fn split_args(args: impl Iterator<Item = String>) -> Result<(ServeArgs, Vec<String>), String> {
+    let mut serve = ServeArgs {
+        store: "serve-store".to_string(),
+        retries: 1,
+        cadence_ms: 100,
+        ..ServeArgs::default()
+    };
+    let mut rest = Vec::new();
+    let mut it = args;
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let numeric = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} needs a number, got {v:?}"))
+        };
+        match a.as_str() {
+            "--port" => serve.port = numeric("--port", value("--port")?)? as u16,
+            "--store" => serve.store = value("--store")?,
+            "--serve-log" => serve.serve_log = Some(value("--serve-log")?),
+            "--queue-bound" => {
+                serve.queue_bound =
+                    Some(numeric("--queue-bound", value("--queue-bound")?)? as usize)
+            }
+            "--tenant-queue-bound" => {
+                serve.tenant_queue_bound =
+                    Some(numeric("--tenant-queue-bound", value("--tenant-queue-bound")?)? as usize)
+            }
+            "--cache-budget-mb" => {
+                serve.cache_budget_mb =
+                    Some(numeric("--cache-budget-mb", value("--cache-budget-mb")?)? as usize)
+            }
+            "--tenant-quota-mb" => {
+                serve.tenant_quota_mb =
+                    Some(numeric("--tenant-quota-mb", value("--tenant-quota-mb")?)? as usize)
+            }
+            "--retries" => serve.retries = numeric("--retries", value("--retries")?)? as u32,
+            "--deadline-ms" => {
+                serve.deadline_ms = Some(numeric("--deadline-ms", value("--deadline-ms")?)?)
+            }
+            "--backoff-ms" => serve.backoff_ms = numeric("--backoff-ms", value("--backoff-ms")?)?,
+            "--fault-plan" => serve.fault_plan = Some(value("--fault-plan")?),
+            "--cadence-ms" => serve.cadence_ms = numeric("--cadence-ms", value("--cadence-ms")?)?,
+            "--figures" => {
+                serve.figures = Some(
+                    value("--figures")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--connect" => serve.connect = Some(value("--connect")?),
+            "--shutdown" => serve.shutdown = true,
+            "--status" => serve.status = true,
+            _ => rest.push(a),
+        }
+    }
+    Ok((serve, rest))
+}
+
+/// Control mode: one request against a running daemon.
+fn run_control(addr: &str, shutdown: bool, status: bool) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if status {
+        match client.status() {
+            Ok(counts) => {
+                for (name, value) in counts {
+                    println!("{name} {value}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: status failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if shutdown {
+        match client.shutdown() {
+            Ok(draining) => eprintln!(
+                "serve: shutdown requested ({})",
+                if draining { "draining" } else { "idle" }
+            ),
+            Err(e) => {
+                eprintln!("error: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !status && !shutdown {
+        eprintln!("error: --connect needs --status or --shutdown");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn select_figures(figures: Option<&[String]>) -> Result<Vec<SweepDef>, String> {
+    let all = sweeps();
+    let Some(wanted) = figures else {
+        return Ok(all);
+    };
+    let mut out = Vec::new();
+    for name in wanted {
+        match all.iter().find(|d| d.name == name.as_str()) {
+            Some(d) => out.push(d.clone()),
+            None => {
+                let known: Vec<&str> = all.iter().map(|d| d.name).collect();
+                return Err(format!(
+                    "unknown figure {name:?}; available: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let (serve, rest) = match split_args(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(addr) = &serve.connect {
+        return run_control(addr, serve.shutdown, serve.status);
+    }
+    let opts = match Opts::parse_from(rest) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: serve [--seed N] [--scale test|small|paper] [--warmup N] \
+                 [--instructions N] [--benchmarks a,b,c] [--jobs N] [--figures a,b] \
+                 [--port N] [--store DIR] [--serve-log PATH] [--queue-bound N] \
+                 [--tenant-queue-bound N] [--cache-budget-mb N] [--tenant-quota-mb N] \
+                 [--retries N] [--deadline-ms N] [--backoff-ms N] [--fault-plan SEED:SPEC] \
+                 [--cadence-ms N] | serve --connect ADDR (--status | --shutdown)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let defs = match select_figures(serve.figures.as_deref()) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let budget = Budget {
+        scale: opts.scale,
+        seed: opts.seed,
+        warmup: opts.warmup,
+        measure: opts.measure,
+    };
+    let jobs = match build_jobs(&defs, &catalog(), &opts.benchmarks, budget) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cache = TraceCache::new();
+    if let Some(mb) = serve.cache_budget_mb {
+        cache = cache.with_budget_bytes(mb * 1024 * 1024);
+    }
+    if let Some(mb) = serve.tenant_quota_mb {
+        cache = cache.with_owner_quota(mb * 1024 * 1024);
+    }
+    let cache = Arc::new(cache);
+
+    let fault_plan = match serve.fault_plan.as_deref().map(FaultPlan::parse) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(msg)) => {
+            eprintln!("error: bad --fault-plan: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = ServeConfig {
+        workers: opts.worker_count(),
+        retries: serve.retries,
+        deadline: serve.deadline_ms.map(Duration::from_millis),
+        backoff: Duration::from_millis(serve.backoff_ms),
+        seed: opts.seed,
+        fault_plan,
+        store_dir: serve.store.clone().into(),
+        log_path: serve.serve_log.clone().map(Into::into),
+        cadence: Duration::from_millis(serve.cadence_ms.max(1)),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = serve.queue_bound {
+        cfg.queue_bound = n;
+    }
+    if let Some(n) = serve.tenant_queue_bound {
+        cfg.tenant_queue_bound = n;
+    }
+
+    let total_jobs = jobs.len();
+    let runner_cache = Arc::clone(&cache);
+    let spec = ServerSpec {
+        catalog: jobs,
+        runner: Arc::new(move |tenant: &str, _key: &str, job: &SweepJob, ctx| {
+            job.run_as(tenant, &runner_cache, &ctx.cancel)
+        }),
+        streams_of: Arc::new(SweepJob::streams),
+        instructions_of: Some(Arc::new(SweepJob::instructions)),
+        cache: Arc::clone(&cache),
+    };
+
+    let server = match Server::bind(("127.0.0.1", serve.port), cfg, spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{}: {e}", serve.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = server.events();
+    // The one machine-readable stderr line scripts scrape for the
+    // ephemeral port.
+    eprintln!("atc-serve listening on {}", server.local_addr());
+    eprintln!(
+        "serve: catalog of {total_jobs} job(s) across {} sweep(s) on {} worker(s), store {}",
+        defs.len(),
+        opts.worker_count(),
+        serve.store,
+    );
+    let recovered = events
+        .drain()
+        .iter()
+        .filter(|e| e.kind == JobEventKind::Recover)
+        .map(|e| format!("{} ({})", e.key, e.detail))
+        .collect::<Vec<_>>();
+    for note in &recovered {
+        eprintln!("serve: store recovery: {note}");
+    }
+
+    let summary = server.wait();
+    eprintln!(
+        "serve: drained after {} execution(s); cache: {} stream(s), {:.1} MiB, \
+         {} hit(s) ({} cross-tenant), {} miss(es), {} eviction(s)",
+        summary.executions,
+        summary.cache.streams,
+        summary.cache.footprint_bytes as f64 / (1024.0 * 1024.0),
+        summary.cache.hits,
+        summary.cache.cross_owner_hits,
+        summary.cache.misses,
+        summary.cache.evictions,
+    );
+    ExitCode::SUCCESS
+}

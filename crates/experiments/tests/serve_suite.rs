@@ -1,0 +1,198 @@
+//! Process-level serve tests: a real `serve` daemon on an ephemeral
+//! port, driven by real `suite --server` clients.
+//!
+//! The property under test is the PR's acceptance bar: N concurrent
+//! clients submitting overlapping catalogs get exactly one execution
+//! per job key, and every client's stdout is byte-identical to a
+//! single in-process `suite` run over the same catalog.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const COMMON: &[&str] = &[
+    "--scale",
+    "test",
+    "--warmup",
+    "2000",
+    "--instructions",
+    "20000",
+    "--figures",
+    "fig16",
+    "--benchmarks",
+    "mcf,xalancbmk",
+];
+
+/// fig16 over two benchmarks: {tempo, base} × {mcf, xalancbmk}.
+const TOTAL_JOBS: u64 = 4;
+
+struct TempDir(PathBuf);
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(name: &str) -> TempDir {
+    let p = std::env::temp_dir().join(format!("atc-serve-suite-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    TempDir(p)
+}
+
+/// Spawn the daemon with stderr to a file and poll that file for the
+/// one machine-readable line announcing the ephemeral port.
+fn start_daemon(dir: &TempDir) -> (std::process::Child, String) {
+    let stderr_path = dir.0.join("serve.err");
+    let stderr = std::fs::File::create(&stderr_path).unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(COMMON)
+        .arg("--port")
+        .arg("0")
+        .arg("--store")
+        .arg(dir.0.join("store"))
+        .arg("--serve-log")
+        .arg(dir.0.join("serve-log.jsonl"))
+        .stdout(Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        let text = std::fs::read_to_string(&stderr_path).unwrap_or_default();
+        if let Some(line) = text
+            .lines()
+            .find_map(|l| l.strip_prefix("atc-serve listening on "))
+        {
+            break line.trim().to_string();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never announced its address; stderr:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+fn run_suite(extra: &[&str]) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_suite"))
+        .args(COMMON)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn suite");
+    assert!(
+        out.status.success(),
+        "suite failed: {}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn control(addr: &str, flag: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--connect", addr, flag])
+        .output()
+        .expect("spawn serve control");
+    assert!(
+        out.status.success(),
+        "serve {flag} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn concurrent_clients_match_in_process_stdout_with_one_execution_per_key() {
+    let dir = temp_dir("concurrent");
+
+    // Reference: a plain in-process suite over the same catalog.
+    let manifest = dir.0.join("inproc.jsonl");
+    let reference = run_suite(&["--manifest", manifest.to_str().unwrap()]).stdout;
+    assert!(!reference.is_empty(), "reference run rendered nothing");
+
+    let (mut daemon, addr) = start_daemon(&dir);
+    // Three clients race the same four-job catalog under different
+    // tenant identities; idempotent submission must collapse them to
+    // one execution per key.
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_suite(&["--server", &addr, "--tenant", &format!("tenant-{i}")]).stdout
+            })
+        })
+        .collect();
+    for (i, client) in clients.into_iter().enumerate() {
+        let stdout = client.join().unwrap();
+        if stdout != reference {
+            let mut f =
+                std::fs::File::create(std::env::temp_dir().join("serve-suite-diff.out")).unwrap();
+            f.write_all(&stdout).unwrap();
+            panic!("client {i} stdout differs from the in-process run");
+        }
+    }
+
+    let status = control(&addr, "--status");
+    let count = |name: &str| -> u64 {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(name).map(str::trim))
+            .unwrap_or_else(|| panic!("no {name} in status:\n{status}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        count("executions "),
+        TOTAL_JOBS,
+        "overlapping catalogs must execute once per key"
+    );
+    assert_eq!(count("tenants "), 3, "all three tenants have stores");
+    assert_eq!(count("failed "), 0);
+    // Tenants 2 and 3 replayed streams tenant 1's jobs captured: the
+    // shared cache must tally cross-tenant reuse. (Each tenant's
+    // results are served from the job table, but the *streams* are
+    // captured once; resubmission doesn't re-execute, so the tally
+    // comes from result mirroring, which touches no streams — the
+    // cross-tenant counter is exercised by the serve-crate tests. Here
+    // we only require the counter to be reported.)
+    let _ = count("cache.cross_tenant_hits ");
+
+    control(&addr, "--shutdown");
+    let code = daemon.wait().expect("daemon exit");
+    assert!(code.success(), "daemon exited {code}");
+
+    // The wire log survives and validates: sealed envelopes, monotone
+    // sequence.
+    let log = std::fs::read_to_string(dir.0.join("serve-log.jsonl")).unwrap();
+    atc_bench::stream::check_serve_log(&log).expect("serve log validates");
+}
+
+#[test]
+fn restarted_daemon_serves_results_from_recovered_store() {
+    let dir = temp_dir("restart");
+    let (mut daemon, addr) = start_daemon(&dir);
+    let first = run_suite(&["--server", &addr, "--tenant", "t0"]).stdout;
+
+    // Hard-kill the daemon (no drain), then restart on the same store.
+    daemon.kill().expect("kill daemon");
+    let _ = daemon.wait();
+    let (mut daemon, addr) = start_daemon(&dir);
+
+    // The resubmitted catalog is already terminal in the recovered
+    // store: same bytes, zero new executions.
+    let second = run_suite(&["--server", &addr, "--tenant", "t0"]).stdout;
+    assert_eq!(first, second, "stdout must survive kill + restart");
+    let status = control(&addr, "--status");
+    assert!(
+        status.lines().any(|l| l.trim() == "executions 0"),
+        "recovered terminal records must not re-execute:\n{status}"
+    );
+    control(&addr, "--shutdown");
+    let code = daemon.wait().expect("daemon exit");
+    assert!(code.success(), "daemon exited {code}");
+}

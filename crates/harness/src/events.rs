@@ -45,6 +45,9 @@ pub enum JobEventKind {
     Fault,
     /// The manifest flushed buffered records to disk.
     Flush,
+    /// Manifest recovery found something noteworthy (detail = corrupt
+    /// line count, duplicate-key count, or a truncated torn tail).
+    Recover,
 }
 
 impl JobEventKind {
@@ -59,6 +62,7 @@ impl JobEventKind {
             JobEventKind::Finish => "finish",
             JobEventKind::Fault => "fault",
             JobEventKind::Flush => "flush",
+            JobEventKind::Recover => "recover",
         }
     }
 }
@@ -188,5 +192,6 @@ mod tests {
     fn kind_labels_are_stable() {
         assert_eq!(JobEventKind::Claim.label(), "claim");
         assert_eq!(JobEventKind::Flush.label(), "flush");
+        assert_eq!(JobEventKind::Recover.label(), "recover");
     }
 }

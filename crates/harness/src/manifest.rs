@@ -139,12 +139,15 @@ impl<const N: usize> From<[(&str, f64); N]> for Metrics {
 /// Manifest line format version written by this crate.
 const MANIFEST_VERSION: f64 = 2.0;
 
-/// One manifest line: a job's terminal outcome.
+/// One manifest line: a job's terminal outcome — or, in a serve-style
+/// job store, its queued admission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// The job's deterministic key.
     pub key: String,
-    /// `"ok"`, `"failed"`, or `"panicked"`.
+    /// `"ok"`, `"failed"`, or `"panicked"` for terminal outcomes;
+    /// `"queued"` (admitted, not yet executed) and `"cancelled"` extend
+    /// the store for the serve daemon's durable queue.
     pub status: String,
     /// Attempts consumed.
     pub attempts: u32,
@@ -161,6 +164,36 @@ impl Record {
     /// Whether the job completed successfully.
     pub fn is_ok(&self) -> bool {
         self.status == "ok"
+    }
+
+    /// Whether this record is a queued admission (not yet executed) —
+    /// the serve daemon's restart recovery re-enqueues these.
+    pub fn is_queued(&self) -> bool {
+        self.status == "queued"
+    }
+
+    /// A queued admission record for `key` (no attempts, no metrics).
+    pub fn queued(key: &str) -> Record {
+        Record {
+            key: key.to_string(),
+            status: "queued".to_string(),
+            attempts: 0,
+            wall_micros: 0,
+            metrics: Metrics::new(),
+            error: None,
+        }
+    }
+
+    /// A cancelled record for `key`: terminal, never executed.
+    pub fn cancelled(key: &str) -> Record {
+        Record {
+            key: key.to_string(),
+            status: "cancelled".to_string(),
+            attempts: 0,
+            wall_micros: 0,
+            metrics: Metrics::new(),
+            error: Some("cancelled before execution".to_string()),
+        }
     }
 
     /// Convert a scheduler [`JobRun`] into a manifest record, salvaging
@@ -258,7 +291,10 @@ impl Record {
             .get("status")
             .and_then(Value::as_str)
             .ok_or("missing status")?;
-        if !matches!(status, "ok" | "failed" | "panicked") {
+        if !matches!(
+            status,
+            "ok" | "failed" | "panicked" | "queued" | "cancelled"
+        ) {
             return Err(format!("unknown status {status:?}"));
         }
         let attempts = v
@@ -359,6 +395,26 @@ impl Manifest {
     ///
     /// Only real I/O failures (open, read, truncate).
     pub fn open(path: impl Into<PathBuf>, resume: bool) -> io::Result<Manifest> {
+        Self::open_with_events(path, resume, None)
+    }
+
+    /// [`open`](Self::open) with recovery diagnostics routed through an
+    /// [`EventLog`] instead of ad-hoc stderr: anything noteworthy
+    /// (corrupt lines, superseded duplicates, a truncated torn tail)
+    /// lands as [`JobEventKind::Recover`] events on the manifest's own
+    /// track, so server-side recoveries show up on the Perfetto
+    /// timeline. With `events = None` the stderr summary of
+    /// [`open`](Self::open) is kept. The log is also retained for flush
+    /// events, as if [`with_events`](Self::with_events) had been called.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures (open, read, truncate).
+    pub fn open_with_events(
+        path: impl Into<PathBuf>,
+        resume: bool,
+        events: Option<Arc<EventLog>>,
+    ) -> io::Result<Manifest> {
         let path = path.into();
         let mut file = OpenOptions::new()
             .read(true)
@@ -412,19 +468,42 @@ impl Manifest {
         file.seek(SeekFrom::End(0))?;
         recovery.recovered = records.len();
         if recovery.is_noteworthy() {
-            eprintln!(
-                "manifest recovery ({}): {} record(s) loaded, {} corrupt line(s) skipped, \
-                 {} duplicate record(s) superseded{}",
-                path.display(),
-                recovery.recovered,
-                recovery.corrupt,
-                recovery.duplicates,
-                if recovery.torn_tail {
-                    ", torn tail truncated"
-                } else {
-                    ""
-                },
-            );
+            match &events {
+                // One Recover event per damage category, on the
+                // manifest track, keyed by the store path — the
+                // trace-event renderer shows them as instants.
+                Some(log) => {
+                    let key = path.display().to_string();
+                    let recover = |detail: &str| {
+                        log.record(MANIFEST_WORKER, JobEventKind::Recover, &key, 0, detail);
+                    };
+                    if recovery.corrupt > 0 {
+                        recover(&format!("{} corrupt line(s) skipped", recovery.corrupt));
+                    }
+                    if recovery.duplicates > 0 {
+                        recover(&format!(
+                            "{} duplicate record(s) superseded",
+                            recovery.duplicates
+                        ));
+                    }
+                    if recovery.torn_tail {
+                        recover("torn tail truncated");
+                    }
+                }
+                None => eprintln!(
+                    "manifest recovery ({}): {} record(s) loaded, {} corrupt line(s) skipped, \
+                     {} duplicate record(s) superseded{}",
+                    path.display(),
+                    recovery.recovered,
+                    recovery.corrupt,
+                    recovery.duplicates,
+                    if recovery.torn_tail {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    },
+                ),
+            }
         }
 
         Ok(Manifest {
@@ -439,7 +518,7 @@ impl Manifest {
             fault: None,
             flushes: 0,
             recovery,
-            events: None,
+            events,
         })
     }
 
@@ -952,6 +1031,70 @@ mod tests {
         // good suffix. They are skipped again on every load.
         let text = std::fs::read_to_string(&tmp.0).unwrap();
         assert!(text.starts_with("garbage\n"));
+    }
+
+    #[test]
+    fn open_with_events_routes_recovery_onto_the_manifest_track() {
+        let tmp = temp_manifest("recover-events");
+        let good = record("k1", "ok", Some(1.0)).to_json_line();
+        let dupe = record("k1", "ok", Some(2.0)).to_json_line();
+        // Corrupt line + duplicate key + torn tail: all three damage
+        // categories in one file.
+        std::fs::write(&tmp.0, format!("garbage\n{good}\n{dupe}\n{{torn")).unwrap();
+        let log = Arc::new(EventLog::default());
+        let m = Manifest::open_with_events(&tmp.0, true, Some(Arc::clone(&log))).unwrap();
+        assert!(m.recovery().is_noteworthy());
+        let events = log.drain();
+        let recovers: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Recover)
+            .collect();
+        assert_eq!(recovers.len(), 3, "one event per damage category");
+        for e in &recovers {
+            assert_eq!(e.worker, MANIFEST_WORKER);
+            assert_eq!(e.key, tmp.0.display().to_string());
+        }
+        let details: Vec<&str> = recovers.iter().map(|e| e.detail.as_str()).collect();
+        assert!(details.iter().any(|d| d.contains("corrupt")), "{details:?}");
+        assert!(
+            details.iter().any(|d| d.contains("duplicate")),
+            "{details:?}"
+        );
+        assert!(
+            details.iter().any(|d| d.contains("torn tail")),
+            "{details:?}"
+        );
+        // The log stays attached: a flush records on the same track.
+        drop(m);
+        let mut m = Manifest::open_with_events(&tmp.0, true, Some(Arc::clone(&log))).unwrap();
+        m.append(record("k2", "ok", Some(3.0))).unwrap();
+        m.flush().unwrap();
+        assert!(log
+            .drain()
+            .iter()
+            .any(|e| e.kind == JobEventKind::Flush && e.worker == MANIFEST_WORKER));
+    }
+
+    #[test]
+    fn queued_and_cancelled_records_round_trip() {
+        let q = Record::queued("serve/job/a");
+        assert!(q.is_queued() && !q.is_ok());
+        let parsed = Record::from_json_line(&q.to_json_line()).unwrap();
+        assert_eq!(parsed, q);
+        let c = Record::cancelled("serve/job/a");
+        assert!(!c.is_queued() && !c.is_ok());
+        let parsed = Record::from_json_line(&c.to_json_line()).unwrap();
+        assert_eq!(parsed, c);
+        // The durable queue persists through the normal store path.
+        let tmp = temp_manifest("queued");
+        {
+            let mut m = Manifest::open(&tmp.0, false).unwrap();
+            m.append(Record::queued("j1")).unwrap();
+            m.append(Record::queued("j2")).unwrap();
+        }
+        let m = Manifest::open(&tmp.0, true).unwrap();
+        assert!(m.get("j1").unwrap().is_queued());
+        assert!(m.get("j2").unwrap().is_queued());
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Blocking client for the `atc-serve-v1` protocol.
+//!
+//! One [`Client`] owns one TCP connection. Requests carry a
+//! monotonically increasing sequence number starting at 0; the server
+//! echoes it in the reply, and the client verifies the echo so a
+//! desynchronised or replayed stream fails loudly instead of silently
+//! pairing the wrong reply with a request.
+//!
+//! [`subscribe`](Client::subscribe) interleaves raw telemetry lines
+//! (the `atc-telemetry-stream-v1` header/epoch/final records) with
+//! protocol replies on the same connection; the client tells them
+//! apart with [`is_protocol_line`] and hands telemetry to the caller's
+//! sink verbatim, so it can be piped straight into a `--telemetry-out`
+//! file and validated by `check_bench_json --stream`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{decode_reply, encode_request, is_protocol_line, Reply, Request};
+
+/// A connected `atc-serve-v1` client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_seq: u64,
+}
+
+impl Client {
+    /// Connect to a serve daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_seq: 0,
+        })
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err("server closed the connection".to_string()),
+                Ok(_) if line.ends_with('\n') => {
+                    return Ok(line.trim_end_matches(['\n', '\r']).to_string());
+                }
+                Ok(_) => {}
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+
+    fn expect_reply(&mut self, seq: u64, line: &str) -> Result<Reply, String> {
+        let (reply_seq, reply) = decode_reply(line)?;
+        if reply_seq != seq {
+            return Err(format!("reply seq {reply_seq} does not echo request {seq}"));
+        }
+        if let Reply::Error { message } = &reply {
+            return Err(format!("server error: {message}"));
+        }
+        Ok(reply)
+    }
+
+    /// Send one request and read its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed or tampered reply lines, sequence
+    /// mismatches, and server-side `error` replies all surface here.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, String> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = encode_request(seq, request);
+        writeln!(self.writer, "{line}").map_err(|e| format!("write failed: {e}"))?;
+        let line = self.read_line()?;
+        self.expect_reply(seq, &line)
+    }
+
+    /// Submit one job, retrying while the server applies backpressure
+    /// (`retry_after_ms > 0`), up to `max_retries` times. Returns the
+    /// final submit reply (which may still be a hard rejection).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn submit_with_retry(
+        &mut self,
+        tenant: &str,
+        key: &str,
+        max_retries: u32,
+    ) -> Result<Reply, String> {
+        let mut attempts = 0u32;
+        loop {
+            let reply = self.call(&Request::Submit {
+                tenant: tenant.to_string(),
+                key: key.to_string(),
+            })?;
+            match &reply {
+                Reply::Submit {
+                    accepted: false,
+                    retry_after_ms,
+                    ..
+                } if *retry_after_ms > 0 && attempts < max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(*retry_after_ms));
+                }
+                Reply::Submit { .. } => return Ok(reply),
+                other => return Err(format!("expected submit reply, got {other:?}")),
+            }
+        }
+    }
+
+    /// Fetch terminal records for `keys`. With `wait`, blocks until
+    /// every known key settles. Returns `(records, missing)` where
+    /// records are manifest JSONL lines in request order.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn results(
+        &mut self,
+        tenant: &str,
+        keys: &[String],
+        wait: bool,
+    ) -> Result<(Vec<String>, Vec<String>), String> {
+        let reply = self.call(&Request::Results {
+            tenant: tenant.to_string(),
+            keys: keys.to_vec(),
+            wait,
+        })?;
+        match reply {
+            Reply::Results { records, missing } => Ok((records, missing)),
+            other => Err(format!("expected results reply, got {other:?}")),
+        }
+    }
+
+    /// Fetch the server's status counters as `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn status(&mut self) -> Result<Vec<(String, u64)>, String> {
+        match self.call(&Request::Status)? {
+            Reply::Status { counts } => Ok(counts),
+            other => Err(format!("expected status reply, got {other:?}")),
+        }
+    }
+
+    /// Cancel a queued job. Returns whether it was cancelled and the
+    /// job's (resulting) state.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn cancel(&mut self, tenant: &str, key: &str) -> Result<(bool, String), String> {
+        let reply = self.call(&Request::Cancel {
+            tenant: tenant.to_string(),
+            key: key.to_string(),
+        })?;
+        match reply {
+            Reply::Cancel {
+                cancelled, state, ..
+            } => Ok((cancelled, state)),
+            other => Err(format!("expected cancel reply, got {other:?}")),
+        }
+    }
+
+    /// Ask the server to drain and exit. Returns `true` if work was
+    /// still in flight when the drain started.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn shutdown(&mut self) -> Result<bool, String> {
+        match self.call(&Request::Shutdown)? {
+            Reply::Shutdown { draining } => Ok(draining),
+            other => Err(format!("expected shutdown reply, got {other:?}")),
+        }
+    }
+
+    /// Subscribe to live progress for `keys`: every raw telemetry line
+    /// the server streams is passed to `sink` until the stream closes.
+    /// Returns the epoch count the server reported in `subscribe_done`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, sequence mismatches, or an
+    /// unexpected reply kind.
+    pub fn subscribe(
+        &mut self,
+        tenant: &str,
+        keys: &[String],
+        sink: &mut dyn FnMut(&str),
+    ) -> Result<u64, String> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = encode_request(
+            seq,
+            &Request::Subscribe {
+                tenant: tenant.to_string(),
+                keys: keys.to_vec(),
+            },
+        );
+        writeln!(self.writer, "{line}").map_err(|e| format!("write failed: {e}"))?;
+        let first = self.read_line()?;
+        match self.expect_reply(seq, &first)? {
+            Reply::Subscribing => {}
+            other => return Err(format!("expected subscribing reply, got {other:?}")),
+        }
+        loop {
+            let line = self.read_line()?;
+            if is_protocol_line(&line) {
+                match self.expect_reply(seq, &line)? {
+                    Reply::SubscribeDone { epochs } => return Ok(epochs),
+                    other => return Err(format!("expected subscribe_done, got {other:?}")),
+                }
+            }
+            sink(&line);
+        }
+    }
+}

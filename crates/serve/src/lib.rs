@@ -1,0 +1,37 @@
+//! `atc-serve`: a resident multi-tenant sweep service.
+//!
+//! Where `atc-harness` runs one sweep in one process and exits, this
+//! crate keeps the expensive state — decoded trace streams in the
+//! shared [`TraceCache`](atc_workloads::trace::TraceCache), a warm
+//! [`Scheduler`](atc_harness::Scheduler) worker pool — resident across
+//! many sweeps from many clients. Clients speak `atc-serve-v1`: line-
+//! delimited JSON where every line carries the same FNV-1a `ck` seal
+//! used by the telemetry stream and the manifest store, so a flipped
+//! bit anywhere in the pipe is detected rather than absorbed.
+//!
+//! The three layers:
+//!
+//! - [`protocol`] — pure message encode/decode. No I/O, fully
+//!   property-testable.
+//! - [`server`] — the daemon: durable per-tenant job stores (manifest
+//!   v2 files), FNV-keyed idempotent submission, admission control with
+//!   bounded backpressure, batch execution on the work-stealing
+//!   scheduler, live `subscribe` streaming of `atc-obs` delta
+//!   snapshots, and crash recovery on rebind.
+//! - [`client`] — a small blocking client used by `suite --server` and
+//!   the tests.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    decode_reply, decode_request, encode_reply, encode_request, is_protocol_line, Reply, Request,
+};
+pub use server::{
+    InstructionsOf, Runner, ServeConfig, ServeSummary, Server, ServerSpec, StreamsOf,
+};

@@ -1,0 +1,488 @@
+//! The `atc-serve-v1` wire protocol: line-delimited, checksummed JSONL
+//! over TCP.
+//!
+//! Every message — request or reply — is one sealed JSON object per
+//! line (the same whole-line FNV-1a seal the manifest and telemetry
+//! stream use, via [`atc_bench::stream::seal`]):
+//!
+//! ```text
+//! {"schema":"atc-serve-v1","seq":0,"op":"submit","tenant":"a","key":"base/mcf/…","ck":"…"}
+//! {"schema":"atc-serve-v1","seq":0,"op":"submit","key":"base/mcf/…","accepted":true,…,"ck":"…"}
+//! ```
+//!
+//! `seq` numbers each direction of a connection independently, starting
+//! at 0 and strictly increasing; a reply carries the seq of the request
+//! it answers. The `subscribe` op is the one exception to
+//! request/reply pairing: after the `subscribing` reply the server
+//! interleaves raw `atc-telemetry-stream-v1` lines (header, epochs,
+//! final — themselves sealed) until a closing `subscribe_done` reply.
+//!
+//! The protocol is deliberately minimal: six request ops
+//! (`submit`/`status`/`cancel`/`results`/`subscribe`/`shutdown`), fixed
+//! fields, no negotiation. Unknown ops and damaged lines decode to
+//! errors the caller surfaces; nothing panics on hostile input.
+
+use atc_bench::json::Value;
+use atc_bench::stream::{seal, unseal, SERVE_SCHEMA};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit one catalog job for `tenant`. Idempotent per key: a
+    /// resubmission of a queued/running/finished key attaches the
+    /// tenant to the existing job instead of executing it again.
+    Submit {
+        /// Submitting tenant.
+        tenant: String,
+        /// Catalog job key (the suite's deterministic FNV-hashed key).
+        key: String,
+    },
+    /// Queue/running/terminal counts plus cache and execution tallies.
+    Status,
+    /// Cancel a queued job for `tenant` (running/terminal jobs are not
+    /// cancelled).
+    Cancel {
+        /// Requesting tenant.
+        tenant: String,
+        /// Job key to cancel.
+        key: String,
+    },
+    /// Fetch terminal records for `keys`; with `wait` the server blocks
+    /// until every submitted key is terminal (or it shuts down).
+    Results {
+        /// Requesting tenant.
+        tenant: String,
+        /// Job keys, in the order records should be returned.
+        keys: Vec<String>,
+        /// Block until all requested keys are terminal.
+        wait: bool,
+    },
+    /// Stream telemetry epochs until every key in `keys` is terminal.
+    Subscribe {
+        /// Requesting tenant.
+        tenant: String,
+        /// Job keys whose completion ends the stream.
+        keys: Vec<String>,
+    },
+    /// Drain the queue, flush every store, and exit.
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Outcome of a `submit`.
+    Submit {
+        /// Echoed job key.
+        key: String,
+        /// Whether the job was admitted (or already present).
+        accepted: bool,
+        /// Job state after the submit: `queued`, `running`, `ok`,
+        /// `failed`, `panicked`, `cancelled`, or `rejected`.
+        state: String,
+        /// Rejection reason (empty when accepted).
+        reason: String,
+        /// Backpressure hint: retry after this many milliseconds
+        /// (0 when accepted or when a retry cannot succeed).
+        retry_after_ms: u64,
+    },
+    /// Named tallies: queue depths, executions, cache statistics.
+    Status {
+        /// `(name, value)` pairs in server-chosen order.
+        counts: Vec<(String, u64)>,
+    },
+    /// Outcome of a `cancel`.
+    Cancel {
+        /// Echoed job key.
+        key: String,
+        /// Whether a queued job was cancelled.
+        cancelled: bool,
+        /// Job state after the cancel (`unknown` if never submitted).
+        state: String,
+    },
+    /// Terminal records for a `results` request.
+    Results {
+        /// Verbatim sealed manifest record lines, in request key order.
+        records: Vec<String>,
+        /// Requested keys with no terminal record (never submitted, or
+        /// still pending on a non-waiting request).
+        missing: Vec<String>,
+    },
+    /// Subscription accepted; telemetry lines follow.
+    Subscribing,
+    /// Subscription closed after `epochs` telemetry epochs.
+    SubscribeDone {
+        /// Epoch lines streamed.
+        epochs: u64,
+    },
+    /// Shutdown acknowledged.
+    Shutdown {
+        /// True when jobs were still queued/running and will drain.
+        draining: bool,
+    },
+    /// The request could not be served (decode failure, unknown op…).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn s(name: &str, value: &str) -> (String, Value) {
+    (name.to_string(), Value::String(value.to_string()))
+}
+
+fn n(name: &str, value: u64) -> (String, Value) {
+    (name.to_string(), Value::Number(value as f64))
+}
+
+fn b(name: &str, value: bool) -> (String, Value) {
+    (name.to_string(), Value::Bool(value))
+}
+
+fn strings(name: &str, values: &[String]) -> (String, Value) {
+    (
+        name.to_string(),
+        Value::Array(values.iter().map(|v| Value::String(v.clone())).collect()),
+    )
+}
+
+fn envelope(seq: u64, op: &str, mut fields: Vec<(String, Value)>) -> String {
+    let mut members = vec![
+        (
+            "schema".to_string(),
+            Value::String(SERVE_SCHEMA.to_string()),
+        ),
+        ("seq".to_string(), Value::Number(seq as f64)),
+        ("op".to_string(), Value::String(op.to_string())),
+    ];
+    members.append(&mut fields);
+    seal(&Value::Object(members))
+}
+
+/// Decode a sealed envelope, returning `(seq, op, doc)`.
+fn open_envelope(line: &str) -> Result<(u64, String, Value), String> {
+    let doc = unseal(line)?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(schema) if schema == SERVE_SCHEMA => {}
+        other => return Err(format!("schema {other:?}, want {SERVE_SCHEMA:?}")),
+    }
+    let seq = field_u64(&doc, "seq")?;
+    let op = field_str(&doc, "op")?;
+    Ok((seq, op, doc))
+}
+
+fn field_str(doc: &Value, name: &str) -> Result<String, String> {
+    doc.get(name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or(format!("missing {name:?} string"))
+}
+
+fn field_u64(doc: &Value, name: &str) -> Result<u64, String> {
+    let x = doc
+        .get(name)
+        .and_then(Value::as_f64)
+        .ok_or(format!("missing {name:?} number"))?;
+    if x < 0.0 || x.fract() != 0.0 || x > 2f64.powi(53) {
+        return Err(format!("{name} = {x} is not a non-negative integer"));
+    }
+    Ok(x as u64)
+}
+
+fn field_bool(doc: &Value, name: &str) -> Result<bool, String> {
+    match doc.get(name) {
+        Some(Value::Bool(v)) => Ok(*v),
+        _ => Err(format!("missing {name:?} bool")),
+    }
+}
+
+fn field_strings(doc: &Value, name: &str) -> Result<Vec<String>, String> {
+    let Some(Value::Array(items)) = doc.get(name) else {
+        return Err(format!("missing {name:?} array"));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or(format!("{name}: non-string element"))
+        })
+        .collect()
+}
+
+/// Render a request as one sealed wire line (no trailing newline).
+pub fn encode_request(seq: u64, req: &Request) -> String {
+    match req {
+        Request::Submit { tenant, key } => {
+            envelope(seq, "submit", vec![s("tenant", tenant), s("key", key)])
+        }
+        Request::Status => envelope(seq, "status", vec![]),
+        Request::Cancel { tenant, key } => {
+            envelope(seq, "cancel", vec![s("tenant", tenant), s("key", key)])
+        }
+        Request::Results { tenant, keys, wait } => envelope(
+            seq,
+            "results",
+            vec![s("tenant", tenant), strings("keys", keys), b("wait", *wait)],
+        ),
+        Request::Subscribe { tenant, keys } => envelope(
+            seq,
+            "subscribe",
+            vec![s("tenant", tenant), strings("keys", keys)],
+        ),
+        Request::Shutdown => envelope(seq, "shutdown", vec![]),
+    }
+}
+
+/// Parse one sealed request line into `(seq, request)`.
+///
+/// # Errors
+///
+/// A message naming the defect: checksum/schema damage, a missing
+/// field, or an unknown op.
+pub fn decode_request(line: &str) -> Result<(u64, Request), String> {
+    let (seq, op, doc) = open_envelope(line)?;
+    let req = match op.as_str() {
+        "submit" => Request::Submit {
+            tenant: field_str(&doc, "tenant")?,
+            key: field_str(&doc, "key")?,
+        },
+        "status" => Request::Status,
+        "cancel" => Request::Cancel {
+            tenant: field_str(&doc, "tenant")?,
+            key: field_str(&doc, "key")?,
+        },
+        "results" => Request::Results {
+            tenant: field_str(&doc, "tenant")?,
+            keys: field_strings(&doc, "keys")?,
+            wait: field_bool(&doc, "wait")?,
+        },
+        "subscribe" => Request::Subscribe {
+            tenant: field_str(&doc, "tenant")?,
+            keys: field_strings(&doc, "keys")?,
+        },
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown request op {other:?}")),
+    };
+    Ok((seq, req))
+}
+
+/// Render a reply as one sealed wire line (no trailing newline).
+pub fn encode_reply(seq: u64, reply: &Reply) -> String {
+    match reply {
+        Reply::Submit {
+            key,
+            accepted,
+            state,
+            reason,
+            retry_after_ms,
+        } => envelope(
+            seq,
+            "submit",
+            vec![
+                s("key", key),
+                b("accepted", *accepted),
+                s("state", state),
+                s("reason", reason),
+                n("retry_after_ms", *retry_after_ms),
+            ],
+        ),
+        Reply::Status { counts } => envelope(
+            seq,
+            "status",
+            vec![(
+                "counts".to_string(),
+                Value::Object(
+                    counts
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+                        .collect(),
+                ),
+            )],
+        ),
+        Reply::Cancel {
+            key,
+            cancelled,
+            state,
+        } => envelope(
+            seq,
+            "cancel",
+            vec![s("key", key), b("cancelled", *cancelled), s("state", state)],
+        ),
+        Reply::Results { records, missing } => envelope(
+            seq,
+            "results",
+            vec![strings("records", records), strings("missing", missing)],
+        ),
+        Reply::Subscribing => envelope(seq, "subscribing", vec![]),
+        Reply::SubscribeDone { epochs } => {
+            envelope(seq, "subscribe_done", vec![n("epochs", *epochs)])
+        }
+        Reply::Shutdown { draining } => envelope(seq, "shutdown", vec![b("draining", *draining)]),
+        Reply::Error { message } => envelope(seq, "error", vec![s("message", message)]),
+    }
+}
+
+/// Parse one sealed reply line into `(seq, reply)`.
+///
+/// # Errors
+///
+/// A message naming the defect: checksum/schema damage, a missing
+/// field, or an unknown op.
+pub fn decode_reply(line: &str) -> Result<(u64, Reply), String> {
+    let (seq, op, doc) = open_envelope(line)?;
+    let reply = match op.as_str() {
+        "submit" => Reply::Submit {
+            key: field_str(&doc, "key")?,
+            accepted: field_bool(&doc, "accepted")?,
+            state: field_str(&doc, "state")?,
+            reason: field_str(&doc, "reason")?,
+            retry_after_ms: field_u64(&doc, "retry_after_ms")?,
+        },
+        "status" => {
+            let Some(Value::Object(members)) = doc.get("counts") else {
+                return Err("missing \"counts\" object".to_string());
+            };
+            let counts = members
+                .iter()
+                .map(|(name, v)| {
+                    field_u64(&Value::Object(vec![(name.clone(), v.clone())]), name)
+                        .map(|x| (name.clone(), x))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Reply::Status { counts }
+        }
+        "cancel" => Reply::Cancel {
+            key: field_str(&doc, "key")?,
+            cancelled: field_bool(&doc, "cancelled")?,
+            state: field_str(&doc, "state")?,
+        },
+        "results" => Reply::Results {
+            records: field_strings(&doc, "records")?,
+            missing: field_strings(&doc, "missing")?,
+        },
+        "subscribing" => Reply::Subscribing,
+        "subscribe_done" => Reply::SubscribeDone {
+            epochs: field_u64(&doc, "epochs")?,
+        },
+        "shutdown" => Reply::Shutdown {
+            draining: field_bool(&doc, "draining")?,
+        },
+        "error" => Reply::Error {
+            message: field_str(&doc, "message")?,
+        },
+        other => return Err(format!("unknown reply op {other:?}")),
+    };
+    Ok((seq, reply))
+}
+
+/// Whether a wire line is an `atc-serve-v1` protocol message (as
+/// opposed to an interleaved telemetry line inside a subscription).
+pub fn is_protocol_line(line: &str) -> bool {
+    // Cheap structural test: every envelope starts with the schema
+    // member; telemetry lines never carry this schema.
+    line.starts_with("{\"schema\":\"atc-serve-v1\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Submit {
+                tenant: "a".into(),
+                key: "base/mcf/s42/test/w1000/m10000".into(),
+            },
+            Request::Status,
+            Request::Cancel {
+                tenant: "b".into(),
+                key: "k".into(),
+            },
+            Request::Results {
+                tenant: "a".into(),
+                keys: vec!["k1".into(), "k2".into()],
+                wait: true,
+            },
+            Request::Subscribe {
+                tenant: "a".into(),
+                keys: vec![],
+            },
+            Request::Shutdown,
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let line = encode_request(i as u64, &req);
+            assert!(is_protocol_line(&line));
+            let (seq, back) = decode_request(&line).expect("decodes");
+            assert_eq!(seq, i as u64);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_including_nested_sealed_records() {
+        // A manifest record line contains quotes and a checksum of its
+        // own; it must survive being wrapped in a JSON string.
+        let record = "{\"v\":2,\"key\":\"a/b\",\"status\":\"ok\",\"ck\":\"0123456789abcdef\"}";
+        let cases = vec![
+            Reply::Submit {
+                key: "k".into(),
+                accepted: false,
+                state: "rejected".into(),
+                reason: "queue full".into(),
+                retry_after_ms: 250,
+            },
+            Reply::Status {
+                counts: vec![("queued".into(), 3), ("cache.streams".into(), 7)],
+            },
+            Reply::Cancel {
+                key: "k".into(),
+                cancelled: true,
+                state: "cancelled".into(),
+            },
+            Reply::Results {
+                records: vec![record.to_string()],
+                missing: vec!["gone".into()],
+            },
+            Reply::Subscribing,
+            Reply::SubscribeDone { epochs: 12 },
+            Reply::Shutdown { draining: true },
+            Reply::Error {
+                message: "unknown op".into(),
+            },
+        ];
+        for (i, reply) in cases.into_iter().enumerate() {
+            let line = encode_reply(i as u64, &reply);
+            let (seq, back) = decode_reply(&line).expect("decodes");
+            assert_eq!(seq, i as u64);
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn tampered_lines_are_rejected() {
+        let line = encode_request(
+            0,
+            &Request::Submit {
+                tenant: "a".into(),
+                key: "k".into(),
+            },
+        );
+        let flipped = line.replace("\"tenant\":\"a\"", "\"tenant\":\"b\"");
+        assert!(decode_request(&flipped).unwrap_err().contains("checksum"));
+        assert!(decode_request("not json").is_err());
+        // Requests do not decode as replies and vice versa.
+        let status_req = encode_request(1, &Request::Status);
+        assert!(
+            decode_reply(&status_req).is_err(),
+            "status reply needs counts"
+        );
+    }
+
+    #[test]
+    fn telemetry_lines_are_not_protocol_lines() {
+        assert!(!is_protocol_line(&atc_bench::stream::header_line(1000)));
+        assert!(!is_protocol_line(&atc_bench::stream::epoch_line(0, 5, &[])));
+    }
+}

@@ -1,0 +1,1135 @@
+//! The resident sweep server: durable multi-tenant job store, admission
+//! control, and a TCP accept loop speaking the `atc-serve-v1` protocol.
+//!
+//! # Architecture
+//!
+//! One **accept thread** takes connections off a non-blocking
+//! [`TcpListener`] and spawns one handler thread per client. One
+//! **executor thread** drains the admitted-job queue in batches onto the
+//! existing work-stealing [`Scheduler`] (with the PR 6 fault, deadline
+//! and retry machinery attached). Handlers and executor share one
+//! [`Mutex`]-guarded [`State`]: the job table, the FIFO queue, and the
+//! per-tenant [`Manifest`] stores.
+//!
+//! # Durability
+//!
+//! Every admission appends a `queued` record to the submitting tenant's
+//! manifest (`<store_dir>/<tenant>.jsonl`, flushed per record); every
+//! terminal outcome appends the terminal record to *every* subscribed
+//! tenant's manifest. A `kill -9` at any instant therefore loses
+//! nothing admitted: [`Server::bind`] replays the stores, re-enqueues
+//! keys whose latest record is still `queued` (in catalog order, so a
+//! restarted sweep executes deterministically), reconciles tenants whose
+//! store missed a terminal record another tenant's store has, and
+//! resumes. Manifest recovery diagnostics land on the [`EventLog`] as
+//! `recover` events rather than stderr.
+//!
+//! # Admission control
+//!
+//! A submit is rejected — with a `retry_after_ms` backpressure hint —
+//! when the global queue bound or the tenant's queue bound is reached,
+//! or when charging the job's instruction streams to the tenant would
+//! exceed its [`TraceCache`] residency quota
+//! ([`TraceCache::reserve`]). Resubmission of a known key is idempotent:
+//! the tenant is attached to the existing job and no second execution
+//! happens.
+//!
+//! There is no signal handling here (the workspace denies `unsafe`):
+//! graceful drain is the protocol's `shutdown` op, and abrupt death is
+//! just death — the store makes it safe.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use atc_bench::json::Value;
+use atc_bench::stream::{epoch_line, final_line, header_line, seal, unseal, SERVE_SCHEMA};
+use atc_harness::{
+    EventLog, FaultPlan, JobCtx, JobError, JobRun, Manifest, Metrics, Progress, Record, Scheduler,
+};
+use atc_obs::SnapshotStream;
+use atc_workloads::trace::{CacheStats, StreamKey, TraceCache};
+
+use crate::protocol::{decode_request, encode_reply, Reply, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Maximum jobs queued (admitted, not yet running) across tenants.
+    pub queue_bound: usize,
+    /// Maximum queued jobs any single tenant may have.
+    pub tenant_queue_bound: usize,
+    /// Backpressure hint attached to bound/quota rejections.
+    pub retry_after_ms: u64,
+    /// Transient-failure retries per job (scheduler).
+    pub retries: u32,
+    /// Per-attempt deadline (scheduler watchdog).
+    pub deadline: Option<Duration>,
+    /// Retry backoff base (scheduler).
+    pub backoff: Duration,
+    /// Seed for backoff jitter and fault rolls.
+    pub seed: u64,
+    /// Fault plan injected around attempts (robustness smokes).
+    pub fault_plan: Option<FaultPlan>,
+    /// Directory holding one `<tenant>.jsonl` store per tenant.
+    pub store_dir: PathBuf,
+    /// Append a sealed `atc-serve-v1` message log here.
+    pub log_path: Option<PathBuf>,
+    /// Telemetry cadence for `subscribe` streams.
+    pub cadence: Duration,
+    /// Hold admitted jobs unexecuted until [`Server::release`] — lets
+    /// tests fill the queue deterministically.
+    pub hold: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_bound: 1024,
+            tenant_queue_bound: 1024,
+            retry_after_ms: 50,
+            retries: 0,
+            deadline: None,
+            backoff: Duration::from_millis(10),
+            seed: 0,
+            fault_plan: None,
+            store_dir: PathBuf::from("serve-store"),
+            log_path: None,
+            cadence: Duration::from_millis(100),
+            hold: false,
+        }
+    }
+}
+
+/// Type of the job-execution callback: `(tenant, key, payload, ctx)`.
+pub type Runner<P> =
+    Arc<dyn Fn(&str, &str, &P, &JobCtx) -> Result<Metrics, JobError> + Send + Sync>;
+
+/// Type of the stream-enumeration callback (cache admission sizing).
+pub type StreamsOf<P> = Arc<dyn Fn(&P) -> Vec<StreamKey> + Send + Sync>;
+
+/// Type of the instruction-count callback (progress rate attribution).
+pub type InstructionsOf<P> = Arc<dyn Fn(&P) -> u64 + Send + Sync>;
+
+/// What the server serves: a fixed job catalog plus the callbacks that
+/// execute and size its jobs.
+#[derive(Clone)]
+pub struct ServerSpec<P> {
+    /// Every job the server will accept, `(key, payload)`. Keys are the
+    /// deterministic sweep keys; submits of unknown keys are rejected.
+    pub catalog: Vec<(String, P)>,
+    /// Executes one job on a scheduler worker. The first argument is
+    /// the owning tenant (for trace-cache attribution).
+    pub runner: Runner<P>,
+    /// The instruction streams a job consumes (for cache admission).
+    pub streams_of: StreamsOf<P>,
+    /// Measured instructions per job (drives the progress rate), if
+    /// meaningful.
+    pub instructions_of: Option<InstructionsOf<P>>,
+    /// The shared, tenant-multiplexed trace cache.
+    pub cache: Arc<TraceCache>,
+}
+
+impl<P> std::fmt::Debug for ServerSpec<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSpec")
+            .field("catalog", &self.catalog.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Terminal(Record),
+}
+
+impl JobState {
+    fn name(&self) -> &str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Terminal(r) => &r.status,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    state: JobState,
+    /// Tenants subscribed to this job's outcome (first = owner charged
+    /// for its cache residency).
+    tenants: Vec<String>,
+}
+
+/// Everything the mutex guards.
+struct State {
+    jobs: HashMap<String, JobEntry>,
+    queue: VecDeque<String>,
+    manifests: HashMap<String, Manifest>,
+    executions: u64,
+    draining: bool,
+}
+
+/// Sealed append-only log of every protocol message, with a globally
+/// monotone sequence number that survives restarts (the opener resumes
+/// from the highest seq already in the file).
+struct ServeLog {
+    file: Mutex<std::fs::File>,
+    seq: AtomicU64,
+}
+
+impl ServeLog {
+    fn open(path: &Path) -> io::Result<ServeLog> {
+        let mut next = 0u64;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                if let Ok(doc) = unseal(line) {
+                    if let Some(x) = doc.get("seq").and_then(Value::as_f64) {
+                        if x >= 0.0 && x.fract() == 0.0 {
+                            next = next.max(x as u64 + 1);
+                        }
+                    }
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(ServeLog {
+            file: Mutex::new(file),
+            seq: AtomicU64::new(next),
+        })
+    }
+
+    /// Append one envelope. The seq is allocated *inside* the file lock
+    /// so in-file order and seq order agree.
+    fn log(&self, conn: u64, dir: &str, line: &str) {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let env = seal(&Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String(SERVE_SCHEMA.to_string()),
+            ),
+            ("seq".to_string(), Value::Number(seq as f64)),
+            ("conn".to_string(), Value::Number(conn as f64)),
+            ("dir".to_string(), Value::String(dir.to_string())),
+            ("line".to_string(), Value::String(line.to_string())),
+        ]));
+        let _ = writeln!(file, "{env}");
+        let _ = file.flush();
+    }
+}
+
+struct Shared<P> {
+    cfg: ServeConfig,
+    spec: ServerSpec<P>,
+    catalog: HashMap<String, P>,
+    /// Catalog rank per key: recovered queues re-sort on this so a
+    /// restarted sweep executes in the same deterministic order.
+    rank: HashMap<String, usize>,
+    state: Mutex<State>,
+    /// Signals the executor that the queue gained work (or flags
+    /// changed).
+    work: Condvar,
+    /// Signals result waiters that a job reached a terminal state.
+    done: Condvar,
+    progress: Arc<Progress>,
+    events: Arc<EventLog>,
+    /// Drain the queue, then exit (graceful shutdown).
+    shutdown: AtomicBool,
+    /// Abort now, abandoning the queue on disk (Drop / crash
+    /// simulation).
+    kill: AtomicBool,
+    hold: AtomicBool,
+    log: Option<ServeLog>,
+}
+
+impl<P> Shared<P> {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || self.kill.load(Ordering::SeqCst)
+    }
+}
+
+/// What [`Server::wait`] reports after a drained shutdown.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Jobs executed by this server process (idempotent resubmissions
+    /// and recovered terminal records do not count).
+    pub executions: u64,
+    /// Final shared-cache statistics (cross-tenant hit tally included).
+    pub cache: CacheStats,
+}
+
+/// A running serve daemon. Bind with [`Server::bind`], then either
+/// [`wait`](Server::wait) for a protocol-driven shutdown (the daemon
+/// path) or drive it in-process from tests. Dropping the server without
+/// `wait` *kills* it — queued work stays durable in the store, exactly
+/// like a crash.
+pub struct Server<P: Clone + Send + Sync + 'static> {
+    shared: Arc<Shared<P>>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<P: Clone + Send + Sync + 'static> std::fmt::Debug for Server<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+/// A tenant name is a path-safe identifier: it becomes a store file
+/// name, so nothing but `[A-Za-z0-9_-]{1,64}` is allowed.
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+impl<P: Clone + Send + Sync + 'static> Server<P> {
+    /// Bind `addr` (port 0 picks an ephemeral port), recover the job
+    /// store, and start the accept and executor threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configure failures, store-directory creation, or
+    /// store recovery I/O errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        spec: ServerSpec<P>,
+    ) -> io::Result<Server<P>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        std::fs::create_dir_all(&cfg.store_dir)?;
+        let log = match &cfg.log_path {
+            Some(path) => Some(ServeLog::open(path)?),
+            None => None,
+        };
+        let events = Arc::new(EventLog::default());
+        let catalog: HashMap<String, P> = spec.catalog.iter().cloned().collect();
+        let rank: HashMap<String, usize> = spec
+            .catalog
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (k.clone(), i))
+            .collect();
+        let hold = cfg.hold;
+        let shared = Arc::new(Shared {
+            cfg,
+            spec,
+            catalog,
+            rank,
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                manifests: HashMap::new(),
+                executions: 0,
+                draining: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            progress: Arc::new(Progress::new()),
+            events,
+            shutdown: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            hold: AtomicBool::new(hold),
+            log,
+        });
+        recover(&shared)?;
+
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("atc-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))?
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("atc-serve-exec".into())
+                .spawn(move || executor_loop(&shared))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            executor: Some(executor),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves `--port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The lifecycle event log (scheduler + manifest + recovery events).
+    pub fn events(&self) -> Arc<EventLog> {
+        Arc::clone(&self.shared.events)
+    }
+
+    /// The live progress registry the executor feeds.
+    pub fn progress(&self) -> Arc<Progress> {
+        Arc::clone(&self.shared.progress)
+    }
+
+    /// Jobs executed so far by this process.
+    pub fn executions(&self) -> u64 {
+        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.executions
+    }
+
+    /// Release a [`ServeConfig::hold`]: start executing queued jobs.
+    pub fn release(&self) {
+        self.shared.hold.store(false, Ordering::SeqCst);
+        self.shared.work.notify_all();
+    }
+
+    /// Request a graceful local shutdown (same as the protocol op):
+    /// drain the queue, then let [`wait`](Self::wait) return.
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.draining = true;
+        drop(state);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+    }
+
+    /// Block until a shutdown is requested (protocol `shutdown` op or
+    /// [`shutdown`](Self::shutdown)), drain the queue, flush every
+    /// store, and return the run summary.
+    pub fn wait(mut self) -> ServeSummary {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+        // Executor drained; release the handler loops and join them.
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.done.notify_all();
+        let handles: Vec<_> = {
+            let mut handlers = self.handlers.lock().unwrap_or_else(|e| e.into_inner());
+            handlers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        for manifest in state.manifests.values_mut() {
+            let _ = manifest.flush();
+        }
+        ServeSummary {
+            executions: state.executions,
+            cache: self.shared.spec.cache.stats(),
+        }
+    }
+}
+
+impl<P: Clone + Send + Sync + 'static> Drop for Server<P> {
+    /// Dropping without [`wait`](Self::wait) is a *kill*, not a drain:
+    /// threads stop as soon as they notice, queued jobs stay only in
+    /// the durable store. Tests use this to simulate a crash.
+    fn drop(&mut self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut handlers = self.handlers.lock().unwrap_or_else(|e| e.into_inner());
+            handlers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        for manifest in state.manifests.values_mut() {
+            let _ = manifest.flush();
+        }
+    }
+}
+
+/// Load every `<tenant>.jsonl` store, rebuild the job table, re-enqueue
+/// still-queued keys in catalog order, and reconcile stores that missed
+/// a terminal record another tenant's store has.
+fn recover<P: Clone + Send + Sync + 'static>(shared: &Arc<Shared<P>>) -> io::Result<()> {
+    let mut stores: Vec<(String, Manifest)> = Vec::new();
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&shared.cfg.store_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    names.sort();
+    for path in names {
+        let Some(tenant) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+            continue;
+        };
+        if !valid_tenant(&tenant) {
+            continue;
+        }
+        let manifest = Manifest::open_with_events(&path, true, Some(Arc::clone(&shared.events)))?
+            .with_flush_every(1);
+        stores.push((tenant, manifest));
+    }
+    if stores.is_empty() {
+        return Ok(());
+    }
+
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    // Pass 1: fold every store into the job table. A terminal record
+    // anywhere beats `queued` records elsewhere (the terminal one is
+    // newer by construction — jobs only move forward).
+    for (tenant, manifest) in &stores {
+        for record in manifest.records() {
+            let entry = state
+                .jobs
+                .entry(record.key.clone())
+                .or_insert_with(|| JobEntry {
+                    state: JobState::Queued,
+                    tenants: Vec::new(),
+                });
+            if !entry.tenants.contains(tenant) {
+                entry.tenants.push(tenant.clone());
+            }
+            if !record.is_queued() {
+                entry.state = JobState::Terminal(record.clone());
+            }
+        }
+    }
+    // Unknown keys cannot execute on this catalog: close them out as
+    // cancelled so waiters don't hang forever.
+    let unknown: Vec<String> = state
+        .jobs
+        .iter()
+        .filter(|(k, e)| {
+            matches!(e.state, JobState::Queued) && !shared.catalog.contains_key(k.as_str())
+        })
+        .map(|(k, _)| k.clone())
+        .collect();
+    for key in unknown {
+        if let Some(e) = state.jobs.get_mut(&key) {
+            e.state = JobState::Terminal(Record::cancelled(&key));
+        }
+    }
+    // Pass 2: rebuild the queue (catalog order) and reconcile each
+    // tenant's store to the resolved state.
+    let mut queued: Vec<String> = state
+        .jobs
+        .iter()
+        .filter(|(_, e)| matches!(e.state, JobState::Queued))
+        .map(|(k, _)| k.clone())
+        .collect();
+    queued.sort_by_key(|k| shared.rank.get(k).copied().unwrap_or(usize::MAX));
+    let recovered = queued.len();
+    state.queue = queued.into();
+    for (tenant, manifest) in &mut stores {
+        let fixes: Vec<Record> = manifest
+            .records()
+            .iter()
+            .filter(|r| r.is_queued())
+            .filter_map(|r| match state.jobs.get(&r.key).map(|e| &e.state) {
+                Some(JobState::Terminal(t)) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        for record in fixes {
+            manifest.append(record)?;
+        }
+        let _ = manifest.flush();
+        state.manifests.insert(
+            tenant.clone(),
+            std::mem::replace(
+                manifest,
+                // Placeholder never used: we drain `stores` right here.
+                Manifest::open_with_events(
+                    shared.cfg.store_dir.join(format!("{tenant}.reconcile.tmp")),
+                    false,
+                    None,
+                )?,
+            ),
+        );
+        let _ = std::fs::remove_file(shared.cfg.store_dir.join(format!("{tenant}.reconcile.tmp")));
+    }
+    if recovered > 0 {
+        shared.work.notify_all();
+    }
+    Ok(())
+}
+
+/// The executor: waits for admitted work, drains the queue as one
+/// batch, and runs it on the scheduler with the completion hook
+/// streaming terminal records into every subscribed tenant's store.
+fn executor_loop<P: Clone + Send + Sync + 'static>(shared: &Arc<Shared<P>>) {
+    let mut scheduler = Scheduler::new(shared.cfg.workers)
+        .with_retries(shared.cfg.retries)
+        .with_backoff(shared.cfg.backoff, shared.cfg.seed)
+        .with_events(Arc::clone(&shared.events));
+    if let Some(deadline) = shared.cfg.deadline {
+        scheduler = scheduler.with_deadline(deadline);
+    }
+    if let Some(plan) = &shared.cfg.fault_plan {
+        scheduler = scheduler.with_faults(plan.clone());
+    }
+    loop {
+        let batch: Vec<(String, P)> = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+                let held =
+                    shared.hold.load(Ordering::SeqCst) && !shared.shutdown.load(Ordering::SeqCst);
+                if !state.queue.is_empty() && !held {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) && state.queue.is_empty() {
+                    return;
+                }
+                state = shared
+                    .work
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+            let keys: Vec<String> = state.queue.drain(..).collect();
+            for key in &keys {
+                if let Some(e) = state.jobs.get_mut(key) {
+                    e.state = JobState::Running;
+                }
+            }
+            keys.into_iter()
+                .filter_map(|k| shared.catalog.get(&k).map(|p| (k.clone(), p.clone())))
+                .collect()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let runner = |key: &str, payload: &P, ctx: &JobCtx| {
+            let owner = {
+                let state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                state
+                    .jobs
+                    .get(key)
+                    .and_then(|e| e.tenants.first().cloned())
+                    .unwrap_or_default()
+            };
+            let result = (shared.spec.runner)(&owner, key, payload, ctx);
+            if result.is_ok() {
+                if let Some(instructions) = &shared.spec.instructions_of {
+                    shared.progress.add_instructions(instructions(payload));
+                }
+            }
+            result
+        };
+        let on_complete = |run: &JobRun<Metrics>| {
+            let record = Record::from_run(run);
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.executions += 1;
+            let tenants = match state.jobs.get_mut(&record.key) {
+                Some(entry) => {
+                    entry.state = JobState::Terminal(record.clone());
+                    entry.tenants.clone()
+                }
+                None => Vec::new(),
+            };
+            for tenant in tenants {
+                if let Some(manifest) = state.manifests.get_mut(&tenant) {
+                    let _ = manifest.append(record.clone());
+                }
+            }
+            drop(state);
+            shared.done.notify_all();
+        };
+        scheduler.run_hooked(&batch, &shared.progress, runner, on_complete);
+    }
+}
+
+fn accept_loop<P: Clone + Send + Sync + 'static>(
+    listener: &TcpListener,
+    shared: &Arc<Shared<P>>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                next_conn += 1;
+                let conn = next_conn;
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("atc-serve-conn-{conn}"))
+                    .spawn(move || handle_connection(&shared, stream, conn));
+                if let Ok(handle) = handle {
+                    handlers
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    stream: TcpStream,
+    conn: u64,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // One persistent line buffer: a read timeout leaves partial bytes
+    // in it, and the next read_line continues appending — clearing it
+    // per iteration would tear messages on slow clients.
+    let mut buf = String::new();
+    let mut expect_seq = 0u64;
+    loop {
+        buf.clear();
+        loop {
+            match reader.read_line(&mut buf) {
+                Ok(0) => return, // client closed
+                Ok(_) if buf.ends_with('\n') => break,
+                Ok(_) => {} // mid-line EOF retry (shouldn't happen on TCP)
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.kill.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let line = buf.trim_end_matches(['\n', '\r']).to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let (seq, request) = match decode_request(&line) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let reply = Reply::Error {
+                    message: format!("bad request: {e}"),
+                };
+                if write_reply(shared, &mut writer, conn, expect_seq, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if let Some(log) = &shared.log {
+            log.log(conn, "rx", &line);
+        }
+        if seq != expect_seq {
+            let reply = Reply::Error {
+                message: format!("seq {seq}, expected {expect_seq}"),
+            };
+            if write_reply(shared, &mut writer, conn, seq, &reply).is_err() {
+                return;
+            }
+            continue;
+        }
+        expect_seq += 1;
+        let closing = matches!(request, Request::Shutdown);
+        match request {
+            Request::Subscribe { keys, .. } => {
+                if handle_subscribe(shared, &mut writer, conn, seq, &keys).is_err() {
+                    return;
+                }
+            }
+            other => {
+                let reply = handle_request(shared, other);
+                if write_reply(shared, &mut writer, conn, seq, &reply).is_err() {
+                    return;
+                }
+            }
+        }
+        if closing || shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn write_line<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    writer: &mut TcpStream,
+    conn: u64,
+    line: &str,
+) -> io::Result<()> {
+    if let Some(log) = &shared.log {
+        log.log(conn, "tx", line);
+    }
+    writeln!(writer, "{line}")
+}
+
+fn write_reply<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    writer: &mut TcpStream,
+    conn: u64,
+    seq: u64,
+    reply: &Reply,
+) -> io::Result<()> {
+    write_line(shared, writer, conn, &encode_reply(seq, reply))
+}
+
+/// Serve one non-subscribe request against the shared state.
+fn handle_request<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    request: Request,
+) -> Reply {
+    match request {
+        Request::Submit { tenant, key } => handle_submit(shared, &tenant, &key),
+        Request::Status => handle_status(shared),
+        Request::Cancel { tenant, key } => handle_cancel(shared, &tenant, &key),
+        Request::Results { keys, wait, .. } => handle_results(shared, &keys, wait),
+        Request::Shutdown => {
+            let draining = {
+                let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.draining = true;
+                !state.queue.is_empty()
+                    || state
+                        .jobs
+                        .values()
+                        .any(|e| matches!(e.state, JobState::Running))
+            };
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.work.notify_all();
+            shared.done.notify_all();
+            Reply::Shutdown { draining }
+        }
+        Request::Subscribe { .. } => Reply::Error {
+            message: "subscribe handled by the connection loop".to_string(),
+        },
+    }
+}
+
+fn rejected(key: &str, reason: &str, retry_after_ms: u64) -> Reply {
+    Reply::Submit {
+        key: key.to_string(),
+        accepted: false,
+        state: "rejected".to_string(),
+        reason: reason.to_string(),
+        retry_after_ms,
+    }
+}
+
+fn handle_submit<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    tenant: &str,
+    key: &str,
+) -> Reply {
+    if !valid_tenant(tenant) {
+        return rejected(key, "invalid tenant name", 0);
+    }
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    // Idempotent resubmission: attach the tenant, mirror the current
+    // record into its store, execute nothing new.
+    if let Some(entry) = state.jobs.get(key) {
+        let state_name = entry.state.name().to_string();
+        let mirror = match &entry.state {
+            JobState::Terminal(r) => r.clone(),
+            _ => Record::queued(key),
+        };
+        let already = entry.tenants.contains(&tenant.to_string());
+        if let Some(e) = state.jobs.get_mut(key) {
+            if !already {
+                e.tenants.push(tenant.to_string());
+            }
+        }
+        if !already {
+            // New subscriber: its store must learn about the job. A
+            // quota reservation keeps the accounting honest (free if
+            // the streams are already resident, which they are).
+            let _ = append_tenant_record(shared, &mut state, tenant, &mirror);
+        }
+        return Reply::Submit {
+            key: key.to_string(),
+            accepted: true,
+            state: state_name,
+            reason: String::new(),
+            retry_after_ms: 0,
+        };
+    }
+    if state.draining {
+        return rejected(key, "server shutting down", 0);
+    }
+    let Some(payload) = shared.catalog.get(key) else {
+        return rejected(key, "unknown key", 0);
+    };
+    if state.queue.len() >= shared.cfg.queue_bound {
+        return rejected(key, "queue full", shared.cfg.retry_after_ms);
+    }
+    let tenant_queued = state
+        .queue
+        .iter()
+        .filter(|k| {
+            state
+                .jobs
+                .get(*k)
+                .is_some_and(|e| e.tenants.iter().any(|t| t == tenant))
+        })
+        .count();
+    if tenant_queued >= shared.cfg.tenant_queue_bound {
+        return rejected(key, "tenant queue full", shared.cfg.retry_after_ms);
+    }
+    let streams = (shared.spec.streams_of)(payload);
+    if let Err(reject) = shared.spec.cache.reserve(tenant, &streams) {
+        return rejected(key, &reject.to_string(), shared.cfg.retry_after_ms);
+    }
+    if append_tenant_record(shared, &mut state, tenant, &Record::queued(key)).is_err() {
+        return rejected(key, "store append failed", shared.cfg.retry_after_ms);
+    }
+    state.jobs.insert(
+        key.to_string(),
+        JobEntry {
+            state: JobState::Queued,
+            tenants: vec![tenant.to_string()],
+        },
+    );
+    state.queue.push_back(key.to_string());
+    drop(state);
+    shared.work.notify_all();
+    Reply::Submit {
+        key: key.to_string(),
+        accepted: true,
+        state: "queued".to_string(),
+        reason: String::new(),
+        retry_after_ms: 0,
+    }
+}
+
+/// Append `record` to `tenant`'s store, opening (and registering) the
+/// store on first use.
+fn append_tenant_record<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    state: &mut State,
+    tenant: &str,
+    record: &Record,
+) -> io::Result<()> {
+    if !state.manifests.contains_key(tenant) {
+        let path = shared.cfg.store_dir.join(format!("{tenant}.jsonl"));
+        let manifest = Manifest::open_with_events(path, true, Some(Arc::clone(&shared.events)))?
+            .with_flush_every(1);
+        state.manifests.insert(tenant.to_string(), manifest);
+    }
+    state
+        .manifests
+        .get_mut(tenant)
+        .expect("just inserted")
+        .append(record.clone())
+}
+
+fn handle_status<P: Clone + Send + Sync + 'static>(shared: &Arc<Shared<P>>) -> Reply {
+    let state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let mut queued = 0u64;
+    let mut running = 0u64;
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut cancelled = 0u64;
+    for entry in state.jobs.values() {
+        match &entry.state {
+            JobState::Queued => queued += 1,
+            JobState::Running => running += 1,
+            JobState::Terminal(r) if r.is_ok() => ok += 1,
+            JobState::Terminal(r) if r.status == "cancelled" => cancelled += 1,
+            JobState::Terminal(_) => failed += 1,
+        }
+    }
+    let cache = shared.spec.cache.stats();
+    Reply::Status {
+        counts: vec![
+            ("queued".to_string(), queued),
+            ("running".to_string(), running),
+            ("done".to_string(), ok),
+            ("failed".to_string(), failed),
+            ("cancelled".to_string(), cancelled),
+            ("executions".to_string(), state.executions),
+            ("tenants".to_string(), state.manifests.len() as u64),
+            ("cache.streams".to_string(), cache.streams as u64),
+            (
+                "cache.footprint_bytes".to_string(),
+                cache.footprint_bytes as u64,
+            ),
+            ("cache.hits".to_string(), cache.hits),
+            ("cache.misses".to_string(), cache.misses),
+            (
+                "cache.cross_tenant_hits".to_string(),
+                cache.cross_owner_hits,
+            ),
+            ("cache.evictions".to_string(), cache.evictions),
+        ],
+    }
+}
+
+fn handle_cancel<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    _tenant: &str,
+    key: &str,
+) -> Reply {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(entry) = state.jobs.get(key) else {
+        return Reply::Cancel {
+            key: key.to_string(),
+            cancelled: false,
+            state: "unknown".to_string(),
+        };
+    };
+    if !matches!(entry.state, JobState::Queued) {
+        return Reply::Cancel {
+            key: key.to_string(),
+            cancelled: false,
+            state: entry.state.name().to_string(),
+        };
+    }
+    let record = Record::cancelled(key);
+    let tenants = entry.tenants.clone();
+    if let Some(e) = state.jobs.get_mut(key) {
+        e.state = JobState::Terminal(record.clone());
+    }
+    state.queue.retain(|k| k != key);
+    for tenant in tenants {
+        let _ = append_tenant_record(shared, &mut state, &tenant, &record);
+    }
+    drop(state);
+    shared.done.notify_all();
+    Reply::Cancel {
+        key: key.to_string(),
+        cancelled: true,
+        state: "cancelled".to_string(),
+    }
+}
+
+fn handle_results<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    keys: &[String],
+    wait: bool,
+) -> Reply {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let mut records = Vec::new();
+        let mut missing = Vec::new();
+        let mut pending = false;
+        for key in keys {
+            match state.jobs.get(key).map(|e| &e.state) {
+                Some(JobState::Terminal(r)) => records.push(r.to_json_line()),
+                Some(_) => {
+                    pending = true;
+                    missing.push(key.clone());
+                }
+                None => missing.push(key.clone()),
+            }
+        }
+        if !wait || !pending || shared.kill.load(Ordering::SeqCst) {
+            return Reply::Results { records, missing };
+        }
+        state = shared
+            .done
+            .wait_timeout(state, Duration::from_millis(100))
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+    }
+}
+
+/// Stream telemetry epochs (delta snapshots of the server's progress
+/// registry) until every requested key is terminal or unknown, closing
+/// with the exact Sampler sequence: one final real epoch and the
+/// cumulative final line from the *same* snapshot, so delta sums
+/// reconcile.
+fn handle_subscribe<P: Clone + Send + Sync + 'static>(
+    shared: &Arc<Shared<P>>,
+    writer: &mut TcpStream,
+    conn: u64,
+    seq: u64,
+    keys: &[String],
+) -> io::Result<()> {
+    write_reply(shared, writer, conn, seq, &Reply::Subscribing)?;
+    let cadence = shared.cfg.cadence.max(Duration::from_millis(1));
+    let cadence_us = u64::try_from(cadence.as_micros()).unwrap_or(u64::MAX);
+    write_line(shared, writer, conn, &header_line(cadence_us))?;
+    let mut stream = SnapshotStream::new();
+    let started = std::time::Instant::now();
+    let t_us = |s: &std::time::Instant| u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX);
+    loop {
+        let all_settled = {
+            let state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            keys.iter().all(|k| {
+                state
+                    .jobs
+                    .get(k)
+                    .is_none_or(|e| matches!(e.state, JobState::Terminal(_)))
+            })
+        };
+        if all_settled || shared.stopping() {
+            break;
+        }
+        std::thread::sleep(cadence.min(Duration::from_millis(20)));
+        let snap = shared.progress.snapshot();
+        let delta = stream.next_delta(&snap);
+        write_line(
+            shared,
+            writer,
+            conn,
+            &epoch_line(delta.epoch, t_us(&started), &delta.counters),
+        )?;
+    }
+    let snap = shared.progress.snapshot();
+    let delta = stream.next_delta(&snap);
+    write_line(
+        shared,
+        writer,
+        conn,
+        &epoch_line(delta.epoch, t_us(&started), &delta.counters),
+    )?;
+    let counters: Vec<(&str, u64)> = snap.counters().iter().map(|&(n, v)| (n, v)).collect();
+    write_line(
+        shared,
+        writer,
+        conn,
+        &final_line(stream.epochs(), t_us(&started), &counters),
+    )?;
+    write_reply(
+        shared,
+        writer,
+        conn,
+        seq,
+        &Reply::SubscribeDone {
+            epochs: stream.epochs(),
+        },
+    )
+}

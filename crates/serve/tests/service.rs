@@ -1,0 +1,418 @@
+//! End-to-end service tests over real TCP connections: idempotent
+//! cross-client submission, deterministic admission control, crash
+//! recovery from the durable store, tenant quotas with cross-tenant
+//! cache sharing, live subscribe streams, and serve-log validation.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use atc_bench::stream::{check_serve_log, check_stream};
+use atc_harness::{JobError, Metrics, Record};
+use atc_serve::{Client, Reply, Request, ServeConfig, Server, ServerSpec};
+use atc_workloads::trace::{StreamKey, TraceCache};
+use atc_workloads::{BenchmarkId, Scale};
+
+struct TempDir(PathBuf);
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(name: &str) -> TempDir {
+    let p = std::env::temp_dir().join(format!("atc-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    TempDir(p)
+}
+
+/// Synthetic job: deterministic metrics, optional wall-clock stall,
+/// and a declared stream footprint for admission accounting.
+#[derive(Debug, Clone)]
+struct Job {
+    value: f64,
+    delay: Duration,
+    streams: Vec<StreamKey>,
+}
+
+fn key_for(bench: BenchmarkId, len: u64) -> StreamKey {
+    StreamKey {
+        bench,
+        scale: Scale::Test,
+        seed: 42,
+        len,
+    }
+}
+
+/// A spec whose runner touches the shared cache exactly like the sweep
+/// path does: every declared stream is captured/reused under the
+/// submitting tenant's identity.
+fn spec(catalog: Vec<(String, Job)>, cache: Arc<TraceCache>) -> ServerSpec<Job> {
+    let runner_cache = Arc::clone(&cache);
+    ServerSpec {
+        catalog,
+        runner: Arc::new(move |tenant, _key, job: &Job, _ctx| {
+            for key in &job.streams {
+                let _ = runner_cache.get_owned(tenant, *key);
+            }
+            if !job.delay.is_zero() {
+                std::thread::sleep(job.delay);
+            }
+            let mut m = Metrics::new();
+            m.push("value", job.value);
+            m.push("value_sq", job.value * job.value);
+            Ok::<Metrics, JobError>(m)
+        }),
+        streams_of: Arc::new(|job: &Job| job.streams.clone()),
+        instructions_of: Some(Arc::new(|job: &Job| {
+            job.streams.iter().map(|s| s.len).sum()
+        })),
+        cache,
+    }
+}
+
+fn plain_catalog(n: usize) -> Vec<(String, Job)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("job/{i}"),
+                Job {
+                    value: 10.0 + i as f64,
+                    delay: Duration::ZERO,
+                    streams: Vec::new(),
+                },
+            )
+        })
+        .collect()
+}
+
+fn cfg(store: &TempDir) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        store_dir: store.0.join("store"),
+        cadence: Duration::from_millis(5),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn overlapping_clients_get_one_execution_per_key_and_identical_bytes() {
+    let dir = temp_dir("overlap");
+    let catalog = plain_catalog(4);
+    let keys: Vec<String> = catalog.iter().map(|(k, _)| k.clone()).collect();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cfg(&dir),
+        spec(catalog, TraceCache::new().into()),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Each client submits the full catalog, rotated so
+                // submissions race in different orders.
+                for j in 0..keys.len() {
+                    let key = &keys[(i + j) % keys.len()];
+                    let reply = client
+                        .submit_with_retry("tenant-a", key, 50)
+                        .expect("submit");
+                    match reply {
+                        Reply::Submit { accepted: true, .. } => {}
+                        other => panic!("client {i}: submit rejected: {other:?}"),
+                    }
+                }
+                let (records, missing) = client.results("tenant-a", &keys, true).expect("results");
+                assert!(missing.is_empty(), "client {i}: missing {missing:?}");
+                records
+            })
+        })
+        .collect();
+    let all: Vec<Vec<String>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // Exactly one execution per FNV job key, no matter how many
+    // clients raced...
+    assert_eq!(server.executions(), 4, "idempotent dedup failed");
+    // ...and every client saw byte-identical result lines.
+    for other in &all[1..] {
+        assert_eq!(&all[0], other, "clients disagree on result bytes");
+    }
+    for (i, line) in all[0].iter().enumerate() {
+        let record = Record::from_json_line(line).expect("sealed record line");
+        assert!(record.is_ok(), "job {i} not ok: {record:?}");
+        assert_eq!(record.metrics.get("value"), Some(10.0 + i as f64));
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    let summary = server.wait();
+    assert_eq!(summary.executions, 4);
+}
+
+#[test]
+fn admission_control_rejects_deterministically_and_accepted_jobs_complete() {
+    let dir = temp_dir("admission");
+    let mut config = cfg(&dir);
+    config.queue_bound = 3;
+    config.retry_after_ms = 7;
+    config.hold = true; // keep jobs queued so the bound is exact
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config,
+        spec(plain_catalog(5), TraceCache::new().into()),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for i in 0..5 {
+        let reply = client
+            .call(&Request::Submit {
+                tenant: "t0".to_string(),
+                key: format!("job/{i}"),
+            })
+            .expect("submit");
+        let Reply::Submit {
+            accepted,
+            reason,
+            retry_after_ms,
+            ..
+        } = reply
+        else {
+            panic!("not a submit reply");
+        };
+        if i < 3 {
+            assert!(accepted, "job/{i} should be admitted");
+        } else {
+            assert!(!accepted, "job/{i} must hit the queue bound");
+            assert_eq!(reason, "queue full");
+            assert_eq!(retry_after_ms, 7, "backpressure hint must echo config");
+        }
+    }
+    // Unknown keys are hard rejections: no retry hint.
+    let reply = client
+        .call(&Request::Submit {
+            tenant: "t0".to_string(),
+            key: "job/nope".to_string(),
+        })
+        .expect("submit");
+    assert!(
+        matches!(
+            reply,
+            Reply::Submit {
+                accepted: false,
+                retry_after_ms: 0,
+                ..
+            }
+        ),
+        "unknown key must reject without backpressure: {reply:?}"
+    );
+
+    server.release();
+    let admitted: Vec<String> = (0..3).map(|i| format!("job/{i}")).collect();
+    let (records, missing) = client.results("t0", &admitted, true).expect("results");
+    assert!(missing.is_empty());
+    assert_eq!(records.len(), 3);
+    for line in &records {
+        assert!(Record::from_json_line(line).unwrap().is_ok());
+    }
+    // With the queue drained the previously bounced key is admitted.
+    let reply = client.submit_with_retry("t0", "job/3", 50).expect("submit");
+    assert!(matches!(reply, Reply::Submit { accepted: true, .. }));
+    let (records, _) = client
+        .results("t0", &["job/3".to_string()], true)
+        .expect("results");
+    assert!(Record::from_json_line(&records[0]).unwrap().is_ok());
+}
+
+#[test]
+fn killed_server_recovers_queue_from_store_and_resumes() {
+    let dir = temp_dir("recover");
+    let keys: Vec<String> = (0..3).map(|i| format!("job/{i}")).collect();
+    {
+        let mut config = cfg(&dir);
+        config.hold = true; // admitted but never executed
+        let server = Server::bind(
+            "127.0.0.1:0",
+            config,
+            spec(plain_catalog(3), TraceCache::new().into()),
+        )
+        .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for key in &keys {
+            let reply = client.submit_with_retry("t0", key, 10).expect("submit");
+            assert!(matches!(reply, Reply::Submit { accepted: true, .. }));
+        }
+        assert_eq!(server.executions(), 0, "hold must prevent execution");
+        drop(server); // kill -9 equivalent: queue survives only on disk
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cfg(&dir),
+        spec(plain_catalog(3), TraceCache::new().into()),
+    )
+    .expect("rebind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (records, missing) = client.results("t0", &keys, true).expect("results");
+    assert!(missing.is_empty(), "recovery lost keys: {missing:?}");
+    assert_eq!(server.executions(), 3, "recovered jobs must re-execute");
+    for (i, line) in records.iter().enumerate() {
+        let record = Record::from_json_line(line).expect("record");
+        assert!(record.is_ok());
+        assert_eq!(record.metrics.get("value"), Some(10.0 + i as f64));
+    }
+    // A second restart finds only terminal records: nothing re-runs.
+    drop(server);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cfg(&dir),
+        spec(plain_catalog(3), TraceCache::new().into()),
+    )
+    .expect("rebind again");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (records2, missing) = client.results("t0", &keys, true).expect("results");
+    assert!(missing.is_empty());
+    assert_eq!(server.executions(), 0, "terminal jobs must not re-run");
+    assert_eq!(records, records2, "recovered records must be byte-stable");
+}
+
+#[test]
+fn tenant_quota_rejects_and_shared_streams_hit_across_tenants() {
+    let dir = temp_dir("quota");
+    let s1 = key_for(BenchmarkId::Mcf, 2000);
+    let s2 = key_for(BenchmarkId::Xalancbmk, 2000);
+    let per_stream = TraceCache::stream_bytes(s1);
+    let cache: Arc<TraceCache> =
+        Arc::new(TraceCache::new().with_owner_quota(per_stream + per_stream / 2));
+    let catalog = vec![
+        (
+            "job/a".to_string(),
+            Job {
+                value: 1.0,
+                delay: Duration::ZERO,
+                streams: vec![s1],
+            },
+        ),
+        (
+            "job/b".to_string(),
+            Job {
+                value: 2.0,
+                delay: Duration::ZERO,
+                streams: vec![s2],
+            },
+        ),
+        (
+            "job/c".to_string(),
+            Job {
+                value: 3.0,
+                delay: Duration::ZERO,
+                streams: vec![s1], // same stream as job/a
+            },
+        ),
+    ];
+    let mut config = cfg(&dir);
+    config.workers = 1; // serialize so the cross-tenant hit is deterministic
+    let server = Server::bind("127.0.0.1:0", config, spec(catalog, cache)).expect("bind");
+    let mut alice = Client::connect(server.local_addr()).expect("connect");
+    let mut bob = Client::connect(server.local_addr()).expect("connect");
+
+    let reply = alice.call(&Request::Submit {
+        tenant: "alice".to_string(),
+        key: "job/a".to_string(),
+    });
+    assert!(matches!(reply, Ok(Reply::Submit { accepted: true, .. })));
+    // Second distinct stream blows alice's residency quota.
+    let reply = alice
+        .call(&Request::Submit {
+            tenant: "alice".to_string(),
+            key: "job/b".to_string(),
+        })
+        .expect("submit");
+    let Reply::Submit {
+        accepted, reason, ..
+    } = reply
+    else {
+        panic!("not a submit reply")
+    };
+    assert!(!accepted, "quota must reject job/b");
+    assert!(reason.contains("quota"), "reason was {reason:?}");
+    // Bob has his own quota; his job reuses alice's stream.
+    let reply = bob.submit_with_retry("bob", "job/c", 10).expect("submit");
+    assert!(matches!(reply, Reply::Submit { accepted: true, .. }));
+
+    let (_, missing) = alice
+        .results("alice", &["job/a".to_string()], true)
+        .expect("results");
+    assert!(missing.is_empty());
+    let (_, missing) = bob
+        .results("bob", &["job/c".to_string()], true)
+        .expect("results");
+    assert!(missing.is_empty());
+
+    let counts = alice.status().expect("status");
+    let get = |name: &str| {
+        counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing status counter {name}"))
+    };
+    assert_eq!(get("executions"), 2);
+    assert_eq!(get("cache.streams"), 1, "one shared stream resident");
+    assert!(
+        get("cache.cross_tenant_hits") >= 1,
+        "bob reusing alice's stream must tally a cross-tenant hit: {counts:?}"
+    );
+}
+
+#[test]
+fn subscribe_streams_valid_telemetry_and_serve_log_checks_out() {
+    let dir = temp_dir("subscribe");
+    let log_path = dir.0.join("serve-log.jsonl");
+    let catalog = vec![(
+        "job/slow".to_string(),
+        Job {
+            value: 5.0,
+            delay: Duration::from_millis(60),
+            streams: Vec::new(),
+        },
+    )];
+    let mut config = cfg(&dir);
+    config.log_path = Some(log_path.clone());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config,
+        spec(catalog, TraceCache::new().into()),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let keys = vec!["job/slow".to_string()];
+    let reply = client
+        .submit_with_retry("t0", &keys[0], 10)
+        .expect("submit");
+    assert!(matches!(reply, Reply::Submit { accepted: true, .. }));
+
+    let mut telemetry = String::new();
+    let epochs = client
+        .subscribe("t0", &keys, &mut |line| {
+            telemetry.push_str(line);
+            telemetry.push('\n');
+        })
+        .expect("subscribe");
+    assert!(epochs >= 1, "at least the closing epoch streams");
+    let summary = check_stream(&telemetry, 1).expect("telemetry must validate");
+    assert!(summary.contains("epoch"), "summary was {summary:?}");
+
+    let (records, _) = client.results("t0", &keys, true).expect("results");
+    assert!(Record::from_json_line(&records[0]).unwrap().is_ok());
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    let text = std::fs::read_to_string(&log_path).expect("serve log written");
+    let summary = check_serve_log(&text).expect("serve log must validate");
+    assert!(summary.contains("rx"), "summary was {summary:?}");
+}
