@@ -33,7 +33,18 @@ echo "==> bench smoke (sim_throughput --json BENCH_sim.json)"
 # or if any throughput entry carries a missing/non-finite/negative
 # elems_per_s.
 cargo bench --offline -p atc-bench --bench sim_throughput -- --samples 2 --json "$PWD/BENCH_sim.json"
-cargo run --offline --release -p atc-bench --bin check_bench_json -- BENCH_sim.json
+# Perf floor: machine/baseline's best-case rate must stay at or above
+# 0.85x the pre-event-wheel committed trajectory value (8,875,119
+# elem/s median). The event-wheel PR targeted 1.5x here; the measured
+# decomposition showed the seed loop was already within ~15% of the
+# per-component floor on this hardware (DESIGN.md §10, EXPERIMENTS.md),
+# so the gate holds the no-regression line instead. The 0.85 multiple
+# is the observed noise band: across 8 back-to-back 10-sample runs the
+# best-case rate ranged 7.86-9.47 M elem/s on this shared container,
+# while a true regression to the seed loop (~7.0 M best-case) still
+# lands below the floor. Raise the multiple if the floor ever moves.
+cargo run --offline --release -p atc-bench --bin check_bench_json -- \
+    --min-ratio "machine/baseline:8875119:0.85" BENCH_sim.json
 
 echo "==> harness scaling bench (harness_scaling --append)"
 # Suite wall-time at 1/2/4/8 workers, merged into the same trajectory
@@ -90,6 +101,18 @@ $SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 1 \
 $SUITE $SUITE_FLAGS --figures fig14,fig16 --jobs 4 \
     --manifest target/ci-det4.jsonl > target/ci-det4.out
 diff target/ci-det1.out target/ci-det4.out
+
+echo "==> lane determinism smoke (lane_mix --jobs 1 vs --jobs 4 stdout)"
+# The partitioned-lane multicore engine runs one Machine (one event
+# wheel) per lane on its own thread; lanes are independent and the
+# merge is lane-ordered, so stdout must be byte-identical between the
+# serial twin (--jobs 1) and concurrent lanes (--jobs 4).
+LANE_MIX="cargo run --offline --release -p atc-experiments --bin lane_mix --"
+$LANE_MIX --scale test --warmup 40000 --instructions 200000 --jobs 1 \
+    --check > target/ci-lanes1.out
+$LANE_MIX --scale test --warmup 40000 --instructions 200000 --jobs 4 \
+    --check > target/ci-lanes4.out
+diff target/ci-lanes1.out target/ci-lanes4.out
 
 echo "==> suite resume smoke (kill-free: run half, resume the rest)"
 # fig16 is 18 jobs (base + tempo x 9 benchmarks): run 5, then resume

@@ -92,6 +92,21 @@ fn main() {
                 .expect("healthy run")
         });
     }
+    // Two concurrent lanes through the partitioned-lane engine, 2 × N
+    // instructions per iteration. On a single hardware thread this runs
+    // at roughly per-lane speed (the lanes time-slice); with real cores
+    // the wall clock approaches the slower lane alone. Either way the
+    // stats are byte-identical to the serial twin — see lane_mix and
+    // the ci.sh determinism diff.
+    reporter.bench_throughput("machine/multicore_w2", 10, 2 * N, || {
+        let mut cfg = SimConfig::with_enhancement(Enhancement::Baseline);
+        cfg.machine.stlb.entries = 256;
+        let mut wls: Vec<Box<dyn atc_workloads::Workload>> = vec![
+            BenchmarkId::Mcf.build(Scale::Test, 3),
+            BenchmarkId::Xalancbmk.build(Scale::Test, 4),
+        ];
+        atc_sim::run_multicore_lanes(&cfg, &mut wls, 5_000, N, 2).expect("healthy lanes")
+    });
     // A/B for attached streaming: the same baseline workload while a
     // sampler thread writes delta epochs — the workers only touch one
     // relaxed atomic per iteration, so the delta should be noise.

@@ -215,11 +215,77 @@ fn scaling_report(path: &str) {
     }
 }
 
+/// Perf-floor gate: `--min-ratio <name>:<rate>:<mult>` requires the
+/// named throughput line's **best-case** rate (elems / min_ns) to be at
+/// least `rate × mult`, where `<rate>` is the committed trajectory's
+/// elems_per_s and `<mult>` the required multiple (1.0 = no-regression
+/// floor). Best-case rather than the median for the same reason as the
+/// streaming gate: CI smokes run two samples on loaded boxes, where one
+/// scheduler hiccup wrecks the median but leaves the minimum intact,
+/// while a genuine hot-path regression slows every sample including the
+/// fastest.
+fn check_min_ratio(path: &str, spec: &str) -> Result<String, String> {
+    let mut parts = spec.rsplitn(3, ':');
+    let (mult, rate, name) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(r), Some(n)) => (m, r, n),
+        _ => {
+            return Err(format!(
+                "--min-ratio wants <name>:<rate>:<mult>, got {spec:?}"
+            ))
+        }
+    };
+    let base: f64 = rate
+        .parse()
+        .map_err(|_| format!("--min-ratio: {rate:?} is not a rate"))?;
+    let mult: f64 = mult
+        .parse()
+        .map_err(|_| format!("--min-ratio: {mult:?} is not a multiple"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let results = doc
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("missing \"results\" array")?;
+    let r = results
+        .iter()
+        .find(|r| r.get("name").and_then(Value::as_str) == Some(name))
+        .ok_or(format!("--min-ratio: no result named {name:?} in {path}"))?;
+    let elems = r
+        .get("elems")
+        .and_then(Value::as_f64)
+        .ok_or(format!("{name}: not a throughput line (no elems)"))?;
+    let min_ns = r
+        .get("min_ns")
+        .and_then(Value::as_f64)
+        .filter(|&ns| ns > 0.0)
+        .ok_or(format!("{name}: invalid min_ns"))?;
+    let best = elems / min_ns * 1e9;
+    let floor = base * mult;
+    if best < floor {
+        return Err(format!(
+            "{name}: best-case {best:.0} elem/s is below the perf floor {floor:.0} \
+             ({base:.0} × {mult}) — the timing core regressed"
+        ));
+    }
+    Ok(format!(
+        "{name} best {best:.0} elem/s ≥ floor {floor:.0} ({:.2}x committed)",
+        best / base
+    ))
+}
+
 /// The value following `--min-epochs`, so the positional-path scan can
 /// skip it.
 fn min_epoch_value(args: &[String]) -> Option<&String> {
     args.iter()
         .position(|a| a == "--min-epochs")
+        .and_then(|i| args.get(i + 1))
+}
+
+/// The value following `--min-ratio`, likewise skipped by the
+/// positional-path scan.
+fn min_ratio_value(args: &[String]) -> Option<&String> {
+    args.iter()
+        .position(|a| a == "--min-ratio")
         .and_then(|i| args.get(i + 1))
 }
 
@@ -238,11 +304,15 @@ fn main() -> ExitCode {
         },
         None => 0,
     };
-    let positional = |a: &&String| !a.starts_with("--") && Some(*a) != min_epoch_value(&args);
+    let positional = |a: &&String| {
+        !a.starts_with("--")
+            && Some(*a) != min_epoch_value(&args)
+            && Some(*a) != min_ratio_value(&args)
+    };
     let Some(path) = args.iter().find(positional) else {
         eprintln!(
             "usage: check_bench_json [--scaling-report] [--stream [--min-epochs N]] \
-             [--serve-log] <file>"
+             [--serve-log] [--min-ratio name:rate:mult] <file>"
         );
         return ExitCode::from(2);
     };
@@ -269,6 +339,15 @@ fn main() -> ExitCode {
     match check(path) {
         Ok(what) => {
             println!("{path}: ok ({what})");
+            if let Some(spec) = min_ratio_value(&args) {
+                match check_min_ratio(path, spec) {
+                    Ok(msg) => println!("{path}: perf floor ok ({msg})"),
+                    Err(e) => {
+                        eprintln!("check_bench_json: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if report {
                 scaling_report(path);
             }

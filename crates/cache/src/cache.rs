@@ -27,7 +27,7 @@ use atc_stats::ClassCounters;
 use atc_types::{AccessClass, AccessInfo, LineAddr, SimError};
 
 use crate::mshr::Mshr;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyImpl, ReplacementPolicy};
 
 /// Tag value marking an empty (invalid) way. Physical line addresses are
 /// bounded far below this (57-bit VA space, frame allocator counts up),
@@ -115,7 +115,7 @@ pub struct Cache {
     tags: Vec<u64>,
     /// Per-way metadata, parallel to `tags`.
     meta: Vec<LineMeta>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: PolicyImpl,
     mshr: Mshr,
     stats: ClassCounters,
     recall: Option<RecallProbe>,
@@ -151,7 +151,7 @@ impl Cache {
         ways: usize,
         latency: u64,
         mshr_entries: usize,
-        policy: Box<dyn ReplacementPolicy>,
+        policy: impl Into<PolicyImpl>,
     ) -> Result<Self, SimError> {
         if sets == 0 || ways == 0 {
             return Err(SimError::config(format!(
@@ -178,7 +178,7 @@ impl Cache {
             set_mask: sets as u64 - 1,
             tags: vec![EMPTY_TAG; sets * ways],
             meta: vec![LineMeta::EMPTY; sets * ways],
-            policy,
+            policy: policy.into(),
             mshr,
             stats: ClassCounters::default(),
             recall: None,
@@ -233,7 +233,7 @@ impl Cache {
     /// Mutable access to the policy (for T-policy wrappers that need to
     /// poke RRPVs after fills — see `atc-core`).
     pub fn policy_mut(&mut self) -> &mut dyn ReplacementPolicy {
-        self.policy.as_mut()
+        self.policy.as_dyn_mut()
     }
 
     /// Attach a recall-distance probe restricted to the given classes
@@ -447,6 +447,16 @@ impl Cache {
             .allocate(info.line, cycle, ready, info.is_prefetch);
         let evicted = self.fill(info);
         (ready, evicted)
+    }
+
+    /// Event-wheel probe for a full MSHR file: if a fill at `cycle`
+    /// would stall for a free register, count the stall and return the
+    /// wakeup cycle so the caller can schedule the fill there (see
+    /// [`Mshr::full_wakeup`](crate::Mshr::full_wakeup)). `None` means
+    /// the fill can proceed immediately via
+    /// [`insert_miss_at`](Self::insert_miss_at).
+    pub fn mshr_full_wakeup(&mut self, cycle: u64) -> Option<u64> {
+        self.mshr.full_wakeup(cycle)
     }
 
     /// [`insert_miss`](Self::insert_miss) for a line a just-failed
@@ -703,21 +713,20 @@ mod tests {
     use atc_types::PtLevel;
 
     fn mk(sets: usize, ways: usize) -> Cache {
-        Cache::new("T", sets, ways, 10, 4, Box::new(Lru::new(sets, ways)))
-            .expect("test geometry is valid")
+        Cache::new("T", sets, ways, 10, 4, Lru::new(sets, ways)).expect("test geometry is valid")
     }
 
     #[test]
     fn bad_geometry_is_an_error_not_a_panic() {
-        let err = Cache::new("T", 0, 2, 10, 4, Box::new(Lru::new(1, 2))).unwrap_err();
+        let err = Cache::new("T", 0, 2, 10, 4, Lru::new(1, 2)).unwrap_err();
         assert!(err.to_string().contains("geometry"), "{err}");
-        let err = Cache::new("T", 4, 2, 10, 0, Box::new(Lru::new(4, 2))).unwrap_err();
+        let err = Cache::new("T", 4, 2, 10, 0, Lru::new(4, 2)).unwrap_err();
         assert!(err.to_string().contains("capacity"), "{err}");
     }
 
     #[test]
     fn non_power_of_two_sets_is_an_error() {
-        let err = Cache::new("T", 3, 2, 10, 4, Box::new(Lru::new(3, 2))).unwrap_err();
+        let err = Cache::new("T", 3, 2, 10, 4, Lru::new(3, 2)).unwrap_err();
         assert!(err.to_string().contains("power of two"), "{err}");
     }
 

@@ -29,7 +29,7 @@
 //! use atc_cache::{Cache, policy::Lru};
 //! use atc_types::{AccessClass, AccessInfo, LineAddr};
 //!
-//! let mut c = Cache::new("L1D", 64, 8, 5, 8, Box::new(Lru::new(64, 8)))?;
+//! let mut c = Cache::new("L1D", 64, 8, 5, 8, Lru::new(64, 8))?;
 //! let info = AccessInfo::demand(0x400, LineAddr::new(0x1000), AccessClass::NonReplayData);
 //! assert!(c.lookup(&info, 0).is_none());      // cold miss
 //! c.insert_miss(&info, 100, 0);               // fill, data ready at cycle 100

@@ -28,9 +28,11 @@ pub struct Mshr {
     lines: Vec<u64>,
     entries: Vec<Entry>,
     capacity: usize,
-    /// Earliest `ready` among resident entries (`u64::MAX` when empty).
-    /// A probe at `cycle < min_ready` can expire nothing, so the common
-    /// merge path is a pure read-only tag scan.
+    /// Lower bound on the earliest `ready` among resident entries
+    /// (`u64::MAX` when empty). A sweep at `cycle < min_ready` can
+    /// expire nothing and returns immediately; lazy retirement in
+    /// [`merge`](Self::merge) can leave the bound conservatively low,
+    /// which only costs an occasional no-op sweep.
     min_ready: u64,
     merges: u64,
     allocations: u64,
@@ -87,34 +89,40 @@ impl Mshr {
     /// return its completion cycle. A demand merge on a prefetch-initiated
     /// entry marks the entry as demand (the prefetch was late but useful).
     ///
-    /// A probe below the `min_ready` watermark cannot expire anything,
-    /// so the common path is a pure read-only tag scan; past the
-    /// watermark, expiry and the search share one pass.
+    /// Expiry is lazy: the probe is a pure tag scan over the line words
+    /// (the hottest loop in the whole miss path, and branch-free enough
+    /// to vectorize), and a register is only retired when a probe to its
+    /// own line finds the fill already complete. Other completed entries
+    /// linger until the next [`allocate`](Self::allocate) or
+    /// [`in_flight`](Self::in_flight) sweeps them — a pure-capacity
+    /// concern, invisible to merge results, full-stall accounting, and
+    /// every counter.
     #[inline]
     pub fn merge(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> Option<u64> {
-        let found = if cycle < self.min_ready {
-            self.lines.iter().position(|&l| l == line.raw())
-        } else {
-            let mut found = None;
-            let mut min = u64::MAX;
-            let mut i = 0;
-            while i < self.entries.len() {
-                let ready = self.entries[i].ready;
-                if ready <= cycle {
-                    self.lines.swap_remove(i);
-                    self.entries.swap_remove(i);
-                } else {
-                    if self.lines[i] == line.raw() {
-                        found = Some(i);
-                    }
-                    min = min.min(ready);
-                    i += 1;
-                }
+        // Branchless whole-file scan: most probes find no match, and a
+        // scan without early exit vectorizes where `position` cannot.
+        // A line is never in flight twice, so keeping the last matching
+        // index is exact.
+        let raw = line.raw();
+        let mut found = usize::MAX;
+        for (i, &l) in self.lines.iter().enumerate() {
+            if l == raw {
+                found = i;
             }
-            self.min_ready = min;
-            found
-        };
-        let e = &mut self.entries[found?];
+        }
+        if found == usize::MAX {
+            return None;
+        }
+        let i = found;
+        let e = &mut self.entries[i];
+        if e.ready <= cycle {
+            // The matched fill has completed: retire the stale register
+            // (a block is never in flight twice, so this is the only
+            // entry a fresh miss to `line` could have merged with).
+            self.lines.swap_remove(i);
+            self.entries.swap_remove(i);
+            return None;
+        }
         self.merges += 1;
         if !is_prefetch && e.is_prefetch {
             // A demand request caught an in-flight prefetch: the prefetch
@@ -137,9 +145,16 @@ impl Mshr {
         self.expire(cycle);
         let mut ready = ready;
         if self.entries.len() >= self.capacity {
-            // All resident entries are unexpired here, so the watermark
-            // IS the earliest in-flight completion.
-            let earliest = self.min_ready;
+            // Every resident entry is unexpired here (the sweep above
+            // just ran), so the earliest in-flight completion comes from
+            // a direct scan — the lazily-maintained watermark can sit
+            // below it after a merge retired the entry it tracked.
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.ready)
+                .min()
+                .expect("full MSHR file is non-empty");
             let delay = earliest.saturating_sub(cycle);
             ready += delay;
             self.full_stalls += 1;
@@ -155,6 +170,30 @@ impl Mshr {
         self.entries.push(Entry { ready, is_prefetch });
         self.min_ready = self.min_ready.min(ready);
         ready
+    }
+
+    /// Event-wheel split of [`allocate`](Self::allocate)'s full-file
+    /// handling: if the file is full at `cycle`, count the stall and
+    /// return the wakeup cycle (the earliest in-flight completion) so
+    /// the caller can schedule the allocation there instead of folding
+    /// the delay in inline. A follow-up `allocate` at the returned
+    /// cycle, with the delay already added to its `ready`, lands in the
+    /// exact state the inline path produces: the wakeup sweep frees the
+    /// same entries `allocate(cycle, …)` would have freed via
+    /// `expire(earliest)`.
+    pub fn full_wakeup(&mut self, cycle: u64) -> Option<u64> {
+        self.expire(cycle);
+        if self.entries.len() < self.capacity {
+            return None;
+        }
+        self.full_stalls += 1;
+        let earliest = self
+            .entries
+            .iter()
+            .map(|e| e.ready)
+            .min()
+            .expect("full MSHR file is non-empty");
+        Some(earliest)
     }
 
     /// Outstanding (unexpired) entries at `cycle`.

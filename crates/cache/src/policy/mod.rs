@@ -50,6 +50,112 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
     fn on_evict(&mut self, set: usize, way: usize);
 }
 
+/// Dispatch wrapper the cache core stores its policy behind.
+///
+/// The stock policies the hot configurations use (LRU at L1D, the RRIP
+/// family at L2C, SHiP at the LLC) get their own variants so every
+/// `on_hit`/`victim`/`on_fill`/`on_evict` on the access path is a
+/// statically-dispatched — and inlinable — call instead of a virtual
+/// one; anything else (T-policies, Hawkeye, CbPred, test doubles) rides
+/// in the [`Dyn`](PolicyImpl::Dyn) variant with unchanged behaviour.
+#[derive(Debug)]
+pub enum PolicyImpl {
+    /// Least-recently-used.
+    Lru(Lru),
+    /// Static RRIP.
+    Srrip(Srrip),
+    /// Dynamic (set-dueling) RRIP.
+    Drrip(Drrip),
+    /// SHiP (either signature mode).
+    Ship(Ship),
+    /// Everything else, virtually dispatched.
+    Dyn(Box<dyn ReplacementPolicy>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $call:expr) => {
+        match $self {
+            PolicyImpl::Lru($p) => $call,
+            PolicyImpl::Srrip($p) => $call,
+            PolicyImpl::Drrip($p) => $call,
+            PolicyImpl::Ship($p) => $call,
+            PolicyImpl::Dyn($p) => $call,
+        }
+    };
+}
+
+impl PolicyImpl {
+    /// Short policy name used in reports.
+    pub fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+
+    /// Forward of [`ReplacementPolicy::on_fill`].
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        dispatch!(self, p => p.on_fill(set, way, info));
+    }
+
+    /// Forward of [`ReplacementPolicy::on_hit`].
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo) {
+        dispatch!(self, p => p.on_hit(set, way, info));
+    }
+
+    /// Forward of [`ReplacementPolicy::victim`].
+    #[inline]
+    pub fn victim(&mut self, set: usize, info: &AccessInfo) -> usize {
+        dispatch!(self, p => p.victim(set, info))
+    }
+
+    /// Forward of [`ReplacementPolicy::on_evict`].
+    #[inline]
+    pub fn on_evict(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_evict(set, way));
+    }
+
+    /// The policy as a trait object (T-policy helpers, tests).
+    pub fn as_dyn_mut(&mut self) -> &mut dyn ReplacementPolicy {
+        match self {
+            PolicyImpl::Lru(p) => p,
+            PolicyImpl::Srrip(p) => p,
+            PolicyImpl::Drrip(p) => p,
+            PolicyImpl::Ship(p) => p,
+            PolicyImpl::Dyn(p) => p.as_mut(),
+        }
+    }
+}
+
+impl From<Lru> for PolicyImpl {
+    fn from(p: Lru) -> Self {
+        PolicyImpl::Lru(p)
+    }
+}
+
+impl From<Srrip> for PolicyImpl {
+    fn from(p: Srrip) -> Self {
+        PolicyImpl::Srrip(p)
+    }
+}
+
+impl From<Drrip> for PolicyImpl {
+    fn from(p: Drrip) -> Self {
+        PolicyImpl::Drrip(p)
+    }
+}
+
+impl From<Ship> for PolicyImpl {
+    fn from(p: Ship) -> Self {
+        PolicyImpl::Ship(p)
+    }
+}
+
+impl From<Box<dyn ReplacementPolicy>> for PolicyImpl {
+    fn from(p: Box<dyn ReplacementPolicy>) -> Self {
+        PolicyImpl::Dyn(p)
+    }
+}
+
 /// Saturating counter helper used by SHiP/Hawkeye predictors and DRRIP's
 /// PSEL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

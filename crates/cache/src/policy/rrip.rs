@@ -49,18 +49,29 @@ impl RrpvArray {
         self.rrpv[set * self.ways + way] = v;
     }
 
-    /// SRRIP victim scan: find an RRPV=3 way, aging the set until one
-    /// appears. Returns the lowest-index such way.
+    /// SRRIP victim scan: the first way to reach RRPV=3 under aging.
+    /// Computed in one pass instead of the textbook age-and-retry loop:
+    /// aging raises every RRPV uniformly until the set's oldest block
+    /// hits the maximum, so the victim is the first way already holding
+    /// the oldest value and the aging deficit is applied in one sweep.
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
-        loop {
-            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == RRPV_MAX) {
-                return w;
-            }
-            for w in 0..self.ways {
-                self.rrpv[base + w] += 1;
+        let slice = &mut self.rrpv[base..base + self.ways];
+        let mut oldest = 0u8;
+        let mut victim = 0usize;
+        for (w, &v) in slice.iter().enumerate() {
+            if v > oldest {
+                oldest = v;
+                victim = w;
             }
         }
+        let deficit = RRPV_MAX - oldest;
+        if deficit > 0 {
+            for v in slice.iter_mut() {
+                *v += deficit;
+            }
+        }
+        victim
     }
 }
 

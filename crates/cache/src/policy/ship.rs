@@ -136,15 +136,26 @@ impl ReplacementPolicy for Ship {
     }
 
     fn victim(&mut self, set: usize, _info: &AccessInfo) -> usize {
+        // Same single-pass aging as the RRIP family: the victim is the
+        // first way holding the set's oldest RRPV, and the aging the
+        // retry loop would have applied lands as one uniform bump.
         let base = set * self.ways;
-        loop {
-            if let Some(w) = (0..self.ways).find(|&w| self.meta[base + w].rrpv == RRPV_MAX) {
-                return w;
-            }
-            for w in 0..self.ways {
-                self.meta[base + w].rrpv += 1;
+        let slice = &mut self.meta[base..base + self.ways];
+        let mut oldest = 0u8;
+        let mut victim = 0usize;
+        for (w, m) in slice.iter().enumerate() {
+            if m.rrpv > oldest {
+                oldest = m.rrpv;
+                victim = w;
             }
         }
+        let deficit = RRPV_MAX - oldest;
+        if deficit > 0 {
+            for m in slice.iter_mut() {
+                m.rrpv += deficit;
+            }
+        }
+        victim
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {

@@ -36,7 +36,7 @@ pub use ideal::IdealConfig;
 pub use tempo::{Tempo, TempoPrefetch};
 pub use tpolicy::{TDrrip, THawkeye, TShip};
 
-use atc_cache::policy::{Drrip, Hawkeye, Lru, ReplacementPolicy, Ship, Srrip};
+use atc_cache::policy::{Drrip, Hawkeye, Lru, PolicyImpl, ReplacementPolicy, Ship, Srrip};
 use atc_types::SignatureMode;
 
 /// The paper's cumulative enhancement ladder (Fig 14).
@@ -159,6 +159,24 @@ impl PolicyChoice {
                 ways,
                 SignatureMode::IpOnly,
             )),
+        }
+    }
+
+    /// Instantiate the policy behind the cache core's static-dispatch
+    /// wrapper: the stock policies land in their concrete
+    /// [`PolicyImpl`] variants (keeping every policy callback on the
+    /// simulator's hot path inlinable), the T-policies and Hawkeye fall
+    /// back to virtual dispatch.
+    pub fn build_impl(self, sets: usize, ways: usize) -> PolicyImpl {
+        match self {
+            PolicyChoice::Lru => Lru::new(sets, ways).into(),
+            PolicyChoice::Srrip => Srrip::new(sets, ways).into(),
+            PolicyChoice::Drrip => Drrip::new(sets, ways).into(),
+            PolicyChoice::Ship => Ship::new(sets, ways).into(),
+            PolicyChoice::ShipNewSign => {
+                Ship::with_mode(sets, ways, SignatureMode::PerClass).into()
+            }
+            _ => self.build(sets, ways).into(),
         }
     }
 

@@ -117,6 +117,8 @@ fn main() {
         });
     }
 
+    clamp_exercise();
+
     for (name, count) in fault_exercise() {
         println!("{name}: {count}");
         const SECOND_NS: u64 = 1_000_000_000;
@@ -131,6 +133,47 @@ fn main() {
     }
 
     reporter.finish();
+}
+
+/// Regression check for the worker clamp: a queue narrower than the
+/// worker pool must not spin up idle workers (the `suite_w8` tail —
+/// 18 jobs across 8 workers — is where the spawn/join overhead of
+/// never-fed workers showed up). Claim events record the worker index,
+/// so the check is direct: with 2 jobs offered to an 8-worker
+/// scheduler, no worker id ≥ 2 may ever touch the queue.
+fn clamp_exercise() {
+    let log = std::sync::Arc::new(atc_harness::EventLog::new(64));
+    let jobs: Vec<(String, u64)> = (0..2).map(|i| (format!("tail/j{i}"), i)).collect();
+    let progress = Progress::new();
+    let runs =
+        Scheduler::new(8)
+            .with_events(log.clone())
+            .run(&jobs, &progress, |_key, &i, _ctx| {
+                Ok(Metrics::from([("i", i as f64)]))
+            });
+    assert!(
+        runs.iter().all(|r| matches!(r.status, JobStatus::Ok(_))),
+        "clamp exercise jobs must succeed"
+    );
+    let worker_ids: Vec<u32> = log
+        .drain()
+        .iter()
+        .map(|e| e.worker)
+        .filter(|&w| w < atc_harness::MANIFEST_WORKER)
+        .collect();
+    assert!(
+        !worker_ids.is_empty() && worker_ids.iter().all(|&w| (w as usize) < jobs.len()),
+        "worker pool not clamped to queue length: ids {worker_ids:?} for {} jobs",
+        jobs.len()
+    );
+    println!(
+        "harness/clamp: {} worker(s) observed for {} jobs",
+        worker_ids
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        jobs.len()
+    );
 }
 
 /// Drive the scheduler's retry path, the deadline watchdog, and

@@ -252,17 +252,22 @@ impl Scheduler {
             return Vec::new();
         }
 
+        // Never spawn more workers than there are jobs: a short tail
+        // (total < --jobs) otherwise pays thread spawn/join for workers
+        // whose first queue poll comes up empty (visible as the
+        // harness/suite_w8 tail in the scaling bench).
+        let workers = self.workers.min(total);
+
         // Shared injector: all job indices, in spec order.
         let injector: Mutex<VecDeque<usize>> = Mutex::new((0..total).collect());
         // Per-worker local deques, stealable by everyone.
-        let locals: Vec<Mutex<VecDeque<usize>>> = (0..self.workers)
-            .map(|_| Mutex::new(VecDeque::new()))
-            .collect();
+        let locals: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         let done = AtomicUsize::new(0);
         // One published attempt per worker for the deadline watchdog:
         // (start instant, that attempt's cancel token).
         let running: Vec<Mutex<Option<(Instant, CancelToken)>>> =
-            (0..self.workers).map(|_| Mutex::new(None)).collect();
+            (0..workers).map(|_| Mutex::new(None)).collect();
 
         let mut slots: Vec<Option<JobRun<R>>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
@@ -272,9 +277,9 @@ impl Scheduler {
         // queues, so result aggregation never contends. Each local
         // vector is sized for an even share up front (steals can push
         // it past that, at the usual amortized growth cost).
-        let share = total / self.workers + INJECTOR_BATCH + 1;
+        let share = total / workers + INJECTOR_BATCH + 1;
         let worker_outputs: Vec<Vec<(usize, JobRun<R>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers)
+            let handles: Vec<_> = (0..workers)
                 .map(|wid| {
                     let injector = &injector;
                     let locals = &locals;

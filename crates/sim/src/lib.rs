@@ -39,10 +39,13 @@ pub mod machine;
 pub mod multicore;
 pub mod smt;
 pub mod telemetry;
+pub mod wheel;
 
 pub use atc_obs::TelemetrySnapshot;
 pub use machine::{Machine, Probes, RunStats, SimConfig, SimFailure, DEFAULT_BATCH};
-pub use multicore::{run_multicore, run_multicore_cancellable};
+pub use multicore::{
+    run_multicore, run_multicore_cancellable, run_multicore_lanes, run_multicore_lanes_cancellable,
+};
 pub use smt::{run_smt, run_smt_cancellable};
 pub use telemetry::TelemetryConfig;
 

@@ -2,6 +2,7 @@
 //! the SMT and multi-core drivers.
 
 use crate::telemetry::{SimTelemetry, TelemetryConfig};
+use crate::wheel::EventWheel;
 use atc_cache::{Cache, Probe};
 use atc_core::{Atp, DpPred, IdealConfig, PolicyChoice, Tempo};
 use atc_cpu::{CompletionKind, CoreStats, RobModel};
@@ -157,7 +158,7 @@ impl CoreCtx {
             // L1D keeps LRU in all configurations (the paper leaves it
             // untouched: optimizing L1D for rare classes hurts
             // non-replays).
-            PolicyChoice::Lru.build(m.l1d.sets(), m.l1d.ways),
+            PolicyChoice::Lru.build_impl(m.l1d.sets(), m.l1d.ways),
         )?;
         let mut l2c = Cache::new(
             "L2C",
@@ -165,7 +166,7 @@ impl CoreCtx {
             m.l2c.ways,
             m.l2c.latency,
             m.l2c.mshr_entries,
-            cfg.l2c_policy.build(m.l2c.sets(), m.l2c.ways),
+            cfg.l2c_policy.build_impl(m.l2c.sets(), m.l2c.ways),
         )?;
         if let Some(classes) = &cfg.probes.l2c_recall {
             l2c.enable_recall_probe(Probes::CAP, classes);
@@ -281,44 +282,91 @@ pub(crate) fn access_path(
     }
 }
 
-/// [`access_path`] continuation for the batched fast pass once the L1D
-/// probe (already taken inline) has missed at `l1_set`: descend from
-/// the L2C charging the L1D latency, then fill the missed levels in the
-/// same L1D → L2C → LLC order at the original access `cycle`. No
-/// ideal-oracle handling — the fast pass only runs with oracles off.
+/// One PTE-read hop of a page walk: the access-path descent for step
+/// `idx` of `plan` arriving at `t`, plus the leaf-step ATP/TEMPO
+/// triggers and serving-level accounting. Returns `(ready, served)`.
+/// Shared verbatim by the scalar walk loop ([`do_walk`]) and the event
+/// wheel's hop retirement ([`Machine::drive_walk`]), so both paths
+/// perform the identical state transitions.
 #[allow(clippy::too_many_arguments)]
-fn access_path_after_l1_miss(
-    l1d: &mut Cache,
-    l2c: &mut Cache,
+fn walk_hop(
+    core: &mut CoreCtx,
     llc: &mut Cache,
     dram: &mut Dram,
-    info: &AccessInfo,
-    l1_set: usize,
-    l1_empty: Option<usize>,
-    cycle: u64,
+    ideal: &IdealConfig,
+    ip: u64,
+    plan: &WalkPlan,
+    block_in_page: u64,
+    idx: usize,
+    t: u64,
 ) -> (u64, MemLevel) {
-    let t = cycle + l1d.latency();
-    let (ready, served, l2_miss, llc_miss) = match l2c.probe(info, t) {
-        Probe::Ready(r) => (r, MemLevel::L2c, None, None),
-        Probe::Miss { set: s2, empty: e2 } => {
-            let t2 = t + l2c.latency();
-            match llc.probe(info, t2) {
-                Probe::Ready(r) => (r, MemLevel::Llc, Some((s2, e2)), None),
-                Probe::Miss { set: s3, empty: e3 } => {
-                    let r = dram.access(info.line, t2 + llc.latency());
-                    (r, MemLevel::Dram, Some((s2, e2)), Some((s3, e3)))
+    let step = &plan.steps[idx];
+    let info = AccessInfo::demand(
+        ip,
+        step.pte_addr.line(),
+        AccessClass::Translation(step.level),
+    );
+    let (ready, served) = access_path(
+        &mut core.l1d,
+        &mut core.l2c,
+        llc,
+        dram,
+        ideal,
+        &info,
+        t,
+        MemLevel::L1d,
+    );
+    if step.level.is_leaf() {
+        core.service_translation[served.index()] += 1;
+        // ATP: leaf PTE hit at L2C/LLC → prefetch the replay block
+        // right away, into the level that held the PTE.
+        if let Some(atp) = &mut core.atp {
+            if let Some(pf) = atp.on_leaf_pte_access(served, plan.data_pfn, block_in_page) {
+                let pf_info = AccessInfo::prefetch(ip, pf.line, AccessClass::ReplayData);
+                let start = match pf.trigger_level {
+                    MemLevel::L2c => MemLevel::L2c,
+                    _ => MemLevel::Llc,
+                };
+                let _ = access_path(
+                    &mut core.l1d,
+                    &mut core.l2c,
+                    llc,
+                    dram,
+                    ideal,
+                    &pf_info,
+                    ready,
+                    start,
+                );
+            }
+        }
+        // TEMPO: leaf PTE served by DRAM → the controller fetches the
+        // replay block back-to-back and fills the LLC.
+        if served == MemLevel::Dram {
+            if let Some(tempo) = &mut core.tempo {
+                let pf = tempo.on_leaf_pte_dram(plan.data_pfn, block_in_page);
+                let pf_info = AccessInfo::prefetch(ip, pf.line, AccessClass::ReplayData);
+                if !llc.contains(pf.line) && llc.mshr_merge(&pf_info, ready).is_none() {
+                    let dram_ready = dram.access(pf.line, ready);
+                    let _ = llc.insert_miss(&pf_info, dram_ready, ready);
                 }
             }
         }
-    };
-    let _ = l1d.insert_miss_at(l1_set, l1_empty, info, ready, cycle);
-    if let Some((s, e)) = l2_miss {
-        let _ = l2c.insert_miss_at(s, e, info, ready, cycle);
-    }
-    if let Some((s, e)) = llc_miss {
-        let _ = llc.insert_miss_at(s, e, info, ready, cycle);
     }
     (ready, served)
+}
+
+/// Walk completion: install TLB/PSC entries, with the DpPred (§V-B
+/// comparison) STLB bypass and eviction training. Shared by
+/// [`do_walk`] and [`Machine::drive_walk`].
+fn finish_walk(core: &mut CoreCtx, plan: &WalkPlan, ip: u64) {
+    let fill_stlb = match &core.dppred {
+        Some(p) => !p.should_bypass_stlb(ip),
+        None => true,
+    };
+    let evicted = core.mmu.complete_walk_tracked(plan, ip, fill_stlb);
+    if let (Some(p), Some(ev)) = (&core.dppred, evicted) {
+        p.on_stlb_eviction(&ev);
+    }
 }
 
 /// Execute a page walk: play each PTE read through the caches, trigger
@@ -340,81 +388,22 @@ pub(crate) fn do_walk(
     // stack buffer keeps the walk path allocation-free.
     let mut hops = [WalkHop::PAD; MAX_WALK_HOPS];
     let mut hop_count = 0usize;
-    for step in &plan.steps {
-        let info = AccessInfo::demand(
-            ip,
-            step.pte_addr.line(),
-            AccessClass::Translation(step.level),
-        );
-        let (ready, served) = access_path(
-            &mut core.l1d,
-            &mut core.l2c,
-            llc,
-            dram,
-            ideal,
-            &info,
-            t,
-            MemLevel::L1d,
-        );
+    for idx in 0..plan.steps.len() {
+        let (ready, served) = walk_hop(core, llc, dram, ideal, ip, plan, block_in_page, idx, t);
         if hop_count < MAX_WALK_HOPS {
             hops[hop_count] = WalkHop {
-                level: step.level,
+                level: plan.steps[idx].level,
                 served,
                 latency: ready.saturating_sub(t),
             };
             hop_count += 1;
-        }
-        if step.level.is_leaf() {
-            core.service_translation[served.index()] += 1;
-            // ATP: leaf PTE hit at L2C/LLC → prefetch the replay block
-            // right away, into the level that held the PTE.
-            if let Some(atp) = &mut core.atp {
-                if let Some(pf) = atp.on_leaf_pte_access(served, plan.data_pfn, block_in_page) {
-                    let pf_info = AccessInfo::prefetch(ip, pf.line, AccessClass::ReplayData);
-                    let start = match pf.trigger_level {
-                        MemLevel::L2c => MemLevel::L2c,
-                        _ => MemLevel::Llc,
-                    };
-                    let _ = access_path(
-                        &mut core.l1d,
-                        &mut core.l2c,
-                        llc,
-                        dram,
-                        ideal,
-                        &pf_info,
-                        ready,
-                        start,
-                    );
-                }
-            }
-            // TEMPO: leaf PTE served by DRAM → the controller fetches the
-            // replay block back-to-back and fills the LLC.
-            if served == MemLevel::Dram {
-                if let Some(tempo) = &mut core.tempo {
-                    let pf = tempo.on_leaf_pte_dram(plan.data_pfn, block_in_page);
-                    let pf_info = AccessInfo::prefetch(ip, pf.line, AccessClass::ReplayData);
-                    if !llc.contains(pf.line) && llc.mshr_merge(&pf_info, ready).is_none() {
-                        let dram_ready = dram.access(pf.line, ready);
-                        let _ = llc.insert_miss(&pf_info, dram_ready, ready);
-                    }
-                }
-            }
         }
         t = ready;
     }
     if let Some(tm) = &mut core.telem {
         tm.on_walk_complete(start_time, t, &hops[..hop_count]);
     }
-    // DpPred (§V-B comparison): bypass the STLB for predicted-dead pages
-    // and train on the evicted entry's reuse outcome.
-    let fill_stlb = match &core.dppred {
-        Some(p) => !p.should_bypass_stlb(ip),
-        None => true,
-    };
-    let evicted = core.mmu.complete_walk_tracked(plan, ip, fill_stlb);
-    if let (Some(p), Some(ev)) = (&core.dppred, evicted) {
-        p.on_stlb_eviction(&ev);
-    }
+    finish_walk(core, plan, ip);
     t
 }
 
@@ -812,12 +801,38 @@ impl From<SimError> for SimFailure {
     }
 }
 
+/// Event payloads the machine's calendar wheel retires: the scheduled
+/// stages of one in-flight miss chain. Each stage of a chain is
+/// serially dependent on the previous one (its due cycle comes from the
+/// previous stage's completion), so retiring the chain in `(due, seq)`
+/// order reproduces the scalar oracle's state-transition order exactly
+/// — the property the equivalence suite pins (see DESIGN.md §13).
+#[derive(Debug, Clone, Copy)]
+enum MissEv {
+    /// Probe the L2C for the active data access.
+    DataL2,
+    /// Probe the LLC for the active data access.
+    DataLlc,
+    /// DRAM service for the active data access.
+    DataDram,
+    /// Fill the given level for the active data access at its MSHR
+    /// file's wakeup cycle (the file was full when the chain resolved).
+    FillWakeup(MemLevel),
+    /// Retire PTE-read hop `idx` of the active walk plan.
+    WalkHop(u8),
+}
+
 /// The single-core machine.
 pub struct Machine {
     cfg: SimConfig,
     core: CoreCtx,
     llc: Cache,
     dram: Dram,
+    /// Calendar wheel for the batched loop's miss machinery. Always
+    /// drained back to empty before an instruction retires, so it
+    /// carries no state across instructions (and none into collected
+    /// statistics).
+    wheel: EventWheel<MissEv>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -842,8 +857,10 @@ impl Machine {
         let core = CoreCtx::new(cfg)?;
         let policy = match &core.dppred {
             // CbPred replaces the LLC policy and shares DpPred's table.
-            Some(p) => Box::new(p.cbpred_policy(m.llc.sets(), m.llc.ways)) as _,
-            None => cfg.llc_policy.build(m.llc.sets(), m.llc.ways),
+            Some(p) => (Box::new(p.cbpred_policy(m.llc.sets(), m.llc.ways))
+                as Box<dyn atc_cache::policy::ReplacementPolicy>)
+                .into(),
+            None => cfg.llc_policy.build_impl(m.llc.sets(), m.llc.ways),
         };
         let mut llc = Cache::new(
             "LLC",
@@ -861,6 +878,7 @@ impl Machine {
             core,
             llc,
             dram: Dram::new(&m.dram),
+            wheel: EventWheel::new(),
         })
     }
 
@@ -1154,16 +1172,7 @@ impl Machine {
                 TranslationQuery::Walk(plan) => {
                     let walk_start =
                         at + dtlb_lat + self.core.mmu.stlb_latency() + self.core.mmu.psc_latency();
-                    let done = do_walk(
-                        &mut self.core,
-                        &mut self.llc,
-                        &mut self.dram,
-                        &self.cfg.ideal,
-                        ip,
-                        &plan,
-                        va.block_in_page(),
-                        walk_start,
-                    );
+                    let done = self.drive_walk(ip, &plan, va.block_in_page(), walk_start);
                     (done, plan.data_pfn, true)
                 }
             },
@@ -1179,16 +1188,7 @@ impl Machine {
         let info = AccessInfo::demand(ip, line, class);
         let (data_done, served) = match self.core.l1d.probe_fast(&info, trans_done) {
             Probe::Ready(r) => (r, MemLevel::L1d),
-            Probe::Miss { set, empty } => access_path_after_l1_miss(
-                &mut self.core.l1d,
-                &mut self.core.l2c,
-                &mut self.llc,
-                &mut self.dram,
-                &info,
-                set,
-                empty,
-                trans_done,
-            ),
+            Probe::Miss { set, empty } => self.drive_miss_chain(&info, set, empty, trans_done),
         };
         if class == AccessClass::ReplayData {
             self.core.service_replay[served.index()] += 1;
@@ -1204,6 +1204,142 @@ impl Machine {
             });
         }
         Ok(())
+    }
+
+    /// Resolve a demand access the L1D pre-pass already missed by
+    /// retiring the rest of its miss chain off the event wheel: the
+    /// L2C probe, LLC probe and DRAM service each fire as an event at
+    /// the cycle the previous stage completed, and the per-level fills
+    /// run once the serving level is known — immediately when a level's
+    /// MSHR file has a free register, or as a [`MissEv::FillWakeup`]
+    /// event at the file's wakeup cycle when it is full (reproducing
+    /// the inline path's full-file delay arithmetic exactly; see
+    /// [`Mshr::full_wakeup`](atc_cache::Mshr::full_wakeup)).
+    ///
+    /// The due cycles mirror the latency chain [`access_path`] computes
+    /// inline, and the chain is serially dependent, so `(due, seq)`
+    /// retirement order equals inline execution order — which is what
+    /// keeps the resulting `RunStats` bit-exact against the scalar
+    /// oracle. The wheel is drained back to empty before returning.
+    fn drive_miss_chain(
+        &mut self,
+        info: &AccessInfo,
+        l1_set: usize,
+        l1_empty: Option<usize>,
+        cycle: u64,
+    ) -> (u64, MemLevel) {
+        debug_assert!(self.wheel.is_empty(), "stale events before a miss chain");
+        // Missed levels in descent order, with the set/empty-way results
+        // of their probes (same inline record access_path keeps).
+        let mut missed = [(MemLevel::L1d, l1_set, l1_empty); 3];
+        let mut n_missed = 1usize;
+        let mut outcome: Option<(u64, MemLevel)> = None;
+        self.wheel
+            .schedule(cycle + self.core.l1d.latency(), MissEv::DataL2);
+        while let Some((t, ev)) = self.wheel.pop() {
+            match ev {
+                MissEv::DataL2 => match self.core.l2c.probe(info, t) {
+                    Probe::Ready(r) => outcome = Some((r, MemLevel::L2c)),
+                    Probe::Miss { set, empty } => {
+                        missed[n_missed] = (MemLevel::L2c, set, empty);
+                        n_missed += 1;
+                        self.wheel
+                            .schedule(t + self.core.l2c.latency(), MissEv::DataLlc);
+                    }
+                },
+                MissEv::DataLlc => match self.llc.probe(info, t) {
+                    Probe::Ready(r) => outcome = Some((r, MemLevel::Llc)),
+                    Probe::Miss { set, empty } => {
+                        missed[n_missed] = (MemLevel::Llc, set, empty);
+                        n_missed += 1;
+                        self.wheel
+                            .schedule(t + self.llc.latency(), MissEv::DataDram);
+                    }
+                },
+                MissEv::DataDram => {
+                    outcome = Some((self.dram.access(info.line, t), MemLevel::Dram));
+                }
+                MissEv::FillWakeup(_) | MissEv::WalkHop(_) => {
+                    unreachable!("fill/walk event during chain resolution")
+                }
+            }
+        }
+        let (ready, served) = outcome.expect("miss chain resolved at some level");
+        // Fill phase: install tags and MSHR registers for every missed
+        // level. A full MSHR file defers its fill to the file's wakeup
+        // cycle `w`; folding the wait into the fill's ready (`ready +
+        // (w - cycle)`) at that later allocate reproduces the inline
+        // allocate's delay arithmetic exactly. Fills at different
+        // levels touch disjoint state, so deferred fills retiring after
+        // immediate ones cannot change any observable outcome.
+        for &(level, set, empty) in &missed[..n_missed] {
+            let cache: &mut Cache = match level {
+                MemLevel::L1d => &mut self.core.l1d,
+                MemLevel::L2c => &mut self.core.l2c,
+                MemLevel::Llc => &mut self.llc,
+                MemLevel::Dram => unreachable!(),
+            };
+            match cache.mshr_full_wakeup(cycle) {
+                None => {
+                    let _ = cache.insert_miss_at(set, empty, info, ready, cycle);
+                }
+                Some(w) => self.wheel.schedule(w, MissEv::FillWakeup(level)),
+            }
+        }
+        while let Some((w, ev)) = self.wheel.pop() {
+            let MissEv::FillWakeup(level) = ev else {
+                unreachable!("only fill wakeups remain after resolution")
+            };
+            let &(_, set, empty) = missed[..n_missed]
+                .iter()
+                .find(|&&(l, _, _)| l == level)
+                .expect("wakeup for a level that missed");
+            let cache: &mut Cache = match level {
+                MemLevel::L1d => &mut self.core.l1d,
+                MemLevel::L2c => &mut self.core.l2c,
+                MemLevel::Llc => &mut self.llc,
+                MemLevel::Dram => unreachable!(),
+            };
+            let delayed = ready + (w - cycle);
+            let _ = cache.insert_miss_at(set, empty, info, delayed, w);
+        }
+        (ready, served)
+    }
+
+    /// Execute a page walk by retiring its PTE-read hops as deferred
+    /// [`MissEv::WalkHop`] events: hop `i+1` is scheduled at the cycle
+    /// hop `i` completes, so the wheel replays [`do_walk`]'s serial hop
+    /// chain in identical order with identical per-hop state
+    /// transitions ([`walk_hop`] is shared verbatim). Used by the fast
+    /// pass only, which requires telemetry detached — the scalar path's
+    /// hop-span recording has nothing to observe here.
+    fn drive_walk(&mut self, ip: u64, plan: &WalkPlan, block_in_page: u64, start: u64) -> u64 {
+        debug_assert!(self.wheel.is_empty(), "stale events before a walk");
+        self.wheel.schedule(start, MissEv::WalkHop(0));
+        let mut done = start;
+        while let Some((t, ev)) = self.wheel.pop() {
+            let MissEv::WalkHop(idx) = ev else {
+                unreachable!("non-walk event during a walk")
+            };
+            let idx = idx as usize;
+            let (ready, _served) = walk_hop(
+                &mut self.core,
+                &mut self.llc,
+                &mut self.dram,
+                &self.cfg.ideal,
+                ip,
+                plan,
+                block_in_page,
+                idx,
+                t,
+            );
+            done = ready;
+            if idx + 1 < plan.steps.len() {
+                self.wheel.schedule(ready, MissEv::WalkHop((idx + 1) as u8));
+            }
+        }
+        finish_walk(&mut self.core, plan, ip);
+        done
     }
 
     fn reset_stats(&mut self) {

@@ -1,0 +1,245 @@
+//! Calendar-queue event wheel for the timing core.
+//!
+//! The batched run loop resolves DTLB + L1D hits inline and pushes only
+//! misses onto this wheel: walker hops, MSHR-full wakeups, and DRAM
+//! service retire here at their due cycles instead of being recomputed
+//! as an inline latency chain (see DESIGN.md §13).
+//!
+//! The structure is a calendar queue — open hashing on time, one bucket
+//! per [`BUCKET_WIDTH`]-cycle slice of the calendar, bucket index
+//! `(due / BUCKET_WIDTH) % NUM_BUCKETS` — with a 64-bit occupancy
+//! bitmask over the buckets so a pop visits only non-empty buckets.
+//! Events further apart than the wheel horizon share buckets (classic
+//! calendar wrap); correctness never depends on the horizon because a
+//! pop always selects the global minimum.
+//!
+//! # Determinism
+//!
+//! Every event carries a monotone sequence number stamped at schedule
+//! time, and pop order is the lexicographic minimum of `(due, seq)`:
+//! events due on the same cycle retire in exactly the order they were
+//! scheduled (FIFO), no matter which buckets they hashed to. The wheel
+//! itself is therefore deterministic, which is what lets the batched
+//! miss engine reproduce the scalar oracle's state-transition order
+//! bit-for-bit.
+
+/// Buckets on the wheel. The occupancy bitmask is one `u64`, so this is
+/// fixed at 64.
+const NUM_BUCKETS: usize = 64;
+
+/// Cycles covered by one bucket. The miss chains the simulator schedules
+/// span tens to a few hundred cycles (cache latencies, DRAM service,
+/// MSHR wakeups), so a 32-cycle slice keeps chain neighbours in
+/// adjacent buckets and the whole wheel horizon at 2048 cycles.
+const BUCKET_WIDTH: u64 = 32;
+
+/// One scheduled event: due cycle, schedule-order sequence number, and
+/// the payload.
+#[derive(Debug, Clone, Copy)]
+struct Slot<E> {
+    due: u64,
+    seq: u64,
+    ev: E,
+}
+
+/// A deterministic calendar-queue event wheel.
+///
+/// `schedule` is O(1); `pop` is O(set buckets + bucket occupancy),
+/// which is O(live events) — and the miss engine keeps only a single
+/// instruction's serially-dependent chain live at a time, so both are
+/// effectively constant.
+#[derive(Debug)]
+pub struct EventWheel<E> {
+    /// The earliest live event — `(due, seq)`-minimal over the whole
+    /// wheel. A serially-dependent miss chain keeps exactly one event
+    /// live at a time, so this front slot makes the common
+    /// schedule→pop round trip a pair of `Option` moves that never
+    /// touch the calendar; the buckets only see traffic when several
+    /// events are in flight at once (deferred fill wakeups).
+    head: Option<Slot<E>>,
+    buckets: Vec<Vec<Slot<E>>>,
+    /// Bit `b` set ⟺ `buckets[b]` is non-empty.
+    occupied: u64,
+    len: usize,
+    seq: u64,
+}
+
+impl<E> Default for EventWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventWheel<E> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        EventWheel {
+            head: None,
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Live events on the wheel.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(due: u64) -> usize {
+        ((due / BUCKET_WIDTH) as usize) % NUM_BUCKETS
+    }
+
+    /// Schedule `ev` to retire at cycle `due`. Events scheduled for the
+    /// same cycle retire in schedule order.
+    #[inline]
+    pub fn schedule(&mut self, due: u64, ev: E) {
+        let slot = Slot {
+            due,
+            seq: self.seq,
+            ev,
+        };
+        self.seq += 1;
+        self.len += 1;
+        // Keep the front slot `(due, seq)`-minimal: a strictly earlier
+        // event displaces the head into the calendar; ties lose to the
+        // head's smaller sequence number (FIFO).
+        let displaced = match &self.head {
+            None => {
+                self.head = Some(slot);
+                return;
+            }
+            Some(h) if due < h.due => self.head.replace(slot),
+            _ => Some(slot),
+        };
+        let slot = displaced.expect("displaced slot exists in both arms");
+        let b = Self::bucket_of(slot.due);
+        self.buckets[b].push(slot);
+        self.occupied |= 1 << b;
+    }
+
+    /// Remove and return the earliest event as `(due, event)` —
+    /// minimum `(due, seq)`, so equal-cycle events come out FIFO.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let slot = self.head.take()?;
+        self.len -= 1;
+        if self.len == 0 {
+            // A drained wheel resets its sequence space; `(due, seq)`
+            // comparisons never span a drain, so this keeps the counter
+            // from growing across a run without affecting order.
+            self.seq = 0;
+        } else {
+            self.head = Some(self.extract_calendar_min());
+        }
+        Some((slot.due, slot.ev))
+    }
+
+    /// Remove the `(due, seq)`-minimal slot from the calendar buckets:
+    /// walk only occupied buckets (bitmask), then only their live
+    /// slots. The calendar hash keeps buckets short; the scan keeps
+    /// wrap handling trivial.
+    fn extract_calendar_min(&mut self) -> Slot<E> {
+        let mut best_bucket = usize::MAX;
+        let mut best_idx = 0usize;
+        let mut best_due = u64::MAX;
+        let mut best_seq = u64::MAX;
+        let mut mask = self.occupied;
+        while mask != 0 {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            for (i, slot) in self.buckets[b].iter().enumerate() {
+                if (slot.due, slot.seq) < (best_due, best_seq) {
+                    best_bucket = b;
+                    best_idx = i;
+                    best_due = slot.due;
+                    best_seq = slot.seq;
+                }
+            }
+        }
+        let slot = self.buckets[best_bucket].swap_remove(best_idx);
+        if self.buckets[best_bucket].is_empty() {
+            self.occupied &= !(1 << best_bucket);
+        }
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_order() {
+        let mut w = EventWheel::new();
+        w.schedule(300, "c");
+        w.schedule(100, "a");
+        w.schedule(200, "b");
+        assert_eq!(w.pop(), Some((100, "a")));
+        assert_eq!(w.pop(), Some((200, "b")));
+        assert_eq!(w.pop(), Some((300, "c")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn equal_cycle_ties_retire_fifo() {
+        // The satellite regression: retirement order must be stable
+        // (schedule order) when several events share a due cycle, even
+        // when they land in the same bucket and interleave with other
+        // dues.
+        let mut w = EventWheel::new();
+        w.schedule(50, 0);
+        w.schedule(50, 1);
+        w.schedule(40, 2);
+        w.schedule(50, 3);
+        let order: Vec<(u64, i32)> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(order, vec![(40, 2), (50, 0), (50, 1), (50, 3)]);
+    }
+
+    #[test]
+    fn ties_stay_fifo_after_interleaved_pops() {
+        let mut w = EventWheel::new();
+        w.schedule(10, "x");
+        w.schedule(10, "y");
+        assert_eq!(w.pop(), Some((10, "x")));
+        w.schedule(10, "z");
+        assert_eq!(w.pop(), Some((10, "y")));
+        assert_eq!(w.pop(), Some((10, "z")));
+    }
+
+    #[test]
+    fn wrapped_calendar_days_do_not_reorder() {
+        // Dues a whole horizon apart hash to the same bucket; the pop
+        // must still return the globally earliest first.
+        let mut w = EventWheel::new();
+        let horizon = BUCKET_WIDTH * NUM_BUCKETS as u64;
+        w.schedule(7 + 3 * horizon, "far");
+        w.schedule(7, "near");
+        assert_eq!(
+            EventWheel::<&str>::bucket_of(7),
+            EventWheel::<&str>::bucket_of(7 + 3 * horizon),
+            "test precondition: same bucket"
+        );
+        assert_eq!(w.pop(), Some((7, "near")));
+        assert_eq!(w.pop(), Some((7 + 3 * horizon, "far")));
+    }
+
+    #[test]
+    fn drain_and_reuse_keeps_determinism() {
+        let mut w = EventWheel::new();
+        for round in 0..3u64 {
+            w.schedule(round + 5, (round, 0));
+            w.schedule(round + 5, (round, 1));
+            assert_eq!(w.pop(), Some((round + 5, (round, 0))));
+            assert_eq!(w.pop(), Some((round + 5, (round, 1))));
+            assert!(w.is_empty());
+        }
+    }
+}

@@ -79,15 +79,15 @@ fn drive(cache: &mut Cache, lines: u64) -> f64 {
 
 fn main() {
     let (sets, ways) = (16, 4);
-    let mut lru = Cache::new("LRU", sets, ways, 1, 8, Box::new(Lru::new(sets, ways)))
-        .expect("valid geometry");
+    let mut lru =
+        Cache::new("LRU", sets, ways, 1, 8, Lru::new(sets, ways)).expect("valid geometry");
     let mut rnd = Cache::new(
         "random",
         sets,
         ways,
         1,
         8,
-        Box::new(RandomReplacement::new(ways, 0xC0FFEE)),
+        Box::new(RandomReplacement::new(ways, 0xC0FFEE)) as Box<dyn ReplacementPolicy>,
     )
     .expect("valid geometry");
 

@@ -128,8 +128,8 @@ fn cache_never_exceeds_associativity() {
     for case in 0..CASES {
         let mut rng = rng_for(4, case);
         let n = rand_len(&mut rng, 1, 500);
-        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)))
-            .expect("valid test geometry");
+        let mut c =
+            Cache::new("P", sets, ways, 1, 4, Lru::new(sets, ways)).expect("valid test geometry");
         // The cycle advances per access and each fill is ready
         // immediately, so no MSHR entry outlives the access that
         // allocated it (`insert_miss` requires the caller to have ruled
@@ -218,8 +218,8 @@ fn tag_array_cache_matches_reference_scan_model() {
     let (sets, ways) = (16usize, 4usize);
     for case in 0..8u64 {
         let mut rng = rng_for(15, case);
-        let mut c = Cache::new("P", sets, ways, 1, 4, Box::new(Lru::new(sets, ways)))
-            .expect("valid test geometry");
+        let mut c =
+            Cache::new("P", sets, ways, 1, 4, Lru::new(sets, ways)).expect("valid test geometry");
         let mut reference = RefCache::new(sets, ways);
         let (mut hits, mut evictions) = (0u64, 0u64);
         // The cycle advances per access with immediately-ready fills so
